@@ -1,0 +1,54 @@
+//! Model microbenchmarks: per-frame CNN inference, BiLSTM windows, SVM
+//! scoring — the per-time-step costs behind the paper's near-real-time
+//! classification claim.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use darnet_core::{CnnConfig, FrameCnn};
+use darnet_nn::{BiLstm, LinearSvm, Mode};
+use darnet_tensor::{SplitMix64, Tensor};
+
+fn random_tensor(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = SplitMix64::new(seed);
+    let mut t = Tensor::zeros(dims);
+    for v in t.data_mut() {
+        *v = rng.uniform(-1.0, 1.0);
+    }
+    t
+}
+
+fn bench_cnn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cnn");
+    group.sample_size(20);
+    let mut cnn = FrameCnn::new(
+        CnnConfig {
+            width: 1.5,
+            ..CnnConfig::default()
+        },
+        1,
+    );
+    let frame = random_tensor(&[1, 1, 48, 48], 2);
+    group.bench_function("cnn forward 1 frame (paper width)", |bench| {
+        bench.iter(|| black_box(cnn.predict_proba(&frame).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(3);
+    let mut bilstm = BiLstm::new(12, 32, &mut rng);
+    let window = random_tensor(&[1, 20, 12], 4);
+    c.bench_function("bilstm forward 20-step window", |bench| {
+        bench.iter(|| black_box(bilstm.forward_seq(&window, Mode::Eval).unwrap()))
+    });
+}
+
+fn bench_svm(c: &mut Criterion) {
+    let svm = LinearSvm::new(240, 3);
+    let x = random_tensor(&[1, 240], 5);
+    c.bench_function("svm decision 240 features", |bench| {
+        bench.iter(|| black_box(svm.decision_function(&x).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_cnn, bench_lstm, bench_svm);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Privacy-path microbenchmarks: the distortion module at each level and
+//! one distillation training step.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use darnet_core::privacy::{Downsampler, PrivacyLevel};
+use darnet_core::{CnnConfig, FrameCnn};
+use darnet_nn::Sgd;
+use darnet_sim::Frame;
+use darnet_tensor::Tensor;
+
+fn bench_downsample(c: &mut Criterion) {
+    let frame = Frame::new(48, 48);
+    let ds = Downsampler::new(48);
+    for level in PrivacyLevel::ALL {
+        c.bench_function(&format!("distort {}", level.model_name()), |bench| {
+            bench.iter(|| black_box(ds.distort(black_box(&frame), level)))
+        });
+    }
+}
+
+fn bench_distill_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distill");
+    group.sample_size(10);
+    let config = CnnConfig {
+        width: 0.75,
+        ..CnnConfig::default()
+    };
+    let mut teacher = FrameCnn::new(config, 1);
+    let mut student = FrameCnn::new(config, 2);
+    let frames = Tensor::zeros(&[8, 1, 48, 48]);
+    let teacher_logits = teacher.logits(&frames).unwrap();
+    let mut opt = Sgd::with_momentum(0.01, 0.9);
+    group.bench_function("distill step batch 8", |bench| {
+        bench.iter(|| {
+            black_box(
+                student
+                    .distill_step(&frames, &teacher_logits, &mut opt)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_downsample, bench_distill_step);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Tensor-kernel microbenchmarks: the matmul and im2col/col2im paths that
+//! dominate CNN training time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use darnet_tensor::{col2im, im2col, Conv2dSpec, SplitMix64, Tensor};
+
+fn random_tensor(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = SplitMix64::new(seed);
+    let mut t = Tensor::zeros(dims);
+    for v in t.data_mut() {
+        *v = rng.uniform(-1.0, 1.0);
+    }
+    t
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = random_tensor(&[64, 64], 1);
+    let b = random_tensor(&[64, 64], 2);
+    c.bench_function("matmul 64x64x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+    let at = random_tensor(&[128, 96], 3);
+    let bt = random_tensor(&[64, 96], 4);
+    c.bench_function("matmul_transpose_b 128x96x64", |bench| {
+        bench.iter(|| black_box(at.matmul_transpose_b(&bt).unwrap()))
+    });
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    // The CNN stem geometry: batch 8, 48x48 grayscale, 3x3 kernel.
+    let input = random_tensor(&[8, 1, 48, 48], 5);
+    let spec = Conv2dSpec::square(1, 12, 3, 1, 1);
+    c.bench_function("im2col stem 8x1x48x48 k3", |bench| {
+        bench.iter(|| black_box(im2col(&input, &spec).unwrap()))
+    });
+    let cols = im2col(&input, &spec).unwrap();
+    c.bench_function("col2im stem 8x1x48x48 k3", |bench| {
+        bench.iter(|| black_box(col2im(&cols, &spec, 8, 48, 48).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_im2col);
+criterion_main!(benches);

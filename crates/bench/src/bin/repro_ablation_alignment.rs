@@ -1,0 +1,14 @@
+//! Ablation: the controller's sliding moving-average smoothing on vs. off
+//! (DESIGN.md §6.2) and its effect on IMU classification.
+
+use darnet_bench::{experiment_config, header, pct};
+use darnet_core::experiment::run_ablation_alignment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = experiment_config();
+    let ab = run_ablation_alignment(&config)?;
+    header("Ablation: controller smoothing (RNN 3-class eval Top-1)");
+    println!("{:<28} {:>10}", "smoothing window = 3", pct(ab.smoothed));
+    println!("{:<28} {:>10}", "smoothing disabled", pct(ab.unsmoothed));
+    Ok(())
+}

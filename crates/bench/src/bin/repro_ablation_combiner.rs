@@ -1,0 +1,16 @@
+//! Ablation: Bayesian-network combiner vs. independence product vs. CNN
+//! only (DESIGN.md §6.1).
+
+use darnet_bench::{experiment_config, header, pct};
+use darnet_core::experiment::{run_ablation_combiner, train_stack};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = experiment_config();
+    let stack = train_stack(&config)?;
+    let ab = run_ablation_combiner(&stack)?;
+    header("Ablation: modality fusion strategy (eval Top-1)");
+    println!("{:<22} {:>10}", "Bayesian network", pct(ab.bayesian));
+    println!("{:<22} {:>10}", "Probability product", pct(ab.product));
+    println!("{:<22} {:>10}", "CNN only", pct(ab.cnn_only));
+    Ok(())
+}

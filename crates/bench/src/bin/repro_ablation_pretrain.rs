@@ -1,0 +1,15 @@
+//! Ablation: proxy pre-training + fine-tuning vs. from-scratch training
+//! at the same fine-tuning budget (DESIGN.md §6.4 — the paper's transfer
+//! learning rationale).
+
+use darnet_bench::{experiment_config, header, pct};
+use darnet_core::experiment::run_ablation_pretrain;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = experiment_config();
+    let ab = run_ablation_pretrain(&config)?;
+    header("Ablation: CNN transfer learning (eval Top-1 at equal fine-tune budget)");
+    println!("{:<28} {:>10}", "pre-trained + fine-tuned", pct(ab.pretrained));
+    println!("{:<28} {:>10}", "from scratch", pct(ab.from_scratch));
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Table 1**: driver behaviour classes with per-class frame
+//! counts, collected through the full agent → controller middleware.
+
+use darnet_bench::{experiment_config, header};
+use darnet_core::experiment::run_table1;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = experiment_config();
+    header("Table 1: Driver behaviour classes (collected dataset)");
+    println!(
+        "scale = {} of the paper's frame counts ({} drivers, 4 fps camera)\n",
+        config.scale, config.drivers
+    );
+    let report = run_table1(&config)?;
+    println!(
+        "{:<5} {:<18} {:<12} {:>12} {:>12} {:>12}",
+        "Class", "Description", "Data Types", "Paper", "Target", "Collected"
+    );
+    for row in &report.rows {
+        println!(
+            "{:<5} {:<18} {:<12} {:>12} {:>12} {:>12}",
+            row.class,
+            row.description,
+            row.data_types,
+            row.paper_frames,
+            row.target_frames,
+            row.collected_frames
+        );
+    }
+    println!("\ntotal collected frames: {}", report.total_collected);
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! Regenerates **Table 3**: CNN vs. dCNN Top-1 on the 18-class extended
+//! dataset. Shape criteria: dCNN-L ≥ CNN; dCNN-M within a few points;
+//! dCNN-H clearly degraded.
+
+use darnet_bench::{header, pct, privacy_config};
+use darnet_core::experiment::run_table3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = privacy_config();
+    header("Table 3: CNN and dCNN Top-1 (18-class dataset)");
+    println!(
+        "{} drivers, {} s/class, teacher width {}\n",
+        config.drivers, config.seconds_per_class, config.cnn_width
+    );
+    let report = run_table3(&config)?;
+    println!("{:<10} {:>10} {:>12}", "Model", "Hit@1", "(paper)");
+    println!("{:<10} {:>10} {:>12}", "CNN", pct(report.cnn_top1), "78.87%");
+    let paper = ["80.00%", "77.78%", "63.13%"];
+    for ((level, acc), p) in report.dcnn_top1.iter().zip(paper) {
+        println!("{:<10} {:>10} {:>12}", level.model_name(), pct(*acc), p);
+    }
+    Ok(())
+}

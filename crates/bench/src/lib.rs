@@ -1,0 +1,61 @@
+//! # darnet-bench
+//!
+//! Benchmark harness for the DarNet reproduction. Two kinds of targets:
+//!
+//! * **`repro_*` binaries** — regenerate every table and figure of the
+//!   paper (`cargo run -p darnet-bench --release --bin repro_table2`).
+//!   Each accepts `--fast` to run a reduced-scale smoke version.
+//! * **Criterion benches** (`cargo bench`) — performance characterization
+//!   of the substrates: tensor kernels, model inference, controller
+//!   ingest/alignment, end-to-end per-time-step classification latency,
+//!   and privacy transforms.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use darnet_core::experiment::{ExperimentConfig, PrivacyExperimentConfig};
+
+/// Returns true if the process args request the reduced-scale preset.
+pub fn fast_requested() -> bool {
+    std::env::args().any(|a| a == "--fast")
+}
+
+/// Picks the experiment config from the command line (`--fast` or full).
+pub fn experiment_config() -> ExperimentConfig {
+    if fast_requested() {
+        ExperimentConfig::fast()
+    } else {
+        ExperimentConfig::paper()
+    }
+}
+
+/// Picks the privacy experiment config from the command line.
+pub fn privacy_config() -> PrivacyExperimentConfig {
+    if fast_requested() {
+        PrivacyExperimentConfig::fast()
+    } else {
+        PrivacyExperimentConfig::paper()
+    }
+}
+
+/// Formats a fraction as a paper-style percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_like_the_paper() {
+        assert_eq!(pct(0.8702), "87.02%");
+        assert_eq!(pct(0.0), "0.00%");
+        assert_eq!(pct(1.0), "100.00%");
+    }
+}

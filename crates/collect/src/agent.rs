@@ -1,0 +1,189 @@
+//! The collection agent: polls one sensor, timestamps with its local
+//! (drifting) clock, and transmits batches to the controller.
+
+use crate::clock::DriftClock;
+use crate::sensor::Sensor;
+use crate::wire::{Batch, StampedReading};
+
+/// Agent configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentConfig {
+    /// Sensor poll period, seconds (paper: 25 ms for IMU listeners).
+    pub poll_period: f64,
+    /// Batch transmission period, seconds — chosen "based on the latency
+    /// and bandwidth between the agent and the controller" (§3.1).
+    pub transmit_period: f64,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            poll_period: 0.025,
+            transmit_period: 0.5,
+        }
+    }
+}
+
+/// A collection agent embedded in one IoT device.
+///
+/// The agent's responsibilities mirror §3.1 of the paper: periodically poll
+/// the device's sensor, maintain an internal clock for timestamping, and
+/// transmit data to the centralized controller at a configured frequency.
+pub struct CollectionAgent {
+    id: u32,
+    sensor: Box<dyn Sensor>,
+    clock: DriftClock,
+    config: AgentConfig,
+    buffer: Vec<StampedReading>,
+    next_seq: u32,
+    polls: u64,
+}
+
+impl CollectionAgent {
+    /// Creates an agent around a sensor with the given local clock.
+    pub fn new(id: u32, sensor: Box<dyn Sensor>, clock: DriftClock, config: AgentConfig) -> Self {
+        CollectionAgent {
+            id,
+            sensor,
+            clock,
+            config,
+            buffer: Vec::new(),
+            next_seq: 0,
+            polls: 0,
+        }
+    }
+
+    /// Agent identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Agent configuration.
+    pub fn config(&self) -> &AgentConfig {
+        &self.config
+    }
+
+    /// The agent's current clock error at true time `t` (diagnostic).
+    pub fn clock_error(&self, t: f64) -> f64 {
+        self.clock.error(t)
+    }
+
+    /// Number of polls performed.
+    pub fn poll_count(&self) -> u64 {
+        self.polls
+    }
+
+    /// Polls the sensor at true time `t`, stamping the reading with the
+    /// agent's *local* clock (which is what the paper's system must
+    /// correct for via synchronization).
+    pub fn poll(&mut self, t: f64) {
+        let reading = self.sensor.sample(t);
+        self.buffer.push(StampedReading {
+            timestamp: self.clock.now(t),
+            reading,
+        });
+        self.polls += 1;
+    }
+
+    /// Drains buffered readings into a transmission batch; returns `None`
+    /// if nothing was buffered.
+    pub fn flush(&mut self) -> Option<Batch> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        let batch = Batch {
+            agent_id: self.id,
+            seq: self.next_seq,
+            readings: std::mem::take(&mut self.buffer),
+        };
+        self.next_seq += 1;
+        Some(batch)
+    }
+
+    /// Handles a clock-sync message from the controller, received at true
+    /// time `t`: the master's UTC plus the measured network delay become
+    /// the agent's new local time (§4.1).
+    pub fn handle_sync(&mut self, t: f64, master_utc: f64, measured_delay: f64) {
+        self.clock.apply_sync(t, master_utc, measured_delay);
+    }
+}
+
+impl std::fmt::Debug for CollectionAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollectionAgent")
+            .field("id", &self.id)
+            .field("sensor", &self.sensor.name())
+            .field("buffered", &self.buffer.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensor::{ImuSensor, SensorReading};
+    use darnet_sim::{Behavior, DrivingWorld, Segment, WorldConfig};
+    use std::sync::Arc;
+
+    fn make_agent(clock: DriftClock) -> CollectionAgent {
+        let world = Arc::new(DrivingWorld::new(WorldConfig::default()));
+        let script = vec![Segment {
+            driver: 0,
+            behavior: Behavior::Texting,
+            start: 0.0,
+            duration: 60.0,
+        }];
+        CollectionAgent::new(
+            7,
+            Box::new(ImuSensor::new(world, 0, script, 0.025)),
+            clock,
+            AgentConfig::default(),
+        )
+    }
+
+    #[test]
+    fn poll_stamps_with_local_clock() {
+        let mut agent = make_agent(DriftClock::new(0.0, 0.5));
+        agent.poll(1.0);
+        let batch = agent.flush().unwrap();
+        assert_eq!(batch.readings.len(), 1);
+        // Local clock = true + 0.5.
+        assert!((batch.readings[0].timestamp - 1.5).abs() < 1e-9);
+        assert!(matches!(batch.readings[0].reading, SensorReading::Imu(_)));
+    }
+
+    #[test]
+    fn flush_returns_none_when_empty_and_drains_buffer() {
+        let mut agent = make_agent(DriftClock::perfect());
+        assert!(agent.flush().is_none());
+        agent.poll(0.0);
+        agent.poll(0.025);
+        let b = agent.flush().unwrap();
+        assert_eq!(b.readings.len(), 2);
+        assert!(agent.flush().is_none());
+    }
+
+    #[test]
+    fn sequence_numbers_increase() {
+        let mut agent = make_agent(DriftClock::perfect());
+        agent.poll(0.0);
+        let b0 = agent.flush().unwrap();
+        agent.poll(1.0);
+        let b1 = agent.flush().unwrap();
+        assert_eq!(b0.seq, 0);
+        assert_eq!(b1.seq, 1);
+        assert_eq!(agent.poll_count(), 2);
+    }
+
+    #[test]
+    fn sync_corrects_future_timestamps() {
+        let mut agent = make_agent(DriftClock::new(0.0, 2.0));
+        assert!(agent.clock_error(0.0).abs() > 1.0);
+        agent.handle_sync(10.0, 9.98, 0.02);
+        assert!(agent.clock_error(10.0).abs() < 1e-9);
+        agent.poll(10.5);
+        let b = agent.flush().unwrap();
+        assert!((b.readings[0].timestamp - 10.5).abs() < 1e-9);
+    }
+}

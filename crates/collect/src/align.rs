@@ -1,0 +1,227 @@
+//! Data normalization: ordering, linear interpolation onto a uniform grid,
+//! and sliding moving-average smoothing (paper §3.2 "Data Normalization").
+
+use serde::{Deserialize, Serialize};
+
+/// A uniform sampling grid `start, start + 1/hz, ...` up to `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// First grid point, seconds.
+    pub start: f64,
+    /// Last grid point (inclusive bound), seconds.
+    pub end: f64,
+    /// Grid frequency, Hz (the paper's IMU pipeline uses 4 Hz).
+    pub hz: f64,
+}
+
+impl GridSpec {
+    /// The grid timestamps.
+    pub fn points(&self) -> Vec<f64> {
+        if self.hz <= 0.0 || self.end < self.start {
+            return Vec::new();
+        }
+        let step = 1.0 / self.hz;
+        let n = ((self.end - self.start) / step).floor() as usize + 1;
+        (0..n).map(|i| self.start + i as f64 * step).collect()
+    }
+}
+
+/// Linearly interpolates irregular `(t, value)` observations onto `grid`.
+///
+/// * Observations are sorted internally — out-of-order network delivery is
+///   tolerated (the controller "relies on the timestamp associated with
+///   each tuple to determine the ordering").
+/// * Grid points outside the observation span are clamped to the nearest
+///   observation (no extrapolation).
+/// * Multi-channel values are interpolated channel-wise.
+///
+/// Returns one vector per grid point; empty output if there are no
+/// observations.
+pub fn interpolate_grid(observations: &[(f64, Vec<f32>)], grid: &GridSpec) -> Vec<Vec<f32>> {
+    if observations.is_empty() {
+        return Vec::new();
+    }
+    let mut obs: Vec<&(f64, Vec<f32>)> = observations.iter().collect();
+    obs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("timestamps are finite"));
+    let channels = obs[0].1.len();
+    let mut out = Vec::new();
+    let mut hi = 0usize; // first observation with time >= g
+    for g in grid.points() {
+        while hi < obs.len() && obs[hi].0 < g {
+            hi += 1;
+        }
+        let v = if hi == 0 {
+            obs[0].1.clone()
+        } else if hi == obs.len() {
+            obs[obs.len() - 1].1.clone()
+        } else {
+            let (t0, v0) = (&obs[hi - 1].0, &obs[hi - 1].1);
+            let (t1, v1) = (&obs[hi].0, &obs[hi].1);
+            let w = if (t1 - t0).abs() < 1e-12 {
+                0.0
+            } else {
+                ((g - t0) / (t1 - t0)) as f32
+            };
+            (0..channels)
+                .map(|c| v0[c] * (1.0 - w) + v1[c] * w)
+                .collect()
+        };
+        out.push(v);
+    }
+    out
+}
+
+/// Sliding moving average with a centered-causal window of `window`
+/// samples (the current sample and the `window - 1` preceding ones). The
+/// paper: *"the controller performs a smoothing operation on the data by
+/// maintaining a sliding moving average"* to absorb commodity-sensor
+/// aberrations.
+///
+/// `window == 0` or `1` returns the input unchanged.
+pub fn moving_average(series: &[Vec<f32>], window: usize) -> Vec<Vec<f32>> {
+    if window <= 1 || series.is_empty() {
+        return series.to_vec();
+    }
+    let channels = series[0].len();
+    let mut out = Vec::with_capacity(series.len());
+    for i in 0..series.len() {
+        let lo = i.saturating_sub(window - 1);
+        let count = (i - lo + 1) as f32;
+        let mut acc = vec![0.0f32; channels];
+        for row in &series[lo..=i] {
+            for (a, &v) in acc.iter_mut().zip(row) {
+                *a += v;
+            }
+        }
+        for a in &mut acc {
+            *a /= count;
+        }
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_points_are_uniform() {
+        let grid = GridSpec {
+            start: 0.0,
+            end: 1.0,
+            hz: 4.0,
+        };
+        let pts = grid.points();
+        assert_eq!(pts.len(), 5);
+        assert!((pts[1] - 0.25).abs() < 1e-12);
+        assert!((pts[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_grid_is_empty() {
+        assert!(GridSpec { start: 1.0, end: 0.0, hz: 4.0 }.points().is_empty());
+        assert!(GridSpec { start: 0.0, end: 1.0, hz: 0.0 }.points().is_empty());
+    }
+
+    #[test]
+    fn interpolation_recovers_linear_signal_exactly() {
+        // f(t) = 2t over irregular samples.
+        let obs: Vec<(f64, Vec<f32>)> = [0.0, 0.13, 0.41, 0.77, 1.0]
+            .iter()
+            .map(|&t| (t, vec![2.0 * t as f32]))
+            .collect();
+        let grid = GridSpec { start: 0.0, end: 1.0, hz: 10.0 };
+        let out = interpolate_grid(&obs, &grid);
+        for (i, v) in out.iter().enumerate() {
+            let t = i as f32 * 0.1;
+            assert!((v[0] - 2.0 * t).abs() < 1e-5, "at {t}: {}", v[0]);
+        }
+    }
+
+    #[test]
+    fn interpolation_tolerates_out_of_order_observations() {
+        let sorted: Vec<(f64, Vec<f32>)> =
+            vec![(0.0, vec![0.0]), (0.5, vec![5.0]), (1.0, vec![10.0])];
+        let shuffled: Vec<(f64, Vec<f32>)> =
+            vec![(1.0, vec![10.0]), (0.0, vec![0.0]), (0.5, vec![5.0])];
+        let grid = GridSpec { start: 0.0, end: 1.0, hz: 4.0 };
+        assert_eq!(interpolate_grid(&sorted, &grid), interpolate_grid(&shuffled, &grid));
+    }
+
+    #[test]
+    fn interpolation_clamps_outside_span() {
+        let obs = vec![(0.5, vec![1.0]), (0.6, vec![2.0])];
+        let grid = GridSpec { start: 0.0, end: 1.0, hz: 2.0 };
+        let out = interpolate_grid(&obs, &grid);
+        assert_eq!(out[0], vec![1.0]); // before the first observation
+        assert_eq!(out[2], vec![2.0]); // after the last
+    }
+
+    #[test]
+    fn interpolation_is_multichannel() {
+        let obs = vec![(0.0, vec![0.0, 10.0]), (1.0, vec![1.0, 0.0])];
+        let grid = GridSpec { start: 0.5, end: 0.5, hz: 1.0 };
+        let out = interpolate_grid(&obs, &grid);
+        assert_eq!(out.len(), 1);
+        assert!((out[0][0] - 0.5).abs() < 1e-6);
+        assert!((out[0][1] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interpolation_bounded_by_observations() {
+        // Interpolated values never exceed the observed min/max.
+        let obs: Vec<(f64, Vec<f32>)> = (0..20)
+            .map(|i| (i as f64 * 0.1, vec![((i * 7) % 5) as f32]))
+            .collect();
+        let grid = GridSpec { start: 0.0, end: 1.9, hz: 13.0 };
+        let out = interpolate_grid(&obs, &grid);
+        for v in out {
+            assert!(v[0] >= 0.0 && v[0] <= 4.0);
+        }
+    }
+
+    #[test]
+    fn moving_average_smooths_a_spike() {
+        let series: Vec<Vec<f32>> = vec![
+            vec![1.0],
+            vec![1.0],
+            vec![10.0], // aberration
+            vec![1.0],
+            vec![1.0],
+        ];
+        let out = moving_average(&series, 3);
+        assert!(out[2][0] < 10.0);
+        assert!((out[2][0] - 4.0).abs() < 1e-6); // (1+1+10)/3
+        assert!((out[4][0] - 4.0).abs() < 1e-6); // (10+1+1)/3
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let series = vec![vec![3.0], vec![-1.0]];
+        assert_eq!(moving_average(&series, 1), series);
+        assert_eq!(moving_average(&series, 0), series);
+    }
+
+    #[test]
+    fn moving_average_of_constant_is_constant() {
+        let series = vec![vec![2.5, -1.0]; 10];
+        let out = moving_average(&series, 4);
+        for row in out {
+            assert!((row[0] - 2.5).abs() < 1e-6);
+            assert!((row[1] + 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn moving_average_reduces_variance_of_noise() {
+        let mut rng = darnet_tensor::SplitMix64::new(3);
+        let series: Vec<Vec<f32>> = (0..500).map(|_| vec![rng.normal()]).collect();
+        let smooth = moving_average(&series, 5);
+        let var = |s: &[Vec<f32>]| {
+            let mean = s.iter().map(|v| v[0]).sum::<f32>() / s.len() as f32;
+            s.iter().map(|v| (v[0] - mean).powi(2)).sum::<f32>() / s.len() as f32
+        };
+        assert!(var(&smooth) < var(&series) * 0.5);
+    }
+}

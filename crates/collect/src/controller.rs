@@ -1,0 +1,265 @@
+//! The centralized controller: ingests agent batches, re-orders by
+//! timestamp, interpolates the IMU stream onto a uniform grid, smooths it,
+//! and stores everything in the time-series database (paper §3.2, §4.1).
+
+use darnet_sim::Frame;
+use serde::{Deserialize, Serialize};
+
+use crate::align::{interpolate_grid, moving_average, GridSpec};
+use crate::error::CollectError;
+use crate::sensor::SensorReading;
+use crate::tsdb::TsDb;
+use crate::wire::Batch;
+use crate::Result;
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Uniform grid frequency the IMU stream is aligned to (paper: 4 Hz).
+    pub grid_hz: f64,
+    /// Sliding moving-average window in grid samples.
+    pub smoothing_window: usize,
+    /// Clock re-synchronization period, seconds (paper: 5 s).
+    pub sync_period: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            grid_hz: 4.0,
+            smoothing_window: 3,
+            sync_period: 5.0,
+        }
+    }
+}
+
+/// One aligned, smoothed IMU grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlignedImuPoint {
+    /// Grid timestamp, seconds (controller time base).
+    pub t: f64,
+    /// The 12 smoothed IMU features.
+    pub features: Vec<f32>,
+}
+
+/// One received camera frame with its (sync-corrected agent) timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameRecord {
+    /// Frame timestamp, seconds.
+    pub t: f64,
+    /// The frame as received over the wire.
+    pub frame: Frame,
+}
+
+/// The centralized controller for one collection session.
+#[derive(Debug)]
+pub struct Controller {
+    config: ControllerConfig,
+    imu_observations: Vec<(f64, Vec<f32>)>,
+    frames: Vec<FrameRecord>,
+    tsdb: TsDb,
+    batches: u64,
+    readings: u64,
+}
+
+impl Controller {
+    /// Creates a controller.
+    pub fn new(config: ControllerConfig) -> Self {
+        Controller {
+            config,
+            imu_observations: Vec::new(),
+            frames: Vec::new(),
+            tsdb: TsDb::new(),
+            batches: 0,
+            readings: 0,
+        }
+    }
+
+    /// Controller configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Ingests one agent batch. Readings are buffered by timestamp; frames
+    /// and IMU channels are also mirrored into the TSDB.
+    pub fn ingest(&mut self, batch: &Batch) {
+        self.batches += 1;
+        for r in &batch.readings {
+            self.readings += 1;
+            match &r.reading {
+                SensorReading::Imu(sample) => {
+                    let feats = sample.to_features().to_vec();
+                    self.tsdb.insert_vector("imu", r.timestamp, &feats);
+                    self.imu_observations.push((r.timestamp, feats));
+                }
+                SensorReading::Frame(frame) => {
+                    self.tsdb
+                        .insert("camera.mean_intensity", r.timestamp, frame.mean());
+                    self.frames.push(FrameRecord {
+                        t: r.timestamp,
+                        frame: frame.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// `(batches, readings)` ingest counters.
+    pub fn ingest_stats(&self) -> (u64, u64) {
+        (self.batches, self.readings)
+    }
+
+    /// The controller's time-series store.
+    pub fn tsdb(&self) -> &TsDb {
+        &self.tsdb
+    }
+
+    /// Received frames sorted by timestamp.
+    pub fn frames_sorted(&self) -> Vec<FrameRecord> {
+        let mut out = self.frames.clone();
+        out.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite timestamps"));
+        out
+    }
+
+    /// Number of raw IMU observations buffered.
+    pub fn imu_observation_count(&self) -> usize {
+        self.imu_observations.len()
+    }
+
+    /// Produces the aligned, smoothed IMU stream over the observation span
+    /// (paper §3.2: interpolation to consistent intervals + sliding moving
+    /// average).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError::NoData`] if no IMU observations were
+    /// ingested.
+    pub fn aligned_imu(&self) -> Result<Vec<AlignedImuPoint>> {
+        if self.imu_observations.is_empty() {
+            return Err(CollectError::NoData("no imu observations".into()));
+        }
+        let (mut t0, mut t1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (t, _) in &self.imu_observations {
+            t0 = t0.min(*t);
+            t1 = t1.max(*t);
+        }
+        let grid = GridSpec {
+            start: t0,
+            end: t1,
+            hz: self.config.grid_hz,
+        };
+        let interp = interpolate_grid(&self.imu_observations, &grid);
+        let smoothed = moving_average(&interp, self.config.smoothing_window);
+        Ok(grid
+            .points()
+            .into_iter()
+            .zip(smoothed)
+            .map(|(t, features)| AlignedImuPoint { t, features })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::StampedReading;
+    use darnet_sim::ImuSample;
+
+    fn imu_batch(agent: u32, seq: u32, stamps: &[f64]) -> Batch {
+        Batch {
+            agent_id: agent,
+            seq,
+            readings: stamps
+                .iter()
+                .map(|&t| StampedReading {
+                    timestamp: t,
+                    reading: SensorReading::Imu(ImuSample {
+                        accel: [t as f32, 0.0, 9.8],
+                        gyro: [0.0; 3],
+                        gravity: [0.0, 0.0, 9.8],
+                        rotation: [0.0; 3],
+                    }),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ingest_counts_and_tsdb_mirroring() {
+        let mut c = Controller::new(ControllerConfig::default());
+        c.ingest(&imu_batch(0, 0, &[0.0, 0.025, 0.05]));
+        assert_eq!(c.ingest_stats(), (1, 3));
+        assert_eq!(c.imu_observation_count(), 3);
+        assert_eq!(c.tsdb().len("imu.0"), 3);
+    }
+
+    #[test]
+    fn aligned_imu_interpolates_to_grid() {
+        let mut c = Controller::new(ControllerConfig {
+            grid_hz: 4.0,
+            smoothing_window: 1,
+            sync_period: 5.0,
+        });
+        // accel.x = t, sampled at 40 Hz over 1 second.
+        let stamps: Vec<f64> = (0..=40).map(|i| i as f64 * 0.025).collect();
+        c.ingest(&imu_batch(0, 0, &stamps));
+        let aligned = c.aligned_imu().unwrap();
+        assert_eq!(aligned.len(), 5); // 0, 0.25, 0.5, 0.75, 1.0
+        for p in &aligned {
+            assert!((p.features[0] as f64 - p.t).abs() < 1e-3, "t={} f={}", p.t, p.features[0]);
+        }
+    }
+
+    #[test]
+    fn out_of_order_batches_align_identically() {
+        let make = |order: &[&[f64]]| {
+            let mut c = Controller::new(ControllerConfig::default());
+            for (i, stamps) in order.iter().enumerate() {
+                c.ingest(&imu_batch(0, i as u32, stamps));
+            }
+            c.aligned_imu().unwrap()
+        };
+        let in_order = make(&[&[0.0, 0.1, 0.2], &[0.3, 0.4, 0.5]]);
+        let reordered = make(&[&[0.3, 0.4, 0.5], &[0.0, 0.1, 0.2]]);
+        assert_eq!(in_order, reordered);
+    }
+
+    #[test]
+    fn empty_controller_errors_on_alignment() {
+        let c = Controller::new(ControllerConfig::default());
+        assert!(matches!(c.aligned_imu(), Err(CollectError::NoData(_))));
+    }
+
+    #[test]
+    fn frames_are_sorted_by_timestamp() {
+        let mut c = Controller::new(ControllerConfig::default());
+        let frame = darnet_sim::Frame::new(2, 2);
+        for &t in &[0.5, 0.1, 0.3] {
+            c.ingest(&Batch {
+                agent_id: 1,
+                seq: 0,
+                readings: vec![StampedReading {
+                    timestamp: t,
+                    reading: SensorReading::Frame(frame.clone()),
+                }],
+            });
+        }
+        let frames = c.frames_sorted();
+        let times: Vec<f64> = frames.iter().map(|f| f.t).collect();
+        assert_eq!(times, vec![0.1, 0.3, 0.5]);
+        assert_eq!(c.tsdb().len("camera.mean_intensity"), 3);
+    }
+
+    #[test]
+    fn smoothing_window_is_applied() {
+        let mut config = ControllerConfig::default();
+        config.smoothing_window = 4;
+        let mut c = Controller::new(config);
+        let stamps: Vec<f64> = (0..=40).map(|i| i as f64 * 0.025).collect();
+        c.ingest(&imu_batch(0, 0, &stamps));
+        let smooth = c.aligned_imu().unwrap();
+        // With accel.x = t linear, the trailing average lags below t.
+        let last = smooth.last().unwrap();
+        assert!((last.features[0] as f64) < last.t);
+    }
+}

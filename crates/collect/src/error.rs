@@ -1,0 +1,38 @@
+//! Error type for the collection framework.
+
+use std::fmt;
+
+/// Error returned by collection-framework operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CollectError {
+    /// A wire-format decode failed.
+    Decode(String),
+    /// An agent or controller was configured inconsistently.
+    InvalidConfig(String),
+    /// A query or alignment was asked for an empty/unknown series.
+    NoData(String),
+}
+
+impl fmt::Display for CollectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectError::Decode(msg) => write!(f, "decode error: {msg}"),
+            CollectError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CollectError::NoData(msg) => write!(f, "no data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CollectError>();
+        assert!(CollectError::NoData("imu".into()).to_string().contains("imu"));
+    }
+}

@@ -1,0 +1,59 @@
+//! # darnet-collect
+//!
+//! The DarNet *data collection framework* (paper §3–4.1): collection agents
+//! embedded in IoT devices stream sensor tuples to a centralized controller
+//! that synchronizes clocks, orders and interpolates multi-rate data,
+//! smooths it, and stores it in a time-series database for the analytics
+//! engine.
+//!
+//! The paper runs on two Android devices over Bluetooth/802.11; this
+//! reproduction runs the *same algorithms* over a deterministic
+//! discrete-event simulation ([`runtime`]) with drifting local clocks
+//! ([`DriftClock`]) and a lossy/jittery/reordering network ([`Link`]) — plus
+//! a threaded "live" mode ([`live`]) using real channels for the example
+//! binaries.
+//!
+//! Key pieces:
+//!
+//! * [`DriftClock`] — an agent's local clock (offset + drift) and the
+//!   master–slave sync protocol (§4.1: agent sets its clock to the
+//!   controller's UTC plus the measured network delay, every 5 s).
+//! * [`Link`] — latency/jitter/loss/reordering model.
+//! * [`CollectionAgent`] — polls a [`Sensor`] every 25 ms, timestamps with
+//!   its local clock, transmits batches.
+//! * [`Controller`] — ingests batches, re-orders by timestamp, linearly
+//!   interpolates onto a uniform grid, applies a sliding moving average,
+//!   and writes to the [`TsDb`].
+//! * [`runtime::run_campaign`] — drives a full collection campaign over a
+//!   [`darnet_sim`] schedule and returns per-driver aligned recordings.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod agent;
+mod align;
+mod clock;
+mod controller;
+mod decision;
+mod error;
+pub mod live;
+mod network;
+pub mod runtime;
+mod sensor;
+mod tsdb;
+mod wire;
+
+pub use agent::{AgentConfig, CollectionAgent};
+pub use align::{interpolate_grid, moving_average, GridSpec};
+pub use clock::{ClockConfig, DriftClock};
+pub use controller::{AlignedImuPoint, Controller, ControllerConfig, FrameRecord};
+pub use decision::{decide_processing, LinkObservation, PrivacyPreference, ProcessingSite, SiteCapabilities};
+pub use error::CollectError;
+pub use network::{Link, LinkConfig};
+pub use sensor::{CameraSensor, ImuSensor, Sensor, SensorReading};
+pub use tsdb::{Aggregation, SeriesStats, TsDb};
+pub use wire::compact::{decode_imu_batch, encode_imu_batch};
+pub use wire::{decode_batch, encode_batch, Batch, StampedReading};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CollectError>;

@@ -1,0 +1,161 @@
+//! A simple point-to-point link model: base latency, jitter, loss, and the
+//! packet reordering that jitter induces.
+
+use darnet_tensor::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// Link parameters (per direction).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Minimum one-way latency, seconds.
+    pub base_latency: f64,
+    /// Uniform jitter added on top of the base latency, seconds.
+    pub jitter: f64,
+    /// Probability a message is dropped entirely.
+    pub loss: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        // Bluetooth/802.11 point-to-point ballpark from the paper's setup.
+        LinkConfig {
+            base_latency: 0.015,
+            jitter: 0.010,
+            loss: 0.0,
+        }
+    }
+}
+
+/// A unidirectional link. Each [`Link::transmit`] call answers "when does
+/// this message arrive?" (or `None` if lost). Because jitter is sampled per
+/// message, later sends can arrive before earlier ones — the reordering the
+/// controller must tolerate.
+#[derive(Debug, Clone)]
+pub struct Link {
+    config: LinkConfig,
+    rng: SplitMix64,
+    sent: u64,
+    lost: u64,
+}
+
+impl Link {
+    /// Creates a link with the given parameters and seed.
+    pub fn new(config: LinkConfig, seed: u64) -> Self {
+        Link {
+            config,
+            rng: SplitMix64::new(seed),
+            sent: 0,
+            lost: 0,
+        }
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Offers a message for transmission at time `t`; returns the delivery
+    /// time, or `None` if the message was lost.
+    pub fn transmit(&mut self, t: f64) -> Option<f64> {
+        self.sent += 1;
+        if self.config.loss > 0.0 && (self.rng.next_f64() < self.config.loss) {
+            self.lost += 1;
+            return None;
+        }
+        let delay = self.config.base_latency + self.rng.next_f64() * self.config.jitter;
+        Some(t + delay)
+    }
+
+    /// Mean one-way delay implied by the configuration — what the paper's
+    /// "empirically measured network delay" converges to.
+    pub fn mean_delay(&self) -> f64 {
+        self.config.base_latency + self.config.jitter / 2.0
+    }
+
+    /// `(sent, lost)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.sent, self.lost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_is_after_send_plus_base_latency() {
+        let mut link = Link::new(LinkConfig::default(), 7);
+        for i in 0..100 {
+            let t = i as f64;
+            let arrival = link.transmit(t).unwrap();
+            assert!(arrival >= t + link.config().base_latency);
+            assert!(arrival <= t + link.config().base_latency + link.config().jitter);
+        }
+    }
+
+    #[test]
+    fn jitter_can_reorder_messages() {
+        let mut link = Link::new(
+            LinkConfig {
+                base_latency: 0.001,
+                jitter: 0.1,
+                loss: 0.0,
+            },
+            11,
+        );
+        let mut reordered = false;
+        let mut prev_arrival = f64::NEG_INFINITY;
+        for i in 0..200 {
+            let t = i as f64 * 0.01; // send every 10 ms with 100 ms jitter
+            let arrival = link.transmit(t).unwrap();
+            if arrival < prev_arrival {
+                reordered = true;
+            }
+            prev_arrival = arrival;
+        }
+        assert!(reordered, "expected at least one reordering");
+    }
+
+    #[test]
+    fn loss_rate_is_respected() {
+        let mut link = Link::new(
+            LinkConfig {
+                base_latency: 0.01,
+                jitter: 0.0,
+                loss: 0.3,
+            },
+            13,
+        );
+        let mut lost = 0;
+        let n = 5000;
+        for i in 0..n {
+            if link.transmit(i as f64).is_none() {
+                lost += 1;
+            }
+        }
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "loss rate {rate}");
+        assert_eq!(link.stats(), (n, lost));
+    }
+
+    #[test]
+    fn zero_loss_never_drops() {
+        let mut link = Link::new(LinkConfig::default(), 17);
+        for i in 0..1000 {
+            assert!(link.transmit(i as f64).is_some());
+        }
+    }
+
+    #[test]
+    fn mean_delay_matches_config() {
+        let link = Link::new(
+            LinkConfig {
+                base_latency: 0.02,
+                jitter: 0.02,
+                loss: 0.0,
+            },
+            19,
+        );
+        assert!((link.mean_delay() - 0.03).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,224 @@
+//! Sensor abstraction and the two concrete DarNet sensors (camera + IMU)
+//! backed by the synthetic driving world.
+
+use std::sync::Arc;
+
+use darnet_sim::{Behavior, DrivingWorld, Frame, ImuSample, Segment};
+use serde::{Deserialize, Serialize};
+
+/// One sensor observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SensorReading {
+    /// A 12-channel IMU sample.
+    Imu(ImuSample),
+    /// A camera frame.
+    Frame(Frame),
+}
+
+impl SensorReading {
+    /// The IMU sample, if this reading is one.
+    pub fn as_imu(&self) -> Option<&ImuSample> {
+        match self {
+            SensorReading::Imu(s) => Some(s),
+            SensorReading::Frame(_) => None,
+        }
+    }
+
+    /// The frame, if this reading is one.
+    pub fn as_frame(&self) -> Option<&Frame> {
+        match self {
+            SensorReading::Frame(f) => Some(f),
+            SensorReading::Imu(_) => None,
+        }
+    }
+}
+
+/// A pollable device sensor.
+///
+/// The paper's collection agent "periodically polls the device's sensor";
+/// the poll period should match the sensor's own operating frequency
+/// (25 ms for the Android sensor manager in the paper's setup).
+pub trait Sensor: Send {
+    /// Stable sensor name, used as the TSDB metric prefix.
+    fn name(&self) -> &str;
+
+    /// Native sampling period in seconds.
+    fn period(&self) -> f64;
+
+    /// Produces the reading at true time `t`.
+    fn sample(&mut self, t: f64) -> SensorReading;
+}
+
+/// Looks up the scripted behaviour at session time `t` for a sorted,
+/// per-driver segment list. Falls back to [`Behavior::NormalDriving`]
+/// outside the script.
+pub(crate) fn behavior_at(segments: &[Segment<Behavior>], t: f64) -> Behavior {
+    // Segments are contiguous and sorted by start.
+    let idx = segments.partition_point(|s| s.start <= t);
+    if idx == 0 {
+        return segments
+            .first()
+            .map(|s| s.behavior)
+            .unwrap_or(Behavior::NormalDriving);
+    }
+    let seg = &segments[idx - 1];
+    if seg.contains(t) {
+        seg.behavior
+    } else {
+        Behavior::NormalDriving
+    }
+}
+
+/// The in-vehicle camera (the paper's Nexus 7 "dashcam" agent).
+pub struct CameraSensor {
+    world: Arc<DrivingWorld>,
+    driver: usize,
+    segments: Vec<Segment<Behavior>>,
+    period: f64,
+    name: String,
+}
+
+impl CameraSensor {
+    /// Creates a camera for `driver` following the given (session-local,
+    /// sorted) segment script.
+    pub fn new(
+        world: Arc<DrivingWorld>,
+        driver: usize,
+        mut segments: Vec<Segment<Behavior>>,
+        period: f64,
+    ) -> Self {
+        segments.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite starts"));
+        CameraSensor {
+            world,
+            driver,
+            segments,
+            period,
+            name: format!("camera.driver{driver}"),
+        }
+    }
+}
+
+impl Sensor for CameraSensor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn period(&self) -> f64 {
+        self.period
+    }
+
+    fn sample(&mut self, t: f64) -> SensorReading {
+        let behavior = behavior_at(&self.segments, t);
+        SensorReading::Frame(self.world.render_frame(self.driver, behavior, t))
+    }
+}
+
+/// The driver's phone IMU (the paper's Nexus S agent: accelerometer,
+/// gyroscope, gravity, and rotation listeners at 25 ms).
+pub struct ImuSensor {
+    world: Arc<DrivingWorld>,
+    driver: usize,
+    segments: Vec<Segment<Behavior>>,
+    period: f64,
+    name: String,
+}
+
+impl ImuSensor {
+    /// Creates an IMU sensor for `driver` following the given script.
+    pub fn new(
+        world: Arc<DrivingWorld>,
+        driver: usize,
+        mut segments: Vec<Segment<Behavior>>,
+        period: f64,
+    ) -> Self {
+        segments.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite starts"));
+        ImuSensor {
+            world,
+            driver,
+            segments,
+            period,
+            name: format!("imu.driver{driver}"),
+        }
+    }
+}
+
+impl Sensor for ImuSensor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn period(&self) -> f64 {
+        self.period
+    }
+
+    fn sample(&mut self, t: f64) -> SensorReading {
+        let behavior = behavior_at(&self.segments, t);
+        SensorReading::Imu(self.world.imu_sample(self.driver, behavior, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darnet_sim::WorldConfig;
+
+    fn script() -> Vec<Segment<Behavior>> {
+        vec![
+            Segment { driver: 0, behavior: Behavior::NormalDriving, start: 0.0, duration: 15.0 },
+            Segment { driver: 0, behavior: Behavior::Texting, start: 15.0, duration: 15.0 },
+            Segment { driver: 0, behavior: Behavior::Talking, start: 30.0, duration: 15.0 },
+        ]
+    }
+
+    #[test]
+    fn behavior_lookup_follows_script() {
+        let s = script();
+        assert_eq!(behavior_at(&s, 0.0), Behavior::NormalDriving);
+        assert_eq!(behavior_at(&s, 16.0), Behavior::Texting);
+        assert_eq!(behavior_at(&s, 44.9), Behavior::Talking);
+        // Past the end: normal driving.
+        assert_eq!(behavior_at(&s, 45.1), Behavior::NormalDriving);
+    }
+
+    #[test]
+    fn camera_sensor_emits_frames() {
+        let world = Arc::new(DrivingWorld::new(WorldConfig::default()));
+        let mut cam = CameraSensor::new(world, 0, script(), 0.25);
+        assert_eq!(cam.period(), 0.25);
+        assert!(cam.name().contains("camera"));
+        let reading = cam.sample(1.0);
+        assert!(reading.as_frame().is_some());
+        assert!(reading.as_imu().is_none());
+    }
+
+    #[test]
+    fn imu_sensor_emits_samples() {
+        let world = Arc::new(DrivingWorld::new(WorldConfig::default()));
+        let mut imu = ImuSensor::new(world, 1, script(), 0.025);
+        let reading = imu.sample(20.0);
+        assert!(reading.as_imu().is_some());
+    }
+
+    #[test]
+    fn sensors_are_boxable_as_trait_objects() {
+        let world = Arc::new(DrivingWorld::new(WorldConfig::default()));
+        let sensors: Vec<Box<dyn Sensor>> = vec![
+            Box::new(CameraSensor::new(Arc::clone(&world), 0, script(), 0.25)),
+            Box::new(ImuSensor::new(world, 0, script(), 0.025)),
+        ];
+        assert_eq!(sensors.len(), 2);
+    }
+
+    #[test]
+    fn unsorted_script_is_sorted_on_construction() {
+        let world = Arc::new(DrivingWorld::new(WorldConfig::default()));
+        let mut rev = script();
+        rev.reverse();
+        let mut cam = CameraSensor::new(world, 0, rev, 0.25);
+        // Still resolves the right behaviour.
+        let f_texting = cam.sample(20.0);
+        let f_normal = cam.sample(5.0);
+        assert!(f_texting.as_frame().is_some());
+        assert!(f_normal.as_frame().is_some());
+    }
+}

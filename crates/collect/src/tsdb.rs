@@ -1,0 +1,356 @@
+//! A small in-memory time-series store, in the spirit of the statsd-style
+//! database the paper's controller writes aligned tuples into (§4.1).
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CollectError;
+use crate::Result;
+
+/// Summary statistics for one series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesStats {
+    /// Number of points.
+    pub count: usize,
+    /// Mean value.
+    pub mean: f32,
+    /// Minimum value.
+    pub min: f32,
+    /// Maximum value.
+    pub max: f32,
+    /// Earliest timestamp.
+    pub first_t: f64,
+    /// Latest timestamp.
+    pub last_t: f64,
+}
+
+/// A thread-safe, in-memory, multi-series time-series database.
+///
+/// Points are kept sorted by timestamp per series; insertion keeps order
+/// (fast append for the common in-order case, binary insertion otherwise).
+///
+/// ```
+/// use darnet_collect::TsDb;
+///
+/// let db = TsDb::new();
+/// db.insert("imu.accel.x", 0.0, 1.0);
+/// db.insert("imu.accel.x", 0.5, 2.0);
+/// let pts = db.query_range("imu.accel.x", 0.0, 1.0)?;
+/// assert_eq!(pts.len(), 2);
+/// # Ok::<(), darnet_collect::CollectError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct TsDb {
+    series: RwLock<HashMap<String, Vec<(f64, f32)>>>,
+}
+
+impl TsDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        TsDb::default()
+    }
+
+    /// Inserts a point into `metric`, creating the series if needed.
+    pub fn insert(&self, metric: &str, t: f64, value: f32) {
+        let mut guard = self.series.write();
+        let series = guard.entry(metric.to_string()).or_default();
+        if series.last().map_or(true, |&(lt, _)| lt <= t) {
+            series.push((t, value));
+        } else {
+            let idx = series.partition_point(|&(st, _)| st <= t);
+            series.insert(idx, (t, value));
+        }
+    }
+
+    /// Inserts a multi-channel sample as `metric.0`, `metric.1`, ...
+    pub fn insert_vector(&self, metric: &str, t: f64, values: &[f32]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.insert(&format!("{metric}.{i}"), t, v);
+        }
+    }
+
+    /// Names of all series, sorted.
+    pub fn metrics(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.series.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of points in `metric` (0 if absent).
+    pub fn len(&self, metric: &str) -> usize {
+        self.series.read().get(metric).map_or(0, Vec::len)
+    }
+
+    /// Whether `metric` exists and has points.
+    pub fn is_empty(&self, metric: &str) -> bool {
+        self.len(metric) == 0
+    }
+
+    /// Points of `metric` with `t0 <= t <= t1`, in timestamp order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError::NoData`] if the series does not exist.
+    pub fn query_range(&self, metric: &str, t0: f64, t1: f64) -> Result<Vec<(f64, f32)>> {
+        let guard = self.series.read();
+        let series = guard
+            .get(metric)
+            .ok_or_else(|| CollectError::NoData(format!("unknown series {metric}")))?;
+        let lo = series.partition_point(|&(t, _)| t < t0);
+        let hi = series.partition_point(|&(t, _)| t <= t1);
+        Ok(series[lo..hi].to_vec())
+    }
+
+    /// Summary statistics for `metric`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError::NoData`] if the series is missing or empty.
+    pub fn stats(&self, metric: &str) -> Result<SeriesStats> {
+        let guard = self.series.read();
+        let series = guard
+            .get(metric)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| CollectError::NoData(format!("empty series {metric}")))?;
+        let count = series.len();
+        let mut sum = 0.0f64;
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &(_, v) in series {
+            sum += v as f64;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Ok(SeriesStats {
+            count,
+            mean: (sum / count as f64) as f32,
+            min,
+            max,
+            first_t: series[0].0,
+            last_t: series[count - 1].0,
+        })
+    }
+
+    /// Removes every series.
+    pub fn clear(&self) {
+        self.series.write().clear();
+    }
+
+    /// Rolls `metric` up into fixed-width buckets over `[t0, t1)` with the
+    /// given aggregation — the statsd-style query a dashboard over the
+    /// controller's store would issue. Buckets with no points are omitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError::NoData`] if the series does not exist, or
+    /// an invalid-config error for a non-positive bucket width.
+    pub fn rollup(
+        &self,
+        metric: &str,
+        t0: f64,
+        t1: f64,
+        bucket: f64,
+        agg: Aggregation,
+    ) -> Result<Vec<(f64, f32)>> {
+        if bucket <= 0.0 {
+            return Err(CollectError::InvalidConfig(
+                "rollup bucket width must be positive".into(),
+            ));
+        }
+        let points = self.query_range(metric, t0, t1)?;
+        let mut out: Vec<(f64, f32)> = Vec::new();
+        let mut idx = 0usize;
+        let mut bucket_start = t0;
+        while bucket_start < t1 && idx < points.len() {
+            let bucket_end = bucket_start + bucket;
+            let lo = idx;
+            while idx < points.len() && points[idx].0 < bucket_end {
+                idx += 1;
+            }
+            let slice = &points[lo..idx];
+            if !slice.is_empty() {
+                let value = match agg {
+                    Aggregation::Mean => {
+                        slice.iter().map(|&(_, v)| v as f64).sum::<f64>() as f32
+                            / slice.len() as f32
+                    }
+                    Aggregation::Min => slice.iter().map(|&(_, v)| v).fold(f32::INFINITY, f32::min),
+                    Aggregation::Max => slice
+                        .iter()
+                        .map(|&(_, v)| v)
+                        .fold(f32::NEG_INFINITY, f32::max),
+                    Aggregation::Count => slice.len() as f32,
+                    Aggregation::P95 => {
+                        let mut vals: Vec<f32> = slice.iter().map(|&(_, v)| v).collect();
+                        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+                        vals[((vals.len() as f64 - 1.0) * 0.95).round() as usize]
+                    }
+                };
+                out.push((bucket_start, value));
+            }
+            bucket_start = bucket_end;
+        }
+        Ok(out)
+    }
+}
+
+/// Rollup aggregation functions (statsd-style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Arithmetic mean per bucket.
+    Mean,
+    /// Minimum per bucket.
+    Min,
+    /// Maximum per bucket.
+    Max,
+    /// Point count per bucket.
+    Count,
+    /// 95th percentile per bucket (nearest-rank).
+    P95,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query_roundtrip() {
+        let db = TsDb::new();
+        db.insert("m", 1.0, 10.0);
+        db.insert("m", 2.0, 20.0);
+        db.insert("m", 3.0, 30.0);
+        let pts = db.query_range("m", 1.5, 3.0).unwrap();
+        assert_eq!(pts, vec![(2.0, 20.0), (3.0, 30.0)]);
+    }
+
+    #[test]
+    fn out_of_order_inserts_stay_sorted() {
+        let db = TsDb::new();
+        db.insert("m", 3.0, 3.0);
+        db.insert("m", 1.0, 1.0);
+        db.insert("m", 2.0, 2.0);
+        let pts = db.query_range("m", 0.0, 10.0).unwrap();
+        let times: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn unknown_series_errors() {
+        let db = TsDb::new();
+        assert!(matches!(
+            db.query_range("nope", 0.0, 1.0),
+            Err(CollectError::NoData(_))
+        ));
+        assert!(db.stats("nope").is_err());
+    }
+
+    #[test]
+    fn stats_are_correct() {
+        let db = TsDb::new();
+        for (t, v) in [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)] {
+            db.insert("m", t, v);
+        }
+        let s = db.stats("m").unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.first_t, 0.0);
+        assert_eq!(s.last_t, 2.0);
+    }
+
+    #[test]
+    fn vector_insert_creates_channel_series() {
+        let db = TsDb::new();
+        db.insert_vector("imu", 0.5, &[1.0, 2.0, 3.0]);
+        assert_eq!(db.metrics(), vec!["imu.0", "imu.1", "imu.2"]);
+        assert_eq!(db.len("imu.1"), 1);
+    }
+
+    #[test]
+    fn concurrent_inserts_are_safe() {
+        use std::sync::Arc;
+        let db = Arc::new(TsDb::new());
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        db.insert("shared", (k * 250 + i) as f64, i as f32);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.len("shared"), 1000);
+        // Sorted invariant holds.
+        let pts = db.query_range("shared", 0.0, 1e9).unwrap();
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn rollup_means_buckets_correctly() {
+        let db = TsDb::new();
+        for i in 0..10 {
+            db.insert("m", i as f64, i as f32);
+        }
+        // Buckets of 5 s: [0,5) mean 2, [5,10) mean 7.
+        let out = db.rollup("m", 0.0, 10.0, 5.0, Aggregation::Mean).unwrap();
+        assert_eq!(out, vec![(0.0, 2.0), (5.0, 7.0)]);
+    }
+
+    #[test]
+    fn rollup_min_max_count() {
+        let db = TsDb::new();
+        for (t, v) in [(0.0, 3.0), (1.0, -1.0), (2.0, 8.0), (6.0, 5.0)] {
+            db.insert("m", t, v);
+        }
+        assert_eq!(
+            db.rollup("m", 0.0, 10.0, 5.0, Aggregation::Min).unwrap(),
+            vec![(0.0, -1.0), (5.0, 5.0)]
+        );
+        assert_eq!(
+            db.rollup("m", 0.0, 10.0, 5.0, Aggregation::Max).unwrap(),
+            vec![(0.0, 8.0), (5.0, 5.0)]
+        );
+        assert_eq!(
+            db.rollup("m", 0.0, 10.0, 5.0, Aggregation::Count).unwrap(),
+            vec![(0.0, 3.0), (5.0, 1.0)]
+        );
+    }
+
+    #[test]
+    fn rollup_p95_takes_high_value() {
+        let db = TsDb::new();
+        for i in 0..100 {
+            db.insert("m", i as f64 * 0.01, i as f32);
+        }
+        let out = db.rollup("m", 0.0, 1.0, 1.0, Aggregation::P95).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].1 >= 90.0);
+    }
+
+    #[test]
+    fn rollup_skips_empty_buckets_and_validates() {
+        let db = TsDb::new();
+        db.insert("m", 0.5, 1.0);
+        db.insert("m", 20.5, 2.0);
+        let out = db.rollup("m", 0.0, 30.0, 10.0, Aggregation::Mean).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(db.rollup("m", 0.0, 1.0, 0.0, Aggregation::Mean).is_err());
+        assert!(db.rollup("absent", 0.0, 1.0, 1.0, Aggregation::Mean).is_err());
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let db = TsDb::new();
+        db.insert("a", 0.0, 0.0);
+        db.clear();
+        assert!(db.metrics().is_empty());
+        assert!(db.is_empty("a"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for middleware invariants: interpolation bounds,
+//! smoothing bounds, clock-sync convergence, wire-format roundtrips.
+
+use bytes::Bytes;
+use darnet_collect::{
+    decode_batch, encode_batch, interpolate_grid, moving_average, Batch, DriftClock, GridSpec,
+    SensorReading, StampedReading,
+};
+use darnet_sim::ImuSample;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn interpolation_is_bounded_by_observations(
+        values in prop::collection::vec(-50.0f32..50.0, 2..40),
+        hz in 1.0f64..20.0,
+    ) {
+        let obs: Vec<(f64, Vec<f32>)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64 * 0.1, vec![v]))
+            .collect();
+        let lo = values.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let grid = GridSpec { start: 0.0, end: (values.len() - 1) as f64 * 0.1, hz };
+        for row in interpolate_grid(&obs, &grid) {
+            prop_assert!(row[0] >= lo - 1e-4 && row[0] <= hi + 1e-4);
+        }
+    }
+
+    #[test]
+    fn interpolation_order_invariance(
+        values in prop::collection::vec(-10.0f32..10.0, 3..20),
+        perm_seed in 0u64..100,
+    ) {
+        let obs: Vec<(f64, Vec<f32>)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64 * 0.25, vec![v]))
+            .collect();
+        let mut shuffled = obs.clone();
+        let mut rng = darnet_tensor::SplitMix64::new(perm_seed);
+        rng.shuffle(&mut shuffled);
+        let grid = GridSpec { start: 0.0, end: (values.len() - 1) as f64 * 0.25, hz: 4.0 };
+        prop_assert_eq!(interpolate_grid(&obs, &grid), interpolate_grid(&shuffled, &grid));
+    }
+
+    #[test]
+    fn moving_average_is_bounded_and_length_preserving(
+        values in prop::collection::vec(-100.0f32..100.0, 1..50),
+        window in 1usize..8,
+    ) {
+        let series: Vec<Vec<f32>> = values.iter().map(|&v| vec![v]).collect();
+        let out = moving_average(&series, window);
+        prop_assert_eq!(out.len(), series.len());
+        let lo = values.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for row in out {
+            prop_assert!(row[0] >= lo - 1e-3 && row[0] <= hi + 1e-3);
+        }
+    }
+
+    #[test]
+    fn clock_sync_bounds_error_regardless_of_initial_state(
+        drift_ppm in -500.0f64..500.0,
+        offset in -5.0f64..5.0,
+        delay in 0.001f64..0.1,
+    ) {
+        let mut clock = DriftClock::new(drift_ppm * 1e-6, offset);
+        // Sync every 5 s for a minute with a perfect delay estimate.
+        for k in 1..=12 {
+            let t = k as f64 * 5.0;
+            clock.apply_sync(t, t - delay, delay);
+        }
+        // After the last sync, error re-accumulates only through drift.
+        let err = clock.error(60.0 + 5.0).abs();
+        prop_assert!(err <= drift_ppm.abs() * 1e-6 * 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_imu_batches(
+        agent in 0u32..100,
+        seq in 0u32..1000,
+        stamps in prop::collection::vec(0.0f64..100.0, 0..20),
+    ) {
+        let batch = Batch {
+            agent_id: agent,
+            seq,
+            readings: stamps
+                .iter()
+                .map(|&t| StampedReading {
+                    timestamp: t,
+                    reading: SensorReading::Imu(ImuSample {
+                        accel: [t as f32, -1.0, 9.8],
+                        gyro: [0.1, 0.2, 0.3],
+                        gravity: [0.0, 0.0, 9.81],
+                        rotation: [1.0, 0.5, -0.5],
+                    }),
+                })
+                .collect(),
+        };
+        prop_assert_eq!(decode_batch(encode_batch(&batch)).unwrap(), batch);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Must return Ok or Err — never panic.
+        let _ = decode_batch(Bytes::from(bytes));
+    }
+}

@@ -1,0 +1,290 @@
+//! The modular analytics engine (paper §3.3): a 1-to-1 mapping between
+//! device data-streams and models, combined at a later stage, classifying
+//! at each time-step for near-real-time detection.
+
+use darnet_sim::{Behavior, Frame};
+use darnet_tensor::Tensor;
+
+use crate::dataset::{frames_to_tensor, IMU_FEATURES, WINDOW_LEN};
+use crate::ensemble::{product_combine, BayesianCombiner, CombinerKind};
+use crate::error::CoreError;
+use crate::models::{FrameCnn, ImuRnn, ImuSvm};
+use crate::privacy::{Downsampler, PrivacyLevel};
+use crate::Result;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// How the two modalities are fused.
+    pub combiner: CombinerKind,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            combiner: CombinerKind::Bayesian,
+        }
+    }
+}
+
+/// The IMU model slot: the engine's stream→model mapping is modular, so
+/// either the paper's RNN or the SVM baseline can serve the IMU stream.
+pub enum ImuModelSlot {
+    /// Deep bidirectional LSTM (the DarNet configuration).
+    Rnn(ImuRnn),
+    /// Linear SVM baseline.
+    Svm(ImuSvm),
+}
+
+impl std::fmt::Debug for ImuModelSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImuModelSlot::Rnn(_) => f.write_str("ImuModelSlot::Rnn"),
+            ImuModelSlot::Svm(_) => f.write_str("ImuModelSlot::Svm"),
+        }
+    }
+}
+
+/// One per-time-step classification result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepClassification {
+    /// The fused 6-class decision.
+    pub behavior: Behavior,
+    /// Fused class scores (normalized).
+    pub scores: Vec<f32>,
+    /// The CNN's 6-class probabilities.
+    pub cnn_probs: Vec<f32>,
+    /// The IMU model's 3-class probabilities.
+    pub imu_probs: Vec<f32>,
+}
+
+/// The assembled engine: frame CNN + IMU model + combiner, with optional
+/// per-privacy-level dCNN students for distorted input.
+pub struct AnalyticsEngine {
+    cnn: FrameCnn,
+    imu: ImuModelSlot,
+    combiner: BayesianCombiner,
+    config: EngineConfig,
+    downsampler: Downsampler,
+    students: Vec<(PrivacyLevel, FrameCnn)>,
+}
+
+impl AnalyticsEngine {
+    /// Assembles an engine from trained components.
+    pub fn new(
+        cnn: FrameCnn,
+        imu: ImuModelSlot,
+        combiner: BayesianCombiner,
+        config: EngineConfig,
+    ) -> Self {
+        let full = cnn.config().input_size;
+        AnalyticsEngine {
+            cnn,
+            imu,
+            combiner,
+            config,
+            downsampler: Downsampler::new(full),
+            students: Vec::new(),
+        }
+    }
+
+    /// Registers a distilled dCNN student for a privacy level.
+    pub fn register_dcnn(&mut self, level: PrivacyLevel, student: FrameCnn) {
+        self.students.retain(|(l, _)| *l != level);
+        self.students.push((level, student));
+    }
+
+    /// Privacy levels with registered students.
+    pub fn privacy_levels(&self) -> Vec<PrivacyLevel> {
+        self.students.iter().map(|(l, _)| *l).collect()
+    }
+
+    fn imu_probs(&mut self, window: &Tensor) -> Result<Vec<f32>> {
+        if window.dims() != [1, WINDOW_LEN, IMU_FEATURES] {
+            return Err(CoreError::Dataset(format!(
+                "expected [1, {WINDOW_LEN}, {IMU_FEATURES}] window, got {:?}",
+                window.dims()
+            )));
+        }
+        let probs = match &mut self.imu {
+            ImuModelSlot::Rnn(m) => m.predict_proba(window)?,
+            ImuModelSlot::Svm(m) => m.predict_proba(window)?,
+        };
+        Ok(probs.into_vec())
+    }
+
+    fn fuse(&self, cnn_probs: &[f32], imu_probs: &[f32]) -> Result<Vec<f32>> {
+        match self.config.combiner {
+            CombinerKind::Bayesian => self.combiner.combine(cnn_probs, imu_probs),
+            CombinerKind::Product => product_combine(cnn_probs, imu_probs),
+            CombinerKind::CnnOnly => Ok(cnn_probs.to_vec()),
+        }
+    }
+
+    fn classify_with_cnn_probs(
+        &mut self,
+        cnn_probs: Vec<f32>,
+        window: &Tensor,
+    ) -> Result<StepClassification> {
+        let imu_probs = self.imu_probs(window)?;
+        let scores = self.fuse(&cnn_probs, &imu_probs)?;
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let behavior = Behavior::from_index(best)
+            .ok_or_else(|| CoreError::Dataset(format!("class index {best} out of range")))?;
+        Ok(StepClassification {
+            behavior,
+            scores,
+            cnn_probs,
+            imu_probs,
+        })
+    }
+
+    /// Classifies one time-step: a full-resolution frame plus the IMU
+    /// window ending at the same instant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors; returns a dataset error on a malformed
+    /// window.
+    pub fn classify_step(&mut self, frame: &Frame, window: &Tensor) -> Result<StepClassification> {
+        let frames = frames_to_tensor(std::slice::from_ref(frame))?;
+        let cnn_probs = self.cnn.predict_proba(&frames)?.into_vec();
+        self.classify_with_cnn_probs(cnn_probs, window)
+    }
+
+    /// Classifies one time-step from a *distorted* frame tagged with its
+    /// privacy level (the paper's remote privacy path: "the analytics
+    /// engine picks the appropriate classifier").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotReady`] if no student is registered for the
+    /// level.
+    pub fn classify_step_private(
+        &mut self,
+        distorted: &Frame,
+        level: PrivacyLevel,
+        window: &Tensor,
+    ) -> Result<StepClassification> {
+        let restored = self.downsampler.restore(distorted);
+        let frames = frames_to_tensor(std::slice::from_ref(&restored))?;
+        let student = self
+            .students
+            .iter_mut()
+            .find(|(l, _)| *l == level)
+            .map(|(_, s)| s)
+            .ok_or_else(|| {
+                CoreError::NotReady(format!("no dCNN registered for {}", level.model_name()))
+            })?;
+        let cnn_probs = student.predict_proba(&frames)?.into_vec();
+        self.classify_with_cnn_probs(cnn_probs, window)
+    }
+}
+
+impl std::fmt::Debug for AnalyticsEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalyticsEngine")
+            .field("combiner", &self.config.combiner)
+            .field("imu", &self.imu)
+            .field("privacy_levels", &self.privacy_levels())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{CnnConfig, RnnConfig};
+
+    fn tiny_engine(kind: CombinerKind) -> AnalyticsEngine {
+        let cnn_config = CnnConfig {
+            input_size: 24,
+            classes: 6,
+            width: 0.5,
+            ..CnnConfig::default()
+        };
+        let cnn = FrameCnn::new(cnn_config, 1);
+        let rnn_config = RnnConfig {
+            hidden: 4,
+            depth: 1,
+            ..RnnConfig::default()
+        };
+        let mut rnn = ImuRnn::new(rnn_config, 2);
+        // Minimal fit so the standardizer exists.
+        let x = Tensor::ones(&[6, WINDOW_LEN, IMU_FEATURES]);
+        rnn.fit(&x, &[0, 1, 2, 0, 1, 2], 1).unwrap();
+        let mut combiner = BayesianCombiner::darnet();
+        let cnn_probs = Tensor::full(&[6, 6], 1.0 / 6.0);
+        let imu_probs = Tensor::full(&[6, 3], 1.0 / 3.0);
+        combiner
+            .fit(&cnn_probs, &imu_probs, &[0, 1, 2, 3, 4, 5])
+            .unwrap();
+        AnalyticsEngine::new(
+            cnn,
+            ImuModelSlot::Rnn(rnn),
+            combiner,
+            EngineConfig { combiner: kind },
+        )
+    }
+
+    #[test]
+    fn classify_step_returns_distribution() {
+        let mut engine = tiny_engine(CombinerKind::Bayesian);
+        let frame = Frame::new(24, 24);
+        let window = Tensor::zeros(&[1, WINDOW_LEN, IMU_FEATURES]);
+        let out = engine.classify_step(&frame, &window).unwrap();
+        assert_eq!(out.scores.len(), 6);
+        assert!((out.scores.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        assert_eq!(out.cnn_probs.len(), 6);
+        assert_eq!(out.imu_probs.len(), 3);
+    }
+
+    #[test]
+    fn malformed_window_is_rejected() {
+        let mut engine = tiny_engine(CombinerKind::Bayesian);
+        let frame = Frame::new(24, 24);
+        let bad = Tensor::zeros(&[1, 5, IMU_FEATURES]);
+        assert!(engine.classify_step(&frame, &bad).is_err());
+    }
+
+    #[test]
+    fn cnn_only_mode_ignores_imu() {
+        let mut engine = tiny_engine(CombinerKind::CnnOnly);
+        let frame = Frame::new(24, 24);
+        let window = Tensor::zeros(&[1, WINDOW_LEN, IMU_FEATURES]);
+        let out = engine.classify_step(&frame, &window).unwrap();
+        assert_eq!(out.scores, out.cnn_probs);
+    }
+
+    #[test]
+    fn private_path_requires_registered_student() {
+        let mut engine = tiny_engine(CombinerKind::Bayesian);
+        let small = Frame::new(8, 8);
+        let window = Tensor::zeros(&[1, WINDOW_LEN, IMU_FEATURES]);
+        assert!(matches!(
+            engine.classify_step_private(&small, PrivacyLevel::Medium, &window),
+            Err(CoreError::NotReady(_))
+        ));
+        // Register and retry.
+        let student = FrameCnn::new(
+            CnnConfig {
+                input_size: 24,
+                classes: 6,
+                width: 0.5,
+                ..CnnConfig::default()
+            },
+            9,
+        );
+        engine.register_dcnn(PrivacyLevel::Medium, student);
+        assert_eq!(engine.privacy_levels(), vec![PrivacyLevel::Medium]);
+        let out = engine
+            .classify_step_private(&small, PrivacyLevel::Medium, &window)
+            .unwrap();
+        assert_eq!(out.scores.len(), 6);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the analytics engine.
+
+use std::fmt;
+
+use darnet_collect::CollectError;
+use darnet_nn::NnError;
+use darnet_tensor::TensorError;
+
+/// Error returned by analytics-engine operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A network/model operation failed.
+    Nn(NnError),
+    /// A collection-framework operation failed.
+    Collect(CollectError),
+    /// Dataset construction or indexing problem.
+    Dataset(String),
+    /// The engine was used before its models were trained/registered.
+    NotReady(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Nn(e) => write!(f, "model error: {e}"),
+            CoreError::Collect(e) => write!(f, "collection error: {e}"),
+            CoreError::Dataset(msg) => write!(f, "dataset error: {msg}"),
+            CoreError::NotReady(msg) => write!(f, "engine not ready: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Nn(e) => Some(e),
+            CoreError::Collect(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+impl From<CollectError> for CoreError {
+    fn from(e: CollectError) -> Self {
+        CoreError::Collect(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+
+    #[test]
+    fn conversions_work() {
+        let e: CoreError = TensorError::InvalidArgument("x".into()).into();
+        assert!(matches!(e, CoreError::Tensor(_)));
+        let e: CoreError = NnError::InvalidConfig("y".into()).into();
+        assert!(matches!(e, CoreError::Nn(_)));
+        let e: CoreError = CollectError::NoData("z".into()).into();
+        assert!(matches!(e, CoreError::Collect(_)));
+    }
+}

@@ -1,0 +1,56 @@
+//! # darnet-core
+//!
+//! The DarNet *analytics engine* (paper §3.3, §4.2, §4.3): the models,
+//! ensemble combiner, privacy machinery, and evaluation harness built on
+//! the substrates in this workspace.
+//!
+//! * [`dataset`] — turns collection-campaign recordings
+//!   ([`darnet_collect::runtime`]) into labeled multimodal datasets: frames
+//!   for the CNN, 20-step 4 Hz IMU windows for the RNN/SVM, with an 80/20
+//!   train/evaluation split as in the paper.
+//! * [`FrameCnn`] — the frame classifier: a mini-Inception CNN
+//!   (stem convolution + inception blocks + global average pooling), with
+//!   the paper's transfer-learning recipe reproduced as proxy-task
+//!   pre-training followed by head replacement and fine-tuning.
+//! * [`ImuRnn`] — the IMU-sequence classifier: a deep bidirectional LSTM
+//!   (2 × 64 hidden units over 20-step windows in the paper's
+//!   configuration).
+//! * [`ImuSvm`] — the SVM baseline for the IMU stream.
+//! * [`BayesianCombiner`] — the per-class Bayesian-network ensemble with
+//!   CPTs estimated from training-set observations (§4.2 "Ensemble
+//!   Learning"), plus simpler combiners for ablation.
+//! * [`privacy`] — nearest-neighbour down-sampling at the paper's three
+//!   levels and the unsupervised L2-distillation training of the dCNN
+//!   students (§4.3).
+//! * [`eval`] — Top-1 accuracy and confusion matrices (the paper's Table 2
+//!   / Figure 5 metrics).
+//! * [`AnalyticsEngine`] — the modular per-stream engine that classifies
+//!   at each time-step (§3.3: a 1-to-1 mapping between device data-streams
+//!   and ML models, combined at a later stage).
+//! * [`experiment`] — end-to-end experiment drivers regenerating every
+//!   table and figure (used by the `darnet-bench` binaries).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod alerts;
+pub mod dataset;
+mod engine;
+pub mod ensemble;
+mod error;
+pub mod eval;
+pub mod experiment;
+pub mod model_io;
+pub mod models;
+pub mod privacy;
+
+pub use alerts::{AlertEvent, AlertPolicy, AlertTracker};
+pub use engine::{AnalyticsEngine, EngineConfig, ImuModelSlot, StepClassification};
+pub use ensemble::{BayesianCombiner, CombinerKind};
+pub use error::CoreError;
+pub use eval::ConfusionMatrix;
+pub use model_io::{decode_tensors, encode_tensors};
+pub use models::{CnnConfig, FrameCnn, ImuRnn, ImuSvm, RnnConfig};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,498 @@
+//! The frame classifier: a mini-Inception CNN.
+//!
+//! DarNet fine-tunes Inception-V3; at CPU-reproduction scale we keep the
+//! architecture *family* — a convolutional stem followed by inception
+//! blocks (parallel 1×1/3×3/5×5/pool branches, channel-concatenated) and
+//! global average pooling — and reproduce the transfer-learning recipe by
+//! pre-training on a proxy task, then swapping the final fully connected
+//! layer for the target class count (paper §4.2 "Frame-Sequence
+//! Architecture").
+
+use darnet_nn::{
+    softmax, softmax_cross_entropy, AvgPool2d, Conv2d, Dense, Dropout, Flatten, InceptionBlock,
+    InceptionChannels, Layer, MaxPool2d, Mode, Optimizer, Relu, Sequential, Sgd,
+};
+use darnet_tensor::{SplitMix64, Tensor};
+
+use crate::Result;
+
+/// Hyperparameters for [`FrameCnn`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CnnConfig {
+    /// Square input edge length (the collection frames are 48×48).
+    pub input_size: usize,
+    /// Output classes.
+    pub classes: usize,
+    /// Width multiplier for every channel count (1.0 = the default small
+    /// model; larger is slower and more accurate).
+    pub width: f32,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Dropout probability before the head.
+    pub dropout: f32,
+}
+
+impl Default for CnnConfig {
+    fn default() -> Self {
+        CnnConfig {
+            input_size: 48,
+            classes: 6,
+            width: 1.0,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            batch_size: 32,
+            dropout: 0.1,
+        }
+    }
+}
+
+fn scaled(base: usize, width: f32) -> usize {
+    ((base as f32 * width).round() as usize).max(1)
+}
+
+/// The DarNet frame model: stem convolution → inception blocks → global
+/// average pooling → dense head.
+pub struct FrameCnn {
+    features: Sequential,
+    head: Dense,
+    config: CnnConfig,
+    feat_dim: usize,
+    rng: SplitMix64,
+}
+
+impl FrameCnn {
+    /// Builds an untrained CNN.
+    pub fn new(config: CnnConfig, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let w = config.width;
+        let mut features = Sequential::new();
+        // Stem: 1 → 8 channels, preserve 48×48, then halve.
+        features.push(Conv2d::square(1, scaled(8, w), 3, 1, 1, &mut rng));
+        features.push(Relu::new());
+        features.push(MaxPool2d::new(2, 2)); // 24×24
+        // Inception block A: 8 → 16 channels.
+        let ch_a = InceptionChannels {
+            c1: scaled(4, w),
+            c3_reduce: scaled(4, w),
+            c3: scaled(6, w),
+            c5_reduce: scaled(2, w),
+            c5: scaled(3, w),
+            pool_proj: scaled(3, w),
+        };
+        features.push(InceptionBlock::new(scaled(8, w), ch_a, &mut rng));
+        features.push(MaxPool2d::new(2, 2)); // 12×12
+        // Inception block B: 16 → 24 channels.
+        let ch_b = InceptionChannels {
+            c1: scaled(6, w),
+            c3_reduce: scaled(6, w),
+            c3: scaled(10, w),
+            c5_reduce: scaled(3, w),
+            c5: scaled(4, w),
+            pool_proj: scaled(4, w),
+        };
+        features.push(InceptionBlock::new(ch_a.total(), ch_b, &mut rng));
+        features.push(MaxPool2d::new(2, 2)); // 6×6
+        // Coarse spatial pooling: keep a small spatial layout rather than
+        // full global average pooling (pose classes are distinguished by
+        // *where* activations fire; Inception-V3 affords GAP only because
+        // it carries 2048 channels).
+        let pool2 = |n: usize| if n >= 2 { (n - 2) / 2 + 1 } else { n };
+        let mut spatial = pool2(pool2(pool2(config.input_size)));
+        if spatial >= 2 {
+            features.push(AvgPool2d::new(2, 2));
+            spatial = pool2(spatial);
+        }
+        features.push(Flatten::new());
+        let feat_dim_in = ch_b.total() * spatial * spatial;
+        let feat_dim = (ch_b.total() * 3).max(16);
+        features.push(Dense::new(feat_dim_in, feat_dim, &mut rng));
+        features.push(Relu::new());
+        if config.dropout > 0.0 {
+            features.push(Dropout::new(config.dropout, rng.next_u64()));
+        }
+        let head = Dense::new(feat_dim, config.classes, &mut rng);
+        FrameCnn {
+            features,
+            head,
+            config,
+            feat_dim,
+            rng,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &CnnConfig {
+        &self.config
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.config.classes
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&mut self) -> usize {
+        self.features.param_count() + self.head.param_count()
+    }
+
+    /// Replaces the final fully connected layer with a fresh one for
+    /// `classes` outputs — the paper's fine-tuning step ("we modify the
+    /// final fully connected layer of this network, such that the number
+    /// of outputs corresponds to the number of driving classes").
+    pub fn replace_head(&mut self, classes: usize) {
+        self.head = Dense::new(self.feat_dim, classes, &mut self.rng);
+        self.config.classes = classes;
+    }
+
+    /// Forward pass to logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn forward(&mut self, frames: &Tensor, mode: Mode) -> Result<Tensor> {
+        let feats = self.features.forward(frames, mode)?;
+        Ok(self.head.forward(&feats, mode)?)
+    }
+
+    /// One SGD step on a minibatch. Returns the batch loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn train_step(
+        &mut self,
+        frames: &Tensor,
+        labels: &[usize],
+        opt: &mut Sgd,
+    ) -> Result<f32> {
+        let logits = self.forward(frames, Mode::Train)?;
+        let (loss, grad) = softmax_cross_entropy(&logits, labels)?;
+        let gfeat = self.head.backward(&grad)?;
+        self.features.backward(&gfeat)?;
+        let mut params = self.features.params_mut();
+        params.extend(self.head.params_mut());
+        opt.step(&mut params)?;
+        Ok(loss)
+    }
+
+    /// Trains for `epochs` passes over `(frames, labels)` with shuffled
+    /// minibatches. Returns the mean loss per epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors; diverged training surfaces as
+    /// [`darnet_nn::NnError::Diverged`].
+    pub fn fit(&mut self, frames: &Tensor, labels: &[usize], epochs: usize) -> Result<Vec<f32>> {
+        let n = frames.dims()[0];
+        let mut opt = Sgd::with_momentum(self.config.lr, self.config.momentum)
+            .weight_decay(self.config.weight_decay)
+            .clip_norm(5.0);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut epoch_losses = Vec::with_capacity(epochs);
+        let bs = self.config.batch_size.max(1);
+        let dims = frames.dims().to_vec();
+        let img = dims[1] * dims[2] * dims[3];
+        for epoch in 0..epochs {
+            self.rng.shuffle(&mut order);
+            opt.lr = self.config.lr / (1.0 + 0.3 * epoch as f32);
+            let mut total = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(bs) {
+                let mut data = Vec::with_capacity(chunk.len() * img);
+                let mut blabels = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    data.extend_from_slice(&frames.data()[i * img..(i + 1) * img]);
+                    blabels.push(labels[i]);
+                }
+                let batch =
+                    Tensor::from_vec(data, &[chunk.len(), dims[1], dims[2], dims[3]])?;
+                total += self.train_step(&batch, &blabels, &mut opt)?;
+                batches += 1;
+            }
+            epoch_losses.push(total / batches.max(1) as f32);
+        }
+        Ok(epoch_losses)
+    }
+
+    /// Class-probability predictions, `[n, classes]`, computed in batches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn predict_proba(&mut self, frames: &Tensor) -> Result<Tensor> {
+        let dims = frames.dims().to_vec();
+        let n = dims[0];
+        let img = dims[1] * dims[2] * dims[3];
+        let bs = 64usize;
+        let mut rows = Vec::with_capacity(n * self.config.classes);
+        for start in (0..n).step_by(bs) {
+            let end = (start + bs).min(n);
+            let batch = Tensor::from_vec(
+                frames.data()[start * img..end * img].to_vec(),
+                &[end - start, dims[1], dims[2], dims[3]],
+            )?;
+            let logits = self.forward(&batch, Mode::Eval)?;
+            let probs = softmax(&logits)?;
+            rows.extend_from_slice(probs.data());
+        }
+        Ok(Tensor::from_vec(rows, &[n, self.config.classes])?)
+    }
+
+    /// Raw logits for a batch (used by the distillation trainer, which
+    /// matches pre-softmax outputs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn logits(&mut self, frames: &Tensor) -> Result<Tensor> {
+        self.forward(frames, Mode::Eval).map_err(Into::into)
+    }
+
+    /// Hard class predictions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn predict(&mut self, frames: &Tensor) -> Result<Vec<usize>> {
+        Ok(self.predict_proba(frames)?.argmax_rows()?)
+    }
+
+    /// Top-1 accuracy against `labels`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn evaluate(&mut self, frames: &Tensor, labels: &[usize]) -> Result<f32> {
+        let preds = self.predict(frames)?;
+        let correct = preds.iter().zip(labels).filter(|(a, b)| a == b).count();
+        Ok(correct as f32 / labels.len().max(1) as f32)
+    }
+
+    /// Mutable access to every trainable parameter, features first, head
+    /// last (the serialization order used by `model_io`).
+    pub fn all_params_mut(&mut self) -> Vec<&mut darnet_nn::Param> {
+        let mut params = self.features.params_mut();
+        params.extend(self.head.params_mut());
+        params
+    }
+
+    /// Copies every parameter value from `other` (which must have the same
+    /// architecture) — used to initialize dCNN students from the trained
+    /// teacher, as the paper does (§4.3 "we reuse the Inception-V3
+    /// architecture and initialize the weights using the CNN trained on
+    /// the driving dataset").
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the architectures do not match.
+    pub fn copy_params_from(&mut self, other: &mut FrameCnn) -> Result<()> {
+        let mut mine = self.features.params_mut();
+        mine.extend(self.head.params_mut());
+        let mut theirs = other.features.params_mut();
+        theirs.extend(other.head.params_mut());
+        if mine.len() != theirs.len() {
+            return Err(crate::CoreError::Dataset(format!(
+                "architecture mismatch: {} vs {} parameters",
+                mine.len(),
+                theirs.len()
+            )));
+        }
+        for (m, t) in mine.iter_mut().zip(theirs.iter()) {
+            if m.value.dims() != t.value.dims() {
+                return Err(crate::CoreError::Dataset(format!(
+                    "parameter shape mismatch: {:?} vs {:?}",
+                    m.value.dims(),
+                    t.value.dims()
+                )));
+            }
+            m.value = t.value.clone();
+        }
+        Ok(())
+    }
+
+    /// One distillation step (paper §4.3, step 4): minimize the L2
+    /// euclidean distance between this model's final-layer output and the
+    /// teacher's on the same frames. Outputs are compared after softmax —
+    /// probability vectors are bounded, which keeps the unsupervised
+    /// training stable regardless of how confident (large-logit) the
+    /// teacher has become.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn distill_step(
+        &mut self,
+        frames: &Tensor,
+        teacher_logits: &Tensor,
+        opt: &mut Sgd,
+    ) -> Result<f32> {
+        self.distill_step_with_temperature(frames, teacher_logits, opt, 1.0)
+    }
+
+    /// [`FrameCnn::distill_step`] with temperature-softened outputs:
+    /// both models' logits are divided by `temperature` before the
+    /// softmax, which keeps gradients informative when the teacher is
+    /// very confident (standard knowledge-distillation practice).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn distill_step_with_temperature(
+        &mut self,
+        frames: &Tensor,
+        teacher_logits: &Tensor,
+        opt: &mut Sgd,
+        temperature: f32,
+    ) -> Result<f32> {
+        let inv_t = 1.0 / temperature.max(1e-3);
+        let logits = self.forward(frames, Mode::Train)?.scale(inv_t);
+        let p = softmax(&logits)?;
+        let pt = softmax(&teacher_logits.scale(inv_t))?;
+        let (loss, gprob) = darnet_nn::l2_distill_loss(&p, &pt)?;
+        // Backpropagate through the softmax: for each row,
+        // dL/dz_i = p_i (g_i − Σ_j g_j p_j).
+        let (b, c) = (p.dims()[0], p.dims()[1]);
+        let mut grad = Tensor::zeros(&[b, c]);
+        for r in 0..b {
+            let prow = &p.data()[r * c..(r + 1) * c];
+            let grow = &gprob.data()[r * c..(r + 1) * c];
+            let dot: f32 = prow.iter().zip(grow).map(|(&pi, &gi)| pi * gi).sum();
+            for i in 0..c {
+                grad.data_mut()[r * c + i] = prow[i] * (grow[i] - dot);
+            }
+        }
+        // Chain rule through the temperature scaling (z' = z / T), with
+        // the conventional T² loss compensation so the gradient magnitude
+        // is temperature-independent to first order.
+        let grad = grad.scale(inv_t * temperature * temperature);
+        let gfeat = self.head.backward(&grad)?;
+        self.features.backward(&gfeat)?;
+        let mut params = self.features.params_mut();
+        params.extend(self.head.params_mut());
+        opt.step(&mut params)?;
+        Ok(loss)
+    }
+}
+
+impl std::fmt::Debug for FrameCnn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameCnn")
+            .field("config", &self.config)
+            .field("layers", &self.features.layer_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darnet_sim::{Behavior, DriverProfile, FrameRenderer};
+
+    fn tiny_config() -> CnnConfig {
+        CnnConfig {
+            input_size: 24,
+            classes: 3,
+            width: 0.5,
+            batch_size: 16,
+            lr: 0.05,
+            ..CnnConfig::default()
+        }
+    }
+
+    fn tiny_dataset(n_per_class: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        // Visually distinct classes at 24×24: normal / reaching / hair.
+        let renderer = FrameRenderer::new(seed).with_size(24).with_noise(0.02);
+        let classes = [
+            Behavior::NormalDriving,
+            Behavior::Reaching,
+            Behavior::HairMakeup,
+        ];
+        let driver = DriverProfile::generate(0, 42);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for (ci, &c) in classes.iter().enumerate() {
+            for k in 0..n_per_class {
+                let f = renderer.render(&driver, c, k as f64 * 0.37);
+                data.extend_from_slice(f.pixels());
+                labels.push(ci);
+            }
+        }
+        let n = labels.len();
+        (
+            Tensor::from_vec(data, &[n, 1, 24, 24]).unwrap(),
+            labels,
+        )
+    }
+
+    #[test]
+    fn forward_produces_class_logits() {
+        let mut cnn = FrameCnn::new(tiny_config(), 1);
+        let x = Tensor::zeros(&[2, 1, 24, 24]);
+        let logits = cnn.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(logits.dims(), &[2, 3]);
+        assert!(cnn.param_count() > 100);
+    }
+
+    #[test]
+    fn cnn_learns_visually_distinct_classes() {
+        let mut cnn = FrameCnn::new(
+            CnnConfig {
+                width: 1.0,
+                ..tiny_config()
+            },
+            2,
+        );
+        let (x, labels) = tiny_dataset(20, 7);
+        let losses = cnn.fit(&x, &labels, 20).unwrap();
+        assert!(
+            losses.last().unwrap() < &losses[0],
+            "loss did not decrease: {losses:?}"
+        );
+        let acc = cnn.evaluate(&x, &labels).unwrap();
+        assert!(acc > 0.6, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn predict_proba_rows_are_distributions() {
+        let mut cnn = FrameCnn::new(tiny_config(), 3);
+        let (x, _) = tiny_dataset(3, 9);
+        let p = cnn.predict_proba(&x).unwrap();
+        assert_eq!(p.dims(), &[9, 3]);
+        for r in 0..9 {
+            let s: f32 = p.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn replace_head_changes_class_count() {
+        let mut cnn = FrameCnn::new(tiny_config(), 4);
+        cnn.replace_head(5);
+        assert_eq!(cnn.classes(), 5);
+        let x = Tensor::zeros(&[1, 1, 24, 24]);
+        let logits = cnn.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(logits.dims(), &[1, 5]);
+    }
+
+    #[test]
+    fn distill_step_reduces_l2_gap() {
+        let mut teacher = FrameCnn::new(tiny_config(), 5);
+        let mut student = FrameCnn::new(tiny_config(), 6);
+        let (x, _) = tiny_dataset(8, 11);
+        let t_logits = teacher.logits(&x).unwrap();
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let first = student.distill_step(&x, &t_logits, &mut opt).unwrap();
+        let mut last = first;
+        for _ in 0..15 {
+            last = student.distill_step(&x, &t_logits, &mut opt).unwrap();
+        }
+        assert!(last < first, "distillation loss {first} -> {last}");
+    }
+}

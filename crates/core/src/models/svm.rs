@@ -1,0 +1,163 @@
+//! The SVM baseline for the IMU stream (paper §5.2: the CNN+SVM ensemble
+//! that the CNN+RNN architecture edges out by ~1%).
+
+use darnet_nn::{LinearSvm, SvmConfig};
+use darnet_tensor::{SplitMix64, Tensor};
+
+use crate::dataset::Standardizer;
+use crate::error::CoreError;
+use crate::Result;
+
+/// A linear one-vs-rest SVM over flattened, standardized IMU windows.
+#[derive(Debug, Clone)]
+pub struct ImuSvm {
+    svm: LinearSvm,
+    standardizer: Option<Standardizer>,
+    config: SvmConfig,
+    window_len: usize,
+    features: usize,
+    classes: usize,
+}
+
+impl ImuSvm {
+    /// Builds an untrained SVM for `[n, window_len, features]` windows.
+    pub fn new(window_len: usize, features: usize, classes: usize, config: SvmConfig) -> Self {
+        ImuSvm {
+            svm: LinearSvm::new(window_len * features, classes),
+            standardizer: None,
+            config,
+            window_len,
+            features,
+            classes,
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn flatten(&self, windows: &Tensor) -> Result<Tensor> {
+        let dims = windows.dims();
+        if dims.len() != 3 || dims[1] != self.window_len || dims[2] != self.features {
+            return Err(CoreError::Dataset(format!(
+                "expected [n, {}, {}] windows, got {:?}",
+                self.window_len, self.features, dims
+            )));
+        }
+        Ok(windows.reshape(&[dims[0], self.window_len * self.features])?)
+    }
+
+    /// Trains on `[n, window_len, features]` windows with class labels,
+    /// fitting the feature standardizer first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/label errors.
+    pub fn fit(&mut self, windows: &Tensor, labels: &[usize], rng: &mut SplitMix64) -> Result<()> {
+        let std = Standardizer::fit(windows)?;
+        let x = self.flatten(&std.apply(windows))?;
+        self.standardizer = Some(std);
+        self.svm.fit(&x, labels, &self.config, rng)?;
+        Ok(())
+    }
+
+    /// Pseudo-probabilities `[n, classes]` (softmax over margins).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotReady`] before [`ImuSvm::fit`].
+    pub fn predict_proba(&self, windows: &Tensor) -> Result<Tensor> {
+        let std = self
+            .standardizer
+            .as_ref()
+            .ok_or_else(|| CoreError::NotReady("imu svm not fitted".into()))?;
+        let x = self.flatten(&std.apply(windows))?;
+        Ok(self.svm.predict_proba(&x)?)
+    }
+
+    /// Hard class predictions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotReady`] before [`ImuSvm::fit`].
+    pub fn predict(&self, windows: &Tensor) -> Result<Vec<usize>> {
+        Ok(self.predict_proba(windows)?.argmax_rows()?)
+    }
+
+    /// Top-1 accuracy against `labels`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotReady`] before [`ImuSvm::fit`].
+    pub fn evaluate(&self, windows: &Tensor, labels: &[usize]) -> Result<f32> {
+        let preds = self.predict(windows)?;
+        let correct = preds.iter().zip(labels).filter(|(a, b)| a == b).count();
+        Ok(correct as f32 / labels.len().max(1) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_windows(n_per_class: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        // Two classes separated by the mean of channel 0.
+        let mut rng = SplitMix64::new(seed);
+        let (t, f) = (5usize, 3usize);
+        let n = n_per_class * 2;
+        let mut data = Vec::with_capacity(n * t * f);
+        let mut labels = Vec::with_capacity(n);
+        for c in 0..2 {
+            for _ in 0..n_per_class {
+                labels.push(c);
+                for _ in 0..t {
+                    data.push(if c == 0 { -1.0 } else { 1.0 } + rng.normal() * 0.3);
+                    data.push(rng.normal());
+                    data.push(rng.normal());
+                }
+            }
+        }
+        (Tensor::from_vec(data, &[n, t, f]).unwrap(), labels)
+    }
+
+    #[test]
+    fn svm_learns_toy_windows() {
+        let mut svm = ImuSvm::new(5, 3, 2, SvmConfig::default());
+        let (x, labels) = toy_windows(40, 1);
+        let mut rng = SplitMix64::new(2);
+        svm.fit(&x, &labels, &mut rng).unwrap();
+        let acc = svm.evaluate(&x, &labels).unwrap();
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let svm = ImuSvm::new(5, 3, 2, SvmConfig::default());
+        let x = Tensor::zeros(&[1, 5, 3]);
+        assert!(matches!(svm.predict_proba(&x), Err(CoreError::NotReady(_))));
+    }
+
+    #[test]
+    fn wrong_window_shape_is_rejected() {
+        let mut svm = ImuSvm::new(5, 3, 2, SvmConfig::default());
+        let (x, labels) = toy_windows(5, 3);
+        let mut rng = SplitMix64::new(4);
+        svm.fit(&x, &labels, &mut rng).unwrap();
+        let bad = Tensor::zeros(&[1, 4, 3]);
+        assert!(svm.predict_proba(&bad).is_err());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut svm = ImuSvm::new(5, 3, 2, SvmConfig::default());
+        let (x, labels) = toy_windows(10, 5);
+        let mut rng = SplitMix64::new(6);
+        svm.fit(&x, &labels, &mut rng).unwrap();
+        let p = svm.predict_proba(&x).unwrap();
+        for r in 0..x.dims()[0] {
+            let s: f32 = p.data()[r * 2..(r + 1) * 2].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+}

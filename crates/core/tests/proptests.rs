@@ -1,0 +1,96 @@
+//! Property-based tests for the analytics engine: confusion-matrix and
+//! combiner invariants, privacy arithmetic.
+
+use darnet_core::ensemble::product_combine;
+use darnet_core::privacy::PrivacyLevel;
+use darnet_core::{BayesianCombiner, ConfusionMatrix};
+use darnet_tensor::Tensor;
+use proptest::prelude::*;
+
+fn prob_row(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(0.01f32..1.0, n).prop_map(|v| {
+        let s: f32 = v.iter().sum();
+        v.into_iter().map(|x| x / s).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn confusion_matrix_row_sums_match_label_counts(
+        pairs in prop::collection::vec((0usize..4, 0usize..4), 1..100)
+    ) {
+        let labels: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let preds: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        let m = ConfusionMatrix::from_predictions(&labels, &preds, 4).unwrap();
+        prop_assert_eq!(m.total(), pairs.len());
+        for i in 0..4 {
+            let row: usize = (0..4).map(|j| m.count(i, j)).sum();
+            let expected = labels.iter().filter(|&&l| l == i).count();
+            prop_assert_eq!(row, expected);
+        }
+        prop_assert!((0.0..=1.0).contains(&m.accuracy()));
+    }
+
+    #[test]
+    fn bayesian_cpt_is_normalized_after_any_fit(
+        labels in prop::collection::vec(0usize..3, 10..60),
+        seed in 0u64..100,
+    ) {
+        let n = labels.len();
+        let mut rng = darnet_tensor::SplitMix64::new(seed);
+        let mut cnn = Tensor::zeros(&[n, 3]);
+        for v in cnn.data_mut() { *v = rng.uniform(0.01, 1.0); }
+        let mut imu = Tensor::zeros(&[n, 2]);
+        for v in imu.data_mut() { *v = rng.uniform(0.01, 1.0); }
+        let mut comb = BayesianCombiner::new(3, 2, 1.0);
+        comb.fit(&cnn, &imu, &labels).unwrap();
+        for a in 0..3 {
+            for b in 0..2 {
+                let total: f32 = (0..3).map(|c| comb.cpt(c, a, b)).sum();
+                prop_assert!((total - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn combined_scores_are_distributions(
+        labels in prop::collection::vec(0usize..3, 20..50),
+        cnn_row in prob_row(3),
+        imu_row in prob_row(2),
+        seed in 0u64..50,
+    ) {
+        let n = labels.len();
+        let mut rng = darnet_tensor::SplitMix64::new(seed);
+        let mut cnn = Tensor::zeros(&[n, 3]);
+        for v in cnn.data_mut() { *v = rng.uniform(0.01, 1.0); }
+        let mut imu = Tensor::zeros(&[n, 2]);
+        for v in imu.data_mut() { *v = rng.uniform(0.01, 1.0); }
+        let mut comb = BayesianCombiner::new(3, 2, 0.5);
+        comb.fit(&cnn, &imu, &labels).unwrap();
+        let scores = comb.combine(&cnn_row, &imu_row).unwrap();
+        let sum: f32 = scores.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(scores.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn product_combiner_outputs_distribution(cnn_row in prob_row(6), imu_row in prob_row(3)) {
+        let scores = product_combine(&cnn_row, &imu_row).unwrap();
+        let sum: f32 = scores.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn privacy_arithmetic_is_consistent(full in 12usize..600) {
+        for level in PrivacyLevel::ALL {
+            let target = level.target_size(full);
+            prop_assert!(target >= 1);
+            prop_assert!(target <= full);
+            // Reduction factor equals divisor squared.
+            prop_assert_eq!(level.data_reduction(), level.divisor() * level.divisor());
+        }
+        // Higher levels never have more pixels.
+        prop_assert!(PrivacyLevel::Low.target_size(full) >= PrivacyLevel::Medium.target_size(full));
+        prop_assert!(PrivacyLevel::Medium.target_size(full) >= PrivacyLevel::High.target_size(full));
+    }
+}

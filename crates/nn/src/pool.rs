@@ -1,0 +1,243 @@
+//! Pooling layers: max, average, and global average pooling.
+
+use darnet_tensor::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec, Tensor};
+
+use crate::error::NnError;
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use crate::Result;
+
+/// Max pooling over square windows.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    spec: PoolSpec,
+    argmax: Option<Vec<usize>>,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given window and stride.
+    pub fn new(window: usize, stride: usize) -> Self {
+        MaxPool2d {
+            spec: PoolSpec::new(window, stride),
+            argmax: None,
+            input_dims: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (out, arg) = max_pool2d(input, &self.spec)?;
+        if mode == Mode::Train {
+            self.argmax = Some(arg);
+            self.input_dims = Some(input.dims().to_vec());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let arg = self
+            .argmax
+            .as_ref()
+            .ok_or(NnError::NoForwardCache { layer: "MaxPool2d" })?;
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or(NnError::NoForwardCache { layer: "MaxPool2d" })?;
+        Ok(max_pool2d_backward(grad_out, arg, dims)?)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+/// Average pooling over square windows.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    spec: PoolSpec,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with the given window and stride.
+    pub fn new(window: usize, stride: usize) -> Self {
+        AvgPool2d {
+            spec: PoolSpec::new(window, stride),
+            input_dims: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = avg_pool2d(input, &self.spec)?;
+        if mode == Mode::Train {
+            self.input_dims = Some(input.dims().to_vec());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or(NnError::NoForwardCache { layer: "AvgPool2d" })?;
+        Ok(avg_pool2d_backward(grad_out, &self.spec, dims)?)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "AvgPool2d"
+    }
+}
+
+/// Global average pooling: `[batch, c, h, w] → [batch, c]`, averaging each
+/// channel's spatial map. Inception-style networks use this in place of
+/// large dense layers before the classifier head.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { input_dims: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if input.rank() != 4 {
+            return Err(NnError::InvalidConfig(format!(
+                "global avg pool expects rank-4 input, got {:?}",
+                input.dims()
+            )));
+        }
+        let d = input.dims();
+        let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let hw = (h * w) as f32;
+        let mut out = Tensor::zeros(&[b, c]);
+        let od = out.data_mut();
+        let id = input.data();
+        for n in 0..b {
+            for ch in 0..c {
+                let base = (n * c + ch) * h * w;
+                let sum: f32 = id[base..base + h * w].iter().sum();
+                od[n * c + ch] = sum / hw;
+            }
+        }
+        if mode == Mode::Train {
+            self.input_dims = Some(d.to_vec());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or(NnError::NoForwardCache { layer: "GlobalAvgPool" })?;
+        let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        if grad_out.dims() != [b, c] {
+            return Err(NnError::Tensor(darnet_tensor::TensorError::ShapeMismatch {
+                left: grad_out.dims().to_vec(),
+                right: vec![b, c],
+            }));
+        }
+        let hw = (h * w) as f32;
+        let mut grad_in = Tensor::zeros(dims);
+        let gi = grad_in.data_mut();
+        let go = grad_out.data();
+        for n in 0..b {
+            for ch in 0..c {
+                let g = go[n * c + ch] / hw;
+                let base = (n * c + ch) * h * w;
+                for v in &mut gi[base..base + h * w] {
+                    *v = g;
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_layer_forward_backward() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = pool.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.data(), &[4.0]);
+        let g = pool.backward(&Tensor::ones(&[1, 1, 1, 1])).unwrap();
+        assert_eq!(g.data(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_averages_channels() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
+        let y = pool.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 25.0]);
+        let g = pool.backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap()).unwrap();
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn avg_pool_layer_gradcheck() {
+        let mut pool = AvgPool2d::new(2, 1);
+        let x = Tensor::from_vec((0..9).map(|v| v as f32 * 0.3).collect(), &[1, 1, 3, 3]).unwrap();
+        let y = pool.forward(&x, Mode::Train).unwrap();
+        let dx = pool.backward(&Tensor::ones(y.dims())).unwrap();
+        let eps = 1e-2;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp = pool.forward(&xp, Mode::Eval).unwrap().sum();
+            let fm = pool.forward(&xm, Mode::Eval).unwrap().sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - dx.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn global_pool_rejects_non_rank4() {
+        let mut pool = GlobalAvgPool::new();
+        assert!(pool.forward(&Tensor::zeros(&[2, 3]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn backward_without_forward_fails() {
+        let mut pool = MaxPool2d::new(2, 2);
+        assert!(pool.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+        let mut gap = GlobalAvgPool::new();
+        assert!(gap.backward(&Tensor::zeros(&[1, 1])).is_err());
+    }
+}

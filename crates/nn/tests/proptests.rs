@@ -1,0 +1,153 @@
+//! Property-based tests for network invariants.
+
+use darnet_nn::{l2_distill_loss, log_softmax, softmax, softmax_cross_entropy, Layer, Mode, Relu};
+use darnet_tensor::Tensor;
+use proptest::prelude::*;
+
+fn logits_strategy() -> impl Strategy<Value = (Vec<f32>, usize)> {
+    (1usize..6, 2usize..8).prop_flat_map(|(b, c)| {
+        prop::collection::vec(-30.0f32..30.0, b * c).prop_map(move |v| (v, c))
+    })
+}
+
+proptest! {
+    #[test]
+    fn softmax_rows_are_distributions((data, c) in logits_strategy()) {
+        let b = data.len() / c;
+        let logits = Tensor::from_vec(data, &[b, c]).unwrap();
+        let p = softmax(&logits).unwrap();
+        for r in 0..b {
+            let row = &p.data()[r * c..(r + 1) * c];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant((data, c) in logits_strategy(), shift in -50.0f32..50.0) {
+        let b = data.len() / c;
+        let logits = Tensor::from_vec(data, &[b, c]).unwrap();
+        let shifted = logits.add_scalar(shift);
+        let p1 = softmax(&logits).unwrap();
+        let p2 = softmax(&shifted).unwrap();
+        for (a, z) in p1.data().iter().zip(p2.data()) {
+            prop_assert!((a - z).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_never_positive((data, c) in logits_strategy()) {
+        let b = data.len() / c;
+        let logits = Tensor::from_vec(data, &[b, c]).unwrap();
+        let ls = log_softmax(&logits).unwrap();
+        prop_assert!(ls.data().iter().all(|&v| v <= 1e-5));
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative((data, c) in logits_strategy(), label_seed in 0usize..100) {
+        let b = data.len() / c;
+        let logits = Tensor::from_vec(data, &[b, c]).unwrap();
+        let labels: Vec<usize> = (0..b).map(|i| (i + label_seed) % c).collect();
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        prop_assert!(loss >= 0.0);
+        // Gradient rows sum to ~0 (probabilities minus one-hot).
+        for r in 0..b {
+            let s: f32 = grad.data()[r * c..(r + 1) * c].iter().sum();
+            prop_assert!(s.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn distill_loss_zero_iff_equal(data in prop::collection::vec(-5.0f32..5.0, 4..32)) {
+        let n = data.len();
+        let a = Tensor::from_vec(data, &[1, n]).unwrap();
+        let (loss, _) = l2_distill_loss(&a, &a).unwrap();
+        prop_assert_eq!(loss, 0.0);
+        let b = a.add_scalar(1.0);
+        let (loss2, _) = l2_distill_loss(&a, &b).unwrap();
+        prop_assert!(loss2 > 0.0);
+    }
+
+    #[test]
+    fn relu_is_idempotent(data in prop::collection::vec(-10.0f32..10.0, 1..64)) {
+        let n = data.len();
+        let x = Tensor::from_vec(data, &[n]).unwrap();
+        let mut relu = Relu::new();
+        let once = relu.forward(&x, Mode::Eval).unwrap();
+        let twice = relu.forward(&once, Mode::Eval).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+}
+
+mod gradcheck {
+    //! Property-based finite-difference gradient checks: random layer
+    //! geometries and inputs, not just the fixed cases in unit tests.
+
+    use darnet_nn::{Dense, Layer, Mode};
+    use darnet_tensor::{SplitMix64, Tensor};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn dense_input_gradient_matches_fd(
+            in_f in 1usize..6,
+            out_f in 1usize..6,
+            batch in 1usize..4,
+            seed in 0u64..500,
+        ) {
+            let mut rng = SplitMix64::new(seed);
+            let mut layer = Dense::new(in_f, out_f, &mut rng);
+            let mut x = Tensor::zeros(&[batch, in_f]);
+            for v in x.data_mut() { *v = rng.uniform(-1.0, 1.0); }
+            layer.forward(&x, Mode::Train).unwrap();
+            let dx = layer.backward(&Tensor::ones(&[batch, out_f])).unwrap();
+            let eps = 1e-2f32;
+            for i in 0..x.len() {
+                let mut xp = x.clone();
+                xp.data_mut()[i] += eps;
+                let mut xm = x.clone();
+                xm.data_mut()[i] -= eps;
+                let yp = layer.forward(&xp, Mode::Eval).unwrap().sum();
+                let ym = layer.forward(&xm, Mode::Eval).unwrap().sum();
+                let fd = (yp - ym) / (2.0 * eps);
+                prop_assert!(
+                    (fd - dx.data()[i]).abs() < 2e-2,
+                    "grad {} fd {} analytic {}", i, fd, dx.data()[i]
+                );
+            }
+        }
+
+        #[test]
+        fn lstm_input_gradient_matches_fd(
+            feat in 1usize..4,
+            hidden in 1usize..4,
+            time in 1usize..4,
+            seed in 0u64..200,
+        ) {
+            use darnet_nn::LstmCell;
+            let mut rng = SplitMix64::new(seed);
+            let mut cell = LstmCell::new(feat, hidden, &mut rng);
+            let mut x = Tensor::zeros(&[1, time, feat]);
+            for v in x.data_mut() { *v = rng.uniform(-1.0, 1.0); }
+            let h = cell.forward_seq(&x, Mode::Train).unwrap();
+            let dx = cell.backward_seq(&Tensor::ones(h.dims())).unwrap();
+            let eps = 1e-2f32;
+            for i in 0..x.len() {
+                let mut xp = x.clone();
+                xp.data_mut()[i] += eps;
+                let mut xm = x.clone();
+                xm.data_mut()[i] -= eps;
+                let yp = cell.forward_seq(&xp, Mode::Eval).unwrap().sum();
+                let ym = cell.forward_seq(&xm, Mode::Eval).unwrap().sum();
+                let fd = (yp - ym) / (2.0 * eps);
+                prop_assert!(
+                    (fd - dx.data()[i]).abs() < 2e-2,
+                    "grad {} fd {} analytic {}", i, fd, dx.data()[i]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Behaviour taxonomies: the paper's 6-class driving set (Table 1), the
+//! 18-class extended set used by the dCNN privacy study (§5.3), and the
+//! 3-class phone-orientation set the IMU models operate on.
+
+use serde::{Deserialize, Serialize};
+
+/// The six driver behaviour classes of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Behavior {
+    /// Class 1 — both hands on the wheel, attention forward.
+    NormalDriving,
+    /// Class 2 — phone held to the ear.
+    Talking,
+    /// Class 3 — phone held between waist and eye level.
+    Texting,
+    /// Class 4 — eating or drinking (cup/food near the mouth).
+    EatingDrinking,
+    /// Class 5 — hair and makeup (hand near the top of the head).
+    HairMakeup,
+    /// Class 6 — reaching toward the passenger side or back seat.
+    Reaching,
+}
+
+impl Behavior {
+    /// All six classes in Table 1 order.
+    pub const ALL: [Behavior; 6] = [
+        Behavior::NormalDriving,
+        Behavior::Talking,
+        Behavior::Texting,
+        Behavior::EatingDrinking,
+        Behavior::HairMakeup,
+        Behavior::Reaching,
+    ];
+
+    /// Zero-based class index (Table 1 class number minus one).
+    pub fn index(self) -> usize {
+        match self {
+            Behavior::NormalDriving => 0,
+            Behavior::Talking => 1,
+            Behavior::Texting => 2,
+            Behavior::EatingDrinking => 3,
+            Behavior::HairMakeup => 4,
+            Behavior::Reaching => 5,
+        }
+    }
+
+    /// The class for a zero-based index.
+    ///
+    /// Returns `None` if `index >= 6`.
+    pub fn from_index(index: usize) -> Option<Behavior> {
+        Behavior::ALL.get(index).copied()
+    }
+
+    /// Human-readable name matching Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            Behavior::NormalDriving => "Normal Driving",
+            Behavior::Talking => "Talking",
+            Behavior::Texting => "Texting",
+            Behavior::EatingDrinking => "Eating/Drinking",
+            Behavior::HairMakeup => "Hair and Makeup",
+            Behavior::Reaching => "Reaching",
+        }
+    }
+
+    /// The phone-orientation class the driver's mobile device is in during
+    /// this behaviour.
+    ///
+    /// Per the paper, classes 4–6 do not involve the phone, which sits in
+    /// the driver's front-right pocket — the "Normal Driving" position for
+    /// the IMU stream.
+    pub fn imu_class(self) -> ImuClass {
+        match self {
+            Behavior::Talking => ImuClass::Talking,
+            Behavior::Texting => ImuClass::Texting,
+            _ => ImuClass::Normal,
+        }
+    }
+
+    /// Whether task-specific IMU data exists for this behaviour (the
+    /// phone is actively used only while talking or texting).
+    pub fn has_task_imu(self) -> bool {
+        matches!(self, Behavior::Talking | Behavior::Texting)
+    }
+
+    /// Whether Table 1 lists an IMU data type for this class (classes 1–3
+    /// — normal driving contributes pocket-orientation IMU data; classes
+    /// 4–6 are recorded as image-only).
+    pub fn table1_has_imu(self) -> bool {
+        matches!(
+            self,
+            Behavior::NormalDriving | Behavior::Talking | Behavior::Texting
+        )
+    }
+}
+
+impl std::fmt::Display for Behavior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Phone-orientation classes for the IMU stream.
+///
+/// The paper positions the client device in "one of five varying
+/// orientations" grouped into three classes: texting (hand, waist-to-eye
+/// level), talking (at the ear), and everything else (horizontal in the
+/// front-right pocket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ImuClass {
+    /// Device in the pocket — all non-phone behaviours.
+    Normal,
+    /// Device held to the ear.
+    Talking,
+    /// Device held between waist and eye level.
+    Texting,
+}
+
+impl ImuClass {
+    /// All three classes.
+    pub const ALL: [ImuClass; 3] = [ImuClass::Normal, ImuClass::Talking, ImuClass::Texting];
+
+    /// Zero-based index.
+    pub fn index(self) -> usize {
+        match self {
+            ImuClass::Normal => 0,
+            ImuClass::Talking => 1,
+            ImuClass::Texting => 2,
+        }
+    }
+
+    /// The class for a zero-based index, if valid.
+    pub fn from_index(index: usize) -> Option<ImuClass> {
+        ImuClass::ALL.get(index).copied()
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ImuClass::Normal => "Normal",
+            ImuClass::Talking => "Talking",
+            ImuClass::Texting => "Texting",
+        }
+    }
+}
+
+impl std::fmt::Display for ImuClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The 18-class extended taxonomy of the "previously collected distracted
+/// driver dataset" the paper's dCNN privacy study evaluates on (§5.3: 18
+/// classes, 10 drivers, GoPro at 30 fps).
+///
+/// The paper does not enumerate the 18 classes; this reproduction uses a
+/// plausible refinement of the 6-class set (left/right-hand variants and
+/// additional in-cabin tasks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ExtendedBehavior {
+    NormalDriving,
+    TalkingLeft,
+    TalkingRight,
+    TextingLeft,
+    TextingRight,
+    PhoneOnDash,
+    Drinking,
+    Eating,
+    Smoking,
+    Hair,
+    Makeup,
+    ReachingSide,
+    ReachingBack,
+    AdjustingRadio,
+    AdjustingNavigation,
+    TalkingToPassenger,
+    LookingBack,
+    Yawning,
+}
+
+impl ExtendedBehavior {
+    /// All eighteen classes.
+    pub const ALL: [ExtendedBehavior; 18] = [
+        ExtendedBehavior::NormalDriving,
+        ExtendedBehavior::TalkingLeft,
+        ExtendedBehavior::TalkingRight,
+        ExtendedBehavior::TextingLeft,
+        ExtendedBehavior::TextingRight,
+        ExtendedBehavior::PhoneOnDash,
+        ExtendedBehavior::Drinking,
+        ExtendedBehavior::Eating,
+        ExtendedBehavior::Smoking,
+        ExtendedBehavior::Hair,
+        ExtendedBehavior::Makeup,
+        ExtendedBehavior::ReachingSide,
+        ExtendedBehavior::ReachingBack,
+        ExtendedBehavior::AdjustingRadio,
+        ExtendedBehavior::AdjustingNavigation,
+        ExtendedBehavior::TalkingToPassenger,
+        ExtendedBehavior::LookingBack,
+        ExtendedBehavior::Yawning,
+    ];
+
+    /// Zero-based class index.
+    pub fn index(self) -> usize {
+        ExtendedBehavior::ALL
+            .iter()
+            .position(|b| *b == self)
+            .expect("ALL contains every variant")
+    }
+
+    /// The class for a zero-based index, if valid.
+    pub fn from_index(index: usize) -> Option<ExtendedBehavior> {
+        ExtendedBehavior::ALL.get(index).copied()
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtendedBehavior::NormalDriving => "Normal Driving",
+            ExtendedBehavior::TalkingLeft => "Talking (left hand)",
+            ExtendedBehavior::TalkingRight => "Talking (right hand)",
+            ExtendedBehavior::TextingLeft => "Texting (left hand)",
+            ExtendedBehavior::TextingRight => "Texting (right hand)",
+            ExtendedBehavior::PhoneOnDash => "Phone on dash",
+            ExtendedBehavior::Drinking => "Drinking",
+            ExtendedBehavior::Eating => "Eating",
+            ExtendedBehavior::Smoking => "Smoking",
+            ExtendedBehavior::Hair => "Hair",
+            ExtendedBehavior::Makeup => "Makeup",
+            ExtendedBehavior::ReachingSide => "Reaching (side)",
+            ExtendedBehavior::ReachingBack => "Reaching (back)",
+            ExtendedBehavior::AdjustingRadio => "Adjusting radio",
+            ExtendedBehavior::AdjustingNavigation => "Adjusting navigation",
+            ExtendedBehavior::TalkingToPassenger => "Talking to passenger",
+            ExtendedBehavior::LookingBack => "Looking back",
+            ExtendedBehavior::Yawning => "Yawning",
+        }
+    }
+}
+
+impl std::fmt::Display for ExtendedBehavior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavior_indices_roundtrip() {
+        for (i, b) in Behavior::ALL.iter().enumerate() {
+            assert_eq!(b.index(), i);
+            assert_eq!(Behavior::from_index(i), Some(*b));
+        }
+        assert_eq!(Behavior::from_index(6), None);
+    }
+
+    #[test]
+    fn imu_mapping_matches_table1_data_types() {
+        assert_eq!(Behavior::NormalDriving.imu_class(), ImuClass::Normal);
+        assert_eq!(Behavior::Talking.imu_class(), ImuClass::Talking);
+        assert_eq!(Behavior::Texting.imu_class(), ImuClass::Texting);
+        // Classes 4–6 are "Normal Driving" for the IMU per Table 1.
+        assert_eq!(Behavior::EatingDrinking.imu_class(), ImuClass::Normal);
+        assert_eq!(Behavior::HairMakeup.imu_class(), ImuClass::Normal);
+        assert_eq!(Behavior::Reaching.imu_class(), ImuClass::Normal);
+    }
+
+    #[test]
+    fn only_phone_classes_have_task_imu() {
+        let with_imu: Vec<_> = Behavior::ALL.iter().filter(|b| b.has_task_imu()).collect();
+        assert_eq!(with_imu.len(), 2);
+    }
+
+    #[test]
+    fn extended_taxonomy_has_18_distinct_classes() {
+        assert_eq!(ExtendedBehavior::ALL.len(), 18);
+        for (i, b) in ExtendedBehavior::ALL.iter().enumerate() {
+            assert_eq!(b.index(), i);
+            assert_eq!(ExtendedBehavior::from_index(i), Some(*b));
+        }
+        assert_eq!(ExtendedBehavior::from_index(18), None);
+    }
+
+    #[test]
+    fn imu_class_indices_roundtrip() {
+        for (i, c) in ImuClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(ImuClass::from_index(i), Some(*c));
+        }
+    }
+
+    #[test]
+    fn display_names_are_nonempty() {
+        for b in Behavior::ALL {
+            assert!(!b.to_string().is_empty());
+        }
+        for b in ExtendedBehavior::ALL {
+            assert!(!b.to_string().is_empty());
+        }
+    }
+}

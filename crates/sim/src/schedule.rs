@@ -1,0 +1,246 @@
+//! Collection-session scripting.
+//!
+//! The paper's protocol: 5 drivers drive the same route; a passenger
+//! instructs each scripted "distraction" for 15 seconds; the script repeats
+//! so that total collected frames per class match Table 1. This module
+//! builds that schedule deterministically, with per-class durations derived
+//! from the paper's exact frame counts (scaled by a configurable factor so
+//! the reproduction trains in minutes on a CPU).
+
+use serde::{Deserialize, Serialize};
+
+use crate::behavior::{Behavior, ExtendedBehavior};
+
+/// Frame counts per class from the paper's Table 1.
+pub const TABLE1_FRAME_COUNTS: [usize; 6] = [5_286, 10_352, 9_422, 9_463, 4_848, 17_709];
+
+/// One scripted collection segment: a driver performs one behaviour for a
+/// contiguous span of (session-local) time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment<B> {
+    /// Driver id performing the segment.
+    pub driver: usize,
+    /// The scripted behaviour.
+    pub behavior: B,
+    /// Segment start time within the driver's session, seconds.
+    pub start: f64,
+    /// Segment duration, seconds.
+    pub duration: f64,
+}
+
+impl<B: Copy> Segment<B> {
+    /// Segment end time (exclusive).
+    pub fn end(&self) -> f64 {
+        self.start + self.duration
+    }
+
+    /// Whether session-local time `t` falls inside this segment.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start && t < self.end()
+    }
+}
+
+/// Configuration of a 6-class collection campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleConfig {
+    /// Number of participating drivers (paper: 5).
+    pub drivers: usize,
+    /// Camera frame rate used to convert Table-1 frame counts into
+    /// durations (frames per second).
+    pub camera_fps: f64,
+    /// Scale factor on the paper's frame counts (1.0 = full 57 k frames;
+    /// the default 0.1 reproduces the class balance at 1/10 size).
+    pub scale: f64,
+    /// Scripted segment length in seconds (paper: 15 s).
+    pub segment_seconds: f64,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        ScheduleConfig {
+            drivers: 5,
+            camera_fps: 4.0,
+            scale: 0.1,
+            segment_seconds: 15.0,
+        }
+    }
+}
+
+/// Builds the full 6-class collection schedule: for each driver, a
+/// round-robin script of 15 s distraction segments whose per-class total
+/// durations are proportional to Table 1.
+pub fn build_schedule(config: &ScheduleConfig) -> Vec<Segment<Behavior>> {
+    let mut segments = Vec::new();
+    for driver in 0..config.drivers {
+        // Remaining duration per class for this driver, seconds.
+        let mut remaining: Vec<f64> = TABLE1_FRAME_COUNTS
+            .iter()
+            .map(|&frames| frames as f64 * config.scale / (config.drivers as f64 * config.camera_fps))
+            .collect();
+        let mut t = 0.0f64;
+        // Round-robin over the script until all class budgets are used —
+        // this mirrors "the entire script was repeated 10 times".
+        while remaining.iter().any(|&r| r > 1e-9) {
+            for (idx, behavior) in Behavior::ALL.iter().enumerate() {
+                if remaining[idx] <= 1e-9 {
+                    continue;
+                }
+                let duration = remaining[idx].min(config.segment_seconds);
+                segments.push(Segment {
+                    driver,
+                    behavior: *behavior,
+                    start: t,
+                    duration,
+                });
+                t += duration;
+                remaining[idx] -= duration;
+            }
+        }
+    }
+    segments
+}
+
+/// Configuration of the 18-class extended campaign (the "previously
+/// collected" dataset of §5.3: 18 classes, 10 drivers, 30 fps GoPro).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtendedScheduleConfig {
+    /// Number of drivers (paper: 10).
+    pub drivers: usize,
+    /// Seconds of footage per class per driver.
+    pub seconds_per_class: f64,
+    /// Scripted segment length in seconds.
+    pub segment_seconds: f64,
+}
+
+impl Default for ExtendedScheduleConfig {
+    fn default() -> Self {
+        ExtendedScheduleConfig {
+            drivers: 10,
+            seconds_per_class: 12.0,
+            segment_seconds: 15.0,
+        }
+    }
+}
+
+/// Builds the 18-class schedule with equal per-class budgets.
+pub fn build_extended_schedule(config: &ExtendedScheduleConfig) -> Vec<Segment<ExtendedBehavior>> {
+    let mut segments = Vec::new();
+    for driver in 0..config.drivers {
+        let mut t = 0.0f64;
+        let mut remaining: Vec<f64> =
+            vec![config.seconds_per_class; ExtendedBehavior::ALL.len()];
+        while remaining.iter().any(|&r| r > 1e-9) {
+            for (idx, behavior) in ExtendedBehavior::ALL.iter().enumerate() {
+                if remaining[idx] <= 1e-9 {
+                    continue;
+                }
+                let duration = remaining[idx].min(config.segment_seconds);
+                segments.push(Segment {
+                    driver,
+                    behavior: *behavior,
+                    start: t,
+                    duration,
+                });
+                t += duration;
+                remaining[idx] -= duration;
+            }
+        }
+    }
+    segments
+}
+
+/// Total scheduled duration per class, in seconds (diagnostic used by the
+/// Table 1 reproduction).
+pub fn class_durations(segments: &[Segment<Behavior>]) -> [f64; 6] {
+    let mut out = [0.0f64; 6];
+    for s in segments {
+        out[s.behavior.index()] += s.duration;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_durations_proportional_to_table1() {
+        let config = ScheduleConfig::default();
+        let segments = build_schedule(&config);
+        let durations = class_durations(&segments);
+        // Expected frames = duration * fps * drivers... durations are
+        // summed across drivers already.
+        for (i, &frames) in TABLE1_FRAME_COUNTS.iter().enumerate() {
+            let expected_frames = frames as f64 * config.scale;
+            let actual_frames = durations[i] * config.camera_fps;
+            assert!(
+                (actual_frames - expected_frames).abs() < 1.0,
+                "class {i}: {actual_frames} vs {expected_frames}"
+            );
+        }
+    }
+
+    #[test]
+    fn segments_are_contiguous_and_nonoverlapping_per_driver() {
+        let segments = build_schedule(&ScheduleConfig::default());
+        for driver in 0..5 {
+            let mut driver_segments: Vec<_> =
+                segments.iter().filter(|s| s.driver == driver).collect();
+            driver_segments.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+            let mut t = 0.0;
+            for s in driver_segments {
+                assert!((s.start - t).abs() < 1e-6, "gap at {t}");
+                t = s.end();
+            }
+        }
+    }
+
+    #[test]
+    fn segments_never_exceed_scripted_length() {
+        let config = ScheduleConfig::default();
+        for s in build_schedule(&config) {
+            assert!(s.duration <= config.segment_seconds + 1e-9);
+            assert!(s.duration > 0.0);
+        }
+    }
+
+    #[test]
+    fn contains_respects_half_open_interval() {
+        let s = Segment {
+            driver: 0,
+            behavior: Behavior::Talking,
+            start: 10.0,
+            duration: 5.0,
+        };
+        assert!(s.contains(10.0));
+        assert!(s.contains(14.999));
+        assert!(!s.contains(15.0));
+        assert!(!s.contains(9.999));
+        assert_eq!(s.end(), 15.0);
+    }
+
+    #[test]
+    fn extended_schedule_covers_all_classes_equally() {
+        let config = ExtendedScheduleConfig {
+            drivers: 2,
+            seconds_per_class: 10.0,
+            segment_seconds: 15.0,
+        };
+        let segments = build_extended_schedule(&config);
+        let mut per_class = vec![0.0f64; 18];
+        for s in &segments {
+            per_class[s.behavior.index()] += s.duration;
+        }
+        for d in per_class {
+            assert!((d - 20.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn all_drivers_appear() {
+        let segments = build_schedule(&ScheduleConfig::default());
+        for d in 0..5 {
+            assert!(segments.iter().any(|s| s.driver == d));
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Convolution lowering: `im2col` / `col2im`.
+//!
+//! Convolutions in `darnet-nn` are computed as matrix products over patch
+//! matrices. [`im2col`] turns a `[batch, channels, height, width]` input into
+//! a `[batch * out_h * out_w, channels * kh * kw]` patch matrix; the
+//! convolution is then a single matmul with the `[out_channels, channels *
+//! kh * kw]` weight matrix. [`col2im`] scatters patch-matrix gradients back
+//! into input-shaped gradients for the backward pass.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Vertical and horizontal stride.
+    pub stride: usize,
+    /// Zero padding applied on every side.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Convenience constructor for a square kernel.
+    pub fn square(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+        Conv2dSpec {
+            in_channels,
+            out_channels,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the kernel does not fit in
+    /// the padded input or stride is zero.
+    pub fn output_size(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidGeometry("stride must be non-zero".into()));
+        }
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        if self.kernel_h > ph || self.kernel_w > pw {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {}x{} larger than padded input {}x{}",
+                self.kernel_h, self.kernel_w, ph, pw
+            )));
+        }
+        Ok(((ph - self.kernel_h) / self.stride + 1, (pw - self.kernel_w) / self.stride + 1))
+    }
+
+    /// Number of elements in one flattened patch (`in_channels * kh * kw`).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel_h * self.kernel_w
+    }
+}
+
+/// Lowers a `[batch, c, h, w]` tensor to a patch matrix of shape
+/// `[batch * out_h * out_w, c * kh * kw]`.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 4, the channel count disagrees
+/// with `spec`, or the geometry is impossible.
+pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input.rank(),
+        });
+    }
+    let dims = input.dims();
+    let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    if c != spec.in_channels {
+        return Err(TensorError::InvalidArgument(format!(
+            "input has {c} channels, spec expects {}",
+            spec.in_channels
+        )));
+    }
+    let (oh, ow) = spec.output_size(h, w)?;
+    let patch = spec.patch_len();
+    let mut out = vec![0.0f32; b * oh * ow * patch];
+    let data = input.data();
+    let pad = spec.padding as isize;
+
+    let mut row = 0usize;
+    for n in 0..b {
+        let base_n = n * c * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let dst = &mut out[row * patch..(row + 1) * patch];
+                let mut k = 0usize;
+                for ch in 0..c {
+                    let base_c = base_n + ch * h * w;
+                    for ky in 0..spec.kernel_h {
+                        let iy = (oy * spec.stride + ky) as isize - pad;
+                        for kx in 0..spec.kernel_w {
+                            let ix = (ox * spec.stride + kx) as isize - pad;
+                            dst[k] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                data[base_c + iy as usize * w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                            k += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b * oh * ow, patch])
+}
+
+/// Scatters a patch-matrix gradient (shape `[batch * out_h * out_w,
+/// c * kh * kw]`) back to an input-shaped gradient `[batch, c, h, w]`.
+/// Overlapping patches accumulate, matching the adjoint of [`im2col`].
+///
+/// # Errors
+///
+/// Returns an error if shapes disagree with the spec and geometry.
+pub fn col2im(
+    cols: &Tensor,
+    spec: &Conv2dSpec,
+    batch: usize,
+    h: usize,
+    w: usize,
+) -> Result<Tensor> {
+    let (oh, ow) = spec.output_size(h, w)?;
+    let patch = spec.patch_len();
+    if cols.rank() != 2 || cols.dims()[0] != batch * oh * ow || cols.dims()[1] != patch {
+        return Err(TensorError::ShapeMismatch {
+            left: cols.dims().to_vec(),
+            right: vec![batch * oh * ow, patch],
+        });
+    }
+    let c = spec.in_channels;
+    let mut out = vec![0.0f32; batch * c * h * w];
+    let data = cols.data();
+    let pad = spec.padding as isize;
+
+    let mut row = 0usize;
+    for n in 0..batch {
+        let base_n = n * c * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let src = &data[row * patch..(row + 1) * patch];
+                let mut k = 0usize;
+                for ch in 0..c {
+                    let base_c = base_n + ch * h * w;
+                    for ky in 0..spec.kernel_h {
+                        let iy = (oy * spec.stride + ky) as isize - pad;
+                        for kx in 0..spec.kernel_w {
+                            let ix = (ox * spec.stride + kx) as isize - pad;
+                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                out[base_c + iy as usize * w + ix as usize] += src[k];
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[batch, c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_size_matches_formula() {
+        let spec = Conv2dSpec::square(1, 1, 3, 1, 1);
+        assert_eq!(spec.output_size(5, 5).unwrap(), (5, 5));
+        let spec2 = Conv2dSpec::square(1, 1, 3, 2, 0);
+        assert_eq!(spec2.output_size(7, 7).unwrap(), (3, 3));
+    }
+
+    #[test]
+    fn invalid_geometry_is_rejected() {
+        let spec = Conv2dSpec::square(1, 1, 5, 1, 0);
+        assert!(spec.output_size(3, 3).is_err());
+        let zero_stride = Conv2dSpec {
+            stride: 0,
+            ..Conv2dSpec::square(1, 1, 1, 1, 0)
+        };
+        assert!(zero_stride.output_size(3, 3).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel_copies_input() {
+        // 1x1 kernel, stride 1, no padding: patch matrix is just the input
+        // laid out one pixel per row.
+        let input = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]).unwrap();
+        let spec = Conv2dSpec::square(2, 1, 1, 1, 0);
+        let cols = im2col(&input, &spec).unwrap();
+        assert_eq!(cols.dims(), &[4, 2]);
+        // Row for pixel (0,0) holds channels [0, 4].
+        assert_eq!(cols.data()[0], 0.0);
+        assert_eq!(cols.data()[1], 4.0);
+    }
+
+    #[test]
+    fn im2col_3x3_on_known_input() {
+        // 3x3 input, 3x3 kernel, no padding: single patch = whole image.
+        let input = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let spec = Conv2dSpec::square(1, 1, 3, 1, 0);
+        let cols = im2col(&input, &spec).unwrap();
+        assert_eq!(cols.dims(), &[1, 9]);
+        assert_eq!(
+            cols.data(),
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]
+        );
+    }
+
+    #[test]
+    fn im2col_padding_inserts_zeros() {
+        let input = Tensor::ones(&[1, 1, 2, 2]);
+        let spec = Conv2dSpec::square(1, 1, 3, 1, 1);
+        let cols = im2col(&input, &spec).unwrap();
+        assert_eq!(cols.dims(), &[4, 9]);
+        // Top-left output patch: the first row and column of the kernel see
+        // padding.
+        let first = &cols.data()[0..9];
+        assert_eq!(first, &[0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for arbitrary x, y — the defining
+        // property of an adjoint pair, which is exactly what backprop needs.
+        let spec = Conv2dSpec::square(2, 1, 3, 2, 1);
+        let (b, h, w) = (2, 5, 4);
+        let x = Tensor::from_vec(
+            (0..b * 2 * h * w).map(|v| ((v * 13) % 7) as f32 - 3.0).collect(),
+            &[b, 2, h, w],
+        )
+        .unwrap();
+        let cols = im2col(&x, &spec).unwrap();
+        let y = Tensor::from_vec(
+            (0..cols.len()).map(|v| ((v * 5) % 11) as f32 - 5.0).collect(),
+            cols.dims(),
+        )
+        .unwrap();
+        let lhs: f32 = cols.mul(&y).unwrap().sum();
+        let back = col2im(&y, &spec, b, h, w).unwrap();
+        let rhs: f32 = x.mul(&back).unwrap().sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_shape_validation() {
+        let spec = Conv2dSpec::square(1, 1, 2, 1, 0);
+        let bad = Tensor::zeros(&[3, 4]);
+        assert!(col2im(&bad, &spec, 1, 3, 3).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! # darnet-tensor
+//!
+//! A small, dependency-light, row-major `f32` tensor library that serves as
+//! the numerical substrate for the DarNet reproduction. It provides exactly
+//! what the `darnet-nn` neural-network layers need:
+//!
+//! * an n-dimensional [`Tensor`] with shape/stride bookkeeping,
+//! * elementwise arithmetic with scalar and tensor operands,
+//! * reductions (sum, mean, max, argmax) over all elements or one axis,
+//! * a cache-friendly [`matmul`](Tensor::matmul) kernel,
+//! * [`im2col`]/[`col2im`] lowering used by convolution forward/backward,
+//! * max/average pooling kernels,
+//! * deterministic weight initialisation helpers.
+//!
+//! The library intentionally trades generality for auditability: everything
+//! is plain safe Rust over a `Vec<f32>`, so every numerical routine can be
+//! unit-tested against hand-computed values and finite differences.
+//!
+//! ## Example
+//!
+//! ```
+//! use darnet_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok::<(), darnet_tensor::TensorError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod conv;
+mod error;
+mod init;
+mod matmul;
+mod pool;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dSpec};
+pub use error::TensorError;
+pub use init::{he_normal, uniform_init, xavier_uniform, SplitMix64};
+pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

