@@ -12,7 +12,7 @@ fn bench_downsample(c: &mut Criterion) {
     let frame = Frame::new(48, 48);
     let ds = Downsampler::new(48);
     for level in PrivacyLevel::ALL {
-        c.bench_function(&format!("distort {}", level.model_name()), |bench| {
+        c.bench_function(format!("distort {}", level.model_name()), |bench| {
             bench.iter(|| black_box(ds.distort(black_box(&frame), level)))
         });
     }

@@ -1,0 +1,62 @@
+//! Transport-layer benchmarks: full-session ingest throughput under 0%,
+//! 5%, and 20% link loss, with the reliable (ack + retransmit) transport
+//! on, and the fire-and-forget baseline for comparison — the cost of
+//! reliability is the retransmission traffic, visible as the gap between
+//! the two modes at each loss rate.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use darnet_collect::runtime::{run_session, CampaignConfig};
+use darnet_collect::RetransmitConfig;
+use darnet_sim::{Behavior, DrivingWorld, Segment, WorldConfig};
+
+fn schedule() -> Vec<Segment<Behavior>> {
+    vec![
+        Segment {
+            driver: 0,
+            behavior: Behavior::NormalDriving,
+            start: 0.0,
+            duration: 4.0,
+        },
+        Segment {
+            driver: 0,
+            behavior: Behavior::Texting,
+            start: 4.0,
+            duration: 4.0,
+        },
+    ]
+}
+
+fn config_at(loss: f64, reliable: bool) -> CampaignConfig {
+    let mut config = CampaignConfig::default();
+    config.link.loss = loss;
+    if !reliable {
+        config.retransmit = RetransmitConfig::disabled();
+    }
+    config
+}
+
+fn bench_ingest_under_loss(c: &mut Criterion) {
+    let world = Arc::new(DrivingWorld::new(WorldConfig::default()));
+    let sched = schedule();
+    let mut group = c.benchmark_group("session ingest throughput");
+    group.sample_size(10);
+    for loss_pct in [0u32, 5, 20] {
+        let loss = loss_pct as f64 / 100.0;
+        group.bench_function(format!("reliable transport, {loss_pct}% loss"), |bench| {
+            bench.iter(|| {
+                black_box(run_session(&world, 0, &sched, &config_at(loss, true)).unwrap())
+            })
+        });
+        group.bench_function(format!("fire-and-forget, {loss_pct}% loss"), |bench| {
+            bench.iter(|| {
+                black_box(run_session(&world, 0, &sched, &config_at(loss, false)).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_under_loss);
+criterion_main!(benches);

@@ -1,9 +1,18 @@
 //! The collection agent: polls one sensor, timestamps with its local
-//! (drifting) clock, and transmits batches to the controller.
+//! (drifting) clock, and transmits batches to the controller — reliably,
+//! when the transport layer is enabled: flushed batches stay in a bounded
+//! in-flight window until acked, and unacked batches are retransmitted on
+//! an exponential-backoff-with-jitter schedule.
+
+use std::collections::VecDeque;
+
+use darnet_tensor::SplitMix64;
 
 use crate::clock::DriftClock;
+use crate::error::CollectError;
 use crate::sensor::Sensor;
 use crate::wire::{Batch, StampedReading};
+use crate::Result;
 
 /// Agent configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,33 +33,134 @@ impl Default for AgentConfig {
     }
 }
 
+/// Reliable-delivery configuration for one agent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetransmitConfig {
+    /// Whether the ack/retransmit protocol runs at all. With it off, a
+    /// flushed batch is fire-and-forget (the pre-transport behaviour) and
+    /// losses become gaps the controller merely accounts for.
+    pub enabled: bool,
+    /// Initial ack timeout (RTO), seconds. Should comfortably exceed one
+    /// round trip.
+    pub ack_timeout: f64,
+    /// RTO multiplier applied per retry (exponential backoff).
+    pub backoff: f64,
+    /// Uniform jitter applied to each RTO as a fraction of its value, so a
+    /// fleet of agents recovering from the same blackout doesn't
+    /// retransmit in lockstep.
+    pub jitter_frac: f64,
+    /// Retries before a batch is abandoned (counted, and an error in
+    /// strict mode).
+    pub max_retries: u32,
+    /// Maximum unacked batches in flight. A full window exerts
+    /// backpressure: flushes are deferred and readings keep buffering.
+    pub window: usize,
+    /// Hard cap on readings buffered while backpressured; exceeding it is
+    /// a [`CollectError::Transport`] window overflow.
+    pub max_buffered_readings: usize,
+    /// When `true`, abandoning a batch (retries exhausted) is an error
+    /// instead of a counter bump.
+    pub strict: bool,
+}
+
+impl Default for RetransmitConfig {
+    fn default() -> Self {
+        RetransmitConfig {
+            enabled: true,
+            ack_timeout: 0.25,
+            backoff: 2.0,
+            jitter_frac: 0.25,
+            max_retries: 8,
+            window: 16,
+            max_buffered_readings: 100_000,
+            strict: false,
+        }
+    }
+}
+
+impl RetransmitConfig {
+    /// The legacy fire-and-forget transport.
+    pub fn disabled() -> Self {
+        RetransmitConfig {
+            enabled: false,
+            ..RetransmitConfig::default()
+        }
+    }
+}
+
+/// Cumulative transport counters for one agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportStats {
+    /// Batches handed to the link at least once.
+    pub transmitted: u64,
+    /// Retransmission attempts.
+    pub retransmits: u64,
+    /// Batches retired by an ack.
+    pub acked: u64,
+    /// Batches abandoned after exhausting retries.
+    pub abandoned: u64,
+    /// Flush attempts deferred because the window was full.
+    pub backpressure_events: u64,
+    /// Duplicate acks received (ack for a batch no longer in flight).
+    pub duplicate_acks: u64,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    batch: Batch,
+    retries: u32,
+    deadline: f64,
+}
+
 /// A collection agent embedded in one IoT device.
 ///
 /// The agent's responsibilities mirror §3.1 of the paper: periodically poll
 /// the device's sensor, maintain an internal clock for timestamping, and
 /// transmit data to the centralized controller at a configured frequency.
+/// On top of that sits the reliable transport: [`CollectionAgent::flush_at`]
+/// admits batches into a bounded in-flight window,
+/// [`CollectionAgent::handle_ack`] retires them, and
+/// [`CollectionAgent::due_retransmits`] yields the batches whose ack
+/// timeout has expired.
 pub struct CollectionAgent {
     id: u32,
     sensor: Box<dyn Sensor>,
     clock: DriftClock,
     config: AgentConfig,
+    transport: RetransmitConfig,
     buffer: Vec<StampedReading>,
+    in_flight: VecDeque<InFlight>,
+    stats: TransportStats,
+    rng: SplitMix64,
     next_seq: u32,
     polls: u64,
 }
 
 impl CollectionAgent {
-    /// Creates an agent around a sensor with the given local clock.
+    /// Creates an agent around a sensor with the given local clock and the
+    /// default reliable transport.
     pub fn new(id: u32, sensor: Box<dyn Sensor>, clock: DriftClock, config: AgentConfig) -> Self {
         CollectionAgent {
             id,
             sensor,
             clock,
             config,
+            transport: RetransmitConfig::default(),
             buffer: Vec::new(),
+            in_flight: VecDeque::new(),
+            stats: TransportStats::default(),
+            rng: SplitMix64::new(0xA6E7 ^ id as u64),
             next_seq: 0,
             polls: 0,
         }
+    }
+
+    /// Replaces the transport configuration (builder style). `seed` drives
+    /// the retransmission jitter.
+    pub fn with_transport(mut self, transport: RetransmitConfig, seed: u64) -> Self {
+        self.transport = transport;
+        self.rng = SplitMix64::new(seed);
+        self
     }
 
     /// Agent identifier.
@@ -63,6 +173,21 @@ impl CollectionAgent {
         &self.config
     }
 
+    /// Transport configuration.
+    pub fn transport_config(&self) -> &RetransmitConfig {
+        &self.transport
+    }
+
+    /// Cumulative transport counters.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    /// Unacked batches currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
     /// The agent's current clock error at true time `t` (diagnostic).
     pub fn clock_error(&self, t: f64) -> f64 {
         self.clock.error(t)
@@ -70,6 +195,11 @@ impl CollectionAgent {
 
     /// Number of polls performed.
     pub fn poll_count(&self) -> u64 {
+        self.polls
+    }
+
+    /// Total readings handed to batches so far plus those still buffered.
+    pub fn readings_produced(&self) -> u64 {
         self.polls
     }
 
@@ -85,19 +215,135 @@ impl CollectionAgent {
         self.polls += 1;
     }
 
-    /// Drains buffered readings into a transmission batch; returns `None`
-    /// if nothing was buffered.
-    pub fn flush(&mut self) -> Option<Batch> {
-        if self.buffer.is_empty() {
-            return None;
-        }
+    fn make_batch(&mut self) -> Batch {
         let batch = Batch {
             agent_id: self.id,
             seq: self.next_seq,
             readings: std::mem::take(&mut self.buffer),
         };
         self.next_seq += 1;
-        Some(batch)
+        batch
+    }
+
+    fn rto(&mut self, retries: u32) -> f64 {
+        let base = self.transport.ack_timeout * self.transport.backoff.powi(retries as i32);
+        let jitter = self.transport.jitter_frac * base;
+        base + (2.0 * self.rng.next_f64() - 1.0) * jitter
+    }
+
+    /// Drains buffered readings into a transmission batch; returns `None`
+    /// if nothing was buffered. Fire-and-forget: the batch is *not*
+    /// entered into the in-flight window (use [`CollectionAgent::flush_at`]
+    /// for reliable delivery).
+    pub fn flush(&mut self) -> Option<Batch> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        Some(self.make_batch())
+    }
+
+    /// Transport-aware flush at true time `t`. With the transport enabled,
+    /// the returned batch also enters the in-flight window with its first
+    /// ack deadline; a full window defers the flush (readings keep
+    /// buffering — backpressure) and returns `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError::Transport`] if deferral has pushed the
+    /// buffer past `max_buffered_readings` (window overflow).
+    pub fn flush_at(&mut self, t: f64) -> Result<Option<Batch>> {
+        if !self.transport.enabled {
+            return Ok(self.flush());
+        }
+        if self.buffer.is_empty() {
+            return Ok(None);
+        }
+        if self.in_flight.len() >= self.transport.window {
+            self.stats.backpressure_events += 1;
+            if self.buffer.len() > self.transport.max_buffered_readings {
+                return Err(CollectError::Transport(format!(
+                    "agent {}: window overflow — {} readings buffered behind a full \
+                     {}-batch in-flight window",
+                    self.id,
+                    self.buffer.len(),
+                    self.transport.window
+                )));
+            }
+            return Ok(None);
+        }
+        let batch = self.make_batch();
+        let deadline = t + self.rto(0);
+        self.in_flight.push_back(InFlight {
+            batch: batch.clone(),
+            retries: 0,
+            deadline,
+        });
+        self.stats.transmitted += 1;
+        Ok(Some(batch))
+    }
+
+    /// Handles a controller ack for `seq`: retires the matching in-flight
+    /// entry (idempotent — re-acks for already-retired batches are counted
+    /// and ignored).
+    pub fn handle_ack(&mut self, seq: u32) {
+        let before = self.in_flight.len();
+        self.in_flight.retain(|e| e.batch.seq != seq);
+        if self.in_flight.len() < before {
+            self.stats.acked += 1;
+        } else {
+            self.stats.duplicate_acks += 1;
+        }
+    }
+
+    /// The earliest ack deadline among in-flight batches, if any — when
+    /// the event loop should next call
+    /// [`CollectionAgent::due_retransmits`].
+    pub fn next_deadline(&self) -> Option<f64> {
+        self.in_flight
+            .iter()
+            .map(|e| e.deadline)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite deadlines"))
+    }
+
+    /// Collects every in-flight batch whose ack deadline has passed at
+    /// time `t`, advancing each one's backoff schedule. Batches that have
+    /// exhausted `max_retries` are abandoned (dropped from the window).
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, abandoning a batch returns
+    /// [`CollectError::Transport`] ("ack timeout exhausted") instead.
+    pub fn due_retransmits(&mut self, t: f64) -> Result<Vec<Batch>> {
+        let mut due = Vec::new();
+        let mut abandoned = 0u64;
+        let mut strict_err = None;
+        let window = std::mem::take(&mut self.in_flight);
+        for mut entry in window {
+            if entry.deadline > t + 1e-12 {
+                self.in_flight.push_back(entry);
+                continue;
+            }
+            if entry.retries >= self.transport.max_retries {
+                abandoned += 1;
+                if self.transport.strict && strict_err.is_none() {
+                    strict_err = Some(CollectError::Transport(format!(
+                        "agent {}: ack timeout exhausted after {} retries for batch seq {}",
+                        self.id, entry.retries, entry.batch.seq
+                    )));
+                }
+                continue;
+            }
+            entry.retries += 1;
+            entry.deadline = t + self.rto(entry.retries);
+            due.push(entry.batch.clone());
+            self.in_flight.push_back(entry);
+        }
+        self.stats.abandoned += abandoned;
+        self.stats.retransmits += due.len() as u64;
+        match strict_err {
+            Some(e) => Err(e),
+            None => Ok(due),
+        }
     }
 
     /// Handles a clock-sync message from the controller, received at true
@@ -114,6 +360,7 @@ impl std::fmt::Debug for CollectionAgent {
             .field("id", &self.id)
             .field("sensor", &self.sensor.name())
             .field("buffered", &self.buffer.len())
+            .field("in_flight", &self.in_flight.len())
             .field("next_seq", &self.next_seq)
             .finish()
     }
@@ -185,5 +432,123 @@ mod tests {
         agent.poll(10.5);
         let b = agent.flush().unwrap();
         assert!((b.readings[0].timestamp - 10.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracked_flush_enters_window_and_ack_retires() {
+        let mut agent = make_agent(DriftClock::perfect());
+        agent.poll(0.0);
+        let batch = agent.flush_at(0.5).unwrap().unwrap();
+        assert_eq!(agent.in_flight(), 1);
+        assert!(agent.next_deadline().unwrap() > 0.5);
+        agent.handle_ack(batch.seq);
+        assert_eq!(agent.in_flight(), 0);
+        assert_eq!(agent.next_deadline(), None);
+        let stats = agent.transport_stats();
+        assert_eq!(stats.transmitted, 1);
+        assert_eq!(stats.acked, 1);
+        // Re-ack is idempotent.
+        agent.handle_ack(batch.seq);
+        assert_eq!(agent.transport_stats().duplicate_acks, 1);
+    }
+
+    #[test]
+    fn retransmit_schedule_backs_off_exponentially() {
+        let transport = RetransmitConfig {
+            ack_timeout: 1.0,
+            backoff: 2.0,
+            jitter_frac: 0.0, // deterministic deadlines for the assertion
+            max_retries: 3,
+            ..RetransmitConfig::default()
+        };
+        let mut agent = make_agent(DriftClock::perfect()).with_transport(transport, 99);
+        agent.poll(0.0);
+        agent.flush_at(0.0).unwrap().unwrap();
+        // First deadline at t = 1.
+        assert!((agent.next_deadline().unwrap() - 1.0).abs() < 1e-9);
+        // Nothing due before the deadline.
+        assert!(agent.due_retransmits(0.5).unwrap().is_empty());
+        // Each retry multiplies the RTO by 2: deadlines 1, 3, 7, 15.
+        let mut t = 1.0;
+        let mut expected_rto = 2.0;
+        for _ in 0..3 {
+            let due = agent.due_retransmits(t).unwrap();
+            assert_eq!(due.len(), 1);
+            let next = agent.next_deadline().unwrap();
+            assert!((next - (t + expected_rto)).abs() < 1e-9, "next {next} t {t}");
+            t = next;
+            expected_rto *= 2.0;
+        }
+        // Retries exhausted: the batch is abandoned.
+        assert!(agent.due_retransmits(t).unwrap().is_empty());
+        assert_eq!(agent.in_flight(), 0);
+        assert_eq!(agent.transport_stats().abandoned, 1);
+        assert_eq!(agent.transport_stats().retransmits, 3);
+    }
+
+    #[test]
+    fn strict_mode_errors_on_exhaustion() {
+        let transport = RetransmitConfig {
+            ack_timeout: 0.1,
+            max_retries: 0,
+            strict: true,
+            ..RetransmitConfig::default()
+        };
+        let mut agent = make_agent(DriftClock::perfect()).with_transport(transport, 5);
+        agent.poll(0.0);
+        agent.flush_at(0.0).unwrap().unwrap();
+        let err = agent.due_retransmits(10.0).unwrap_err();
+        assert!(matches!(err, CollectError::Transport(_)));
+        assert!(err.to_string().contains("ack timeout exhausted"));
+    }
+
+    #[test]
+    fn full_window_defers_flush_and_overflows_in_strict_bound() {
+        let transport = RetransmitConfig {
+            window: 2,
+            max_buffered_readings: 3,
+            ..RetransmitConfig::default()
+        };
+        let mut agent = make_agent(DriftClock::perfect()).with_transport(transport, 7);
+        for i in 0..2 {
+            agent.poll(i as f64 * 0.025);
+            assert!(agent.flush_at(0.5).unwrap().is_some());
+        }
+        assert_eq!(agent.in_flight(), 2);
+        // Window full: flush defers, readings keep buffering.
+        agent.poll(0.075);
+        assert!(agent.flush_at(1.0).unwrap().is_none());
+        assert_eq!(agent.transport_stats().backpressure_events, 1);
+        // Past the buffered-readings cap it becomes a Transport error.
+        for i in 0..4 {
+            agent.poll(0.1 + i as f64 * 0.025);
+        }
+        let err = agent.flush_at(1.5).unwrap_err();
+        assert!(matches!(err, CollectError::Transport(_)));
+        assert!(err.to_string().contains("window overflow"));
+        // An ack frees the window and the backlog flushes as one batch.
+        agent.handle_ack(0);
+        let batch = agent.flush_at(2.0).unwrap().unwrap();
+        assert_eq!(batch.readings.len(), 5);
+    }
+
+    #[test]
+    fn jitter_spreads_retransmit_deadlines() {
+        let transport = RetransmitConfig {
+            ack_timeout: 1.0,
+            jitter_frac: 0.5,
+            ..RetransmitConfig::default()
+        };
+        let mut deadlines = Vec::new();
+        for seed in 0..20 {
+            let mut agent = make_agent(DriftClock::perfect()).with_transport(transport, seed);
+            agent.poll(0.0);
+            agent.flush_at(0.0).unwrap();
+            deadlines.push(agent.next_deadline().unwrap());
+        }
+        let min = deadlines.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = deadlines.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.2, "jitter spread {min}..{max}");
+        assert!(deadlines.iter().all(|&d| (0.5..=1.5).contains(&d)));
     }
 }

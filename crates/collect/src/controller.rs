@@ -1,6 +1,15 @@
 //! The centralized controller: ingests agent batches, re-orders by
 //! timestamp, interpolates the IMU stream onto a uniform grid, smooths it,
 //! and stores everything in the time-series database (paper §3.2, §4.1).
+//!
+//! Ingestion is duplicate- and reorder-tolerant: batches carry per-agent
+//! sequence numbers, a batch seen twice (retransmission racing its ack) is
+//! acked again but not re-ingested, and the set of sequence numbers seen
+//! per agent yields gap accounting — how many batches a stream has lost —
+//! which feeds the per-stream health report consumed by the analytics
+//! engine's degradation logic.
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use darnet_sim::Frame;
 use serde::{Deserialize, Serialize};
@@ -9,7 +18,7 @@ use crate::align::{interpolate_grid, moving_average, GridSpec};
 use crate::error::CollectError;
 use crate::sensor::SensorReading;
 use crate::tsdb::TsDb;
-use crate::wire::Batch;
+use crate::wire::{Ack, Batch};
 use crate::Result;
 
 /// Controller configuration.
@@ -51,6 +60,56 @@ pub struct FrameRecord {
     pub frame: Frame,
 }
 
+/// Result of ingesting one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// First delivery of this `(agent, seq)`: readings were ingested.
+    Accepted,
+    /// Already seen: readings were discarded (the ack should still be
+    /// re-sent, since a duplicate usually means the first ack was lost).
+    Duplicate,
+}
+
+/// Liveness/completeness report for one agent's stream, as observed by the
+/// controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamHealth {
+    /// The agent this stream belongs to.
+    pub agent_id: u32,
+    /// Distinct batches accepted.
+    pub delivered: u64,
+    /// Duplicate deliveries discarded.
+    pub duplicates: u64,
+    /// Highest sequence number seen so far.
+    pub highest_seq: u32,
+    /// Sequence numbers at or below `highest_seq` never delivered — the
+    /// stream's accounted gaps.
+    pub gaps: u64,
+    /// Arrival time of the most recent accepted batch (controller clock).
+    pub last_arrival: f64,
+}
+
+impl StreamHealth {
+    /// Fraction of the sequence space `[0, highest_seq]` that is missing.
+    pub fn gap_ratio(&self) -> f64 {
+        let expected = self.highest_seq as f64 + 1.0;
+        self.gaps as f64 / expected
+    }
+
+    /// Seconds since the last accepted batch, at observation time `t`.
+    pub fn staleness(&self, t: f64) -> f64 {
+        (t - self.last_arrival).max(0.0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct StreamState {
+    seen: BTreeSet<u32>,
+    delivered: u64,
+    duplicates: u64,
+    last_arrival: f64,
+}
+
 /// The centralized controller for one collection session.
 #[derive(Debug)]
 pub struct Controller {
@@ -58,6 +117,7 @@ pub struct Controller {
     imu_observations: Vec<(f64, Vec<f32>)>,
     frames: Vec<FrameRecord>,
     tsdb: TsDb,
+    streams: BTreeMap<u32, StreamState>,
     batches: u64,
     readings: u64,
 }
@@ -70,6 +130,7 @@ impl Controller {
             imu_observations: Vec::new(),
             frames: Vec::new(),
             tsdb: TsDb::new(),
+            streams: BTreeMap::new(),
             batches: 0,
             readings: 0,
         }
@@ -80,9 +141,33 @@ impl Controller {
         &self.config
     }
 
-    /// Ingests one agent batch. Readings are buffered by timestamp; frames
-    /// and IMU channels are also mirrored into the TSDB.
-    pub fn ingest(&mut self, batch: &Batch) {
+    /// Ingests one agent batch with an unknown arrival time (recorded as
+    /// the batch's last reading timestamp). See
+    /// [`Controller::ingest_at`].
+    pub fn ingest(&mut self, batch: &Batch) -> IngestOutcome {
+        let arrival = batch
+            .readings
+            .last()
+            .map(|r| r.timestamp)
+            .unwrap_or_default();
+        self.ingest_at(arrival, batch)
+    }
+
+    /// Ingests one agent batch arriving at controller time `arrival`.
+    ///
+    /// Duplicate `(agent, seq)` deliveries — retransmissions whose
+    /// original arrived after all, or link-level duplication — are
+    /// detected and discarded; out-of-order delivery is harmless because
+    /// readings are buffered by timestamp, not arrival. Accepted readings
+    /// are mirrored into the TSDB.
+    pub fn ingest_at(&mut self, arrival: f64, batch: &Batch) -> IngestOutcome {
+        let stream = self.streams.entry(batch.agent_id).or_default();
+        if !stream.seen.insert(batch.seq) {
+            stream.duplicates += 1;
+            return IngestOutcome::Duplicate;
+        }
+        stream.delivered += 1;
+        stream.last_arrival = stream.last_arrival.max(arrival);
         self.batches += 1;
         for r in &batch.readings {
             self.readings += 1;
@@ -102,9 +187,45 @@ impl Controller {
                 }
             }
         }
+        IngestOutcome::Accepted
     }
 
-    /// `(batches, readings)` ingest counters.
+    /// The ack to return to the sender for a just-ingested batch. Issued
+    /// for duplicates too: a duplicate delivery usually means the original
+    /// ack was lost, and re-acking is what lets the agent retire the
+    /// batch.
+    pub fn ack_for(batch: &Batch) -> Ack {
+        Ack {
+            agent_id: batch.agent_id,
+            seq: batch.seq,
+        }
+    }
+
+    /// Health report for one agent's stream, if any batch from it has been
+    /// seen.
+    pub fn stream_health(&self, agent_id: u32) -> Option<StreamHealth> {
+        let s = self.streams.get(&agent_id)?;
+        let highest = *s.seen.iter().next_back()?;
+        StreamHealth {
+            agent_id,
+            delivered: s.delivered,
+            duplicates: s.duplicates,
+            highest_seq: highest,
+            gaps: (highest as u64 + 1) - s.seen.len() as u64,
+            last_arrival: s.last_arrival,
+        }
+        .into()
+    }
+
+    /// Health reports for every stream the controller has seen.
+    pub fn stream_healths(&self) -> Vec<StreamHealth> {
+        self.streams
+            .keys()
+            .filter_map(|&id| self.stream_health(id))
+            .collect()
+    }
+
+    /// `(batches, readings)` ingest counters (accepted only).
     pub fn ingest_stats(&self) -> (u64, u64) {
         (self.batches, self.readings)
     }
@@ -194,6 +315,43 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_batches_are_discarded_but_reacked() {
+        let mut c = Controller::new(ControllerConfig::default());
+        let b = imu_batch(0, 0, &[0.0, 0.025]);
+        assert_eq!(c.ingest_at(0.5, &b), IngestOutcome::Accepted);
+        assert_eq!(c.ingest_at(0.6, &b), IngestOutcome::Duplicate);
+        assert_eq!(c.ingest_stats(), (1, 2));
+        assert_eq!(c.imu_observation_count(), 2);
+        let ack = Controller::ack_for(&b);
+        assert_eq!((ack.agent_id, ack.seq), (0, 0));
+        let h = c.stream_health(0).unwrap();
+        assert_eq!(h.delivered, 1);
+        assert_eq!(h.duplicates, 1);
+        assert_eq!(h.gaps, 0);
+    }
+
+    #[test]
+    fn gap_accounting_tracks_missing_sequences() {
+        let mut c = Controller::new(ControllerConfig::default());
+        // Seqs 0, 2, 5 arrive (out of order, too): 1, 3, 4 are gaps.
+        for &(seq, at) in &[(5u32, 1.4), (0, 0.5), (2, 0.9)] {
+            c.ingest_at(at, &imu_batch(3, seq, &[at]));
+        }
+        let h = c.stream_health(3).unwrap();
+        assert_eq!(h.highest_seq, 5);
+        assert_eq!(h.delivered, 3);
+        assert_eq!(h.gaps, 3);
+        assert!((h.gap_ratio() - 0.5).abs() < 1e-12);
+        assert!((h.last_arrival - 1.4).abs() < 1e-12);
+        assert!((h.staleness(2.0) - 0.6).abs() < 1e-12);
+        // A late gap-filling retransmission closes the accounting.
+        c.ingest_at(2.1, &imu_batch(3, 1, &[0.7]));
+        assert_eq!(c.stream_health(3).unwrap().gaps, 2);
+        assert!(c.stream_health(99).is_none());
+        assert_eq!(c.stream_healths().len(), 1);
+    }
+
+    #[test]
     fn aligned_imu_interpolates_to_grid() {
         let mut c = Controller::new(ControllerConfig {
             grid_hz: 4.0,
@@ -212,15 +370,15 @@ mod tests {
 
     #[test]
     fn out_of_order_batches_align_identically() {
-        let make = |order: &[&[f64]]| {
+        let make = |order: &[(u32, &[f64])]| {
             let mut c = Controller::new(ControllerConfig::default());
-            for (i, stamps) in order.iter().enumerate() {
-                c.ingest(&imu_batch(0, i as u32, stamps));
+            for &(seq, stamps) in order {
+                c.ingest(&imu_batch(0, seq, stamps));
             }
             c.aligned_imu().unwrap()
         };
-        let in_order = make(&[&[0.0, 0.1, 0.2], &[0.3, 0.4, 0.5]]);
-        let reordered = make(&[&[0.3, 0.4, 0.5], &[0.0, 0.1, 0.2]]);
+        let in_order = make(&[(0, &[0.0, 0.1, 0.2]), (1, &[0.3, 0.4, 0.5])]);
+        let reordered = make(&[(1, &[0.3, 0.4, 0.5]), (0, &[0.0, 0.1, 0.2])]);
         assert_eq!(in_order, reordered);
     }
 
@@ -234,10 +392,10 @@ mod tests {
     fn frames_are_sorted_by_timestamp() {
         let mut c = Controller::new(ControllerConfig::default());
         let frame = darnet_sim::Frame::new(2, 2);
-        for &t in &[0.5, 0.1, 0.3] {
+        for (seq, &t) in [0.5, 0.1, 0.3].iter().enumerate() {
             c.ingest(&Batch {
                 agent_id: 1,
-                seq: 0,
+                seq: seq as u32,
                 readings: vec![StampedReading {
                     timestamp: t,
                     reading: SensorReading::Frame(frame.clone()),
@@ -252,8 +410,10 @@ mod tests {
 
     #[test]
     fn smoothing_window_is_applied() {
-        let mut config = ControllerConfig::default();
-        config.smoothing_window = 4;
+        let config = ControllerConfig {
+            smoothing_window: 4,
+            ..ControllerConfig::default()
+        };
         let mut c = Controller::new(config);
         let stamps: Vec<f64> = (0..=40).map(|i| i as f64 * 0.025).collect();
         c.ingest(&imu_batch(0, 0, &stamps));

@@ -3,7 +3,12 @@
 use std::fmt;
 
 /// Error returned by collection-framework operations.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard
+/// arm, so adding failure modes (as the transport layer did) is not a
+/// breaking change.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CollectError {
     /// A wire-format decode failed.
     Decode(String),
@@ -11,6 +16,9 @@ pub enum CollectError {
     InvalidConfig(String),
     /// A query or alignment was asked for an empty/unknown series.
     NoData(String),
+    /// Reliable delivery failed: the in-flight window overflowed under
+    /// backpressure, or a batch exhausted its ack-timeout retries.
+    Transport(String),
 }
 
 impl fmt::Display for CollectError {
@@ -19,6 +27,7 @@ impl fmt::Display for CollectError {
             CollectError::Decode(msg) => write!(f, "decode error: {msg}"),
             CollectError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CollectError::NoData(msg) => write!(f, "no data: {msg}"),
+            CollectError::Transport(msg) => write!(f, "transport failure: {msg}"),
         }
     }
 }

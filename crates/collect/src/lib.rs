@@ -21,9 +21,15 @@
 //! * [`Link`] — latency/jitter/loss/reordering model.
 //! * [`CollectionAgent`] — polls a [`Sensor`] every 25 ms, timestamps with
 //!   its local clock, transmits batches.
-//! * [`Controller`] — ingests batches, re-orders by timestamp, linearly
-//!   interpolates onto a uniform grid, applies a sliding moving average,
-//!   and writes to the [`TsDb`].
+//! * [`Controller`] — ingests batches (duplicate/reorder-tolerant, with
+//!   per-stream gap accounting and [`StreamHealth`] reports), re-orders by
+//!   timestamp, linearly interpolates onto a uniform grid, applies a
+//!   sliding moving average, and writes to the [`TsDb`].
+//! * Reliable transport — per-agent sequence numbers and [`Ack`]s on the
+//!   wire, a bounded in-flight window with exponential-backoff
+//!   retransmission ([`RetransmitConfig`]), and seeded fault injection on
+//!   every [`Link`] ([`FaultConfig`]: Gilbert–Elliott bursts, blackouts,
+//!   duplication).
 //! * [`runtime::run_campaign`] — drives a full collection campaign over a
 //!   [`darnet_sim`] schedule and returns per-driver aligned recordings.
 
@@ -43,17 +49,19 @@ mod sensor;
 mod tsdb;
 mod wire;
 
-pub use agent::{AgentConfig, CollectionAgent};
+pub use agent::{AgentConfig, CollectionAgent, RetransmitConfig, TransportStats};
 pub use align::{interpolate_grid, moving_average, GridSpec};
 pub use clock::{ClockConfig, DriftClock};
-pub use controller::{AlignedImuPoint, Controller, ControllerConfig, FrameRecord};
+pub use controller::{
+    AlignedImuPoint, Controller, ControllerConfig, FrameRecord, IngestOutcome, StreamHealth,
+};
 pub use decision::{decide_processing, LinkObservation, PrivacyPreference, ProcessingSite, SiteCapabilities};
 pub use error::CollectError;
-pub use network::{Link, LinkConfig};
+pub use network::{FaultConfig, Link, LinkConfig, LinkStats};
 pub use sensor::{CameraSensor, ImuSensor, Sensor, SensorReading};
 pub use tsdb::{Aggregation, SeriesStats, TsDb};
 pub use wire::compact::{decode_imu_batch, encode_imu_batch};
-pub use wire::{decode_batch, encode_batch, Batch, StampedReading};
+pub use wire::{decode_ack, decode_batch, encode_ack, encode_batch, Ack, Batch, StampedReading};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CollectError>;

@@ -2,6 +2,12 @@
 //! encoded batches to the controller over crossbeam channels — the shape of
 //! the paper's deployed system, useful for the example binaries and for
 //! validating that the pipeline is `Send`-clean under real concurrency.
+//!
+//! The faulty variant ([`run_live_session_faulty`]) puts a seeded [`Link`]
+//! in front of each agent's channel: a transmission the link drops is
+//! immediately retried (the channel itself is reliable, so a successful
+//! link draw doubles as the ack), duplicated transmissions are sent twice
+//! and deduplicated by the controller's sequence tracking.
 
 use std::sync::Arc;
 use std::thread;
@@ -9,9 +15,10 @@ use std::thread;
 use crossbeam::channel::{bounded, Sender};
 use darnet_sim::{Behavior, DrivingWorld, Segment};
 
-use crate::agent::{AgentConfig, CollectionAgent};
+use crate::agent::{AgentConfig, CollectionAgent, RetransmitConfig, TransportStats};
 use crate::clock::DriftClock;
 use crate::controller::{Controller, ControllerConfig};
+use crate::network::{Link, LinkConfig, LinkStats};
 use crate::sensor::{CameraSensor, ImuSensor, Sensor};
 use crate::wire::{decode_batch, encode_batch};
 use crate::{CollectError, Result};
@@ -23,8 +30,45 @@ pub struct LiveRunReport {
     pub controller: Controller,
     /// Total encoded bytes that crossed the channel (bandwidth proxy).
     pub bytes_transferred: usize,
-    /// Number of batches delivered.
+    /// Number of batches delivered (duplicates included).
     pub batches: usize,
+    /// Per-agent `(transport, link)` counters, indexed by agent id, when
+    /// the faulty mode ran. Empty for the plain reliable-channel mode.
+    pub transports: Vec<(TransportStats, LinkStats)>,
+}
+
+struct FaultySend {
+    link: Link,
+    retransmit: RetransmitConfig,
+    stats: TransportStats,
+}
+
+impl FaultySend {
+    /// Pushes one encoded batch through the faulty link into the channel.
+    /// A drop is retried immediately (virtual time, real channel): with the
+    /// channel reliable, "the link let it through" is the ack.
+    fn send(&mut self, t: f64, encoded: &[u8], tx: &Sender<Vec<u8>>) -> bool {
+        self.stats.transmitted += 1;
+        let mut attempts = 0u32;
+        loop {
+            let arrivals = self.link.transmit_all(t);
+            if !arrivals.is_empty() {
+                self.stats.acked += 1;
+                for _ in arrivals {
+                    if tx.send(encoded.to_vec()).is_err() {
+                        return false; // controller hung up
+                    }
+                }
+                return true;
+            }
+            if !self.retransmit.enabled || attempts >= self.retransmit.max_retries {
+                self.stats.abandoned += 1;
+                return true; // dropped: becomes a controller-side gap
+            }
+            attempts += 1;
+            self.stats.retransmits += 1;
+        }
+    }
 }
 
 fn spawn_agent(
@@ -33,8 +77,9 @@ fn spawn_agent(
     clock: DriftClock,
     duration: f64,
     transmit_period: f64,
+    mut faulty: Option<FaultySend>,
     tx: Sender<Vec<u8>>,
-) -> thread::JoinHandle<()> {
+) -> thread::JoinHandle<Option<(TransportStats, LinkStats)>> {
     thread::spawn(move || {
         let poll_period = sensor.period();
         let mut agent = CollectionAgent::new(
@@ -46,6 +91,10 @@ fn spawn_agent(
                 transmit_period,
             },
         );
+        let deliver = |t: f64, encoded: &[u8], faulty: &mut Option<FaultySend>| match faulty {
+            Some(f) => f.send(t, encoded, &tx),
+            None => tx.send(encoded.to_vec()).is_ok(),
+        };
         let mut t = 0.0f64;
         let mut next_flush = transmit_period;
         while t <= duration {
@@ -53,8 +102,8 @@ fn spawn_agent(
             if t >= next_flush {
                 if let Some(batch) = agent.flush() {
                     let encoded = encode_batch(&batch);
-                    if tx.send(encoded.to_vec()).is_err() {
-                        return; // controller hung up
+                    if !deliver(t, &encoded, &mut faulty) {
+                        return faulty.map(|f| (f.stats, f.link.link_stats()));
                     }
                 }
                 next_flush += transmit_period;
@@ -62,8 +111,75 @@ fn spawn_agent(
             t += poll_period;
         }
         if let Some(batch) = agent.flush() {
-            let _ = tx.send(encode_batch(&batch).to_vec());
+            let _ = deliver(t, &encode_batch(&batch), &mut faulty);
         }
+        faulty.map(|f| (f.stats, f.link.link_stats()))
+    })
+}
+
+fn run_live_inner(
+    world: &Arc<DrivingWorld>,
+    driver: usize,
+    segments: &[Segment<Behavior>],
+    duration: f64,
+    controller_config: ControllerConfig,
+    faults: Option<(LinkConfig, RetransmitConfig, u64)>,
+) -> Result<LiveRunReport> {
+    let script: Vec<Segment<Behavior>> = segments
+        .iter()
+        .filter(|s| s.driver == driver)
+        .copied()
+        .collect();
+    let (tx, rx) = bounded::<Vec<u8>>(64);
+
+    let make_faulty = |agent_id: u64| {
+        faults.map(|(link, retransmit, seed)| FaultySend {
+            link: Link::new(link, seed ^ agent_id.wrapping_mul(0x9E37_79B9)),
+            retransmit,
+            stats: TransportStats::default(),
+        })
+    };
+
+    let imu_handle = spawn_agent(
+        0,
+        Box::new(ImuSensor::new(Arc::clone(world), driver, script.clone(), 0.025)),
+        DriftClock::new(50e-6, 0.01),
+        duration,
+        0.5,
+        make_faulty(0),
+        tx.clone(),
+    );
+    let cam_handle = spawn_agent(
+        1,
+        Box::new(CameraSensor::new(Arc::clone(world), driver, script, 0.25)),
+        DriftClock::new(1e-6, 0.0),
+        duration,
+        0.5,
+        make_faulty(1),
+        tx,
+    );
+
+    let mut controller = Controller::new(controller_config);
+    let mut bytes_transferred = 0usize;
+    let mut batches = 0usize;
+    for encoded in rx {
+        bytes_transferred += encoded.len();
+        batches += 1;
+        let batch = decode_batch(bytes::Bytes::from(encoded))?;
+        controller.ingest(&batch);
+    }
+    let imu_transport = imu_handle
+        .join()
+        .map_err(|_| CollectError::InvalidConfig("imu agent thread panicked".into()))?;
+    let cam_transport = cam_handle
+        .join()
+        .map_err(|_| CollectError::InvalidConfig("camera agent thread panicked".into()))?;
+
+    Ok(LiveRunReport {
+        controller,
+        bytes_transferred,
+        batches,
+        transports: [imu_transport, cam_transport].into_iter().flatten().collect(),
     })
 }
 
@@ -81,56 +197,41 @@ pub fn run_live_session(
     duration: f64,
     controller_config: ControllerConfig,
 ) -> Result<LiveRunReport> {
-    let script: Vec<Segment<Behavior>> = segments
-        .iter()
-        .filter(|s| s.driver == driver)
-        .copied()
-        .collect();
-    let (tx, rx) = bounded::<Vec<u8>>(64);
+    run_live_inner(world, driver, segments, duration, controller_config, None)
+}
 
-    let imu_handle = spawn_agent(
-        0,
-        Box::new(ImuSensor::new(Arc::clone(world), driver, script.clone(), 0.025)),
-        DriftClock::new(50e-6, 0.01),
+/// Like [`run_live_session`], but every agent sends through a seeded faulty
+/// [`Link`]: drops are retried up to the retransmit budget (then surface as
+/// controller-side gaps), duplicated transmissions really are sent twice.
+///
+/// # Errors
+///
+/// Returns a decode error if a batch is corrupted in transit.
+#[allow(clippy::too_many_arguments)] // the session args plus the three fault knobs
+pub fn run_live_session_faulty(
+    world: &Arc<DrivingWorld>,
+    driver: usize,
+    segments: &[Segment<Behavior>],
+    duration: f64,
+    controller_config: ControllerConfig,
+    link: LinkConfig,
+    retransmit: RetransmitConfig,
+    seed: u64,
+) -> Result<LiveRunReport> {
+    run_live_inner(
+        world,
+        driver,
+        segments,
         duration,
-        0.5,
-        tx.clone(),
-    );
-    let cam_handle = spawn_agent(
-        1,
-        Box::new(CameraSensor::new(Arc::clone(world), driver, script, 0.25)),
-        DriftClock::new(1e-6, 0.0),
-        duration,
-        0.5,
-        tx,
-    );
-
-    let mut controller = Controller::new(controller_config);
-    let mut bytes_transferred = 0usize;
-    let mut batches = 0usize;
-    for encoded in rx {
-        bytes_transferred += encoded.len();
-        batches += 1;
-        let batch = decode_batch(bytes::Bytes::from(encoded))?;
-        controller.ingest(&batch);
-    }
-    imu_handle
-        .join()
-        .map_err(|_| CollectError::InvalidConfig("imu agent thread panicked".into()))?;
-    cam_handle
-        .join()
-        .map_err(|_| CollectError::InvalidConfig("camera agent thread panicked".into()))?;
-
-    Ok(LiveRunReport {
-        controller,
-        bytes_transferred,
-        batches,
-    })
+        controller_config,
+        Some((link, retransmit, seed)),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::FaultConfig;
     use darnet_sim::WorldConfig;
 
     #[test]
@@ -146,6 +247,7 @@ mod tests {
             run_live_session(&world, 0, &segments, 4.0, ControllerConfig::default()).unwrap();
         assert!(report.batches > 0);
         assert!(report.bytes_transferred > 1000);
+        assert!(report.transports.is_empty());
         let (b, r) = report.controller.ingest_stats();
         assert!(b > 0 && r > 0);
         // Both modalities arrived.
@@ -170,5 +272,52 @@ mod tests {
         let aligned = report.controller.aligned_imu().unwrap();
         // 3 s at 4 Hz ≈ 13 points (inclusive grid, small edge effects).
         assert!((10..=14).contains(&aligned.len()), "{}", aligned.len());
+    }
+
+    #[test]
+    fn faulty_live_session_recovers_losses_and_dedupes() {
+        let world = Arc::new(DrivingWorld::new(WorldConfig::default()));
+        let segments = vec![Segment {
+            driver: 0,
+            behavior: Behavior::Texting,
+            start: 0.0,
+            duration: 4.0,
+        }];
+        let link = LinkConfig {
+            loss: 0.3,
+            faults: FaultConfig {
+                duplicate: 0.3,
+                ..FaultConfig::default()
+            },
+            ..LinkConfig::default()
+        };
+        let report = run_live_session_faulty(
+            &world,
+            0,
+            &segments,
+            4.0,
+            ControllerConfig::default(),
+            link,
+            RetransmitConfig::default(),
+            0xFA11,
+        )
+        .unwrap();
+        assert_eq!(report.transports.len(), 2);
+        let retransmits: u64 = report.transports.iter().map(|(t, _)| t.retransmits).sum();
+        assert!(retransmits > 0, "30% loss should force retries");
+        for (t, _) in &report.transports {
+            assert_eq!(t.abandoned, 0, "retry budget should cover 30% loss");
+        }
+        // Every stream is gap-free after retries, duplicates discarded.
+        for h in report.controller.stream_healths() {
+            assert_eq!(h.gaps, 0, "agent {} had gaps", h.agent_id);
+        }
+        let clean =
+            run_live_session(&world, 0, &segments, 4.0, ControllerConfig::default()).unwrap();
+        assert_eq!(
+            report.controller.ingest_stats().1,
+            clean.controller.ingest_stats().1,
+            "faulty run must ingest exactly the clean run's readings"
+        );
     }
 }

@@ -1,8 +1,60 @@
-//! A simple point-to-point link model: base latency, jitter, loss, and the
-//! packet reordering that jitter induces.
+//! A point-to-point link model: base latency, jitter, the packet reordering
+//! jitter induces, and an adversarial fault layer — i.i.d. loss, bursty
+//! loss via a Gilbert–Elliott two-state chain, scheduled blackouts, and
+//! duplication. Everything is driven by one seeded generator, so a session
+//! replays bit-for-bit from its seed.
 
 use darnet_tensor::SplitMix64;
 use serde::{Deserialize, Serialize};
+
+/// Fault-injection parameters layered on top of the base link.
+///
+/// The defaults are all-zero / `None`: a link with default faults behaves
+/// exactly like the pre-fault-injection model (i.i.d. loss only).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Gilbert–Elliott: probability per transmission of entering the bad
+    /// (burst) state from the good state.
+    pub p_enter_burst: f64,
+    /// Gilbert–Elliott: probability per transmission of returning to the
+    /// good state from the bad state.
+    pub p_exit_burst: f64,
+    /// Loss probability while in the bad state (the good state uses
+    /// [`LinkConfig::loss`]).
+    pub burst_loss: f64,
+    /// Probability a successfully delivered message is also duplicated
+    /// (the copy takes an independently jittered path).
+    pub duplicate: f64,
+    /// Absolute-time interval `[start, end)` during which *nothing* gets
+    /// through — an agent walking out of radio range, an interface reset.
+    pub blackout: Option<(f64, f64)>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            p_enter_burst: 0.0,
+            p_exit_burst: 1.0,
+            burst_loss: 1.0,
+            duplicate: 0.0,
+            blackout: None,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A Gilbert–Elliott burst-loss profile: expected burst length
+    /// `1 / p_exit`, expected gap between bursts `1 / p_enter`
+    /// transmissions, dropping everything inside a burst.
+    pub fn bursty(p_enter: f64, p_exit: f64) -> Self {
+        FaultConfig {
+            p_enter_burst: p_enter,
+            p_exit_burst: p_exit,
+            burst_loss: 1.0,
+            ..FaultConfig::default()
+        }
+    }
+}
 
 /// Link parameters (per direction).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -11,8 +63,10 @@ pub struct LinkConfig {
     pub base_latency: f64,
     /// Uniform jitter added on top of the base latency, seconds.
     pub jitter: f64,
-    /// Probability a message is dropped entirely.
+    /// Probability a message is dropped entirely (good-state loss).
     pub loss: f64,
+    /// Adversarial fault layer (bursts, blackouts, duplication).
+    pub faults: FaultConfig,
 }
 
 impl Default for LinkConfig {
@@ -22,20 +76,35 @@ impl Default for LinkConfig {
             base_latency: 0.015,
             jitter: 0.010,
             loss: 0.0,
+            faults: FaultConfig::default(),
         }
     }
+}
+
+/// Cumulative link counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Messages offered for transmission.
+    pub sent: u64,
+    /// Messages dropped (i.i.d. loss, burst loss, or blackout).
+    pub lost: u64,
+    /// Extra deliveries created by duplication.
+    pub duplicated: u64,
+    /// Messages dropped specifically inside a blackout window.
+    pub blackout_drops: u64,
 }
 
 /// A unidirectional link. Each [`Link::transmit`] call answers "when does
 /// this message arrive?" (or `None` if lost). Because jitter is sampled per
 /// message, later sends can arrive before earlier ones — the reordering the
-/// controller must tolerate.
+/// controller must tolerate. [`Link::transmit_all`] additionally surfaces
+/// duplicated deliveries.
 #[derive(Debug, Clone)]
 pub struct Link {
     config: LinkConfig,
     rng: SplitMix64,
-    sent: u64,
-    lost: u64,
+    stats: LinkStats,
+    in_burst: bool,
 }
 
 impl Link {
@@ -44,8 +113,8 @@ impl Link {
         Link {
             config,
             rng: SplitMix64::new(seed),
-            sent: 0,
-            lost: 0,
+            stats: LinkStats::default(),
+            in_burst: false,
         }
     }
 
@@ -54,16 +123,64 @@ impl Link {
         &self.config
     }
 
-    /// Offers a message for transmission at time `t`; returns the delivery
-    /// time, or `None` if the message was lost.
-    pub fn transmit(&mut self, t: f64) -> Option<f64> {
-        self.sent += 1;
-        if self.config.loss > 0.0 && (self.rng.next_f64() < self.config.loss) {
-            self.lost += 1;
-            return None;
+    /// Whether the Gilbert–Elliott chain is currently in the burst state.
+    pub fn in_burst(&self) -> bool {
+        self.in_burst
+    }
+
+    fn delay(&mut self) -> f64 {
+        self.config.base_latency + self.rng.next_f64() * self.config.jitter
+    }
+
+    /// Offers a message for transmission at time `t`; returns every
+    /// delivery time it produces: empty if lost, one entry normally, two if
+    /// the fault layer duplicated it.
+    pub fn transmit_all(&mut self, t: f64) -> Vec<f64> {
+        self.stats.sent += 1;
+        let faults = self.config.faults;
+
+        // Blackout swallows everything, unconditionally.
+        if let Some((start, end)) = faults.blackout {
+            if t >= start && t < end {
+                self.stats.lost += 1;
+                self.stats.blackout_drops += 1;
+                return Vec::new();
+            }
         }
-        let delay = self.config.base_latency + self.rng.next_f64() * self.config.jitter;
-        Some(t + delay)
+
+        // Advance the Gilbert–Elliott chain one step per transmission.
+        if self.in_burst {
+            if faults.p_exit_burst > 0.0 && self.rng.next_f64() < faults.p_exit_burst {
+                self.in_burst = false;
+            }
+        } else if faults.p_enter_burst > 0.0 && self.rng.next_f64() < faults.p_enter_burst {
+            self.in_burst = true;
+        }
+
+        let loss = if self.in_burst {
+            faults.burst_loss
+        } else {
+            self.config.loss
+        };
+        if loss > 0.0 && self.rng.next_f64() < loss {
+            self.stats.lost += 1;
+            return Vec::new();
+        }
+
+        let mut arrivals = vec![t + self.delay()];
+        if faults.duplicate > 0.0 && self.rng.next_f64() < faults.duplicate {
+            self.stats.duplicated += 1;
+            arrivals.push(t + self.delay());
+        }
+        arrivals
+    }
+
+    /// Offers a message for transmission at time `t`; returns the delivery
+    /// time, or `None` if the message was lost. Duplicates created by the
+    /// fault layer are counted but not returned — use
+    /// [`Link::transmit_all`] when duplication matters.
+    pub fn transmit(&mut self, t: f64) -> Option<f64> {
+        self.transmit_all(t).first().copied()
     }
 
     /// Mean one-way delay implied by the configuration — what the paper's
@@ -74,7 +191,12 @@ impl Link {
 
     /// `(sent, lost)` counters.
     pub fn stats(&self) -> (u64, u64) {
-        (self.sent, self.lost)
+        (self.stats.sent, self.stats.lost)
+    }
+
+    /// Full cumulative counters, including duplication and blackout drops.
+    pub fn link_stats(&self) -> LinkStats {
+        self.stats
     }
 }
 
@@ -100,6 +222,7 @@ mod tests {
                 base_latency: 0.001,
                 jitter: 0.1,
                 loss: 0.0,
+                ..LinkConfig::default()
             },
             11,
         );
@@ -123,6 +246,7 @@ mod tests {
                 base_latency: 0.01,
                 jitter: 0.0,
                 loss: 0.3,
+                ..LinkConfig::default()
             },
             13,
         );
@@ -153,9 +277,140 @@ mod tests {
                 base_latency: 0.02,
                 jitter: 0.02,
                 loss: 0.0,
+                ..LinkConfig::default()
             },
             19,
         );
         assert!((link.mean_delay() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_come_in_bursts() {
+        // Compare burst-vs-iid at a matched average loss rate: with
+        // p_enter = 0.02 and p_exit = 0.2, the chain spends
+        // p_enter / (p_enter + p_exit) ≈ 9% of transmissions in the burst
+        // state. Runs of consecutive losses should be much longer than
+        // under i.i.d. loss at the same rate.
+        let run_lengths = |mut link: Link| -> (f64, f64) {
+            let mut runs = Vec::new();
+            let mut current = 0u64;
+            let mut lost = 0u64;
+            let n = 20_000;
+            for i in 0..n {
+                if link.transmit(i as f64).is_none() {
+                    current += 1;
+                    lost += 1;
+                } else if current > 0 {
+                    runs.push(current);
+                    current = 0;
+                }
+            }
+            if current > 0 {
+                runs.push(current);
+            }
+            let mean_run = runs.iter().sum::<u64>() as f64 / runs.len().max(1) as f64;
+            (mean_run, lost as f64 / n as f64)
+        };
+
+        let bursty = Link::new(
+            LinkConfig {
+                loss: 0.0,
+                faults: FaultConfig::bursty(0.02, 0.2),
+                ..LinkConfig::default()
+            },
+            23,
+        );
+        let (burst_run, burst_rate) = run_lengths(bursty);
+
+        let iid = Link::new(
+            LinkConfig {
+                loss: burst_rate,
+                ..LinkConfig::default()
+            },
+            23,
+        );
+        let (iid_run, iid_rate) = run_lengths(iid);
+
+        assert!((burst_rate - iid_rate).abs() < 0.05, "rates {burst_rate} vs {iid_rate}");
+        assert!(
+            burst_run > 2.0 * iid_run,
+            "burst mean run {burst_run} vs iid {iid_run}"
+        );
+    }
+
+    #[test]
+    fn blackout_drops_everything_inside_the_window() {
+        let mut link = Link::new(
+            LinkConfig {
+                loss: 0.0,
+                faults: FaultConfig {
+                    blackout: Some((10.0, 12.0)),
+                    ..FaultConfig::default()
+                },
+                ..LinkConfig::default()
+            },
+            29,
+        );
+        for i in 0..2000 {
+            let t = i as f64 * 0.01; // 0 .. 20 s
+            let delivered = link.transmit(t).is_some();
+            if (10.0..12.0).contains(&t) {
+                assert!(!delivered, "delivered inside blackout at t={t}");
+            } else {
+                assert!(delivered, "lost outside blackout at t={t}");
+            }
+        }
+        let stats = link.link_stats();
+        assert_eq!(stats.blackout_drops, 200);
+        assert_eq!(stats.lost, 200);
+    }
+
+    #[test]
+    fn duplication_produces_second_arrivals() {
+        let mut link = Link::new(
+            LinkConfig {
+                loss: 0.0,
+                faults: FaultConfig {
+                    duplicate: 0.5,
+                    ..FaultConfig::default()
+                },
+                ..LinkConfig::default()
+            },
+            31,
+        );
+        let mut dups = 0u64;
+        let n = 4000;
+        for i in 0..n {
+            let arrivals = link.transmit_all(i as f64);
+            assert!(!arrivals.is_empty());
+            if arrivals.len() == 2 {
+                dups += 1;
+            }
+        }
+        let rate = dups as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.05, "duplicate rate {rate}");
+        assert_eq!(link.link_stats().duplicated, dups);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_by_seed() {
+        let config = LinkConfig {
+            loss: 0.1,
+            faults: FaultConfig {
+                duplicate: 0.2,
+                p_enter_burst: 0.05,
+                p_exit_burst: 0.3,
+                burst_loss: 0.9,
+                blackout: Some((3.0, 4.0)),
+            },
+            ..LinkConfig::default()
+        };
+        let mut a = Link::new(config, 1234);
+        let mut b = Link::new(config, 1234);
+        for i in 0..2000 {
+            let t = i as f64 * 0.01;
+            assert_eq!(a.transmit_all(t), b.transmit_all(t));
+        }
+        assert_eq!(a.link_stats(), b.link_stats());
     }
 }

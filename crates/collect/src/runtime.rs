@@ -3,9 +3,16 @@
 //! For every driver session the runtime instantiates two collection agents
 //! (camera + phone IMU, as in the paper's deployment), a lossy link per
 //! agent, and one controller. Events — sensor polls, batch flushes, network
-//! deliveries, and periodic clock syncs — are processed in timestamp order
-//! from a binary heap, so campaigns are fully deterministic for a given
-//! seed.
+//! deliveries, ack deliveries, retransmission timers, and periodic clock
+//! syncs — are processed in timestamp order from a binary heap, so
+//! campaigns are fully deterministic for a given seed.
+//!
+//! With the reliable transport enabled (the default), every data delivery
+//! is answered with an ack over an equally faulty reverse link; unacked
+//! batches retransmit on the agent's backoff schedule until acked or
+//! abandoned. After the session ends the loop keeps running for
+//! [`CampaignConfig::drain_grace`] seconds so in-flight retransmissions can
+//! complete.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -14,12 +21,14 @@ use std::sync::Arc;
 use darnet_sim::{Behavior, DrivingWorld, Segment};
 use darnet_tensor::SplitMix64;
 
-use crate::agent::{AgentConfig, CollectionAgent};
+use crate::agent::{AgentConfig, CollectionAgent, RetransmitConfig, TransportStats};
 use crate::clock::{ClockConfig, DriftClock};
-use crate::controller::{AlignedImuPoint, Controller, ControllerConfig, FrameRecord};
-use crate::network::{Link, LinkConfig};
+use crate::controller::{
+    AlignedImuPoint, Controller, ControllerConfig, FrameRecord, StreamHealth,
+};
+use crate::network::{Link, LinkConfig, LinkStats};
 use crate::sensor::{CameraSensor, ImuSensor};
-use crate::wire::{decode_batch, encode_batch, Batch};
+use crate::wire::{decode_ack, decode_batch, encode_ack, encode_batch, Batch};
 use crate::Result;
 
 /// Campaign configuration: sensor cadences, batching, network, clocks.
@@ -33,10 +42,15 @@ pub struct CampaignConfig {
     pub transmit_period: f64,
     /// Controller behaviour (grid, smoothing, sync period).
     pub controller: ControllerConfig,
-    /// Network link model.
+    /// Network link model (applied to data, ack, and sync links).
     pub link: LinkConfig,
     /// Agent clock imperfection model.
     pub clock: ClockConfig,
+    /// Reliable-delivery configuration for both agents.
+    pub retransmit: RetransmitConfig,
+    /// Seconds past the final flush the event loop keeps draining, so
+    /// retransmissions of late losses can still complete.
+    pub drain_grace: f64,
     /// Master seed.
     pub seed: u64,
     /// If `false`, clock synchronization is disabled (for the ablation
@@ -53,9 +67,41 @@ impl Default for CampaignConfig {
             controller: ControllerConfig::default(),
             link: LinkConfig::default(),
             clock: ClockConfig::default(),
+            retransmit: RetransmitConfig::default(),
+            drain_grace: 5.0,
             seed: 0xC0FFEE,
             sync_enabled: true,
         }
+    }
+}
+
+/// End-of-session reliability accounting for one driver recording.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SessionTransportReport {
+    /// IMU agent transport counters.
+    pub imu: TransportStats,
+    /// Camera agent transport counters.
+    pub camera: TransportStats,
+    /// IMU data-link fault counters.
+    pub imu_link: LinkStats,
+    /// Camera data-link fault counters.
+    pub camera_link: LinkStats,
+    /// Controller-side health of the IMU stream.
+    pub imu_stream: Option<StreamHealth>,
+    /// Controller-side health of the camera stream.
+    pub camera_stream: Option<StreamHealth>,
+    /// Readings polled by both agents over the session.
+    pub readings_polled: u64,
+    /// Distinct readings the controller accepted.
+    pub readings_ingested: u64,
+}
+
+impl SessionTransportReport {
+    /// `true` when every reading either arrived or is accounted as a gap
+    /// of an abandoned batch — and with retransmission on and nothing
+    /// abandoned, that means zero data loss.
+    pub fn lossless(&self) -> bool {
+        self.readings_ingested == self.readings_polled
     }
 }
 
@@ -71,6 +117,8 @@ pub struct DriverRecording {
     /// Maximum absolute agent clock error observed at poll instants
     /// (diagnostic for the sync ablation).
     pub max_clock_error: f64,
+    /// Transport-layer accounting for the session.
+    pub transport: SessionTransportReport,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,7 +127,9 @@ enum EventKind {
     PollCamera,
     Flush(usize), // agent index: 0 = imu, 1 = camera
     Sync,
-    Deliver(u32), // delivery id into pending batch storage
+    Deliver(u32),                        // delivery id into pending batch storage
+    DeliverAck { agent: usize, seq: u32 }, // controller ack reaching an agent
+    Retry(usize),                        // ack-timeout check for one agent
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -117,7 +167,8 @@ impl Ord for Event {
 /// # Errors
 ///
 /// Propagates alignment errors (e.g. a session so short no IMU data was
-/// collected).
+/// collected) and, in strict transport mode, [`crate::CollectError::Transport`]
+/// failures.
 pub fn run_session(
     world: &Arc<DrivingWorld>,
     driver: usize,
@@ -157,7 +208,8 @@ pub fn run_session(
         )),
         DriftClock::random(&config.clock, &mut rng),
         agent_config,
-    );
+    )
+    .with_transport(config.retransmit, rng.next_u64());
     let mut cam_agent = CollectionAgent::new(
         1,
         Box::new(CameraSensor::new(
@@ -168,10 +220,14 @@ pub fn run_session(
         )),
         DriftClock::new(1e-6, 0.0),
         cam_config,
-    );
+    )
+    .with_transport(config.retransmit, rng.next_u64());
     let mut imu_link = Link::new(config.link, rng.next_u64());
     let mut cam_link = Link::new(config.link, rng.next_u64());
     let mut sync_link = Link::new(config.link, rng.next_u64());
+    // Reverse (controller → agent) ack links suffer the same faults.
+    let mut imu_ack_link = Link::new(config.link, rng.next_u64());
+    let mut cam_ack_link = Link::new(config.link, rng.next_u64());
     let mut controller = Controller::new(config.controller);
 
     let mut heap = BinaryHeap::new();
@@ -205,13 +261,16 @@ pub fn run_session(
         );
     }
 
-    // In-flight batches awaiting delivery.
-    let mut pending: Vec<Option<Batch>> = Vec::new();
+    // Batches awaiting delivery. Entries stay allocated so duplicated
+    // arrivals (link-level duplication) can read them again; the
+    // controller's sequence dedupe keeps re-delivery harmless.
+    let mut pending: Vec<Batch> = Vec::new();
     let mut max_clock_error = 0.0f64;
+    let reliable = config.retransmit.enabled;
 
     while let Some(event) = heap.pop() {
         let t = event.time;
-        if t > session_end + config.transmit_period + 1.0 {
+        if t > session_end + config.transmit_period + config.drain_grace {
             break;
         }
         match event.kind {
@@ -234,11 +293,16 @@ pub fn run_session(
                 } else {
                     (&mut cam_agent, &mut cam_link)
                 };
-                if let Some(batch) = agent.flush() {
-                    if let Some(arrival) = link.transmit(t) {
-                        let id = pending.len() as u32;
-                        pending.push(Some(batch));
+                if let Some(batch) = agent.flush_at(t)? {
+                    let id = pending.len() as u32;
+                    pending.push(batch);
+                    for arrival in link.transmit_all(t) {
                         push(&mut heap, arrival, EventKind::Deliver(id), &mut seq);
+                    }
+                }
+                if reliable {
+                    if let Some(deadline) = agent.next_deadline() {
+                        push(&mut heap, deadline, EventKind::Retry(which), &mut seq);
                     }
                 }
                 if t <= session_end {
@@ -265,16 +329,65 @@ pub fn run_session(
                 }
             }
             EventKind::Deliver(id) => {
-                if let Some(batch) = pending[id as usize].take() {
-                    // Round-trip through the wire format, as the real
-                    // system would.
-                    let decoded = decode_batch(encode_batch(&batch))?;
-                    controller.ingest(&decoded);
+                // Round-trip through the wire format, as the real system
+                // would.
+                let decoded = decode_batch(encode_batch(&pending[id as usize]))?;
+                let ack = Controller::ack_for(&decoded);
+                controller.ingest_at(t, &decoded);
+                if reliable {
+                    // Ack every delivery — duplicates included, since a
+                    // duplicate usually means the previous ack was lost.
+                    let ack = decode_ack(encode_ack(&ack))?;
+                    let agent_idx = ack.agent_id as usize;
+                    let ack_link = if agent_idx == 0 {
+                        &mut imu_ack_link
+                    } else {
+                        &mut cam_ack_link
+                    };
+                    for arrival in ack_link.transmit_all(t) {
+                        push(
+                            &mut heap,
+                            arrival,
+                            EventKind::DeliverAck { agent: agent_idx, seq: ack.seq },
+                            &mut seq,
+                        );
+                    }
+                }
+            }
+            EventKind::DeliverAck { agent, seq: acked } => {
+                let a = if agent == 0 { &mut imu_agent } else { &mut cam_agent };
+                a.handle_ack(acked);
+            }
+            EventKind::Retry(which) => {
+                let (agent, link) = if which == 0 {
+                    (&mut imu_agent, &mut imu_link)
+                } else {
+                    (&mut cam_agent, &mut cam_link)
+                };
+                for batch in agent.due_retransmits(t)? {
+                    let id = pending.len() as u32;
+                    pending.push(batch);
+                    for arrival in link.transmit_all(t) {
+                        push(&mut heap, arrival, EventKind::Deliver(id), &mut seq);
+                    }
+                }
+                if let Some(deadline) = agent.next_deadline() {
+                    push(&mut heap, deadline, EventKind::Retry(which), &mut seq);
                 }
             }
         }
     }
 
+    let transport = SessionTransportReport {
+        imu: imu_agent.transport_stats(),
+        camera: cam_agent.transport_stats(),
+        imu_link: imu_link.link_stats(),
+        camera_link: cam_link.link_stats(),
+        imu_stream: controller.stream_health(0),
+        camera_stream: controller.stream_health(1),
+        readings_polled: imu_agent.poll_count() + cam_agent.poll_count(),
+        readings_ingested: controller.ingest_stats().1,
+    };
     let imu = controller.aligned_imu()?;
     let frames = controller.frames_sorted();
     Ok(DriverRecording {
@@ -282,6 +395,7 @@ pub fn run_session(
         imu,
         frames,
         max_clock_error,
+        transport,
     })
 }
 
@@ -307,6 +421,7 @@ pub fn run_campaign(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::FaultConfig;
     use darnet_sim::WorldConfig;
 
     fn short_schedule() -> Vec<Segment<Behavior>> {
@@ -353,8 +468,10 @@ mod tests {
 
     #[test]
     fn disabling_sync_leaves_large_clock_error() {
-        let mut config = CampaignConfig::default();
-        config.sync_enabled = false;
+        let config = CampaignConfig {
+            sync_enabled: false,
+            ..CampaignConfig::default()
+        };
         let rec = run_session(&world(), 0, &short_schedule(), &config).unwrap();
         // Initial offset up to 0.25 s is never corrected.
         let synced = run_session(&world(), 0, &short_schedule(), &CampaignConfig::default())
@@ -363,15 +480,80 @@ mod tests {
     }
 
     #[test]
-    fn lossy_network_still_aligns() {
+    fn lossy_network_without_retransmission_drops_data() {
+        // The legacy fire-and-forget mode: losses become gaps the
+        // controller merely accounts for.
         let mut config = CampaignConfig::default();
         config.link.loss = 0.2;
+        config.retransmit = RetransmitConfig::disabled();
         let rec = run_session(&world(), 0, &short_schedule(), &config).unwrap();
         let lossless = run_session(&world(), 0, &short_schedule(), &CampaignConfig::default())
             .unwrap();
         // Fewer frames arrive, but the pipeline interpolates through gaps.
         assert!(rec.frames.len() < lossless.frames.len());
         assert!(!rec.imu.is_empty());
+        assert!(!rec.transport.lossless());
+        // The controller's gap accounting notices the missing batches.
+        let gaps = rec.transport.imu_stream.map(|h| h.gaps).unwrap_or(0)
+            + rec.transport.camera_stream.map(|h| h.gaps).unwrap_or(0);
+        assert!(gaps > 0, "expected accounted gaps at 20% loss");
+    }
+
+    #[test]
+    fn retransmission_recovers_every_sample_at_heavy_loss() {
+        // The acceptance scenario: ≥10% loss plus a 2-second blackout mid
+        // session, yet every polled sample reaches the controller.
+        let mut config = CampaignConfig::default();
+        config.link.loss = 0.1;
+        config.link.faults = FaultConfig {
+            blackout: Some((3.0, 5.0)),
+            ..FaultConfig::default()
+        };
+        let rec = run_session(&world(), 0, &short_schedule(), &config).unwrap();
+        assert!(
+            rec.transport.imu_link.lost + rec.transport.imu_link.blackout_drops > 0,
+            "fault injection should actually drop transmissions"
+        );
+        assert!(
+            rec.transport.lossless(),
+            "retransmission must recover all samples: polled {} ingested {}",
+            rec.transport.readings_polled,
+            rec.transport.readings_ingested
+        );
+        assert_eq!(rec.transport.imu.abandoned, 0);
+        assert_eq!(rec.transport.camera.abandoned, 0);
+        assert_eq!(rec.transport.imu_stream.unwrap().gaps, 0);
+        assert_eq!(rec.transport.camera_stream.unwrap().gaps, 0);
+        assert!(rec.transport.imu.retransmits > 0, "blackout must force retries");
+        // And the recovered recording matches a lossless run's volume.
+        let lossless = run_session(&world(), 0, &short_schedule(), &CampaignConfig::default())
+            .unwrap();
+        assert_eq!(rec.frames.len(), lossless.frames.len());
+    }
+
+    #[test]
+    fn faulty_campaign_is_deterministic() {
+        let mut config = CampaignConfig::default();
+        config.link.loss = 0.15;
+        config.link.faults = FaultConfig::bursty(0.05, 0.3);
+        config.link.faults.duplicate = 0.1;
+        let a = run_campaign(&world(), &short_schedule(), &config).unwrap();
+        let b = run_campaign(&world(), &short_schedule(), &config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicated_deliveries_do_not_inflate_the_recording() {
+        let mut config = CampaignConfig::default();
+        config.link.faults.duplicate = 0.5;
+        let rec = run_session(&world(), 0, &short_schedule(), &config).unwrap();
+        let clean = run_session(&world(), 0, &short_schedule(), &CampaignConfig::default())
+            .unwrap();
+        assert_eq!(rec.frames.len(), clean.frames.len());
+        assert_eq!(rec.transport.readings_ingested, clean.transport.readings_ingested);
+        let dups = rec.transport.imu_stream.unwrap().duplicates
+            + rec.transport.camera_stream.unwrap().duplicates;
+        assert!(dups > 0, "50% duplication should produce duplicate deliveries");
     }
 
     #[test]

@@ -56,7 +56,7 @@ impl TsDb {
     pub fn insert(&self, metric: &str, t: f64, value: f32) {
         let mut guard = self.series.write();
         let series = guard.entry(metric.to_string()).or_default();
-        if series.last().map_or(true, |&(lt, _)| lt <= t) {
+        if series.last().is_none_or(|&(lt, _)| lt <= t) {
             series.push((t, value));
         } else {
             let idx = series.partition_point(|&(st, _)| st <= t);

@@ -36,6 +36,54 @@ pub struct Batch {
 const KIND_IMU: u8 = 0;
 const KIND_FRAME: u8 = 1;
 
+/// Magic byte prefixing controller→agent acknowledgement messages.
+const ACK_MAGIC: u8 = 0xA5;
+
+/// A controller→agent acknowledgement for one received batch.
+///
+/// The reliable-delivery layer is selective-repeat: every accepted (or
+/// duplicate — re-acks matter when the first ack was lost) batch is acked
+/// individually by `(agent_id, seq)`, and the agent retires the matching
+/// entry from its in-flight window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ack {
+    /// The agent whose batch is acknowledged.
+    pub agent_id: u32,
+    /// The batch sequence number being acknowledged.
+    pub seq: u32,
+}
+
+/// Encodes an acknowledgement.
+pub fn encode_ack(ack: &Ack) -> Bytes {
+    let mut buf = BytesMut::with_capacity(9);
+    buf.put_u8(ACK_MAGIC);
+    buf.put_u32(ack.agent_id);
+    buf.put_u32(ack.seq);
+    buf.freeze()
+}
+
+/// Decodes an acknowledgement.
+///
+/// # Errors
+///
+/// Returns [`CollectError::Decode`] on truncated input or a wrong magic
+/// byte.
+pub fn decode_ack(mut data: Bytes) -> Result<Ack> {
+    if data.remaining() < 9 {
+        return Err(CollectError::Decode("truncated ack".into()));
+    }
+    let magic = data.get_u8();
+    if magic != ACK_MAGIC {
+        return Err(CollectError::Decode(format!(
+            "bad ack magic byte {magic:#04x}"
+        )));
+    }
+    Ok(Ack {
+        agent_id: data.get_u32(),
+        seq: data.get_u32(),
+    })
+}
+
 /// Encodes a batch into its wire representation.
 pub fn encode_batch(batch: &Batch) -> Bytes {
     let mut buf = BytesMut::with_capacity(16 + batch.readings.len() * 64);
@@ -400,6 +448,27 @@ mod tests {
             decode_batch(Bytes::from_static(b"xx")),
             Err(CollectError::Decode(_))
         ));
+    }
+
+    #[test]
+    fn ack_roundtrips_and_rejects_garbage() {
+        let ack = Ack {
+            agent_id: 3,
+            seq: 1234,
+        };
+        assert_eq!(decode_ack(encode_ack(&ack)).unwrap(), ack);
+        assert!(matches!(
+            decode_ack(Bytes::from_static(b"tooshort")),
+            Err(CollectError::Decode(_))
+        ));
+        // Batch bytes are not acks: first byte of a batch header is the
+        // agent-id high byte, which for small ids is 0, not the magic.
+        let batch_bytes = encode_batch(&Batch {
+            agent_id: 1,
+            seq: 0,
+            readings: vec![imu_reading(0.0)],
+        });
+        assert!(decode_ack(batch_bytes).is_err());
     }
 
     #[test]

@@ -108,3 +108,103 @@ proptest! {
         let _ = decode_batch(Bytes::from(bytes));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Transport-layer invariants: for ANY seed × loss × jitter × duplication
+// combination, the set of samples the controller ingests is exactly the set
+// the agents polled — retransmission recovers every loss, sequence dedupe
+// discards every duplicate, and alignment leaves timestamps sorted.
+// ---------------------------------------------------------------------------
+
+mod transport_props {
+    use darnet_collect::runtime::{run_session, CampaignConfig};
+    use darnet_collect::RetransmitConfig;
+    use darnet_sim::{Behavior, DrivingWorld, Segment, WorldConfig};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn schedule() -> Vec<Segment<Behavior>> {
+        vec![
+            Segment { driver: 0, behavior: Behavior::NormalDriving, start: 0.0, duration: 2.0 },
+            Segment { driver: 0, behavior: Behavior::Texting, start: 2.0, duration: 2.0 },
+        ]
+    }
+
+    fn faulty_config(seed: u64, loss: f64, jitter: f64, duplicate: f64) -> CampaignConfig {
+        // Generous drain so worst-case backoff chains can finish; a faster
+        // initial RTO keeps the chains short.
+        let mut config = CampaignConfig {
+            seed,
+            drain_grace: 25.0,
+            ..CampaignConfig::default()
+        };
+        config.link.loss = loss;
+        config.link.jitter = jitter;
+        config.link.faults.duplicate = duplicate;
+        config.retransmit.ack_timeout = 0.15;
+        config
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn ingested_set_equals_polled_set_under_any_faults(
+            seed in 0u64..1_000_000,
+            loss in 0.0f64..0.25,
+            jitter in 0.0f64..0.05,
+            duplicate in 0.0f64..0.5,
+        ) {
+            let world = Arc::new(DrivingWorld::new(WorldConfig::default()));
+            let config = faulty_config(seed, loss, jitter, duplicate);
+            let rec = run_session(&world, 0, &schedule(), &config).unwrap();
+
+            // No loss: with retransmission on, everything polled arrives.
+            prop_assert_eq!(
+                rec.transport.readings_ingested,
+                rec.transport.readings_polled,
+                "seed {} loss {} jitter {} dup {}",
+                seed, loss, jitter, duplicate
+            );
+            // No duplicates: every stream's gap accounting closes at zero
+            // and duplicate deliveries were discarded, not ingested.
+            for h in [rec.transport.imu_stream, rec.transport.camera_stream] {
+                let h = h.expect("both streams delivered");
+                prop_assert_eq!(h.gaps, 0);
+                prop_assert_eq!(h.delivered, h.highest_seq as u64 + 1);
+            }
+            // Sorted after alignment, despite jitter-induced reordering.
+            prop_assert!(rec.imu.windows(2).all(|w| w[0].t < w[1].t));
+            prop_assert!(rec.frames.windows(2).all(|w| w[0].t <= w[1].t));
+        }
+
+        #[test]
+        fn fire_and_forget_never_ingests_more_than_polled(
+            seed in 0u64..1_000_000,
+            loss in 0.0f64..0.4,
+            duplicate in 0.0f64..0.5,
+        ) {
+            let world = Arc::new(DrivingWorld::new(WorldConfig::default()));
+            let mut config = faulty_config(seed, loss, 0.01, duplicate);
+            config.retransmit = RetransmitConfig::disabled();
+            let rec = run_session(&world, 0, &schedule(), &config).unwrap();
+            // Dedupe holds even without acks: duplication can never inflate
+            // the recording past what was polled.
+            prop_assert!(rec.transport.readings_ingested <= rec.transport.readings_polled);
+            prop_assert!(rec.imu.windows(2).all(|w| w[0].t < w[1].t));
+        }
+
+        #[test]
+        fn faulty_sessions_replay_identically_from_their_seed(
+            seed in 0u64..1_000_000,
+            loss in 0.0f64..0.3,
+            duplicate in 0.0f64..0.4,
+        ) {
+            let world = Arc::new(DrivingWorld::new(WorldConfig::default()));
+            let config = faulty_config(seed, loss, 0.02, duplicate);
+            let a = run_session(&world, 0, &schedule(), &config).unwrap();
+            let b = run_session(&world, 0, &schedule(), &config).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

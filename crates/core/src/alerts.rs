@@ -128,6 +128,8 @@ mod tests {
             scores,
             cnn_probs: vec![1.0 / 6.0; 6],
             imu_probs: vec![1.0 / 3.0; 3],
+            source: crate::engine::FusionSource::Fused,
+            degraded: false,
         }
     }
 

@@ -271,7 +271,7 @@ impl Standardizer {
             .dims()
             .last()
             .ok_or_else(|| CoreError::Dataset("cannot standardize a scalar".into()))?;
-        if data.len() == 0 || f == 0 {
+        if data.is_empty() || f == 0 {
             return Err(CoreError::Dataset("cannot standardize empty data".into()));
         }
         let rows = data.len() / f;
@@ -631,7 +631,7 @@ mod tests {
         let segments = darnet_sim::schedule::build_extended_schedule(&config);
         let ds = ExtendedFrameDataset::generate(&world, &segments, 4.0);
         assert_eq!(ds.len(), 2 * 18 * 8); // 2 drivers × 18 classes × 2 s × 4 fps
-        let mut counts = vec![0usize; 18];
+        let mut counts = [0usize; 18];
         for &l in ds.labels() {
             counts[l] += 1;
         }

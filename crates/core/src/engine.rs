@@ -6,8 +6,9 @@ use darnet_sim::{Behavior, Frame};
 use darnet_tensor::Tensor;
 
 use crate::dataset::{frames_to_tensor, IMU_FEATURES, WINDOW_LEN};
-use crate::ensemble::{product_combine, BayesianCombiner, CombinerKind};
+use crate::ensemble::{imu_index_of, product_combine, BayesianCombiner, CombinerKind};
 use crate::error::CoreError;
+use crate::health::ModalityStatus;
 use crate::models::{FrameCnn, ImuRnn, ImuSvm};
 use crate::privacy::{Downsampler, PrivacyLevel};
 use crate::Result;
@@ -29,6 +30,9 @@ impl Default for EngineConfig {
 
 /// The IMU model slot: the engine's stream→model mapping is modular, so
 /// either the paper's RNN or the SVM baseline can serve the IMU stream.
+// One slot exists per engine and is never moved after construction, so the
+// RNN/SVM size gap doesn't justify boxing the variants.
+#[allow(clippy::large_enum_variant)]
 pub enum ImuModelSlot {
     /// Deep bidirectional LSTM (the DarNet configuration).
     Rnn(ImuRnn),
@@ -45,6 +49,33 @@ impl std::fmt::Debug for ImuModelSlot {
     }
 }
 
+/// Which posteriors a classification was computed from. Anything other
+/// than [`FusionSource::Fused`] means the ensemble degraded gracefully to
+/// the surviving modality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FusionSource {
+    /// Both modalities contributed (the normal ensemble path).
+    Fused,
+    /// IMU stream was unavailable: the CNN posterior alone decided.
+    CnnOnly,
+    /// Camera stream was unavailable: the IMU posterior alone decided,
+    /// expanded from 3 IMU classes to the 6-class taxonomy.
+    ImuOnly,
+}
+
+/// Running counts of which path each classification took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FallbackCounters {
+    /// Classifications fused from both modalities.
+    pub fused: u64,
+    /// CNN-only fallbacks (IMU stream down).
+    pub cnn_only: u64,
+    /// IMU-only fallbacks (camera stream down).
+    pub imu_only: u64,
+    /// Classifications (any source) computed from a degraded stream.
+    pub degraded: u64,
+}
+
 /// One per-time-step classification result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StepClassification {
@@ -52,10 +83,16 @@ pub struct StepClassification {
     pub behavior: Behavior,
     /// Fused class scores (normalized).
     pub scores: Vec<f32>,
-    /// The CNN's 6-class probabilities.
+    /// The CNN's 6-class probabilities (empty on an IMU-only fallback).
     pub cnn_probs: Vec<f32>,
-    /// The IMU model's 3-class probabilities.
+    /// The IMU model's 3-class probabilities (empty on a CNN-only
+    /// fallback).
     pub imu_probs: Vec<f32>,
+    /// Which posteriors produced the decision.
+    pub source: FusionSource,
+    /// `true` if a contributing stream was lossy enough to be flagged
+    /// degraded (but still used).
+    pub degraded: bool,
 }
 
 /// The assembled engine: frame CNN + IMU model + combiner, with optional
@@ -67,6 +104,7 @@ pub struct AnalyticsEngine {
     config: EngineConfig,
     downsampler: Downsampler,
     students: Vec<(PrivacyLevel, FrameCnn)>,
+    fallbacks: FallbackCounters,
 }
 
 impl AnalyticsEngine {
@@ -85,7 +123,13 @@ impl AnalyticsEngine {
             config,
             downsampler: Downsampler::new(full),
             students: Vec::new(),
+            fallbacks: FallbackCounters::default(),
         }
+    }
+
+    /// Running counts of fused vs fallback classifications.
+    pub fn fallback_counters(&self) -> FallbackCounters {
+        self.fallbacks
     }
 
     /// Registers a distilled dCNN student for a privacy level.
@@ -121,13 +165,14 @@ impl AnalyticsEngine {
         }
     }
 
-    fn classify_with_cnn_probs(
+    fn decide(
         &mut self,
+        scores: Vec<f32>,
         cnn_probs: Vec<f32>,
-        window: &Tensor,
+        imu_probs: Vec<f32>,
+        source: FusionSource,
+        degraded: bool,
     ) -> Result<StepClassification> {
-        let imu_probs = self.imu_probs(window)?;
-        let scores = self.fuse(&cnn_probs, &imu_probs)?;
         let best = scores
             .iter()
             .enumerate()
@@ -136,12 +181,130 @@ impl AnalyticsEngine {
             .unwrap_or(0);
         let behavior = Behavior::from_index(best)
             .ok_or_else(|| CoreError::Dataset(format!("class index {best} out of range")))?;
+        match source {
+            FusionSource::Fused => self.fallbacks.fused += 1,
+            FusionSource::CnnOnly => self.fallbacks.cnn_only += 1,
+            FusionSource::ImuOnly => self.fallbacks.imu_only += 1,
+        }
+        if degraded {
+            self.fallbacks.degraded += 1;
+        }
         Ok(StepClassification {
             behavior,
             scores,
             cnn_probs,
             imu_probs,
+            source,
+            degraded,
         })
+    }
+
+    fn classify_with_cnn_probs(
+        &mut self,
+        cnn_probs: Vec<f32>,
+        window: &Tensor,
+    ) -> Result<StepClassification> {
+        let imu_probs = self.imu_probs(window)?;
+        let scores = self.fuse(&cnn_probs, &imu_probs)?;
+        self.decide(scores, cnn_probs, imu_probs, FusionSource::Fused, false)
+    }
+
+    /// Expands the IMU model's 3-class posterior onto the 6-class
+    /// taxonomy: each IMU class's mass is split uniformly across the
+    /// behaviours that map to it.
+    fn imu_only_scores(imu_probs: &[f32]) -> Vec<f32> {
+        let mut fanout = [0u32; 3];
+        for c in 0..6 {
+            fanout[imu_index_of(c)] += 1;
+        }
+        let mut scores: Vec<f32> = (0..6)
+            .map(|c| {
+                let m = imu_index_of(c);
+                imu_probs[m] / fanout[m] as f32
+            })
+            .collect();
+        let total: f32 = scores.iter().sum();
+        if total > 0.0 {
+            for s in &mut scores {
+                *s /= total;
+            }
+        }
+        scores
+    }
+
+    /// Degradation-tolerant classification: classifies from whichever
+    /// modalities are present, falling back to the surviving model's
+    /// posterior when one is `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotReady`] when both modalities are absent;
+    /// propagates model errors otherwise.
+    pub fn classify_step_degraded(
+        &mut self,
+        frame: Option<&Frame>,
+        window: Option<&Tensor>,
+        flag_degraded: bool,
+    ) -> Result<StepClassification> {
+        match (frame, window) {
+            (Some(frame), Some(window)) => {
+                let mut out = self.classify_step(frame, window)?;
+                if flag_degraded {
+                    out.degraded = true;
+                    self.fallbacks.degraded += 1;
+                }
+                Ok(out)
+            }
+            (Some(frame), None) => {
+                let frames = frames_to_tensor(std::slice::from_ref(frame))?;
+                let cnn_probs = self.cnn.predict_proba(&frames)?.into_vec();
+                self.decide(
+                    cnn_probs.clone(),
+                    cnn_probs,
+                    Vec::new(),
+                    FusionSource::CnnOnly,
+                    flag_degraded,
+                )
+            }
+            (None, Some(window)) => {
+                let imu_probs = self.imu_probs(window)?;
+                let scores = Self::imu_only_scores(&imu_probs);
+                self.decide(
+                    scores,
+                    Vec::new(),
+                    imu_probs,
+                    FusionSource::ImuOnly,
+                    flag_degraded,
+                )
+            }
+            (None, None) => Err(CoreError::NotReady(
+                "both modality streams unavailable — nothing to classify from".into(),
+            )),
+        }
+    }
+
+    /// Health-aware classification: both inputs are physically present,
+    /// but each stream's [`ModalityStatus`] (from
+    /// [`crate::health::HealthPolicy::assess`] over the controller's
+    /// delivery accounting) gates whether it participates. An
+    /// `Unavailable` stream's posterior is dropped entirely; a `Degraded`
+    /// one still fuses but flags the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotReady`] when both streams are unavailable.
+    pub fn classify_step_checked(
+        &mut self,
+        frame: &Frame,
+        window: &Tensor,
+        camera: ModalityStatus,
+        imu: ModalityStatus,
+    ) -> Result<StepClassification> {
+        let use_frame = (camera != ModalityStatus::Unavailable).then_some(frame);
+        let use_window = (imu != ModalityStatus::Unavailable).then_some(window);
+        let degraded = (use_frame.is_some() && camera == ModalityStatus::Degraded)
+            || (use_window.is_some() && imu == ModalityStatus::Degraded);
+        self.classify_step_degraded(use_frame, use_window, degraded)
     }
 
     /// Classifies one time-step: a full-resolution frame plus the IMU
@@ -259,6 +422,105 @@ mod tests {
         let window = Tensor::zeros(&[1, WINDOW_LEN, IMU_FEATURES]);
         let out = engine.classify_step(&frame, &window).unwrap();
         assert_eq!(out.scores, out.cnn_probs);
+    }
+
+    #[test]
+    fn fused_path_reports_source_and_counts() {
+        let mut engine = tiny_engine(CombinerKind::Bayesian);
+        let frame = Frame::new(24, 24);
+        let window = Tensor::zeros(&[1, WINDOW_LEN, IMU_FEATURES]);
+        let out = engine.classify_step(&frame, &window).unwrap();
+        assert_eq!(out.source, FusionSource::Fused);
+        assert!(!out.degraded);
+        assert_eq!(engine.fallback_counters().fused, 1);
+    }
+
+    #[test]
+    fn missing_imu_falls_back_to_cnn_posterior() {
+        let mut engine = tiny_engine(CombinerKind::Bayesian);
+        let frame = Frame::new(24, 24);
+        let out = engine.classify_step_degraded(Some(&frame), None, false).unwrap();
+        assert_eq!(out.source, FusionSource::CnnOnly);
+        assert_eq!(out.scores, out.cnn_probs);
+        assert!(out.imu_probs.is_empty());
+        assert_eq!(engine.fallback_counters().cnn_only, 1);
+    }
+
+    #[test]
+    fn missing_camera_falls_back_to_imu_posterior() {
+        let mut engine = tiny_engine(CombinerKind::Bayesian);
+        let window = Tensor::zeros(&[1, WINDOW_LEN, IMU_FEATURES]);
+        let out = engine.classify_step_degraded(None, Some(&window), false).unwrap();
+        assert_eq!(out.source, FusionSource::ImuOnly);
+        assert!(out.cnn_probs.is_empty());
+        assert_eq!(out.scores.len(), 6);
+        assert!((out.scores.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        // The expansion conserves each IMU class's mass: talking/texting map
+        // 1-to-1, so their 6-class score equals the 3-class posterior.
+        assert!((out.scores[1] - out.imu_probs[1]).abs() < 1e-6);
+        assert!((out.scores[2] - out.imu_probs[2]).abs() < 1e-6);
+        assert_eq!(engine.fallback_counters().imu_only, 1);
+    }
+
+    #[test]
+    fn both_streams_down_is_an_error() {
+        let mut engine = tiny_engine(CombinerKind::Bayesian);
+        assert!(matches!(
+            engine.classify_step_degraded(None, None, false),
+            Err(CoreError::NotReady(_))
+        ));
+    }
+
+    #[test]
+    fn stale_stream_health_drives_fallback() {
+        use crate::health::HealthPolicy;
+        use darnet_collect::StreamHealth;
+
+        let policy = HealthPolicy::default();
+        let now = 30.0;
+        // Camera stream went silent 20 s ago; IMU is fresh and gap-free.
+        let camera_health = StreamHealth {
+            agent_id: 1,
+            delivered: 20,
+            duplicates: 0,
+            highest_seq: 19,
+            gaps: 0,
+            last_arrival: 10.0,
+        };
+        let imu_health = StreamHealth { agent_id: 0, last_arrival: 29.9, ..camera_health };
+        let camera = policy.assess(Some(&camera_health), now);
+        let imu = policy.assess(Some(&imu_health), now);
+        assert_eq!(camera, ModalityStatus::Unavailable);
+        assert_eq!(imu, ModalityStatus::Healthy);
+
+        let mut engine = tiny_engine(CombinerKind::Bayesian);
+        let frame = Frame::new(24, 24);
+        let window = Tensor::zeros(&[1, WINDOW_LEN, IMU_FEATURES]);
+        let out = engine
+            .classify_step_checked(&frame, &window, camera, imu)
+            .unwrap();
+        assert_eq!(out.source, FusionSource::ImuOnly);
+        assert_eq!(engine.fallback_counters().imu_only, 1);
+        assert_eq!(engine.fallback_counters().fused, 0);
+    }
+
+    #[test]
+    fn degraded_stream_still_fuses_but_flags() {
+        let mut engine = tiny_engine(CombinerKind::Bayesian);
+        let frame = Frame::new(24, 24);
+        let window = Tensor::zeros(&[1, WINDOW_LEN, IMU_FEATURES]);
+        let out = engine
+            .classify_step_checked(
+                &frame,
+                &window,
+                ModalityStatus::Degraded,
+                ModalityStatus::Healthy,
+            )
+            .unwrap();
+        assert_eq!(out.source, FusionSource::Fused);
+        assert!(out.degraded);
+        assert_eq!(engine.fallback_counters().degraded, 1);
+        assert_eq!(engine.fallback_counters().fused, 1);
     }
 
     #[test]

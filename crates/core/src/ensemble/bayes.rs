@@ -138,12 +138,12 @@ impl BayesianCombiner {
             )));
         }
         let mut scores = vec![0.0f32; self.classes];
-        for a in 0..self.classes {
-            if cnn_probs[a] == 0.0 {
+        for (a, &pa) in cnn_probs.iter().enumerate().take(self.classes) {
+            if pa == 0.0 {
                 continue;
             }
-            for b in 0..self.imu_classes {
-                let w = cnn_probs[a] * imu_probs[b];
+            for (b, &pb) in imu_probs.iter().enumerate().take(self.imu_classes) {
+                let w = pa * pb;
                 if w == 0.0 {
                     continue;
                 }
@@ -260,7 +260,7 @@ mod tests {
         let gen = |i: usize| -> (usize, [f32; 2], [f32; 2]) {
             let label = i % 2;
             let cnn_right = i % 10 < 7;
-            let imu_right = i % 20 != 0;
+            let imu_right = !i.is_multiple_of(20);
             let toward = |right: bool, conf: f32| -> [f32; 2] {
                 let target = if right { label } else { 1 - label };
                 if target == 0 {

@@ -1,0 +1,104 @@
+//! Stream-health assessment: turning the controller's per-stream delivery
+//! accounting ([`StreamHealth`]) into a modality status the analytics
+//! engine can act on — keep fusing, flag the fusion as degraded, or drop
+//! the modality and fall back to the surviving model's posterior.
+
+use darnet_collect::StreamHealth;
+
+/// How trustworthy one modality's stream currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModalityStatus {
+    /// Fresh and essentially gap-free: fuse normally.
+    Healthy,
+    /// Usable but lossy (accounted gaps above the soft threshold): fuse,
+    /// but flag the result.
+    Degraded,
+    /// Stale or so gap-ridden its posterior would mislead the ensemble:
+    /// fall back to the other modality.
+    Unavailable,
+}
+
+/// Thresholds separating the three [`ModalityStatus`] levels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// Seconds without an accepted batch before a stream is unavailable.
+    pub max_staleness: f64,
+    /// Accounted-gap fraction (missing / expected sequence numbers) above
+    /// which a stream is degraded.
+    pub degraded_gap_ratio: f64,
+    /// Gap fraction above which a stream is unavailable outright.
+    pub max_gap_ratio: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            max_staleness: 2.0,
+            degraded_gap_ratio: 0.05,
+            max_gap_ratio: 0.5,
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// Assesses one stream at observation time `now`. A stream the
+    /// controller has never heard from (`None`) is unavailable.
+    pub fn assess(&self, health: Option<&StreamHealth>, now: f64) -> ModalityStatus {
+        let Some(h) = health else {
+            return ModalityStatus::Unavailable;
+        };
+        if h.staleness(now) > self.max_staleness || h.gap_ratio() > self.max_gap_ratio {
+            return ModalityStatus::Unavailable;
+        }
+        if h.gap_ratio() > self.degraded_gap_ratio {
+            return ModalityStatus::Degraded;
+        }
+        ModalityStatus::Healthy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn health(highest: u32, gaps: u64, last_arrival: f64) -> StreamHealth {
+        StreamHealth {
+            agent_id: 0,
+            delivered: (highest as u64 + 1) - gaps,
+            duplicates: 0,
+            highest_seq: highest,
+            gaps,
+            last_arrival,
+        }
+    }
+
+    #[test]
+    fn fresh_gapless_stream_is_healthy() {
+        let p = HealthPolicy::default();
+        let h = health(19, 0, 10.0);
+        assert_eq!(p.assess(Some(&h), 10.5), ModalityStatus::Healthy);
+    }
+
+    #[test]
+    fn stale_stream_is_unavailable() {
+        let p = HealthPolicy::default();
+        let h = health(19, 0, 10.0);
+        assert_eq!(p.assess(Some(&h), 13.0), ModalityStatus::Unavailable);
+        assert_eq!(p.assess(None, 0.0), ModalityStatus::Unavailable);
+    }
+
+    #[test]
+    fn gap_ratio_separates_degraded_from_unavailable() {
+        let p = HealthPolicy::default();
+        // 2/20 missing: degraded.
+        assert_eq!(
+            p.assess(Some(&health(19, 2, 10.0)), 10.1),
+            ModalityStatus::Degraded
+        );
+        // 12/20 missing: unavailable.
+        assert_eq!(
+            p.assess(Some(&health(19, 12, 10.0)), 10.1),
+            ModalityStatus::Unavailable
+        );
+    }
+}

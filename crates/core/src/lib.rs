@@ -38,6 +38,7 @@ pub mod dataset;
 mod engine;
 pub mod ensemble;
 mod error;
+pub mod health;
 pub mod eval;
 pub mod experiment;
 pub mod model_io;
@@ -45,8 +46,12 @@ pub mod models;
 pub mod privacy;
 
 pub use alerts::{AlertEvent, AlertPolicy, AlertTracker};
-pub use engine::{AnalyticsEngine, EngineConfig, ImuModelSlot, StepClassification};
+pub use engine::{
+    AnalyticsEngine, EngineConfig, FallbackCounters, FusionSource, ImuModelSlot,
+    StepClassification,
+};
 pub use ensemble::{BayesianCombiner, CombinerKind};
+pub use health::{HealthPolicy, ModalityStatus};
 pub use error::CoreError;
 pub use eval::ConfusionMatrix;
 pub use model_io::{decode_tensors, encode_tensors};

@@ -252,7 +252,7 @@ impl FrameCnn {
     ///
     /// Propagates model errors.
     pub fn logits(&mut self, frames: &Tensor) -> Result<Tensor> {
-        self.forward(frames, Mode::Eval).map_err(Into::into)
+        self.forward(frames, Mode::Eval)
     }
 
     /// Hard class predictions.

@@ -281,7 +281,7 @@ mod tests {
     #[test]
     fn sigmoid_is_stable_at_extremes() {
         let y = sigmoid_scalar(-100.0);
-        assert!(y >= 0.0 && y < 1e-6);
+        assert!((0.0..1e-6).contains(&y));
         let y2 = sigmoid_scalar(100.0);
         assert!(y2 <= 1.0 && y2 > 1.0 - 1e-6);
     }

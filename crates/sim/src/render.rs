@@ -587,6 +587,7 @@ fn draw_thick_line(f: &mut Frame, a: (f32, f32), b: (f32, f32), width: f32, valu
     }
 }
 
+#[allow(clippy::too_many_arguments)] // private raster helper: a bounding box + wave parameters
 fn apply_texture(
     f: &mut Frame,
     x0: f32,

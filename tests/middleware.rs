@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use darnet::collect::live::run_live_session;
 use darnet::collect::runtime::{run_campaign, run_session, CampaignConfig};
-use darnet::collect::{ClockConfig, ControllerConfig, LinkConfig};
+use darnet::collect::{ClockConfig, ControllerConfig, LinkConfig, RetransmitConfig};
 use darnet::core::experiment::{run_ablation_clocksync, ExperimentConfig};
 use darnet::sim::{Behavior, DrivingWorld, Segment, WorldConfig};
 
@@ -46,11 +46,14 @@ fn grid_density_matches_configured_rate() {
 
 #[test]
 fn harsh_network_still_produces_aligned_output() {
-    let mut config = CampaignConfig::default();
-    config.link = LinkConfig {
-        base_latency: 0.05,
-        jitter: 0.08,
-        loss: 0.3,
+    let config = CampaignConfig {
+        link: LinkConfig {
+            base_latency: 0.05,
+            jitter: 0.08,
+            loss: 0.3,
+            ..LinkConfig::default()
+        },
+        ..CampaignConfig::default()
     };
     let rec = run_session(&world(), 0, &script(8.0), &config).unwrap();
     assert!(!rec.imu.is_empty());
@@ -60,10 +63,12 @@ fn harsh_network_still_produces_aligned_output() {
 
 #[test]
 fn terrible_clocks_are_tamed_by_sync() {
-    let mut config = CampaignConfig::default();
-    config.clock = ClockConfig {
-        max_initial_offset: 2.0,
-        max_drift: 2e-3, // 2000 ppm — an awful oscillator
+    let config = CampaignConfig {
+        clock: ClockConfig {
+            max_initial_offset: 2.0,
+            max_drift: 2e-3, // 2000 ppm — an awful oscillator
+        },
+        ..CampaignConfig::default()
     };
     let rec = run_session(&world(), 0, &script(8.0), &config).unwrap();
     // With the 5 s sync protocol the residual error stays bounded by
@@ -102,11 +107,17 @@ fn total_camera_outage_still_yields_imu_stream() {
     // (loss = 1.0 on both links would starve everything, so model the
     // outage as extreme loss — a few frames may straggle through, most
     // don't). The IMU path must keep producing an aligned stream.
-    let mut config = CampaignConfig::default();
-    config.link = LinkConfig {
-        base_latency: 0.015,
-        jitter: 0.01,
-        loss: 0.95,
+    // An outage is unrecoverable: run the fire-and-forget transport so the
+    // dead link shows up as gaps instead of being healed by retries.
+    let config = CampaignConfig {
+        link: LinkConfig {
+            base_latency: 0.015,
+            jitter: 0.01,
+            loss: 0.95,
+            ..LinkConfig::default()
+        },
+        retransmit: RetransmitConfig::disabled(),
+        ..CampaignConfig::default()
     };
     let rec = run_session(&world(), 0, &script(8.0), &config).unwrap();
     let healthy = run_session(&world(), 0, &script(8.0), &CampaignConfig::default()).unwrap();

@@ -1,0 +1,154 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the API slice the DarNet benches use — `Criterion`,
+//! `bench_function`, `benchmark_group`/`sample_size`/`finish`, `Bencher::
+//! iter`, `black_box`, and the `criterion_group!`/`criterion_main!` macros
+//! — with a simple wall-clock measurement loop (median of N samples, each
+//! sample timing a small batch of iterations). No statistics engine, no
+//! HTML reports; results print as `name ... time: [median ns/iter]`.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Runs closures under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, recording the median time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch-size calibration: aim for ~1 ms per sample.
+        let start = Instant::now();
+        black_box(f());
+        let once_ns = start.elapsed().as_nanos().max(1) as f64;
+        let batch = ((1_000_000.0 / once_ns) as u64).clamp(1, 10_000);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per_iter.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.last_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// Top-level bench driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: samples.max(3),
+        last_ns: 0.0,
+    };
+    f(&mut b);
+    println!("{name:<50} time: [{}/iter]", human(b.last_ns));
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self {
+        run_one(name.as_ref(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-bench sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function calling each target with one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_positive_time() {
+        let mut c = Criterion::default();
+        c.bench_function("noop-ish", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+}

@@ -1,0 +1,103 @@
+//! Offline stub of `crossbeam`.
+//!
+//! Provides `crossbeam::channel::{bounded, unbounded, Sender, Receiver}`
+//! backed by `std::sync::mpsc`. The std sender is wrapped so that `Sender`
+//! is `Clone + Send` like crossbeam's, and the receiver supports blocking
+//! iteration (`for msg in rx`), which is all the live collection mode uses.
+
+/// MPMC-ish channels (MPSC here — DarNet uses one consumer).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a channel.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Error returned when the receiving side has hung up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> Sender<T> {
+        /// Blocking send; errors if the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// Receiving half of a channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; errors when all senders are gone.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Blocking iterator over received messages.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+
+    #[test]
+    fn bounded_channel_roundtrip_and_hangup() {
+        let (tx, rx) = bounded::<u32>(4);
+        let tx2 = tx.clone();
+        std::thread::spawn(move || {
+            for i in 0..3 {
+                tx.send(i).unwrap();
+            }
+        });
+        std::thread::spawn(move || {
+            tx2.send(99).unwrap();
+        });
+        let mut got: Vec<u32> = rx.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 99]);
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stub of `serde`.
+//!
+//! The container this repository builds in has no network access and no
+//! crates-io mirror, so the real serde cannot be fetched. The codebase uses
+//! `#[derive(Serialize, Deserialize)]` purely as a declaration of intent
+//! (model persistence goes through a custom binary format in
+//! `darnet-core::model_io`), so marker traits plus no-op derives are
+//! sufficient to compile everything.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Blanket impls so generic bounds, if ever written, are satisfiable.
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

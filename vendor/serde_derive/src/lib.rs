@@ -1,0 +1,20 @@
+//! Offline stub of `serde_derive`.
+//!
+//! This repository builds in an air-gapped container, so the real serde
+//! derive machinery is unavailable. The codebase only uses
+//! `#[derive(Serialize, Deserialize)]` as documentation of intent — nothing
+//! actually serializes through serde — so the derives expand to nothing.
+//! The `serde` helper attribute is still registered so field/container
+//! attributes parse.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
