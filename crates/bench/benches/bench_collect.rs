@@ -84,5 +84,11 @@ fn bench_tsdb(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ingest, bench_alignment, bench_clock, bench_tsdb);
+criterion_group!(
+    benches,
+    bench_ingest,
+    bench_alignment,
+    bench_clock,
+    bench_tsdb
+);
 criterion_main!(benches);

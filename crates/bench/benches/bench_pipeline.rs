@@ -39,7 +39,12 @@ fn engine() -> AnalyticsEngine {
             &[0, 1, 2, 3, 4, 5],
         )
         .unwrap();
-    AnalyticsEngine::new(cnn, ImuModelSlot::Rnn(rnn), combiner, EngineConfig::default())
+    AnalyticsEngine::new(
+        cnn,
+        ImuModelSlot::Rnn(rnn),
+        combiner,
+        EngineConfig::default(),
+    )
 }
 
 fn bench_step(c: &mut Criterion) {

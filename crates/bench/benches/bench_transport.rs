@@ -45,9 +45,8 @@ fn bench_ingest_under_loss(c: &mut Criterion) {
     for loss_pct in [0u32, 5, 20] {
         let loss = loss_pct as f64 / 100.0;
         group.bench_function(format!("reliable transport, {loss_pct}% loss"), |bench| {
-            bench.iter(|| {
-                black_box(run_session(&world, 0, &sched, &config_at(loss, true)).unwrap())
-            })
+            bench
+                .iter(|| black_box(run_session(&world, 0, &sched, &config_at(loss, true)).unwrap()))
         });
         group.bench_function(format!("fire-and-forget, {loss_pct}% loss"), |bench| {
             bench.iter(|| {

@@ -8,8 +8,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = experiment_config();
     let ab = run_ablation_clocksync(&config)?;
     header("Ablation: clock synchronization (max agent timestamp error)");
-    println!("{:<24} {:>12.1} ms", "5 s sync (paper)", ab.max_error_synced * 1000.0);
-    println!("{:<24} {:>12.1} ms", "sync disabled", ab.max_error_unsynced * 1000.0);
+    println!(
+        "{:<24} {:>12.1} ms",
+        "5 s sync (paper)",
+        ab.max_error_synced * 1000.0
+    );
+    println!(
+        "{:<24} {:>12.1} ms",
+        "sync disabled",
+        ab.max_error_unsynced * 1000.0
+    );
     println!(
         "\nwithout sync, timestamps drift {:.0}x further from controller time",
         ab.max_error_unsynced / ab.max_error_synced.max(1e-9)

@@ -10,9 +10,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = privacy_config();
     let ab = run_ablation_distill(&config, PrivacyLevel::Low)?;
     header("Ablation: dCNN training strategy at dCNN-L (eval Top-1)");
-    println!("{:<40} {:>10}", "teacher, full resolution", pct(ab.teacher_full));
-    println!("{:<40} {:>10}", "teacher applied to distorted frames", pct(ab.teacher_distorted));
-    println!("{:<40} {:>10}", "supervised on distorted frames", pct(ab.supervised));
-    println!("{:<40} {:>10}", "distilled (paper §4.3, label-free)", pct(ab.distilled));
+    println!(
+        "{:<40} {:>10}",
+        "teacher, full resolution",
+        pct(ab.teacher_full)
+    );
+    println!(
+        "{:<40} {:>10}",
+        "teacher applied to distorted frames",
+        pct(ab.teacher_distorted)
+    );
+    println!(
+        "{:<40} {:>10}",
+        "supervised on distorted frames",
+        pct(ab.supervised)
+    );
+    println!(
+        "{:<40} {:>10}",
+        "distilled (paper §4.3, label-free)",
+        pct(ab.distilled)
+    );
     Ok(())
 }

@@ -9,7 +9,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = experiment_config();
     let ab = run_ablation_pretrain(&config)?;
     header("Ablation: CNN transfer learning (eval Top-1 at equal fine-tune budget)");
-    println!("{:<28} {:>10}", "pre-trained + fine-tuned", pct(ab.pretrained));
+    println!(
+        "{:<28} {:>10}",
+        "pre-trained + fine-tuned",
+        pct(ab.pretrained)
+    );
     println!("{:<28} {:>10}", "from scratch", pct(ab.from_scratch));
     Ok(())
 }

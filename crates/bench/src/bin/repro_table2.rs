@@ -10,11 +10,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Table 2: Ensemble model Top-1 classification results");
     let report = run_table2(&config)?;
     println!("{:<10} {:>10} {:>12}", "Model", "Hit@1", "(paper)");
-    println!("{:<10} {:>10} {:>12}", "CNN+RNN", pct(report.top1_cnn_rnn), "87.02%");
-    println!("{:<10} {:>10} {:>12}", "CNN+SVM", pct(report.top1_cnn_svm), "86.23%");
-    println!("{:<10} {:>10} {:>12}", "CNN", pct(report.top1_cnn), "73.88%");
+    println!(
+        "{:<10} {:>10} {:>12}",
+        "CNN+RNN",
+        pct(report.top1_cnn_rnn),
+        "87.02%"
+    );
+    println!(
+        "{:<10} {:>10} {:>12}",
+        "CNN+SVM",
+        pct(report.top1_cnn_svm),
+        "86.23%"
+    );
+    println!(
+        "{:<10} {:>10} {:>12}",
+        "CNN",
+        pct(report.top1_cnn),
+        "73.88%"
+    );
     header("IMU stream alone (3 classes, §5.2)");
-    println!("{:<10} {:>10} {:>12}", "RNN", pct(report.imu_rnn_top1), "97.44%");
-    println!("{:<10} {:>10} {:>12}", "SVM", pct(report.imu_svm_top1), "95.37%");
+    println!(
+        "{:<10} {:>10} {:>12}",
+        "RNN",
+        pct(report.imu_rnn_top1),
+        "97.44%"
+    );
+    println!(
+        "{:<10} {:>10} {:>12}",
+        "SVM",
+        pct(report.imu_svm_top1),
+        "95.37%"
+    );
     Ok(())
 }

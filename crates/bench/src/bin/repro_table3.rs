@@ -14,7 +14,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let report = run_table3(&config)?;
     println!("{:<10} {:>10} {:>12}", "Model", "Hit@1", "(paper)");
-    println!("{:<10} {:>10} {:>12}", "CNN", pct(report.cnn_top1), "78.87%");
+    println!(
+        "{:<10} {:>10} {:>12}",
+        "CNN",
+        pct(report.cnn_top1),
+        "78.87%"
+    );
     let paper = ["80.00%", "77.78%", "63.13%"];
     for ((level, acc), p) in report.dcnn_top1.iter().zip(paper) {
         println!("{:<10} {:>10} {:>12}", level.model_name(), pct(*acc), p);

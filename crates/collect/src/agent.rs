@@ -475,7 +475,10 @@ mod tests {
             let due = agent.due_retransmits(t).unwrap();
             assert_eq!(due.len(), 1);
             let next = agent.next_deadline().unwrap();
-            assert!((next - (t + expected_rto)).abs() < 1e-9, "next {next} t {t}");
+            assert!(
+                (next - (t + expected_rto)).abs() < 1e-9,
+                "next {next} t {t}"
+            );
             t = next;
             expected_rto *= 2.0;
         }

@@ -120,8 +120,20 @@ mod tests {
 
     #[test]
     fn degenerate_grid_is_empty() {
-        assert!(GridSpec { start: 1.0, end: 0.0, hz: 4.0 }.points().is_empty());
-        assert!(GridSpec { start: 0.0, end: 1.0, hz: 0.0 }.points().is_empty());
+        assert!(GridSpec {
+            start: 1.0,
+            end: 0.0,
+            hz: 4.0
+        }
+        .points()
+        .is_empty());
+        assert!(GridSpec {
+            start: 0.0,
+            end: 1.0,
+            hz: 0.0
+        }
+        .points()
+        .is_empty());
     }
 
     #[test]
@@ -131,7 +143,11 @@ mod tests {
             .iter()
             .map(|&t| (t, vec![2.0 * t as f32]))
             .collect();
-        let grid = GridSpec { start: 0.0, end: 1.0, hz: 10.0 };
+        let grid = GridSpec {
+            start: 0.0,
+            end: 1.0,
+            hz: 10.0,
+        };
         let out = interpolate_grid(&obs, &grid);
         for (i, v) in out.iter().enumerate() {
             let t = i as f32 * 0.1;
@@ -145,14 +161,25 @@ mod tests {
             vec![(0.0, vec![0.0]), (0.5, vec![5.0]), (1.0, vec![10.0])];
         let shuffled: Vec<(f64, Vec<f32>)> =
             vec![(1.0, vec![10.0]), (0.0, vec![0.0]), (0.5, vec![5.0])];
-        let grid = GridSpec { start: 0.0, end: 1.0, hz: 4.0 };
-        assert_eq!(interpolate_grid(&sorted, &grid), interpolate_grid(&shuffled, &grid));
+        let grid = GridSpec {
+            start: 0.0,
+            end: 1.0,
+            hz: 4.0,
+        };
+        assert_eq!(
+            interpolate_grid(&sorted, &grid),
+            interpolate_grid(&shuffled, &grid)
+        );
     }
 
     #[test]
     fn interpolation_clamps_outside_span() {
         let obs = vec![(0.5, vec![1.0]), (0.6, vec![2.0])];
-        let grid = GridSpec { start: 0.0, end: 1.0, hz: 2.0 };
+        let grid = GridSpec {
+            start: 0.0,
+            end: 1.0,
+            hz: 2.0,
+        };
         let out = interpolate_grid(&obs, &grid);
         assert_eq!(out[0], vec![1.0]); // before the first observation
         assert_eq!(out[2], vec![2.0]); // after the last
@@ -161,7 +188,11 @@ mod tests {
     #[test]
     fn interpolation_is_multichannel() {
         let obs = vec![(0.0, vec![0.0, 10.0]), (1.0, vec![1.0, 0.0])];
-        let grid = GridSpec { start: 0.5, end: 0.5, hz: 1.0 };
+        let grid = GridSpec {
+            start: 0.5,
+            end: 0.5,
+            hz: 1.0,
+        };
         let out = interpolate_grid(&obs, &grid);
         assert_eq!(out.len(), 1);
         assert!((out[0][0] - 0.5).abs() < 1e-6);
@@ -174,7 +205,11 @@ mod tests {
         let obs: Vec<(f64, Vec<f32>)> = (0..20)
             .map(|i| (i as f64 * 0.1, vec![((i * 7) % 5) as f32]))
             .collect();
-        let grid = GridSpec { start: 0.0, end: 1.9, hz: 13.0 };
+        let grid = GridSpec {
+            start: 0.0,
+            end: 1.9,
+            hz: 13.0,
+        };
         let out = interpolate_grid(&obs, &grid);
         for v in out {
             assert!(v[0] >= 0.0 && v[0] <= 4.0);

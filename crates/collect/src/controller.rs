@@ -364,7 +364,12 @@ mod tests {
         let aligned = c.aligned_imu().unwrap();
         assert_eq!(aligned.len(), 5); // 0, 0.25, 0.5, 0.75, 1.0
         for p in &aligned {
-            assert!((p.features[0] as f64 - p.t).abs() < 1e-3, "t={} f={}", p.t, p.features[0]);
+            assert!(
+                (p.features[0] as f64 - p.t).abs() < 1e-3,
+                "t={} f={}",
+                p.t,
+                p.features[0]
+            );
         }
     }
 

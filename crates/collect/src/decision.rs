@@ -143,8 +143,17 @@ mod tests {
 
     #[test]
     fn good_network_processes_remotely_at_full_resolution() {
-        let site = decide_processing(&good_link(), &SiteCapabilities::default(), PrivacyPreference::None);
-        assert_eq!(site, ProcessingSite::Remote { distortion_divisor: 1 });
+        let site = decide_processing(
+            &good_link(),
+            &SiteCapabilities::default(),
+            PrivacyPreference::None,
+        );
+        assert_eq!(
+            site,
+            ProcessingSite::Remote {
+                distortion_divisor: 1
+            }
+        );
     }
 
     #[test]
@@ -154,7 +163,12 @@ mod tests {
             &SiteCapabilities::default(),
             PrivacyPreference::Medium,
         );
-        assert_eq!(site, ProcessingSite::Remote { distortion_divisor: 6 });
+        assert_eq!(
+            site,
+            ProcessingSite::Remote {
+                distortion_divisor: 6
+            }
+        );
     }
 
     #[test]
@@ -203,7 +217,9 @@ mod tests {
         };
         assert_eq!(
             decide_processing(&dead, &caps, PrivacyPreference::None),
-            ProcessingSite::Remote { distortion_divisor: 12 }
+            ProcessingSite::Remote {
+                distortion_divisor: 12
+            }
         );
     }
 
@@ -218,7 +234,9 @@ mod tests {
         };
         assert_eq!(
             decide_processing(&borderline, &caps, PrivacyPreference::None),
-            ProcessingSite::Remote { distortion_divisor: 1 }
+            ProcessingSite::Remote {
+                distortion_divisor: 1
+            }
         );
         let lossy = LinkObservation {
             loss: 0.4,

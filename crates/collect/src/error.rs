@@ -42,6 +42,8 @@ mod tests {
     fn error_is_send_sync_and_displays() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CollectError>();
-        assert!(CollectError::NoData("imu".into()).to_string().contains("imu"));
+        assert!(CollectError::NoData("imu".into())
+            .to_string()
+            .contains("imu"));
     }
 }

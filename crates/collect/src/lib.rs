@@ -55,7 +55,9 @@ pub use clock::{ClockConfig, DriftClock};
 pub use controller::{
     AlignedImuPoint, Controller, ControllerConfig, FrameRecord, IngestOutcome, StreamHealth,
 };
-pub use decision::{decide_processing, LinkObservation, PrivacyPreference, ProcessingSite, SiteCapabilities};
+pub use decision::{
+    decide_processing, LinkObservation, PrivacyPreference, ProcessingSite, SiteCapabilities,
+};
 pub use error::CollectError;
 pub use network::{FaultConfig, Link, LinkConfig, LinkStats};
 pub use sensor::{CameraSensor, ImuSensor, Sensor, SensorReading};

@@ -142,7 +142,12 @@ fn run_live_inner(
 
     let imu_handle = spawn_agent(
         0,
-        Box::new(ImuSensor::new(Arc::clone(world), driver, script.clone(), 0.025)),
+        Box::new(ImuSensor::new(
+            Arc::clone(world),
+            driver,
+            script.clone(),
+            0.025,
+        )),
         DriftClock::new(50e-6, 0.01),
         duration,
         0.5,
@@ -179,7 +184,10 @@ fn run_live_inner(
         controller,
         bytes_transferred,
         batches,
-        transports: [imu_transport, cam_transport].into_iter().flatten().collect(),
+        transports: [imu_transport, cam_transport]
+            .into_iter()
+            .flatten()
+            .collect(),
     })
 }
 

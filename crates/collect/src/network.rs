@@ -331,7 +331,10 @@ mod tests {
         );
         let (iid_run, iid_rate) = run_lengths(iid);
 
-        assert!((burst_rate - iid_rate).abs() < 0.05, "rates {burst_rate} vs {iid_rate}");
+        assert!(
+            (burst_rate - iid_rate).abs() < 0.05,
+            "rates {burst_rate} vs {iid_rate}"
+        );
         assert!(
             burst_run > 2.0 * iid_run,
             "burst mean run {burst_run} vs iid {iid_run}"

@@ -23,9 +23,7 @@ use darnet_tensor::SplitMix64;
 
 use crate::agent::{AgentConfig, CollectionAgent, RetransmitConfig, TransportStats};
 use crate::clock::{ClockConfig, DriftClock};
-use crate::controller::{
-    AlignedImuPoint, Controller, ControllerConfig, FrameRecord, StreamHealth,
-};
+use crate::controller::{AlignedImuPoint, Controller, ControllerConfig, FrameRecord, StreamHealth};
 use crate::network::{Link, LinkConfig, LinkStats};
 use crate::sensor::{CameraSensor, ImuSensor};
 use crate::wire::{decode_ack, decode_batch, encode_ack, encode_batch, Batch};
@@ -121,15 +119,63 @@ pub struct DriverRecording {
     pub transport: SessionTransportReport,
 }
 
+/// One frame paired with the IMU window ending at its timestamp — the
+/// aligned multimodal unit the analytics engine consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignedTuple {
+    /// Frame timestamp, seconds (controller time base).
+    pub t: f64,
+    /// The camera frame.
+    pub frame: darnet_sim::Frame,
+    /// Flattened `[window_len × features]` IMU window, time-major: the
+    /// last `window_len` aligned grid points not after `t`, front-padded
+    /// with the earliest included point when the session is younger than
+    /// the window.
+    pub window: Vec<f32>,
+}
+
+impl DriverRecording {
+    /// Pairs every received frame with its trailing IMU window of
+    /// `window_len` grid points. Frames that precede all IMU data are
+    /// skipped (no context to classify from yet).
+    pub fn aligned_tuples(&self, window_len: usize) -> Vec<AlignedTuple> {
+        let mut tuples = Vec::with_capacity(self.frames.len());
+        if self.imu.is_empty() || window_len == 0 {
+            return tuples;
+        }
+        let features = self.imu[0].features.len();
+        for fr in &self.frames {
+            let hi = self.imu.partition_point(|p| p.t <= fr.t);
+            if hi == 0 {
+                continue;
+            }
+            let lo = hi.saturating_sub(window_len);
+            let mut window = Vec::with_capacity(window_len * features);
+            for _ in 0..window_len - (hi - lo) {
+                window.extend_from_slice(&self.imu[lo].features);
+            }
+            for p in &self.imu[lo..hi] {
+                window.extend_from_slice(&p.features);
+            }
+            tuples.push(AlignedTuple {
+                t: fr.t,
+                frame: fr.frame.clone(),
+                window,
+            });
+        }
+        tuples
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
     PollImu,
     PollCamera,
     Flush(usize), // agent index: 0 = imu, 1 = camera
     Sync,
-    Deliver(u32),                        // delivery id into pending batch storage
+    Deliver(u32),                          // delivery id into pending batch storage
     DeliverAck { agent: usize, seq: u32 }, // controller ack reaching an agent
-    Retry(usize),                        // ack-timeout check for one agent
+    Retry(usize),                          // ack-timeout check for one agent
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -242,8 +288,18 @@ pub fn run_session(
     };
     push(&mut heap, 0.0, EventKind::PollImu, &mut seq);
     push(&mut heap, 0.0, EventKind::PollCamera, &mut seq);
-    push(&mut heap, config.transmit_period, EventKind::Flush(0), &mut seq);
-    push(&mut heap, config.transmit_period, EventKind::Flush(1), &mut seq);
+    push(
+        &mut heap,
+        config.transmit_period,
+        EventKind::Flush(0),
+        &mut seq,
+    );
+    push(
+        &mut heap,
+        config.transmit_period,
+        EventKind::Flush(1),
+        &mut seq,
+    );
     if config.sync_enabled {
         // Startup handshake: when the controller opens the two-way channel
         // it immediately distributes its UTC, so agents begin the session
@@ -278,13 +334,23 @@ pub fn run_session(
                 if t <= session_end {
                     imu_agent.poll(t);
                     max_clock_error = max_clock_error.max(imu_agent.clock_error(t).abs());
-                    push(&mut heap, t + config.imu_period, EventKind::PollImu, &mut seq);
+                    push(
+                        &mut heap,
+                        t + config.imu_period,
+                        EventKind::PollImu,
+                        &mut seq,
+                    );
                 }
             }
             EventKind::PollCamera => {
                 if t <= session_end {
                     cam_agent.poll(t);
-                    push(&mut heap, t + config.camera_period, EventKind::PollCamera, &mut seq);
+                    push(
+                        &mut heap,
+                        t + config.camera_period,
+                        EventKind::PollCamera,
+                        &mut seq,
+                    );
                 }
             }
             EventKind::Flush(which) => {
@@ -306,7 +372,12 @@ pub fn run_session(
                     }
                 }
                 if t <= session_end {
-                    push(&mut heap, t + config.transmit_period, EventKind::Flush(which), &mut seq);
+                    push(
+                        &mut heap,
+                        t + config.transmit_period,
+                        EventKind::Flush(which),
+                        &mut seq,
+                    );
                 }
             }
             EventKind::Sync => {
@@ -348,14 +419,21 @@ pub fn run_session(
                         push(
                             &mut heap,
                             arrival,
-                            EventKind::DeliverAck { agent: agent_idx, seq: ack.seq },
+                            EventKind::DeliverAck {
+                                agent: agent_idx,
+                                seq: ack.seq,
+                            },
                             &mut seq,
                         );
                     }
                 }
             }
             EventKind::DeliverAck { agent, seq: acked } => {
-                let a = if agent == 0 { &mut imu_agent } else { &mut cam_agent };
+                let a = if agent == 0 {
+                    &mut imu_agent
+                } else {
+                    &mut cam_agent
+                };
                 a.handle_ack(acked);
             }
             EventKind::Retry(which) => {
@@ -426,8 +504,18 @@ mod tests {
 
     fn short_schedule() -> Vec<Segment<Behavior>> {
         vec![
-            Segment { driver: 0, behavior: Behavior::NormalDriving, start: 0.0, duration: 5.0 },
-            Segment { driver: 0, behavior: Behavior::Texting, start: 5.0, duration: 5.0 },
+            Segment {
+                driver: 0,
+                behavior: Behavior::NormalDriving,
+                start: 0.0,
+                duration: 5.0,
+            },
+            Segment {
+                driver: 0,
+                behavior: Behavior::Texting,
+                start: 5.0,
+                duration: 5.0,
+            },
         ]
     }
 
@@ -444,6 +532,40 @@ mod tests {
         assert_eq!(rec.driver, 0);
         // Grid is strictly increasing.
         assert!(rec.imu.windows(2).all(|w| w[0].t < w[1].t));
+    }
+
+    #[test]
+    fn aligned_tuples_pair_frames_with_trailing_windows() {
+        let rec = run_session(&world(), 0, &short_schedule(), &CampaignConfig::default()).unwrap();
+        let window_len = 20;
+        let features = rec.imu[0].features.len();
+        let tuples = rec.aligned_tuples(window_len);
+        assert!(!tuples.is_empty());
+        assert!(tuples.len() <= rec.frames.len());
+        for tup in &tuples {
+            assert_eq!(tup.window.len(), window_len * features);
+            // The window ends at the last grid point not after the frame.
+            let hi = rec.imu.partition_point(|p| p.t <= tup.t);
+            let last = &rec.imu[hi - 1];
+            assert_eq!(
+                &tup.window[(window_len - 1) * features..],
+                &last.features[..]
+            );
+        }
+        // Early frames (grid younger than the window) are front-padded
+        // with a repeated earliest point, never zeros.
+        let first = &tuples[0];
+        assert_eq!(
+            &first.window[..features],
+            &first.window[features..2 * features]
+        );
+        // Degenerate inputs produce no tuples rather than panicking.
+        assert!(rec.aligned_tuples(0).is_empty());
+        let empty = DriverRecording {
+            imu: Vec::new(),
+            ..rec.clone()
+        };
+        assert!(empty.aligned_tuples(window_len).is_empty());
     }
 
     #[test]
@@ -474,8 +596,8 @@ mod tests {
         };
         let rec = run_session(&world(), 0, &short_schedule(), &config).unwrap();
         // Initial offset up to 0.25 s is never corrected.
-        let synced = run_session(&world(), 0, &short_schedule(), &CampaignConfig::default())
-            .unwrap();
+        let synced =
+            run_session(&world(), 0, &short_schedule(), &CampaignConfig::default()).unwrap();
         assert!(rec.max_clock_error > synced.max_clock_error);
     }
 
@@ -487,8 +609,8 @@ mod tests {
         config.link.loss = 0.2;
         config.retransmit = RetransmitConfig::disabled();
         let rec = run_session(&world(), 0, &short_schedule(), &config).unwrap();
-        let lossless = run_session(&world(), 0, &short_schedule(), &CampaignConfig::default())
-            .unwrap();
+        let lossless =
+            run_session(&world(), 0, &short_schedule(), &CampaignConfig::default()).unwrap();
         // Fewer frames arrive, but the pipeline interpolates through gaps.
         assert!(rec.frames.len() < lossless.frames.len());
         assert!(!rec.imu.is_empty());
@@ -524,10 +646,13 @@ mod tests {
         assert_eq!(rec.transport.camera.abandoned, 0);
         assert_eq!(rec.transport.imu_stream.unwrap().gaps, 0);
         assert_eq!(rec.transport.camera_stream.unwrap().gaps, 0);
-        assert!(rec.transport.imu.retransmits > 0, "blackout must force retries");
+        assert!(
+            rec.transport.imu.retransmits > 0,
+            "blackout must force retries"
+        );
         // And the recovered recording matches a lossless run's volume.
-        let lossless = run_session(&world(), 0, &short_schedule(), &CampaignConfig::default())
-            .unwrap();
+        let lossless =
+            run_session(&world(), 0, &short_schedule(), &CampaignConfig::default()).unwrap();
         assert_eq!(rec.frames.len(), lossless.frames.len());
     }
 
@@ -547,13 +672,19 @@ mod tests {
         let mut config = CampaignConfig::default();
         config.link.faults.duplicate = 0.5;
         let rec = run_session(&world(), 0, &short_schedule(), &config).unwrap();
-        let clean = run_session(&world(), 0, &short_schedule(), &CampaignConfig::default())
-            .unwrap();
+        let clean =
+            run_session(&world(), 0, &short_schedule(), &CampaignConfig::default()).unwrap();
         assert_eq!(rec.frames.len(), clean.frames.len());
-        assert_eq!(rec.transport.readings_ingested, clean.transport.readings_ingested);
+        assert_eq!(
+            rec.transport.readings_ingested,
+            clean.transport.readings_ingested
+        );
         let dups = rec.transport.imu_stream.unwrap().duplicates
             + rec.transport.camera_stream.unwrap().duplicates;
-        assert!(dups > 0, "50% duplication should produce duplicate deliveries");
+        assert!(
+            dups > 0,
+            "50% duplication should produce duplicate deliveries"
+        );
     }
 
     #[test]

@@ -164,9 +164,24 @@ mod tests {
 
     fn script() -> Vec<Segment<Behavior>> {
         vec![
-            Segment { driver: 0, behavior: Behavior::NormalDriving, start: 0.0, duration: 15.0 },
-            Segment { driver: 0, behavior: Behavior::Texting, start: 15.0, duration: 15.0 },
-            Segment { driver: 0, behavior: Behavior::Talking, start: 30.0, duration: 15.0 },
+            Segment {
+                driver: 0,
+                behavior: Behavior::NormalDriving,
+                start: 0.0,
+                duration: 15.0,
+            },
+            Segment {
+                driver: 0,
+                behavior: Behavior::Texting,
+                start: 15.0,
+                duration: 15.0,
+            },
+            Segment {
+                driver: 0,
+                behavior: Behavior::Talking,
+                start: 30.0,
+                duration: 15.0,
+            },
         ]
     }
 

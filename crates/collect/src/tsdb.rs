@@ -342,7 +342,9 @@ mod tests {
         let out = db.rollup("m", 0.0, 30.0, 10.0, Aggregation::Mean).unwrap();
         assert_eq!(out.len(), 2);
         assert!(db.rollup("m", 0.0, 1.0, 0.0, Aggregation::Mean).is_err());
-        assert!(db.rollup("absent", 0.0, 1.0, 1.0, Aggregation::Mean).is_err());
+        assert!(db
+            .rollup("absent", 0.0, 1.0, 1.0, Aggregation::Mean)
+            .is_err());
     }
 
     #[test]

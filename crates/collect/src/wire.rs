@@ -157,7 +157,9 @@ pub fn decode_batch(mut data: Bytes) -> Result<Batch> {
                 SensorReading::Frame(Frame::from_pixels(w, h, pixels))
             }
             other => {
-                return Err(CollectError::Decode(format!("unknown reading kind {other}")));
+                return Err(CollectError::Decode(format!(
+                    "unknown reading kind {other}"
+                )));
             }
         };
         readings.push(StampedReading { timestamp, reading });
@@ -443,7 +445,10 @@ mod tests {
         };
         let bytes = encode_batch(&batch);
         let truncated = bytes.slice(0..bytes.len() - 4);
-        assert!(matches!(decode_batch(truncated), Err(CollectError::Decode(_))));
+        assert!(matches!(
+            decode_batch(truncated),
+            Err(CollectError::Decode(_))
+        ));
         assert!(matches!(
             decode_batch(Bytes::from_static(b"xx")),
             Err(CollectError::Decode(_))

@@ -125,8 +125,18 @@ mod transport_props {
 
     fn schedule() -> Vec<Segment<Behavior>> {
         vec![
-            Segment { driver: 0, behavior: Behavior::NormalDriving, start: 0.0, duration: 2.0 },
-            Segment { driver: 0, behavior: Behavior::Texting, start: 2.0, duration: 2.0 },
+            Segment {
+                driver: 0,
+                behavior: Behavior::NormalDriving,
+                start: 0.0,
+                duration: 2.0,
+            },
+            Segment {
+                driver: 0,
+                behavior: Behavior::Texting,
+                start: 2.0,
+                duration: 2.0,
+            },
         ]
     }
 

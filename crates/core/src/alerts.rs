@@ -136,8 +136,14 @@ mod tests {
     #[test]
     fn alert_fires_after_sustained_distraction() {
         let mut tracker = AlertTracker::new(AlertPolicy::default());
-        assert_eq!(tracker.observe(&step(Behavior::Texting, 0.9)), AlertEvent::None);
-        assert_eq!(tracker.observe(&step(Behavior::Texting, 0.9)), AlertEvent::None);
+        assert_eq!(
+            tracker.observe(&step(Behavior::Texting, 0.9)),
+            AlertEvent::None
+        );
+        assert_eq!(
+            tracker.observe(&step(Behavior::Texting, 0.9)),
+            AlertEvent::None
+        );
         assert_eq!(
             tracker.observe(&step(Behavior::Texting, 0.9)),
             AlertEvent::Raised(Behavior::Texting)
@@ -150,9 +156,18 @@ mod tests {
     fn single_blips_do_not_alert() {
         let mut tracker = AlertTracker::new(AlertPolicy::default());
         for _ in 0..10 {
-            assert_eq!(tracker.observe(&step(Behavior::Talking, 0.9)), AlertEvent::None);
-            assert_eq!(tracker.observe(&step(Behavior::Talking, 0.9)), AlertEvent::None);
-            assert_eq!(tracker.observe(&step(Behavior::NormalDriving, 0.9)), AlertEvent::None);
+            assert_eq!(
+                tracker.observe(&step(Behavior::Talking, 0.9)),
+                AlertEvent::None
+            );
+            assert_eq!(
+                tracker.observe(&step(Behavior::Talking, 0.9)),
+                AlertEvent::None
+            );
+            assert_eq!(
+                tracker.observe(&step(Behavior::NormalDriving, 0.9)),
+                AlertEvent::None
+            );
         }
         assert_eq!(tracker.raised_total(), 0);
     }
@@ -175,7 +190,10 @@ mod tests {
         }
         assert!(tracker.active().is_some());
         for _ in 0..3 {
-            assert_eq!(tracker.observe(&step(Behavior::NormalDriving, 0.8)), AlertEvent::None);
+            assert_eq!(
+                tracker.observe(&step(Behavior::NormalDriving, 0.8)),
+                AlertEvent::None
+            );
         }
         assert_eq!(
             tracker.observe(&step(Behavior::NormalDriving, 0.8)),

@@ -6,9 +6,7 @@
 //! (5 seconds, §4.2).
 
 use darnet_collect::runtime::DriverRecording;
-use darnet_sim::{
-    Behavior, DrivingWorld, ExtendedBehavior, Frame, ImuClass, Segment,
-};
+use darnet_sim::{Behavior, DrivingWorld, ExtendedBehavior, Frame, ImuClass, Segment};
 use darnet_tensor::{SplitMix64, Tensor};
 
 use crate::error::CoreError;
@@ -94,40 +92,25 @@ impl MultimodalDataset {
                 .copied()
                 .collect();
             script.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite starts"));
-            if rec.imu.is_empty() {
-                continue;
-            }
-            for fr in &rec.frames {
+            // The collect pipeline owns frame↔window pairing; the dataset
+            // adds ground-truth labels from the schedule on top.
+            for tup in rec.aligned_tuples(WINDOW_LEN) {
                 if frame_size == 0 {
-                    frame_size = fr.frame.width();
+                    frame_size = tup.frame.width();
                 }
-                if fr.frame.width() != frame_size || fr.frame.height() != frame_size {
+                if tup.frame.width() != frame_size || tup.frame.height() != frame_size {
                     return Err(CoreError::Dataset(format!(
                         "inconsistent frame size {}x{} (expected {frame_size})",
-                        fr.frame.width(),
-                        fr.frame.height()
+                        tup.frame.width(),
+                        tup.frame.height()
                     )));
                 }
-                // Grid points with t <= frame time.
-                let hi = rec.imu.partition_point(|p| p.t <= fr.t);
-                if hi == 0 {
-                    continue; // no IMU context yet
-                }
-                let lo = hi.saturating_sub(WINDOW_LEN);
-                let mut window = Vec::with_capacity(WINDOW_LEN * IMU_FEATURES);
-                let missing = WINDOW_LEN - (hi - lo);
-                for _ in 0..missing {
-                    window.extend_from_slice(&rec.imu[lo].features);
-                }
-                for p in &rec.imu[lo..hi] {
-                    window.extend_from_slice(&p.features);
-                }
                 samples.push(MultimodalSample {
-                    t: fr.t,
+                    t: tup.t,
                     driver: rec.driver,
-                    behavior: label_at(&script, fr.t),
-                    frame: fr.frame.clone(),
-                    imu_window: window,
+                    behavior: label_at(&script, tup.t),
+                    frame: tup.frame,
+                    imu_window: tup.window,
                 });
             }
         }
@@ -286,7 +269,11 @@ impl Standardizer {
         }
         let mut var = vec![0.0f32; f];
         for r in 0..rows {
-            for ((s, &v), &m) in var.iter_mut().zip(&data.data()[r * f..(r + 1) * f]).zip(&mean) {
+            for ((s, &v), &m) in var
+                .iter_mut()
+                .zip(&data.data()[r * f..(r + 1) * f])
+                .zip(&mean)
+            {
                 *s += (v - m) * (v - m);
             }
         }
@@ -442,7 +429,11 @@ impl ExtendedFrameDataset {
     /// study evaluates generalization across its 10 participants; holding
     /// out whole drivers exposes the teacher's identity overfitting that
     /// §5.3 hypothesizes (and that down-sampling removes).
-    pub fn split_by_driver(&self, holdout_mod: usize, holdout_rem: usize) -> (ExtendedFrameDataset, ExtendedFrameDataset) {
+    pub fn split_by_driver(
+        &self,
+        holdout_mod: usize,
+        holdout_rem: usize,
+    ) -> (ExtendedFrameDataset, ExtendedFrameDataset) {
         let take = |want_eval: bool| {
             let ids: Vec<usize> = (0..self.len())
                 .filter(|&i| (self.drivers[i] % holdout_mod == holdout_rem) == want_eval)
@@ -462,7 +453,11 @@ impl ExtendedFrameDataset {
     /// # Panics
     ///
     /// Panics if `train_frac` is not within `(0, 1)`.
-    pub fn split(&self, train_frac: f64, seed: u64) -> (ExtendedFrameDataset, ExtendedFrameDataset) {
+    pub fn split(
+        &self,
+        train_frac: f64,
+        seed: u64,
+    ) -> (ExtendedFrameDataset, ExtendedFrameDataset) {
         assert!(train_frac > 0.0 && train_frac < 1.0);
         let mut idx: Vec<usize> = (0..self.len()).collect();
         let mut rng = SplitMix64::new(seed);
@@ -527,15 +522,30 @@ pub fn frames_to_tensor(frames: &[Frame]) -> Result<Tensor> {
 mod tests {
     use super::*;
     use darnet_collect::runtime::{run_campaign, CampaignConfig};
-    use darnet_sim::{WorldConfig};
+    use darnet_sim::WorldConfig;
     use std::sync::Arc;
 
     fn tiny_campaign() -> (Vec<DriverRecording>, Vec<Segment<Behavior>>) {
         let world = Arc::new(DrivingWorld::new(WorldConfig::default()));
         let segments = vec![
-            Segment { driver: 0, behavior: Behavior::NormalDriving, start: 0.0, duration: 6.0 },
-            Segment { driver: 0, behavior: Behavior::Texting, start: 6.0, duration: 6.0 },
-            Segment { driver: 0, behavior: Behavior::Talking, start: 12.0, duration: 6.0 },
+            Segment {
+                driver: 0,
+                behavior: Behavior::NormalDriving,
+                start: 0.0,
+                duration: 6.0,
+            },
+            Segment {
+                driver: 0,
+                behavior: Behavior::Texting,
+                start: 6.0,
+                duration: 6.0,
+            },
+            Segment {
+                driver: 0,
+                behavior: Behavior::Talking,
+                start: 12.0,
+                duration: 6.0,
+            },
         ];
         let recs = run_campaign(&world, &segments, &CampaignConfig::default()).unwrap();
         (recs, segments)

@@ -3,7 +3,7 @@
 //! at each time-step for near-real-time detection.
 
 use darnet_sim::{Behavior, Frame};
-use darnet_tensor::Tensor;
+use darnet_tensor::{Parallelism, Tensor};
 
 use crate::dataset::{frames_to_tensor, IMU_FEATURES, WINDOW_LEN};
 use crate::ensemble::{imu_index_of, product_combine, BayesianCombiner, CombinerKind};
@@ -105,6 +105,7 @@ pub struct AnalyticsEngine {
     downsampler: Downsampler,
     students: Vec<(PrivacyLevel, FrameCnn)>,
     fallbacks: FallbackCounters,
+    parallelism: Parallelism,
 }
 
 impl AnalyticsEngine {
@@ -124,6 +125,22 @@ impl AnalyticsEngine {
             downsampler: Downsampler::new(full),
             students: Vec::new(),
             fallbacks: FallbackCounters::default(),
+            parallelism: Parallelism::serial(),
+        }
+    }
+
+    /// Installs a [`Parallelism`] handle: every model's tensor products
+    /// fan out across its threads, and a non-serial handle additionally
+    /// runs the CNN and IMU branches of [`AnalyticsEngine::classify_batch`]
+    /// concurrently.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.parallelism = par;
+        self.cnn.set_parallelism(par);
+        if let ImuModelSlot::Rnn(m) = &mut self.imu {
+            m.set_parallelism(par);
+        }
+        for (_, student) in &mut self.students {
+            student.set_parallelism(par);
         }
     }
 
@@ -133,7 +150,8 @@ impl AnalyticsEngine {
     }
 
     /// Registers a distilled dCNN student for a privacy level.
-    pub fn register_dcnn(&mut self, level: PrivacyLevel, student: FrameCnn) {
+    pub fn register_dcnn(&mut self, level: PrivacyLevel, mut student: FrameCnn) {
+        student.set_parallelism(self.parallelism);
         self.students.retain(|(l, _)| *l != level);
         self.students.push((level, student));
     }
@@ -320,6 +338,81 @@ impl AnalyticsEngine {
         self.classify_with_cnn_probs(cnn_probs, window)
     }
 
+    /// Classifies a batch of aligned time-steps in one pass: `frames[i]`
+    /// pairs with window `i` of the `[n, WINDOW_LEN, IMU_FEATURES]`
+    /// tensor. Each item's result is identical to what
+    /// [`AnalyticsEngine::classify_step`] would produce for it alone; the
+    /// batch amortizes the per-call model overhead, and a non-serial
+    /// [`Parallelism`] handle runs the CNN and IMU branches on concurrent
+    /// threads before the combiner joins them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors; returns a dataset error when the window
+    /// count does not match the frame count.
+    pub fn classify_batch(
+        &mut self,
+        frames: &[Frame],
+        windows: &Tensor,
+    ) -> Result<Vec<StepClassification>> {
+        let n = frames.len();
+        if windows.dims() != [n, WINDOW_LEN, IMU_FEATURES] {
+            return Err(CoreError::Dataset(format!(
+                "expected [{n}, {WINDOW_LEN}, {IMU_FEATURES}] windows, got {:?}",
+                windows.dims()
+            )));
+        }
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let frame_tensor = frames_to_tensor(frames)?;
+        let (cnn_probs, imu_probs) = self.predict_branches(&frame_tensor, windows)?;
+        let classes = cnn_probs.dims()[1];
+        let imu_classes = imu_probs.dims()[1];
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let cp = cnn_probs.data()[i * classes..(i + 1) * classes].to_vec();
+            let ip = imu_probs.data()[i * imu_classes..(i + 1) * imu_classes].to_vec();
+            let scores = self.fuse(&cp, &ip)?;
+            out.push(self.decide(scores, cp, ip, FusionSource::Fused, false)?);
+        }
+        Ok(out)
+    }
+
+    /// Runs both model branches over a batch. The CNN and IMU models are
+    /// disjoint engine state, so with a non-serial handle the CNN branch
+    /// gets a scoped worker thread while the IMU branch runs on the
+    /// caller's thread; the join order is fixed, so results are
+    /// deterministic either way.
+    fn predict_branches(
+        &mut self,
+        frame_tensor: &Tensor,
+        windows: &Tensor,
+    ) -> Result<(Tensor, Tensor)> {
+        let AnalyticsEngine {
+            cnn,
+            imu,
+            parallelism,
+            ..
+        } = self;
+        let run_imu = |imu: &mut ImuModelSlot| match imu {
+            ImuModelSlot::Rnn(m) => m.predict_proba(windows),
+            ImuModelSlot::Svm(m) => m.predict_proba(windows),
+        };
+        if parallelism.is_serial() {
+            let cnn_probs = cnn.predict_proba(frame_tensor)?;
+            let imu_probs = run_imu(imu)?;
+            Ok((cnn_probs, imu_probs))
+        } else {
+            let (cnn_probs, imu_probs) = std::thread::scope(|scope| {
+                let cnn_branch = scope.spawn(move || cnn.predict_proba(frame_tensor));
+                let imu_probs = run_imu(imu);
+                (cnn_branch.join().expect("cnn branch panicked"), imu_probs)
+            });
+            Ok((cnn_probs?, imu_probs?))
+        }
+    }
+
     /// Classifies one time-step from a *distorted* frame tagged with its
     /// privacy level (the paper's remote privacy path: "the analytics
     /// engine picks the appropriate classifier").
@@ -408,6 +501,67 @@ mod tests {
     }
 
     #[test]
+    fn classify_batch_matches_per_item_steps() {
+        use darnet_sim::{DriverProfile, FrameRenderer};
+
+        let renderer = FrameRenderer::new(7).with_size(24);
+        let driver = DriverProfile::generate(0, 42);
+        let behaviors = [
+            Behavior::NormalDriving,
+            Behavior::Reaching,
+            Behavior::HairMakeup,
+            Behavior::Talking,
+            Behavior::Texting,
+        ];
+        let frames: Vec<Frame> = behaviors
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| renderer.render(&driver, b, i as f64 * 0.31))
+            .collect();
+        let n = frames.len();
+        let mut windows = Tensor::zeros(&[n, WINDOW_LEN, IMU_FEATURES]);
+        for (i, v) in windows.data_mut().iter_mut().enumerate() {
+            *v = (i % 7) as f32 * 0.1;
+        }
+
+        let mut serial = tiny_engine(CombinerKind::Bayesian);
+        let batch = serial.classify_batch(&frames, &windows).unwrap();
+        assert_eq!(batch.len(), n);
+        assert_eq!(serial.fallback_counters().fused, n as u64);
+
+        // A concurrent engine must produce bitwise-identical results.
+        let mut parallel = tiny_engine(CombinerKind::Bayesian);
+        parallel.set_parallelism(Parallelism::new(4).with_min_work(1));
+        let par_batch = parallel.classify_batch(&frames, &windows).unwrap();
+
+        // And the batch must match per-item classification exactly.
+        let mut single = tiny_engine(CombinerKind::Bayesian);
+        let row = WINDOW_LEN * IMU_FEATURES;
+        for i in 0..n {
+            let w = Tensor::from_vec(
+                windows.data()[i * row..(i + 1) * row].to_vec(),
+                &[1, WINDOW_LEN, IMU_FEATURES],
+            )
+            .unwrap();
+            let step = single.classify_step(&frames[i], &w).unwrap();
+            assert_eq!(batch[i], step, "serial batch item {i} diverged");
+            assert_eq!(par_batch[i], step, "parallel batch item {i} diverged");
+        }
+    }
+
+    #[test]
+    fn classify_batch_rejects_mismatched_windows() {
+        let mut engine = tiny_engine(CombinerKind::Bayesian);
+        let frames = vec![Frame::new(24, 24), Frame::new(24, 24)];
+        let windows = Tensor::zeros(&[3, WINDOW_LEN, IMU_FEATURES]);
+        assert!(engine.classify_batch(&frames, &windows).is_err());
+        assert!(engine
+            .classify_batch(&[], &Tensor::zeros(&[0, WINDOW_LEN, IMU_FEATURES]))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
     fn malformed_window_is_rejected() {
         let mut engine = tiny_engine(CombinerKind::Bayesian);
         let frame = Frame::new(24, 24);
@@ -439,7 +593,9 @@ mod tests {
     fn missing_imu_falls_back_to_cnn_posterior() {
         let mut engine = tiny_engine(CombinerKind::Bayesian);
         let frame = Frame::new(24, 24);
-        let out = engine.classify_step_degraded(Some(&frame), None, false).unwrap();
+        let out = engine
+            .classify_step_degraded(Some(&frame), None, false)
+            .unwrap();
         assert_eq!(out.source, FusionSource::CnnOnly);
         assert_eq!(out.scores, out.cnn_probs);
         assert!(out.imu_probs.is_empty());
@@ -450,7 +606,9 @@ mod tests {
     fn missing_camera_falls_back_to_imu_posterior() {
         let mut engine = tiny_engine(CombinerKind::Bayesian);
         let window = Tensor::zeros(&[1, WINDOW_LEN, IMU_FEATURES]);
-        let out = engine.classify_step_degraded(None, Some(&window), false).unwrap();
+        let out = engine
+            .classify_step_degraded(None, Some(&window), false)
+            .unwrap();
         assert_eq!(out.source, FusionSource::ImuOnly);
         assert!(out.cnn_probs.is_empty());
         assert_eq!(out.scores.len(), 6);
@@ -487,7 +645,11 @@ mod tests {
             gaps: 0,
             last_arrival: 10.0,
         };
-        let imu_health = StreamHealth { agent_id: 0, last_arrival: 29.9, ..camera_health };
+        let imu_health = StreamHealth {
+            agent_id: 0,
+            last_arrival: 29.9,
+            ..camera_health
+        };
         let camera = policy.assess(Some(&camera_health), now);
         let imu = policy.assess(Some(&imu_health), now);
         assert_eq!(camera, ModalityStatus::Unavailable);

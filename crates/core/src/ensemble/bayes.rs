@@ -72,12 +72,7 @@ impl BayesianCombiner {
     /// # Errors
     ///
     /// Returns an error on shape/label mismatches.
-    pub fn fit(
-        &mut self,
-        cnn_probs: &Tensor,
-        imu_probs: &Tensor,
-        labels: &[usize],
-    ) -> Result<()> {
+    pub fn fit(&mut self, cnn_probs: &Tensor, imu_probs: &Tensor, labels: &[usize]) -> Result<()> {
         let n = labels.len();
         if cnn_probs.dims() != [n, self.classes] || imu_probs.dims() != [n, self.imu_classes] {
             return Err(CoreError::Dataset(format!(
@@ -103,9 +98,7 @@ impl BayesianCombiner {
         // Normalize over c for each (a, b) with Laplace smoothing.
         for a in 0..self.classes {
             for b in 0..self.imu_classes {
-                let total: f32 = (0..self.classes)
-                    .map(|c| counts[self.idx(c, a, b)])
-                    .sum();
+                let total: f32 = (0..self.classes).map(|c| counts[self.idx(c, a, b)]).sum();
                 let denom = total + self.alpha * self.classes as f32;
                 for c in 0..self.classes {
                     let i = self.idx(c, a, b);

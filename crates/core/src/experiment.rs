@@ -526,7 +526,10 @@ pub fn run_table3(config: &PrivacyExperimentConfig) -> Result<Table3Report> {
         let acc = student.evaluate(&eval_distorted, eval.labels())? as f64;
         dcnn_top1.push((level, acc));
     }
-    Ok(Table3Report { cnn_top1, dcnn_top1 })
+    Ok(Table3Report {
+        cnn_top1,
+        dcnn_top1,
+    })
 }
 
 /// Regenerates Figure 4: one frame at full resolution and at the three
@@ -897,7 +900,11 @@ mod tests {
         }
         assert_eq!(
             report.total_collected,
-            report.rows.iter().map(|r| r.collected_frames).sum::<usize>()
+            report
+                .rows
+                .iter()
+                .map(|r| r.collected_frames)
+                .sum::<usize>()
         );
     }
 

@@ -27,6 +27,10 @@
 //! * [`AnalyticsEngine`] — the modular per-stream engine that classifies
 //!   at each time-step (§3.3: a 1-to-1 mapping between device data-streams
 //!   and ML models, combined at a later stage).
+//! * [`MicroBatcher`] — the micro-batching front between the collect
+//!   pipeline and the engine: aligned tuples queue and flush on
+//!   batch-size-or-deadline, bounding latency while amortizing per-call
+//!   model overhead (and feeding the parallel backend whole batches).
 //! * [`experiment`] — end-to-end experiment drivers regenerating every
 //!   table and figure (used by the `darnet-bench` binaries).
 
@@ -34,26 +38,27 @@
 #![deny(unsafe_code)]
 
 pub mod alerts;
+pub mod batching;
 pub mod dataset;
 mod engine;
 pub mod ensemble;
 mod error;
-pub mod health;
 pub mod eval;
 pub mod experiment;
+pub mod health;
 pub mod model_io;
 pub mod models;
 pub mod privacy;
 
 pub use alerts::{AlertEvent, AlertPolicy, AlertTracker};
+pub use batching::{MicroBatchConfig, MicroBatcher};
 pub use engine::{
-    AnalyticsEngine, EngineConfig, FallbackCounters, FusionSource, ImuModelSlot,
-    StepClassification,
+    AnalyticsEngine, EngineConfig, FallbackCounters, FusionSource, ImuModelSlot, StepClassification,
 };
 pub use ensemble::{BayesianCombiner, CombinerKind};
-pub use health::{HealthPolicy, ModalityStatus};
 pub use error::CoreError;
 pub use eval::ConfusionMatrix;
+pub use health::{HealthPolicy, ModalityStatus};
 pub use model_io::{decode_tensors, encode_tensors};
 pub use models::{CnnConfig, FrameCnn, ImuRnn, ImuSvm, RnnConfig};
 

@@ -12,7 +12,7 @@ use darnet_nn::{
     softmax, softmax_cross_entropy, AvgPool2d, Conv2d, Dense, Dropout, Flatten, InceptionBlock,
     InceptionChannels, Layer, MaxPool2d, Mode, Optimizer, Relu, Sequential, Sgd,
 };
-use darnet_tensor::{SplitMix64, Tensor};
+use darnet_tensor::{Parallelism, SplitMix64, Tensor};
 
 use crate::Result;
 
@@ -77,7 +77,7 @@ impl FrameCnn {
         features.push(Conv2d::square(1, scaled(8, w), 3, 1, 1, &mut rng));
         features.push(Relu::new());
         features.push(MaxPool2d::new(2, 2)); // 24×24
-        // Inception block A: 8 → 16 channels.
+                                             // Inception block A: 8 → 16 channels.
         let ch_a = InceptionChannels {
             c1: scaled(4, w),
             c3_reduce: scaled(4, w),
@@ -88,7 +88,7 @@ impl FrameCnn {
         };
         features.push(InceptionBlock::new(scaled(8, w), ch_a, &mut rng));
         features.push(MaxPool2d::new(2, 2)); // 12×12
-        // Inception block B: 16 → 24 channels.
+                                             // Inception block B: 16 → 24 channels.
         let ch_b = InceptionChannels {
             c1: scaled(6, w),
             c3_reduce: scaled(6, w),
@@ -99,10 +99,10 @@ impl FrameCnn {
         };
         features.push(InceptionBlock::new(ch_a.total(), ch_b, &mut rng));
         features.push(MaxPool2d::new(2, 2)); // 6×6
-        // Coarse spatial pooling: keep a small spatial layout rather than
-        // full global average pooling (pose classes are distinguished by
-        // *where* activations fire; Inception-V3 affords GAP only because
-        // it carries 2048 channels).
+                                             // Coarse spatial pooling: keep a small spatial layout rather than
+                                             // full global average pooling (pose classes are distinguished by
+                                             // *where* activations fire; Inception-V3 affords GAP only because
+                                             // it carries 2048 channels).
         let pool2 = |n: usize| if n >= 2 { (n - 2) / 2 + 1 } else { n };
         let mut spatial = pool2(pool2(pool2(config.input_size)));
         if spatial >= 2 {
@@ -130,6 +130,13 @@ impl FrameCnn {
     /// The model configuration.
     pub fn config(&self) -> &CnnConfig {
         &self.config
+    }
+
+    /// Routes a [`Parallelism`] handle to every layer so the heavy tensor
+    /// products (im2col, matmul) fan out across threads.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.features.set_parallelism(par);
+        self.head.set_parallelism(par);
     }
 
     /// Number of output classes.
@@ -166,12 +173,7 @@ impl FrameCnn {
     /// # Errors
     ///
     /// Propagates model errors.
-    pub fn train_step(
-        &mut self,
-        frames: &Tensor,
-        labels: &[usize],
-        opt: &mut Sgd,
-    ) -> Result<f32> {
+    pub fn train_step(&mut self, frames: &Tensor, labels: &[usize], opt: &mut Sgd) -> Result<f32> {
         let logits = self.forward(frames, Mode::Train)?;
         let (loss, grad) = softmax_cross_entropy(&logits, labels)?;
         let gfeat = self.head.backward(&grad)?;
@@ -211,8 +213,7 @@ impl FrameCnn {
                     data.extend_from_slice(&frames.data()[i * img..(i + 1) * img]);
                     blabels.push(labels[i]);
                 }
-                let batch =
-                    Tensor::from_vec(data, &[chunk.len(), dims[1], dims[2], dims[3]])?;
+                let batch = Tensor::from_vec(data, &[chunk.len(), dims[1], dims[2], dims[3]])?;
                 total += self.train_step(&batch, &blabels, &mut opt)?;
                 batches += 1;
             }
@@ -425,10 +426,7 @@ mod tests {
             }
         }
         let n = labels.len();
-        (
-            Tensor::from_vec(data, &[n, 1, 24, 24]).unwrap(),
-            labels,
-        )
+        (Tensor::from_vec(data, &[n, 1, 24, 24]).unwrap(), labels)
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! cells of 64 hidden units, 4 Hz sampling, 5 s windows, softmax output).
 
 use darnet_nn::{softmax, softmax_cross_entropy, Adam, DeepBiLstmClassifier, Mode, Optimizer};
-use darnet_tensor::{SplitMix64, Tensor};
+use darnet_tensor::{Parallelism, SplitMix64, Tensor};
 
 use crate::dataset::Standardizer;
 use crate::error::CoreError;
@@ -69,6 +69,12 @@ impl ImuRnn {
     /// The model configuration.
     pub fn config(&self) -> &RnnConfig {
         &self.config
+    }
+
+    /// Routes a [`Parallelism`] handle through the stacked BiLSTM so gate
+    /// products parallelize and the two directions run concurrently.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.model.set_parallelism(par);
     }
 
     /// Total trainable parameter count.
@@ -251,10 +257,7 @@ mod tests {
     fn predict_before_fit_errors() {
         let mut rnn = ImuRnn::new(tiny_config(), 3);
         let x = Tensor::zeros(&[1, 10, 4]);
-        assert!(matches!(
-            rnn.predict_proba(&x),
-            Err(CoreError::NotReady(_))
-        ));
+        assert!(matches!(rnn.predict_proba(&x), Err(CoreError::NotReady(_))));
     }
 
     #[test]

@@ -26,7 +26,8 @@ pub enum PrivacyLevel {
 
 impl PrivacyLevel {
     /// All three levels, low to high.
-    pub const ALL: [PrivacyLevel; 3] = [PrivacyLevel::Low, PrivacyLevel::Medium, PrivacyLevel::High];
+    pub const ALL: [PrivacyLevel; 3] =
+        [PrivacyLevel::Low, PrivacyLevel::Medium, PrivacyLevel::High];
 
     /// The linear down-sampling divisor.
     pub fn divisor(self) -> usize {

@@ -1,10 +1,10 @@
 //! Property-based tests for the analytics engine: confusion-matrix and
-//! combiner invariants, privacy arithmetic.
+//! combiner invariants, privacy arithmetic, batched-inference equivalence.
 
 use darnet_core::ensemble::product_combine;
 use darnet_core::privacy::PrivacyLevel;
-use darnet_core::{BayesianCombiner, ConfusionMatrix};
-use darnet_tensor::Tensor;
+use darnet_core::{BayesianCombiner, CnnConfig, ConfusionMatrix, FrameCnn};
+use darnet_tensor::{Parallelism, SplitMix64, Tensor};
 use proptest::prelude::*;
 
 fn prob_row(n: usize) -> impl Strategy<Value = Vec<f32>> {
@@ -78,6 +78,37 @@ proptest! {
         let scores = product_combine(&cnn_row, &imu_row).unwrap();
         let sum: f32 = scores.iter().sum();
         prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn batched_inference_matches_per_item(
+        n in 1usize..6, threads in 1usize..5, seed in 0u64..20,
+    ) {
+        let mut cnn = FrameCnn::new(
+            CnnConfig {
+                input_size: 12,
+                classes: 3,
+                width: 0.25,
+                ..CnnConfig::default()
+            },
+            seed,
+        );
+        // min_work(1) forces the threaded path even on tiny shapes.
+        cnn.set_parallelism(Parallelism::new(threads).with_min_work(1));
+        let mut rng = SplitMix64::new(seed ^ 0xABCD);
+        let mut frames = Tensor::zeros(&[n, 1, 12, 12]);
+        for v in frames.data_mut() { *v = rng.uniform(0.0, 1.0); }
+        let batch = cnn.predict_proba(&frames).unwrap();
+        let img = 12 * 12;
+        for i in 0..n {
+            let single = Tensor::from_vec(
+                frames.data()[i * img..(i + 1) * img].to_vec(),
+                &[1, 1, 12, 12],
+            ).unwrap();
+            let p = cnn.predict_proba(&single).unwrap();
+            // Bitwise: batching must not change any item's posterior.
+            prop_assert_eq!(&batch.data()[i * 3..(i + 1) * 3], p.data());
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! 2-D convolution layer implemented via im2col lowering.
 
-use darnet_tensor::{col2im, he_normal, im2col, Conv2dSpec, SplitMix64, Tensor};
+use darnet_tensor::{col2im, he_normal, im2col_with, Conv2dSpec, Parallelism, SplitMix64, Tensor};
 
 use crate::error::NnError;
 use crate::layer::{Layer, Mode};
@@ -11,7 +11,7 @@ use crate::Result;
 /// `[batch, out_c, oh, ow]`.
 ///
 /// The forward pass lowers the input to a patch matrix with
-/// [`im2col`] and performs one matrix product against the `[out_c,
+/// [`darnet_tensor::im2col`] and performs one matrix product against the `[out_c,
 /// in_c·kh·kw]` weight; the backward pass uses the transpose products plus
 /// [`col2im`]. Weights use He initialisation (the layer is normally followed
 /// by ReLU).
@@ -22,6 +22,7 @@ pub struct Conv2d {
     bias: Param,
     cols: Option<Tensor>,
     input_dims: Option<Vec<usize>>,
+    par: Parallelism,
 }
 
 impl Conv2d {
@@ -35,6 +36,7 @@ impl Conv2d {
             bias: Param::new(Tensor::zeros(&[spec.out_channels])),
             cols: None,
             input_dims: None,
+            par: Parallelism::serial(),
         }
     }
 
@@ -109,9 +111,9 @@ impl Layer for Conv2d {
         let d = input.dims();
         let (b, h, w) = (d[0], d[2], d[3]);
         let (oh, ow) = self.spec.output_size(h, w)?;
-        let cols = im2col(input, &self.spec)?;
+        let cols = im2col_with(input, &self.spec, &self.par)?;
         // [b*oh*ow, patch] × [patch, out_c]ᵀ → [b*oh*ow, out_c]
-        let mut pixels = cols.matmul_transpose_b(&self.weight.value)?;
+        let mut pixels = cols.matmul_transpose_b_with(&self.weight.value, &self.par)?;
         // Bias per output channel.
         pixels = pixels.add_row_broadcast(&self.bias.value)?;
         if mode == Mode::Train {
@@ -134,12 +136,12 @@ impl Layer for Conv2d {
         // [b, out_c, oh, ow] → [b*oh*ow, out_c]
         let dpixels = nchw_to_pixels(grad_out)?;
         // dW [out_c, patch] = dpixelsᵀ × cols
-        let dw = dpixels.matmul_transpose_a(cols)?;
+        let dw = dpixels.matmul_transpose_a_with(cols, &self.par)?;
         self.weight.grad.add_assign(&dw)?;
         let db = dpixels.sum_axis0()?;
         self.bias.grad.add_assign(&db)?;
         // dcols [rows, patch] = dpixels × W
-        let dcols = dpixels.matmul(&self.weight.value)?;
+        let dcols = dpixels.matmul_with(&self.weight.value, &self.par)?;
         Ok(col2im(&dcols, &self.spec, b, h, w)?)
     }
 
@@ -149,6 +151,10 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &'static str {
         "Conv2d"
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 }
 
@@ -183,7 +189,9 @@ mod tests {
     fn output_shape_follows_spec() {
         let mut rng = SplitMix64::new(2);
         let mut conv = Conv2d::square(3, 8, 3, 1, 1, &mut rng);
-        let y = conv.forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval).unwrap();
+        let y = conv
+            .forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[2, 8, 8, 8]);
     }
 

@@ -1,6 +1,6 @@
 //! Fully connected (dense) layer.
 
-use darnet_tensor::{xavier_uniform, SplitMix64, Tensor};
+use darnet_tensor::{xavier_uniform, Parallelism, SplitMix64, Tensor};
 
 use crate::error::NnError;
 use crate::layer::{Layer, Mode};
@@ -18,6 +18,7 @@ pub struct Dense {
     input: Option<Tensor>,
     in_features: usize,
     out_features: usize,
+    par: Parallelism,
 }
 
 impl Dense {
@@ -30,6 +31,7 @@ impl Dense {
             input: None,
             in_features,
             out_features,
+            par: Parallelism::serial(),
         }
     }
 
@@ -79,7 +81,7 @@ impl Layer for Dense {
         if mode == Mode::Train {
             self.input = Some(input.clone());
         }
-        let out = input.matmul_transpose_b(&self.weight.value)?;
+        let out = input.matmul_transpose_b_with(&self.weight.value, &self.par)?;
         Ok(out.add_row_broadcast(&self.bias.value)?)
     }
 
@@ -89,13 +91,13 @@ impl Layer for Dense {
             .as_ref()
             .ok_or(NnError::NoForwardCache { layer: "Dense" })?;
         // dW [out, in] = grad_outᵀ [out, batch] × input [batch, in]
-        let dw = grad_out.matmul_transpose_a(input)?;
+        let dw = grad_out.matmul_transpose_a_with(input, &self.par)?;
         self.weight.grad.add_assign(&dw)?;
         // db = column sums of grad_out
         let db = grad_out.sum_axis0()?;
         self.bias.grad.add_assign(&db)?;
         // dx [batch, in] = grad_out [batch, out] × W [out, in]
-        Ok(grad_out.matmul(&self.weight.value)?)
+        Ok(grad_out.matmul_with(&self.weight.value, &self.par)?)
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -104,6 +106,10 @@ impl Layer for Dense {
 
     fn name(&self) -> &'static str {
         "Dense"
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 }
 

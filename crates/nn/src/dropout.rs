@@ -48,7 +48,11 @@ impl Layer for Dropout {
                 let scale = 1.0 / keep;
                 let mut mask = Tensor::zeros(input.dims());
                 for v in mask.data_mut() {
-                    *v = if self.rng.next_f32() < keep { scale } else { 0.0 };
+                    *v = if self.rng.next_f32() < keep {
+                        scale
+                    } else {
+                        0.0
+                    };
                 }
                 let out = input.mul(&mask)?;
                 self.mask = Some(mask);

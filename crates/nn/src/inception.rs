@@ -6,7 +6,7 @@
 //! branches, motivated by the Hebbian principle the paper cites) at a CPU-
 //! trainable scale.
 
-use darnet_tensor::{SplitMix64, Tensor};
+use darnet_tensor::{Parallelism, SplitMix64, Tensor};
 
 use crate::conv::Conv2d;
 use crate::error::NnError;
@@ -100,6 +100,7 @@ pub struct InceptionBlock {
     b4_proj: Conv2d,
     b4_act: Relu,
     pad_dims: Option<Vec<usize>>,
+    par: Parallelism,
 }
 
 impl InceptionBlock {
@@ -121,6 +122,7 @@ impl InceptionBlock {
             b4_proj: Conv2d::square(in_channels, channels.pool_proj, 1, 1, 0, rng),
             b4_act: Relu::new(),
             pad_dims: None,
+            par: Parallelism::serial(),
         }
     }
 
@@ -138,29 +140,64 @@ impl Layer for InceptionBlock {
                 input.dims()
             )));
         }
-        let y1 = self.b1_act.forward(&self.b1.forward(input, mode)?, mode)?;
-        let y2 = {
-            let r = self
-                .b2_reduce_act
-                .forward(&self.b2_reduce.forward(input, mode)?, mode)?;
-            self.b2_act.forward(&self.b2.forward(&r, mode)?, mode)?
+        // The four branches touch disjoint fields, so with a parallel policy
+        // they run on scoped threads; each branch is internally unchanged,
+        // and concatenation order is fixed, so output bytes never depend on
+        // the dispatch strategy.
+        let InceptionBlock {
+            b1,
+            b1_act,
+            b2_reduce,
+            b2_reduce_act,
+            b2,
+            b2_act,
+            b3_reduce,
+            b3_reduce_act,
+            b3,
+            b3_act,
+            b4_pool,
+            b4_proj,
+            b4_act,
+            pad_dims,
+            par,
+            ..
+        } = self;
+        let mut branch1 =
+            move || -> Result<Tensor> { b1_act.forward(&b1.forward(input, mode)?, mode) };
+        let mut branch2 = move || -> Result<Tensor> {
+            let r = b2_reduce_act.forward(&b2_reduce.forward(input, mode)?, mode)?;
+            b2_act.forward(&b2.forward(&r, mode)?, mode)
         };
-        let y3 = {
-            let r = self
-                .b3_reduce_act
-                .forward(&self.b3_reduce.forward(input, mode)?, mode)?;
-            self.b3_act.forward(&self.b3.forward(&r, mode)?, mode)?
+        let mut branch3 = move || -> Result<Tensor> {
+            let r = b3_reduce_act.forward(&b3_reduce.forward(input, mode)?, mode)?;
+            b3_act.forward(&b3.forward(&r, mode)?, mode)
         };
-        let y4 = {
+        let mut branch4 = move || -> Result<Tensor> {
             // Same-size 3×3 max pool: pad with -inf so padding never wins.
             let padded = pad_spatial(input, 1, f32::NEG_INFINITY)?;
             if mode == Mode::Train {
-                self.pad_dims = Some(padded.dims().to_vec());
+                *pad_dims = Some(padded.dims().to_vec());
             }
-            let pooled = self.b4_pool.forward(&padded, mode)?;
-            self.b4_act.forward(&self.b4_proj.forward(&pooled, mode)?, mode)?
+            let pooled = b4_pool.forward(&padded, mode)?;
+            b4_act.forward(&b4_proj.forward(&pooled, mode)?, mode)
         };
-        Ok(Tensor::concat(&[&y1, &y2, &y3, &y4], 1)?)
+        let (y1, y2, y3, y4) = if par.is_serial() {
+            (branch1(), branch2(), branch3(), branch4())
+        } else {
+            std::thread::scope(|scope| {
+                let h1 = scope.spawn(branch1);
+                let h2 = scope.spawn(branch2);
+                let h3 = scope.spawn(branch3);
+                let y4 = branch4();
+                (
+                    h1.join().expect("inception branch 1 panicked"),
+                    h2.join().expect("inception branch 2 panicked"),
+                    h3.join().expect("inception branch 3 panicked"),
+                    y4,
+                )
+            })
+        };
+        Ok(Tensor::concat(&[&y1?, &y2?, &y3?, &y4?], 1)?)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -200,6 +237,17 @@ impl Layer for InceptionBlock {
 
     fn name(&self) -> &'static str {
         "InceptionBlock"
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
+        self.b1.set_parallelism(par);
+        self.b2_reduce.set_parallelism(par);
+        self.b2.set_parallelism(par);
+        self.b3_reduce.set_parallelism(par);
+        self.b3.set_parallelism(par);
+        self.b4_pool.set_parallelism(par);
+        self.b4_proj.set_parallelism(par);
     }
 }
 
@@ -241,7 +289,8 @@ mod tests {
     fn negative_inf_padding_never_wins_pool() {
         let x = Tensor::full(&[1, 1, 2, 2], -5.0);
         let padded = pad_spatial(&x, 1, f32::NEG_INFINITY).unwrap();
-        let (pooled, _) = darnet_tensor::max_pool2d(&padded, &darnet_tensor::PoolSpec::new(3, 1)).unwrap();
+        let (pooled, _) =
+            darnet_tensor::max_pool2d(&padded, &darnet_tensor::PoolSpec::new(3, 1)).unwrap();
         assert!(pooled.data().iter().all(|&v| v == -5.0));
     }
 
@@ -275,6 +324,21 @@ mod tests {
                 dx.data()[i]
             );
         }
+    }
+
+    #[test]
+    fn concurrent_branches_match_serial_bitwise() {
+        let mut serial = InceptionBlock::new(2, tiny_channels(), &mut SplitMix64::new(9));
+        let mut parallel = InceptionBlock::new(2, tiny_channels(), &mut SplitMix64::new(9));
+        parallel.set_parallelism(Parallelism::new(4).with_min_work(1));
+        let mut x = Tensor::zeros(&[2, 2, 5, 5]);
+        let mut r = SplitMix64::new(3);
+        for v in x.data_mut() {
+            *v = r.uniform(-1.0, 1.0);
+        }
+        let ys = serial.forward(&x, Mode::Eval).unwrap();
+        let yp = parallel.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(ys, yp);
     }
 
     #[test]

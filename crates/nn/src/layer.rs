@@ -1,6 +1,6 @@
 //! The [`Layer`] trait and simple stateless layers (activations, flatten).
 
-use darnet_tensor::Tensor;
+use darnet_tensor::{Parallelism, Tensor};
 
 use crate::error::NnError;
 use crate::param::Param;
@@ -22,7 +22,10 @@ pub enum Mode {
 /// in [`Layer::backward`], which receives `dL/d(output)` and must return
 /// `dL/d(input)` while *accumulating* parameter gradients into its
 /// [`Param`]s.
-pub trait Layer {
+///
+/// Layers are `Send` so whole sub-networks can be moved across (or borrowed
+/// by) scoped worker threads when a model runs its branches concurrently.
+pub trait Layer: Send {
     /// Computes the layer output for `input`.
     ///
     /// # Errors
@@ -50,6 +53,11 @@ pub trait Layer {
     fn param_count(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.len()).sum()
     }
+
+    /// Installs a parallel execution policy for this layer's tensor kernels
+    /// (and, for containers, every child layer). Stateless layers ignore it;
+    /// results never depend on the installed policy.
+    fn set_parallelism(&mut self, _par: Parallelism) {}
 }
 
 // ---------------------------------------------------------------------
@@ -78,11 +86,14 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let mask = self.mask.as_ref().ok_or(NnError::NoForwardCache { layer: "Relu" })?;
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or(NnError::NoForwardCache { layer: "Relu" })?;
         if mask.len() != grad_out.len() {
-            return Err(NnError::Tensor(darnet_tensor::TensorError::InvalidArgument(
-                "relu backward shape mismatch".into(),
-            )));
+            return Err(NnError::Tensor(
+                darnet_tensor::TensorError::InvalidArgument("relu backward shape mismatch".into()),
+            ));
         }
         let mut g = grad_out.clone();
         for (v, &keep) in g.data_mut().iter_mut().zip(mask) {

@@ -86,7 +86,10 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, 
     }
     for &l in labels {
         if l >= c {
-            return Err(NnError::LabelOutOfRange { label: l, classes: c });
+            return Err(NnError::LabelOutOfRange {
+                label: l,
+                classes: c,
+            });
         }
     }
     let probs = softmax(logits)?;
@@ -115,7 +118,11 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, 
 /// Returns a tensor error if the shapes differ.
 pub fn l2_distill_loss(student: &Tensor, teacher: &Tensor) -> Result<(f32, Tensor)> {
     let diff = student.sub(teacher)?;
-    let b = if student.rank() >= 1 { student.dims()[0].max(1) } else { 1 };
+    let b = if student.rank() >= 1 {
+        student.dims()[0].max(1)
+    } else {
+        1
+    };
     let inv_b = 1.0 / b as f32;
     let loss = diff.sum_squares() * inv_b;
     let grad = diff.scale(2.0 * inv_b);

@@ -4,7 +4,7 @@
 //! ([`DeepBiLstmClassifier`] — 2 bidirectional layers × 64 hidden units in
 //! the paper's configuration, §4.2).
 
-use darnet_tensor::{uniform_init, SplitMix64, Tensor};
+use darnet_tensor::{uniform_init, Parallelism, SplitMix64, Tensor};
 
 use crate::error::NnError;
 use crate::layer::{sigmoid_scalar, Mode};
@@ -63,6 +63,7 @@ pub struct LstmCell {
     w_h: Param, // [4H, H]
     b: Param,   // [4H]
     cache: Vec<StepCache>,
+    par: Parallelism,
 }
 
 impl LstmCell {
@@ -84,7 +85,13 @@ impl LstmCell {
             w_h: Param::new(w_h),
             b: Param::new(b),
             cache: Vec::new(),
+            par: Parallelism::serial(),
         }
+    }
+
+    /// Installs a parallel execution policy for the cell's matrix products.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     /// Hidden state width.
@@ -121,8 +128,8 @@ impl LstmCell {
         for t in 0..time {
             let x_t = step_slice(x, t);
             // z = x_t·W_xᵀ + h·W_hᵀ + b  → [B, 4H]
-            let mut z = x_t.matmul_transpose_b(&self.w_x.value)?;
-            let zh = h_t.matmul_transpose_b(&self.w_h.value)?;
+            let mut z = x_t.matmul_transpose_b_with(&self.w_x.value, &self.par)?;
+            let zh = h_t.matmul_transpose_b_with(&self.w_h.value, &self.par)?;
             z.add_assign(&zh)?;
             let z = z.add_row_broadcast(&self.b.value)?;
 
@@ -196,9 +203,7 @@ impl LstmCell {
 
             // dL/do = dh * tanh(c); dL/dc += dh * o * (1 - tanh²(c))
             let d_o = dh.mul(&cache.tanh_c)?;
-            let mut dc = dh
-                .mul(&cache.o)?
-                .mul(&cache.tanh_c.map(|v| 1.0 - v * v))?;
+            let mut dc = dh.mul(&cache.o)?.mul(&cache.tanh_c.map(|v| 1.0 - v * v))?;
             dc.add_assign(&dc_next)?;
 
             let d_i = dc.mul(&cache.g)?;
@@ -222,17 +227,17 @@ impl LstmCell {
             }
 
             // Weight gradients.
-            let dwx = dz.matmul_transpose_a(&cache.x)?;
+            let dwx = dz.matmul_transpose_a_with(&cache.x, &self.par)?;
             self.w_x.grad.add_assign(&dwx)?;
-            let dwh = dz.matmul_transpose_a(&cache.h_prev)?;
+            let dwh = dz.matmul_transpose_a_with(&cache.h_prev, &self.par)?;
             self.w_h.grad.add_assign(&dwh)?;
             let db = dz.sum_axis0()?;
             self.b.grad.add_assign(&db)?;
 
             // Input and recurrent gradients.
-            let dx_t = dz.matmul(&self.w_x.value)?;
+            let dx_t = dz.matmul_with(&self.w_x.value, &self.par)?;
             step_write(&mut dx_all, t, &dx_t);
-            dh_next = dz.matmul(&self.w_h.value)?;
+            dh_next = dz.matmul_with(&self.w_h.value, &self.par)?;
             dc_next = dc.mul(&cache.f)?;
         }
         Ok(dx_all)
@@ -268,6 +273,7 @@ pub struct BiLstm {
     fwd: LstmCell,
     bwd: LstmCell,
     hidden_size: usize,
+    par: Parallelism,
 }
 
 impl BiLstm {
@@ -277,12 +283,22 @@ impl BiLstm {
             fwd: LstmCell::new(input_size, hidden_size, rng),
             bwd: LstmCell::new(input_size, hidden_size, rng),
             hidden_size,
+            par: Parallelism::serial(),
         }
     }
 
     /// Output feature width (`2 × hidden`).
     pub fn output_size(&self) -> usize {
         2 * self.hidden_size
+    }
+
+    /// Installs a parallel execution policy: the two direction cells run on
+    /// scoped threads (they touch disjoint state) and each cell's matrix
+    /// products use the policy. Results are bitwise identical to serial.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
+        self.fwd.set_parallelism(par);
+        self.bwd.set_parallelism(par);
     }
 
     /// Forward pass over `[batch, time, features]`, returning `[batch,
@@ -292,12 +308,23 @@ impl BiLstm {
     ///
     /// Propagates cell errors (bad input shape).
     pub fn forward_seq(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
-        let hf = self.fwd.forward_seq(x, mode)?;
-        let x_rev = reverse_time(x);
-        let hb_rev = self.bwd.forward_seq(&x_rev, mode)?;
-        let hb = reverse_time(&hb_rev);
+        let BiLstm { fwd, bwd, par, .. } = self;
+        let mut run_fwd = move || fwd.forward_seq(x, mode);
+        let mut run_bwd = move || -> Result<Tensor> {
+            let x_rev = reverse_time(x);
+            Ok(reverse_time(&bwd.forward_seq(&x_rev, mode)?))
+        };
+        let (hf, hb) = if par.is_serial() {
+            (run_fwd(), run_bwd())
+        } else {
+            std::thread::scope(|scope| {
+                let handle = scope.spawn(run_fwd);
+                let hb = run_bwd();
+                (handle.join().expect("forward-direction LSTM panicked"), hb)
+            })
+        };
         // Concat along feature axis (axis 2).
-        Ok(Tensor::concat(&[&hf, &hb], 2)?)
+        Ok(Tensor::concat(&[&hf?, &hb?], 2)?)
     }
 
     /// Backward pass; `grad` has shape `[batch, time, 2·hidden]`.
@@ -307,13 +334,29 @@ impl BiLstm {
     /// Propagates cell errors.
     pub fn backward_seq(&mut self, grad: &Tensor) -> Result<Tensor> {
         let h = self.hidden_size;
-        let parts = grad.split(2, &[h, h])?;
-        let dx_f = self.fwd.backward_seq(&parts[0])?;
-        let g_rev = reverse_time(&parts[1]);
-        let dx_b_rev = self.bwd.backward_seq(&g_rev)?;
-        let dx_b = reverse_time(&dx_b_rev);
-        let mut dx = dx_f;
-        dx.add_assign(&dx_b)?;
+        let mut parts = grad.split(2, &[h, h])?;
+        let grad_bwd = parts.pop().expect("split returned two parts");
+        let grad_fwd = parts.pop().expect("split returned two parts");
+        let BiLstm { fwd, bwd, par, .. } = self;
+        let mut run_fwd = move || fwd.backward_seq(&grad_fwd);
+        let mut run_bwd = move || -> Result<Tensor> {
+            let g_rev = reverse_time(&grad_bwd);
+            Ok(reverse_time(&bwd.backward_seq(&g_rev)?))
+        };
+        let (dx_f, dx_b) = if par.is_serial() {
+            (run_fwd(), run_bwd())
+        } else {
+            std::thread::scope(|scope| {
+                let handle = scope.spawn(run_fwd);
+                let dx_b = run_bwd();
+                (
+                    handle.join().expect("forward-direction LSTM panicked"),
+                    dx_b,
+                )
+            })
+        };
+        let mut dx = dx_f?;
+        dx.add_assign(&dx_b?)?;
         Ok(dx)
     }
 
@@ -333,11 +376,12 @@ impl BiLstm {
 #[derive(Debug)]
 pub struct DeepBiLstmClassifier {
     layers: Vec<BiLstm>,
-    head_w: Param, // [classes, 2H]
-    head_b: Param, // [classes]
+    head_w: Param,                        // [classes, 2H]
+    head_b: Param,                        // [classes]
     pooled_cache: Option<(usize, usize)>, // (batch, time)
     last_hidden: Option<Tensor>,          // [B, T, 2H] from the top BiLSTM
     classes: usize,
+    par: Parallelism,
 }
 
 impl DeepBiLstmClassifier {
@@ -374,12 +418,22 @@ impl DeepBiLstmClassifier {
             pooled_cache: None,
             last_hidden: None,
             classes,
+            par: Parallelism::serial(),
         }
     }
 
     /// Number of output classes.
     pub fn classes(&self) -> usize {
         self.classes
+    }
+
+    /// Installs a parallel execution policy on every stacked BiLSTM layer
+    /// and the classifier head.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
+        for layer in &mut self.layers {
+            layer.set_parallelism(par);
+        }
     }
 
     /// Forward pass producing logits `[batch, classes]` from `[batch, time,
@@ -410,7 +464,7 @@ impl DeepBiLstmClassifier {
             self.pooled_cache = Some((b, time));
             self.last_hidden = Some(pooled.clone());
         }
-        let logits = pooled.matmul_transpose_b(&self.head_w.value)?;
+        let logits = pooled.matmul_transpose_b_with(&self.head_w.value, &self.par)?;
         Ok(logits.add_row_broadcast(&self.head_b.value)?)
     }
 
@@ -420,13 +474,12 @@ impl DeepBiLstmClassifier {
     ///
     /// Returns [`NnError::NoForwardCache`] without a prior training forward.
     pub fn backward(&mut self, grad_logits: &Tensor) -> Result<()> {
-        let (b, time) = self
-            .pooled_cache
-            .ok_or(NnError::NoForwardCache { layer: "DeepBiLstmClassifier" })?;
-        let pooled = self
-            .last_hidden
-            .as_ref()
-            .ok_or(NnError::NoForwardCache { layer: "DeepBiLstmClassifier" })?;
+        let (b, time) = self.pooled_cache.ok_or(NnError::NoForwardCache {
+            layer: "DeepBiLstmClassifier",
+        })?;
+        let pooled = self.last_hidden.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "DeepBiLstmClassifier",
+        })?;
         // Head gradients.
         let dw = grad_logits.matmul_transpose_a(pooled)?;
         self.head_w.grad.add_assign(&dw)?;
@@ -603,6 +656,21 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_directions_match_serial_bitwise() {
+        let mut serial = BiLstm::new(3, 5, &mut SplitMix64::new(21));
+        let mut parallel = BiLstm::new(3, 5, &mut SplitMix64::new(21));
+        parallel.set_parallelism(Parallelism::new(4).with_min_work(1));
+        let x = random_tensor(&[2, 6, 3], 22);
+        let hs = serial.forward_seq(&x, Mode::Train).unwrap();
+        let hp = parallel.forward_seq(&x, Mode::Train).unwrap();
+        assert_eq!(hs, hp);
+        let grad = random_tensor(hs.dims(), 23);
+        let ds = serial.backward_seq(&grad).unwrap();
+        let dp = parallel.backward_seq(&grad).unwrap();
+        assert_eq!(ds, dp);
+    }
+
+    #[test]
     fn classifier_learns_direction_of_drift() {
         // Two classes: sequences drifting up vs. drifting down. A BiLSTM
         // must separate them quickly.
@@ -635,7 +703,10 @@ mod tests {
             opt.step(&mut model.params_mut()).unwrap();
             final_loss = loss;
         }
-        assert!(final_loss < 0.2, "LSTM classifier failed to learn: {final_loss}");
+        assert!(
+            final_loss < 0.2,
+            "LSTM classifier failed to learn: {final_loss}"
+        );
     }
 
     #[test]

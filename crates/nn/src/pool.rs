@@ -1,6 +1,9 @@
 //! Pooling layers: max, average, and global average pooling.
 
-use darnet_tensor::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec, Tensor};
+use darnet_tensor::{
+    avg_pool2d_backward, avg_pool2d_with, max_pool2d_backward, max_pool2d_with, Parallelism,
+    PoolSpec, Tensor,
+};
 
 use crate::error::NnError;
 use crate::layer::{Layer, Mode};
@@ -13,6 +16,7 @@ pub struct MaxPool2d {
     spec: PoolSpec,
     argmax: Option<Vec<usize>>,
     input_dims: Option<Vec<usize>>,
+    par: Parallelism,
 }
 
 impl MaxPool2d {
@@ -22,13 +26,14 @@ impl MaxPool2d {
             spec: PoolSpec::new(window, stride),
             argmax: None,
             input_dims: None,
+            par: Parallelism::serial(),
         }
     }
 }
 
 impl Layer for MaxPool2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let (out, arg) = max_pool2d(input, &self.spec)?;
+        let (out, arg) = max_pool2d_with(input, &self.spec, &self.par)?;
         if mode == Mode::Train {
             self.argmax = Some(arg);
             self.input_dims = Some(input.dims().to_vec());
@@ -55,6 +60,10 @@ impl Layer for MaxPool2d {
     fn name(&self) -> &'static str {
         "MaxPool2d"
     }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
+    }
 }
 
 /// Average pooling over square windows.
@@ -62,6 +71,7 @@ impl Layer for MaxPool2d {
 pub struct AvgPool2d {
     spec: PoolSpec,
     input_dims: Option<Vec<usize>>,
+    par: Parallelism,
 }
 
 impl AvgPool2d {
@@ -70,13 +80,14 @@ impl AvgPool2d {
         AvgPool2d {
             spec: PoolSpec::new(window, stride),
             input_dims: None,
+            par: Parallelism::serial(),
         }
     }
 }
 
 impl Layer for AvgPool2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let out = avg_pool2d(input, &self.spec)?;
+        let out = avg_pool2d_with(input, &self.spec, &self.par)?;
         if mode == Mode::Train {
             self.input_dims = Some(input.dims().to_vec());
         }
@@ -97,6 +108,10 @@ impl Layer for AvgPool2d {
 
     fn name(&self) -> &'static str {
         "AvgPool2d"
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 }
 
@@ -143,10 +158,9 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let dims = self
-            .input_dims
-            .as_ref()
-            .ok_or(NnError::NoForwardCache { layer: "GlobalAvgPool" })?;
+        let dims = self.input_dims.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "GlobalAvgPool",
+        })?;
         let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         if grad_out.dims() != [b, c] {
             return Err(NnError::Tensor(darnet_tensor::TensorError::ShapeMismatch {
@@ -204,7 +218,9 @@ mod tests {
         let y = pool.forward(&x, Mode::Train).unwrap();
         assert_eq!(y.dims(), &[1, 2]);
         assert_eq!(y.data(), &[2.5, 25.0]);
-        let g = pool.backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap()).unwrap();
+        let g = pool
+            .backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap())
+            .unwrap();
         assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
     }
 

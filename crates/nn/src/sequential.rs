@@ -90,6 +90,12 @@ impl Layer for Sequential {
     fn name(&self) -> &'static str {
         "Sequential"
     }
+
+    fn set_parallelism(&mut self, par: darnet_tensor::Parallelism) {
+        for layer in &mut self.layers {
+            layer.set_parallelism(par);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -124,11 +130,7 @@ mod tests {
         net.push(Relu::new());
         net.push(Dense::new(8, 2, &mut rng));
 
-        let x = Tensor::from_vec(
-            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
-            &[4, 2],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]).unwrap();
         let labels = [0usize, 1, 1, 0];
         let mut opt = Sgd::with_momentum(0.5, 0.9);
         let mut last_loss = f32::INFINITY;

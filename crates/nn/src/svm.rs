@@ -112,8 +112,8 @@ impl LinearSvm {
                 for c in 0..self.classes {
                     let target: f32 = if c == yi { 1.0 } else { -1.0 };
                     let w = &self.weights.data()[c * f..(c + 1) * f];
-                    let score: f32 =
-                        w.iter().zip(xi).map(|(&wv, &xv)| wv * xv).sum::<f32>() + self.bias.data()[c];
+                    let score: f32 = w.iter().zip(xi).map(|(&wv, &xv)| wv * xv).sum::<f32>()
+                        + self.bias.data()[c];
                     // L2 shrinkage on every step.
                     let shrink = 1.0 - lr * config.lambda;
                     for wv in &mut self.weights.data_mut()[c * f..(c + 1) * f] {
@@ -199,7 +199,8 @@ mod tests {
         let (x, labels) = blobs(50, 1);
         let mut svm = LinearSvm::new(2, 3);
         let mut rng = SplitMix64::new(2);
-        svm.fit(&x, &labels, &SvmConfig::default(), &mut rng).unwrap();
+        svm.fit(&x, &labels, &SvmConfig::default(), &mut rng)
+            .unwrap();
         let preds = svm.predict(&x).unwrap();
         let correct = preds.iter().zip(&labels).filter(|(a, b)| a == b).count();
         let acc = correct as f32 / labels.len() as f32;
@@ -211,7 +212,8 @@ mod tests {
         let (x, labels) = blobs(20, 3);
         let mut svm = LinearSvm::new(2, 3);
         let mut rng = SplitMix64::new(4);
-        svm.fit(&x, &labels, &SvmConfig::default(), &mut rng).unwrap();
+        svm.fit(&x, &labels, &SvmConfig::default(), &mut rng)
+            .unwrap();
         let p = svm.predict_proba(&x).unwrap();
         for i in 0..x.dims()[0] {
             let s: f32 = p.data()[i * 3..(i + 1) * 3].iter().sum();

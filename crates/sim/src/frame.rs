@@ -131,7 +131,11 @@ impl Frame {
     /// outputs.
     pub fn to_pgm(&self) -> Vec<u8> {
         let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
-        out.extend(self.pixels.iter().map(|&p| (p.clamp(0.0, 1.0) * 255.0) as u8));
+        out.extend(
+            self.pixels
+                .iter()
+                .map(|&p| (p.clamp(0.0, 1.0) * 255.0) as u8),
+        );
         out
     }
 }

@@ -142,9 +142,8 @@ impl ImuSynthesizer {
         match class {
             ImuClass::Texting => {
                 // Typing: ~8 Hz micro-taps plus slow hand drift.
-                let tap = (tf * std::f32::consts::TAU * 8.3 + driver.texture_phase).sin()
-                    * 1.0
-                    * style;
+                let tap =
+                    (tf * std::f32::consts::TAU * 8.3 + driver.texture_phase).sin() * 1.0 * style;
                 let drift = (tf * 0.6).sin() * 0.15;
                 jitter_acc = [tap * 0.4, tap, 0.3 * tap + drift];
                 jitter_gyro = [0.05 * tap, 0.04 * tap, 0.02 * tap];
@@ -153,9 +152,8 @@ impl ImuSynthesizer {
             }
             ImuClass::Talking => {
                 // Head/arm sway ~1.2 Hz, moderate amplitude.
-                let sway = (tf * std::f32::consts::TAU * 1.2 + driver.texture_phase).sin()
-                    * 0.8
-                    * style;
+                let sway =
+                    (tf * std::f32::consts::TAU * 1.2 + driver.texture_phase).sin() * 0.8 * style;
                 jitter_acc = [sway, 0.3 * sway, 0.2 * sway];
                 jitter_gyro = [0.15 * sway, 0.10 * sway, 0.05 * sway];
                 roll += 0.08 * (tf * 1.3).sin();
@@ -197,11 +195,7 @@ impl ImuSynthesizer {
         ];
         // Road vibration: broadband, scaled by vehicle state.
         let vib = vehicle.vibration;
-        let vib_acc = [
-            rng.normal() * vib,
-            rng.normal() * vib,
-            rng.normal() * vib,
-        ];
+        let vib_acc = [rng.normal() * vib, rng.normal() * vib, rng.normal() * vib];
 
         let noise = self.noise_sigma;
         let accel = [
@@ -294,16 +288,25 @@ mod tests {
         let texting = mean_gravity(Behavior::Texting);
         let talking = mean_gravity(Behavior::Talking);
         let pocket = mean_gravity(Behavior::NormalDriving);
-        assert!(cos(&texting, &pocket) < 0.999, "texting vs pocket too close");
-        assert!(cos(&talking, &pocket) < 0.999, "talking vs pocket too close");
-        assert!(cos(&texting, &talking) < 0.9999, "texting vs talking identical");
+        assert!(
+            cos(&texting, &pocket) < 0.999,
+            "texting vs pocket too close"
+        );
+        assert!(
+            cos(&talking, &pocket) < 0.999,
+            "talking vs pocket too close"
+        );
+        assert!(
+            cos(&texting, &talking) < 0.9999,
+            "texting vs talking identical"
+        );
     }
 
     #[test]
     fn texting_has_higher_frequency_energy_than_pocket() {
         let (synth, driver, _) = setup();
         let vehicle = VehicleDynamics::new(1.0).state_at(12.0); // cruise, low vibration variance
-        // First-difference energy as a crude high-frequency proxy.
+                                                                // First-difference energy as a crude high-frequency proxy.
         let diff_energy = |b: Behavior| -> f32 {
             let mut prev = synth.sample(&driver, b, &vehicle, 0.0).accel[1];
             let mut acc = 0.0;

@@ -143,11 +143,29 @@ pub(crate) fn ambiguate_pose(pose: &mut PoseSpec, behavior: Behavior, rng: &mut 
     let mixture = |rng: &mut SplitMix64, w_wheel: f32, w_waist: f32| -> (u8, (f32, f32)) {
         let u = rng.next_f32();
         if u < w_wheel {
-            (0, (WHEEL_RIGHT.0 + rng.uniform(-1.5, 1.5), WHEEL_RIGHT.1 + rng.uniform(-1.5, 1.5)))
+            (
+                0,
+                (
+                    WHEEL_RIGHT.0 + rng.uniform(-1.5, 1.5),
+                    WHEEL_RIGHT.1 + rng.uniform(-1.5, 1.5),
+                ),
+            )
         } else if u < w_wheel + w_waist {
-            (1, (WAIST.0 + rng.uniform(-4.0, 4.0), WAIST.1 + rng.uniform(-4.0, 4.0)))
+            (
+                1,
+                (
+                    WAIST.0 + rng.uniform(-4.0, 4.0),
+                    WAIST.1 + rng.uniform(-4.0, 4.0),
+                ),
+            )
         } else {
-            (2, (FACE.0 + rng.uniform(-3.0, 3.0), FACE.1 + rng.uniform(-3.0, 3.0)))
+            (
+                2,
+                (
+                    FACE.0 + rng.uniform(-3.0, 3.0),
+                    FACE.1 + rng.uniform(-3.0, 3.0),
+                ),
+            )
         }
     };
     match behavior {
@@ -186,10 +204,7 @@ pub(crate) fn ambiguate_pose(pose: &mut PoseSpec, behavior: Behavior, rng: &mut 
         }
         // Eating: hand near the mouth with a mostly-visible bright cup.
         Behavior::EatingDrinking => {
-            pose.right_hand = (
-                27.0 + rng.uniform(-2.0, 2.0),
-                17.0 + rng.uniform(-2.0, 2.0),
-            );
+            pose.right_hand = (27.0 + rng.uniform(-2.0, 2.0), 17.0 + rng.uniform(-2.0, 2.0));
             pose.head_tilt = rng.uniform(-1.0, 0.5);
             pose.head_turn = rng.uniform(-0.5, 1.0);
             pose.prop_intensity = rng.uniform(0.25, 0.50);
@@ -199,10 +214,7 @@ pub(crate) fn ambiguate_pose(pose: &mut PoseSpec, behavior: Behavior, rng: &mut 
         }
         // Hair/makeup: hand anywhere between crown and ear level.
         Behavior::HairMakeup => {
-            pose.right_hand = (
-                25.5 + rng.uniform(-2.5, 2.5),
-                7.0 + rng.uniform(-1.5, 3.0),
-            );
+            pose.right_hand = (25.5 + rng.uniform(-2.5, 2.5), 7.0 + rng.uniform(-1.5, 3.0));
             pose.head_tilt += rng.uniform(-1.0, 1.0);
             pose.prop_intensity = rng.uniform(0.20, 0.40);
             if rng.next_f32() < 0.08 {
@@ -473,38 +485,82 @@ impl FrameRenderer {
         let head_x = (24.0 + driver.head_dx) * s + pose.head_turn * s + lean * 0.6;
         let head_y = (13.0 + driver.head_dy) * s + pose.head_tilt * s;
         let head_r = 5.5 * driver.scale * s;
-        fill_circle(&mut f, head_x, head_y, head_r, (0.58 + driver.brightness) * lighting);
+        fill_circle(
+            &mut f,
+            head_x,
+            head_y,
+            head_r,
+            (0.58 + driver.brightness) * lighting,
+        );
 
         // Shoulders.
         let shoulder_l = (torso_x0 + 2.0 * s, 23.0 * s);
         let shoulder_r = (torso_x1 - 2.0 * s, 23.0 * s);
 
         // Arms: thick lines from shoulders to hands.
-        draw_thick_line(&mut f, shoulder_l, lh, 2.8 * s, (0.40 + driver.brightness) * lighting);
-        draw_thick_line(&mut f, shoulder_r, rh, 2.8 * s, (0.40 + driver.brightness) * lighting);
+        draw_thick_line(
+            &mut f,
+            shoulder_l,
+            lh,
+            2.8 * s,
+            (0.40 + driver.brightness) * lighting,
+        );
+        draw_thick_line(
+            &mut f,
+            shoulder_r,
+            rh,
+            2.8 * s,
+            (0.40 + driver.brightness) * lighting,
+        );
 
         // Hands.
-        fill_circle(&mut f, lh.0, lh.1, 2.2 * s, (0.55 + driver.brightness) * lighting);
-        fill_circle(&mut f, rh.0, rh.1, 2.2 * s, (0.55 + driver.brightness) * lighting);
+        fill_circle(
+            &mut f,
+            lh.0,
+            lh.1,
+            2.2 * s,
+            (0.55 + driver.brightness) * lighting,
+        );
+        fill_circle(
+            &mut f,
+            rh.0,
+            rh.1,
+            2.2 * s,
+            (0.55 + driver.brightness) * lighting,
+        );
 
         // Prop at the active hand. Props live on the right hand except in
         // mirrored extended poses, where the pose already placed the
         // coordinates appropriately (the prop follows whichever hand left
         // the wheel).
-        let active = if (rh.0 - WHEEL_RIGHT.0 * s).abs() < 1.5 && (rh.1 - WHEEL_RIGHT.1 * s).abs() < 2.5
-        {
-            lh
-        } else {
-            rh
-        };
+        let active =
+            if (rh.0 - WHEEL_RIGHT.0 * s).abs() < 1.5 && (rh.1 - WHEEL_RIGHT.1 * s).abs() < 2.5 {
+                lh
+            } else {
+                rh
+            };
         if let Some(prop) = pose.prop {
             let tone = (body_tone + pose.prop_intensity * lighting).min(1.0);
             match prop {
                 Prop::Phone => {
-                    fill_rect(&mut f, active.0 - 1.2 * s, active.1 - 1.8 * s, active.0 + 1.2 * s, active.1 + 1.8 * s, tone);
+                    fill_rect(
+                        &mut f,
+                        active.0 - 1.2 * s,
+                        active.1 - 1.8 * s,
+                        active.0 + 1.2 * s,
+                        active.1 + 1.8 * s,
+                        tone,
+                    );
                 }
                 Prop::Cup => {
-                    fill_rect(&mut f, active.0 - 1.3 * s, active.1 - 3.2 * s, active.0 + 1.3 * s, active.1 + 1.2 * s, tone);
+                    fill_rect(
+                        &mut f,
+                        active.0 - 1.3 * s,
+                        active.1 - 3.2 * s,
+                        active.0 + 1.3 * s,
+                        active.1 + 1.2 * s,
+                        tone,
+                    );
                 }
                 Prop::Food => {
                     fill_circle(&mut f, active.0, active.1 - 1.0 * s, 2.2 * s, tone);
@@ -519,7 +575,14 @@ impl FrameRenderer {
                     );
                 }
                 Prop::Brush => {
-                    fill_rect(&mut f, active.0 - 1.0 * s, active.1 - 2.6 * s, active.0 + 1.0 * s, active.1 + 0.6 * s, tone);
+                    fill_rect(
+                        &mut f,
+                        active.0 - 1.0 * s,
+                        active.1 - 2.6 * s,
+                        active.0 + 1.0 * s,
+                        active.1 + 0.6 * s,
+                        tone,
+                    );
                 }
             }
         }
@@ -644,7 +707,11 @@ mod tests {
         let r = FrameRenderer::new(7).with_noise(0.0);
         let d = driver();
         let l1 = |a: &Frame, b: &Frame| -> f32 {
-            a.pixels().iter().zip(b.pixels()).map(|(x, y)| (x - y).abs()).sum()
+            a.pixels()
+                .iter()
+                .zip(b.pixels())
+                .map(|(x, y)| (x - y).abs())
+                .sum()
         };
         let mut sim_tt = 0.0;
         let mut sim_tr = 0.0;
@@ -656,7 +723,10 @@ mod tests {
             sim_tt += l1(&texting, &talking);
             sim_tr += l1(&texting, &reaching);
         }
-        assert!(sim_tt < sim_tr, "texting/talking {sim_tt} vs texting/reaching {sim_tr}");
+        assert!(
+            sim_tt < sim_tr,
+            "texting/talking {sim_tt} vs texting/reaching {sim_tr}"
+        );
     }
 
     #[test]

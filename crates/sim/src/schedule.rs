@@ -75,7 +75,9 @@ pub fn build_schedule(config: &ScheduleConfig) -> Vec<Segment<Behavior>> {
         // Remaining duration per class for this driver, seconds.
         let mut remaining: Vec<f64> = TABLE1_FRAME_COUNTS
             .iter()
-            .map(|&frames| frames as f64 * config.scale / (config.drivers as f64 * config.camera_fps))
+            .map(|&frames| {
+                frames as f64 * config.scale / (config.drivers as f64 * config.camera_fps)
+            })
             .collect();
         let mut t = 0.0f64;
         // Round-robin over the script until all class budgets are used —
@@ -127,8 +129,7 @@ pub fn build_extended_schedule(config: &ExtendedScheduleConfig) -> Vec<Segment<E
     let mut segments = Vec::new();
     for driver in 0..config.drivers {
         let mut t = 0.0f64;
-        let mut remaining: Vec<f64> =
-            vec![config.seconds_per_class; ExtendedBehavior::ALL.len()];
+        let mut remaining: Vec<f64> = vec![config.seconds_per_class; ExtendedBehavior::ALL.len()];
         while remaining.iter().any(|&r| r > 1e-9) {
             for (idx, behavior) in ExtendedBehavior::ALL.iter().enumerate() {
                 if remaining[idx] <= 1e-9 {

@@ -106,7 +106,8 @@ impl DrivingWorld {
     ///
     /// Panics if `id` is out of range.
     pub fn render_extended_frame(&self, id: usize, behavior: ExtendedBehavior, t: f64) -> Frame {
-        self.renderer.render_extended(&self.drivers[id], behavior, t)
+        self.renderer
+            .render_extended(&self.drivers[id], behavior, t)
     }
 
     /// Synthesizes the IMU reading of driver `id`'s phone at time `t`.

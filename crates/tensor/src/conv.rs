@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::TensorError;
+use crate::parallel::Parallelism;
 use crate::tensor::Tensor;
 use crate::Result;
 
@@ -32,7 +33,13 @@ pub struct Conv2dSpec {
 
 impl Conv2dSpec {
     /// Convenience constructor for a square kernel.
-    pub fn square(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+    pub fn square(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
         Conv2dSpec {
             in_channels,
             out_channels,
@@ -51,7 +58,9 @@ impl Conv2dSpec {
     /// the padded input or stride is zero.
     pub fn output_size(&self, h: usize, w: usize) -> Result<(usize, usize)> {
         if self.stride == 0 {
-            return Err(TensorError::InvalidGeometry("stride must be non-zero".into()));
+            return Err(TensorError::InvalidGeometry(
+                "stride must be non-zero".into(),
+            ));
         }
         let ph = h + 2 * self.padding;
         let pw = w + 2 * self.padding;
@@ -61,7 +70,10 @@ impl Conv2dSpec {
                 self.kernel_h, self.kernel_w, ph, pw
             )));
         }
-        Ok(((ph - self.kernel_h) / self.stride + 1, (pw - self.kernel_w) / self.stride + 1))
+        Ok((
+            (ph - self.kernel_h) / self.stride + 1,
+            (pw - self.kernel_w) / self.stride + 1,
+        ))
     }
 
     /// Number of elements in one flattened patch (`in_channels * kh * kw`).
@@ -78,6 +90,54 @@ impl Conv2dSpec {
 /// Returns an error if the input is not rank 4, the channel count disagrees
 /// with `spec`, or the geometry is impossible.
 pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
+    im2col_with(input, spec, &Parallelism::serial())
+}
+
+/// Fills patch rows `row0..` into `chunk`; each patch row is an independent
+/// gather, so any contiguous row range can be produced by any thread.
+fn im2col_rows(
+    data: &[f32],
+    spec: &Conv2dSpec,
+    geom: (usize, usize, usize, usize, usize), // (c, h, w, oh, ow)
+    row0: usize,
+    chunk: &mut [f32],
+) {
+    let (c, h, w, oh, ow) = geom;
+    let patch = spec.patch_len();
+    let pad = spec.padding as isize;
+    for (i, dst) in chunk.chunks_mut(patch).enumerate() {
+        let row = row0 + i;
+        let n = row / (oh * ow);
+        let rem = row % (oh * ow);
+        let (oy, ox) = (rem / ow, rem % ow);
+        let base_n = n * c * h * w;
+        let mut k = 0usize;
+        for ch in 0..c {
+            let base_c = base_n + ch * h * w;
+            for ky in 0..spec.kernel_h {
+                let iy = (oy * spec.stride + ky) as isize - pad;
+                for kx in 0..spec.kernel_w {
+                    let ix = (ox * spec.stride + kx) as isize - pad;
+                    dst[k] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                        data[base_c + iy as usize * w + ix as usize]
+                    } else {
+                        0.0
+                    };
+                    k += 1;
+                }
+            }
+        }
+    }
+}
+
+/// [`im2col`] with a parallel execution policy: patch rows are chunked
+/// across scoped threads. Each row is a pure gather from the (shared,
+/// read-only) input, so the result is bitwise identical to serial.
+///
+/// # Errors
+///
+/// Same conditions as [`im2col`].
+pub fn im2col_with(input: &Tensor, spec: &Conv2dSpec, par: &Parallelism) -> Result<Tensor> {
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -96,33 +156,10 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
     let patch = spec.patch_len();
     let mut out = vec![0.0f32; b * oh * ow * patch];
     let data = input.data();
-    let pad = spec.padding as isize;
-
-    let mut row = 0usize;
-    for n in 0..b {
-        let base_n = n * c * h * w;
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let dst = &mut out[row * patch..(row + 1) * patch];
-                let mut k = 0usize;
-                for ch in 0..c {
-                    let base_c = base_n + ch * h * w;
-                    for ky in 0..spec.kernel_h {
-                        let iy = (oy * spec.stride + ky) as isize - pad;
-                        for kx in 0..spec.kernel_w {
-                            let ix = (ox * spec.stride + kx) as isize - pad;
-                            dst[k] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                data[base_c + iy as usize * w + ix as usize]
-                            } else {
-                                0.0
-                            };
-                            k += 1;
-                        }
-                    }
-                }
-                row += 1;
-            }
-        }
+    if patch > 0 {
+        par.run_rows(&mut out, patch, patch, |row0, chunk| {
+            im2col_rows(data, spec, (c, h, w, oh, ow), row0, chunk)
+        });
     }
     Tensor::from_vec(out, &[b * oh * ow, patch])
 }
@@ -224,10 +261,7 @@ mod tests {
         let spec = Conv2dSpec::square(1, 1, 3, 1, 0);
         let cols = im2col(&input, &spec).unwrap();
         assert_eq!(cols.dims(), &[1, 9]);
-        assert_eq!(
-            cols.data(),
-            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]
-        );
+        assert_eq!(cols.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
     }
 
     #[test]
@@ -249,13 +283,17 @@ mod tests {
         let spec = Conv2dSpec::square(2, 1, 3, 2, 1);
         let (b, h, w) = (2, 5, 4);
         let x = Tensor::from_vec(
-            (0..b * 2 * h * w).map(|v| ((v * 13) % 7) as f32 - 3.0).collect(),
+            (0..b * 2 * h * w)
+                .map(|v| ((v * 13) % 7) as f32 - 3.0)
+                .collect(),
             &[b, 2, h, w],
         )
         .unwrap();
         let cols = im2col(&x, &spec).unwrap();
         let y = Tensor::from_vec(
-            (0..cols.len()).map(|v| ((v * 5) % 11) as f32 - 5.0).collect(),
+            (0..cols.len())
+                .map(|v| ((v * 5) % 11) as f32 - 5.0)
+                .collect(),
             cols.dims(),
         )
         .unwrap();
@@ -263,6 +301,24 @@ mod tests {
         let back = col2im(&y, &spec, b, h, w).unwrap();
         let rhs: f32 = x.mul(&back).unwrap().sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn parallel_im2col_is_bitwise_serial() {
+        let spec = Conv2dSpec::square(3, 4, 3, 2, 1);
+        let (b, h, w) = (3, 9, 7);
+        let x = Tensor::from_vec(
+            (0..b * 3 * h * w)
+                .map(|v| ((v * 17) % 29) as f32 * 0.4 - 5.0)
+                .collect(),
+            &[b, 3, h, w],
+        )
+        .unwrap();
+        let serial = im2col(&x, &spec).unwrap();
+        for threads in [2, 4, 7] {
+            let par = Parallelism::new(threads).with_min_work(1);
+            assert_eq!(serial, im2col_with(&x, &spec, &par).unwrap());
+        }
     }
 
     #[test]

@@ -88,7 +88,12 @@ impl SplitMix64 {
 
 /// Xavier/Glorot uniform initialisation for a tensor with the given fan-in
 /// and fan-out: `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
-pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut SplitMix64) -> Tensor {
+pub fn xavier_uniform(
+    dims: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut SplitMix64,
+) -> Tensor {
     let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
     let mut t = Tensor::zeros(dims);
     for v in t.data_mut() {

@@ -10,7 +10,9 @@
 //! * a cache-friendly [`matmul`](Tensor::matmul) kernel,
 //! * [`im2col`]/[`col2im`] lowering used by convolution forward/backward,
 //! * max/average pooling kernels,
-//! * deterministic weight initialisation helpers.
+//! * deterministic weight initialisation helpers,
+//! * a [`Parallelism`] policy that chunk-parallelizes the matmul, `im2col`,
+//!   and pooling kernels over scoped threads with bitwise-identical results.
 //!
 //! The library intentionally trades generality for auditability: everything
 //! is plain safe Rust over a `Vec<f32>`, so every numerical routine can be
@@ -35,14 +37,19 @@ mod conv;
 mod error;
 mod init;
 mod matmul;
+mod parallel;
 mod pool;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, im2col, Conv2dSpec};
+pub use conv::{col2im, im2col, im2col_with, Conv2dSpec};
 pub use error::TensorError;
 pub use init::{he_normal, uniform_init, xavier_uniform, SplitMix64};
-pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec};
+pub use parallel::Parallelism;
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_with, max_pool2d, max_pool2d_backward,
+    max_pool2d_with, PoolSpec,
+};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

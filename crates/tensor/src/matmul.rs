@@ -1,8 +1,92 @@
 //! Matrix multiplication kernels.
+//!
+//! Each product is implemented as a per-output-row kernel shared by the
+//! serial entry points and the [`Parallelism`]-aware `_with` variants, so
+//! parallel execution is bitwise identical to serial: a thread count only
+//! changes *which thread* computes a row, never the arithmetic inside it.
 
 use crate::error::TensorError;
+use crate::parallel::Parallelism;
 use crate::tensor::Tensor;
 use crate::Result;
+
+/// Computes output rows `row0..` of `a [m,k] × b [k,n]` into `chunk`.
+/// i-k-j loop order: the innermost loop walks both operands contiguously.
+fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, chunk: &mut [f32]) {
+    for (i, c_row) in chunk.chunks_mut(n).enumerate() {
+        let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c, &b_pj) in c_row.iter_mut().zip(b_row) {
+                *c += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// Computes output rows `row0..` of `a [m,k] × bᵀ` (`b` stored `[n,k]`) into
+/// `chunk` as row-by-row dot products.
+fn matmul_transpose_b_rows(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    chunk: &mut [f32],
+) {
+    for (i, c_row) in chunk.chunks_mut(n).enumerate() {
+        let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+        for (j, c) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *c = acc;
+        }
+    }
+}
+
+/// Computes output rows `row0..` of `aᵀ × b` (`a` stored `[k,m]`, `b`
+/// `[k,n]`) into `chunk`. Accumulates over `p` in ascending order per output
+/// row, skipping zero `a` entries — the same element-wise accumulation order
+/// for every dispatch strategy.
+fn matmul_transpose_a_rows(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    row0: usize,
+    chunk: &mut [f32],
+) {
+    for (i, c_row) in chunk.chunks_mut(n).enumerate() {
+        let col = row0 + i;
+        for p in 0..k {
+            let a_pi = a[p * m + col];
+            if a_pi == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c, &b_pj) in c_row.iter_mut().zip(b_row) {
+                *c += a_pi * b_pj;
+            }
+        }
+    }
+}
+
+fn check_rank2(a: &Tensor, b: &Tensor) -> Result<()> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: if a.rank() != 2 { a.rank() } else { b.rank() },
+        });
+    }
+    Ok(())
+}
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `self [m,k] × other [k,n] →
@@ -26,18 +110,18 @@ impl Tensor {
     /// # Ok::<(), darnet_tensor::TensorError>(())
     /// ```
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
-        if self.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                expected: 2,
-                actual: self.rank(),
-            });
-        }
-        if other.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                expected: 2,
-                actual: other.rank(),
-            });
-        }
+        self.matmul_with(other, &Parallelism::serial())
+    }
+
+    /// [`Tensor::matmul`] with a parallel execution policy. Output rows are
+    /// chunked across scoped threads; results are bitwise identical to the
+    /// serial product.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_with(&self, other: &Tensor, par: &Parallelism) -> Result<Tensor> {
+        check_rank2(self, other)?;
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         if k != k2 {
@@ -49,18 +133,10 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let c_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a_ip) in a_row.iter().enumerate() {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                for (c, &b_pj) in c_row.iter_mut().zip(b_row) {
-                    *c += a_ip * b_pj;
-                }
-            }
+        if n > 0 {
+            par.run_rows(&mut out, n, k * n, |row0, chunk| {
+                matmul_rows(a, b, k, n, row0, chunk)
+            });
         }
         Tensor::from_vec(out, &[m, n])
     }
@@ -73,16 +149,17 @@ impl Tensor {
     ///
     /// Same conditions as [`Tensor::matmul`].
     pub fn matmul_transpose_b(&self, other: &Tensor) -> Result<Tensor> {
-        if self.rank() != 2 || other.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                expected: 2,
-                actual: if self.rank() != 2 {
-                    self.rank()
-                } else {
-                    other.rank()
-                },
-            });
-        }
+        self.matmul_transpose_b_with(other, &Parallelism::serial())
+    }
+
+    /// [`Tensor::matmul_transpose_b`] with a parallel execution policy;
+    /// bitwise identical to the serial product.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_transpose_b_with(&self, other: &Tensor, par: &Parallelism) -> Result<Tensor> {
+        check_rank2(self, other)?;
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (n, k2) = (other.dims()[0], other.dims()[1]);
         if k != k2 {
@@ -94,16 +171,10 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&x, &y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
-                }
-                out[i * n + j] = acc;
-            }
+        if n > 0 {
+            par.run_rows(&mut out, n, k * n, |row0, chunk| {
+                matmul_transpose_b_rows(a, b, k, n, row0, chunk)
+            });
         }
         Tensor::from_vec(out, &[m, n])
     }
@@ -116,16 +187,17 @@ impl Tensor {
     ///
     /// Same conditions as [`Tensor::matmul`].
     pub fn matmul_transpose_a(&self, other: &Tensor) -> Result<Tensor> {
-        if self.rank() != 2 || other.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                expected: 2,
-                actual: if self.rank() != 2 {
-                    self.rank()
-                } else {
-                    other.rank()
-                },
-            });
-        }
+        self.matmul_transpose_a_with(other, &Parallelism::serial())
+    }
+
+    /// [`Tensor::matmul_transpose_a`] with a parallel execution policy;
+    /// bitwise identical to the serial product.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_transpose_a_with(&self, other: &Tensor, par: &Parallelism) -> Result<Tensor> {
+        check_rank2(self, other)?;
         let (k, m) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         if k != k2 {
@@ -137,18 +209,10 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let a_row = &a[p * m..(p + 1) * m];
-            let b_row = &b[p * n..(p + 1) * n];
-            for (i, &a_pi) in a_row.iter().enumerate() {
-                if a_pi == 0.0 {
-                    continue;
-                }
-                let c_row = &mut out[i * n..(i + 1) * n];
-                for (c, &b_pj) in c_row.iter_mut().zip(b_row) {
-                    *c += a_pi * b_pj;
-                }
-            }
+        if n > 0 {
+            par.run_rows(&mut out, n, k * n, |row0, chunk| {
+                matmul_transpose_a_rows(a, b, k, m, n, row0, chunk)
+            });
         }
         Tensor::from_vec(out, &[m, n])
     }
@@ -240,8 +304,8 @@ mod tests {
     #[test]
     fn transpose_variants_agree_with_explicit_transpose() {
         let a = Tensor::from_vec((0..6).map(|v| v as f32 * 0.5).collect(), &[2, 3]).unwrap();
-        let b = Tensor::from_vec((0..12).map(|v| v as f32 * 0.25 - 1.0).collect(), &[4, 3])
-            .unwrap();
+        let b =
+            Tensor::from_vec((0..12).map(|v| v as f32 * 0.25 - 1.0).collect(), &[4, 3]).unwrap();
         // a [2,3] x b^T [3,4] = [2,4]
         let via_t = a.matmul(&b.transpose2d().unwrap()).unwrap();
         let direct = a.matmul_transpose_b(&b).unwrap();
@@ -279,5 +343,49 @@ mod tests {
         let v = Tensor::from_slice(&[1.0, 0.5, -1.0]);
         let direct = a.matvec(&v).unwrap();
         assert_eq!(direct.data(), &[0.5 - 2.0, 3.0 + 2.0 - 5.0]);
+    }
+
+    #[test]
+    fn parallel_products_are_bitwise_serial() {
+        let a = Tensor::from_vec(
+            (0..48 * 33)
+                .map(|v| ((v * 37) % 19) as f32 * 0.31 - 2.0)
+                .collect(),
+            &[48, 33],
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            (0..33 * 21)
+                .map(|v| ((v * 11) % 23) as f32 * 0.17 - 1.5)
+                .collect(),
+            &[33, 21],
+        )
+        .unwrap();
+        let bt = Tensor::from_vec(
+            (0..21 * 33)
+                .map(|v| ((v * 29) % 13) as f32 * 0.09 - 0.5)
+                .collect(),
+            &[21, 33],
+        )
+        .unwrap();
+        let at = Tensor::from_vec(
+            (0..48 * 21)
+                .map(|v| ((v * 41) % 17) as f32 * 0.23 - 1.0)
+                .collect(),
+            &[48, 21],
+        )
+        .unwrap();
+        for threads in [2, 3, 5, 8] {
+            let par = Parallelism::new(threads).with_min_work(1);
+            assert_eq!(a.matmul(&b).unwrap(), a.matmul_with(&b, &par).unwrap());
+            assert_eq!(
+                a.matmul_transpose_b(&bt).unwrap(),
+                a.matmul_transpose_b_with(&bt, &par).unwrap()
+            );
+            assert_eq!(
+                a.matmul_transpose_a(&at).unwrap(),
+                a.matmul_transpose_a_with(&at, &par).unwrap()
+            );
+        }
     }
 }

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::TensorError;
+use crate::parallel::Parallelism;
 use crate::tensor::Tensor;
 use crate::Result;
 
@@ -39,7 +40,10 @@ impl PoolSpec {
                 self.window, h, w
             )));
         }
-        Ok(((h - self.window) / self.stride + 1, (w - self.window) / self.stride + 1))
+        Ok((
+            (h - self.window) / self.stride + 1,
+            (w - self.window) / self.stride + 1,
+        ))
     }
 }
 
@@ -62,36 +66,95 @@ fn check_rank4(input: &Tensor) -> Result<(usize, usize, usize, usize)> {
 ///
 /// Returns an error on rank or geometry problems.
 pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> Result<(Tensor, Vec<usize>)> {
+    max_pool2d_with(input, spec, &Parallelism::serial())
+}
+
+/// Max-pools the `[h,w]` planes `plane0..` into `out_chunk`/`arg_chunk`
+/// (one `oh*ow` stretch per plane).
+fn max_pool_planes(
+    data: &[f32],
+    spec: &PoolSpec,
+    geom: (usize, usize, usize, usize), // (h, w, oh, ow)
+    plane0: usize,
+    out_chunk: &mut [f32],
+    arg_chunk: &mut [usize],
+) {
+    let (h, w, oh, ow) = geom;
+    let plane_out = oh * ow;
+    for (i, (out_plane, arg_plane)) in out_chunk
+        .chunks_mut(plane_out)
+        .zip(arg_chunk.chunks_mut(plane_out))
+        .enumerate()
+    {
+        let base = (plane0 + i) * h * w;
+        let mut o = 0usize;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for ky in 0..spec.window {
+                    for kx in 0..spec.window {
+                        let iy = oy * spec.stride + ky;
+                        let ix = ox * spec.stride + kx;
+                        let idx = base + iy * w + ix;
+                        if data[idx] > best {
+                            best = data[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                out_plane[o] = best;
+                arg_plane[o] = best_idx;
+                o += 1;
+            }
+        }
+    }
+}
+
+/// [`max_pool2d`] with a parallel execution policy: the `batch * channels`
+/// planes are chunked across scoped threads, with the output and argmax
+/// buffers split in lockstep. Bitwise identical to serial.
+///
+/// # Errors
+///
+/// Returns an error on rank or geometry problems.
+pub fn max_pool2d_with(
+    input: &Tensor,
+    spec: &PoolSpec,
+    par: &Parallelism,
+) -> Result<(Tensor, Vec<usize>)> {
     let (b, c, h, w) = check_rank4(input)?;
     let (oh, ow) = spec.output_size(h, w)?;
     let data = input.data();
-    let mut out = vec![0.0f32; b * c * oh * ow];
-    let mut arg = vec![0usize; b * c * oh * ow];
-    let mut o = 0usize;
-    for n in 0..b {
-        for ch in 0..c {
-            let base = (n * c + ch) * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0usize;
-                    for ky in 0..spec.window {
-                        for kx in 0..spec.window {
-                            let iy = oy * spec.stride + ky;
-                            let ix = ox * spec.stride + kx;
-                            let idx = base + iy * w + ix;
-                            if data[idx] > best {
-                                best = data[idx];
-                                best_idx = idx;
-                            }
-                        }
-                    }
-                    out[o] = best;
-                    arg[o] = best_idx;
-                    o += 1;
-                }
+    let plane_out = oh * ow;
+    let mut out = vec![0.0f32; b * c * plane_out];
+    let mut arg = vec![0usize; b * c * plane_out];
+    let work_per_plane = plane_out * spec.window * spec.window;
+    let ranges = par.partition(b * c, work_per_plane);
+    if ranges.len() <= 1 {
+        max_pool_planes(data, spec, (h, w, oh, ow), 0, &mut out, &mut arg);
+    } else {
+        std::thread::scope(|scope| {
+            let mut out_rest = out.as_mut_slice();
+            let mut arg_rest = arg.as_mut_slice();
+            for range in ranges {
+                let take = (range.end - range.start) * plane_out;
+                let (out_chunk, out_tail) = out_rest.split_at_mut(take);
+                let (arg_chunk, arg_tail) = arg_rest.split_at_mut(take);
+                out_rest = out_tail;
+                arg_rest = arg_tail;
+                scope.spawn(move || {
+                    max_pool_planes(
+                        data,
+                        spec,
+                        (h, w, oh, ow),
+                        range.start,
+                        out_chunk,
+                        arg_chunk,
+                    )
+                });
             }
-        }
+        });
     }
     Ok((Tensor::from_vec(out, &[b, c, oh, ow])?, arg))
 }
@@ -134,29 +197,55 @@ pub fn max_pool2d_backward(
 ///
 /// Returns an error on rank or geometry problems.
 pub fn avg_pool2d(input: &Tensor, spec: &PoolSpec) -> Result<Tensor> {
-    let (b, c, h, w) = check_rank4(input)?;
-    let (oh, ow) = spec.output_size(h, w)?;
-    let data = input.data();
+    avg_pool2d_with(input, spec, &Parallelism::serial())
+}
+
+/// Average-pools the `[h,w]` planes `plane0..` into `chunk`.
+fn avg_pool_planes(
+    data: &[f32],
+    spec: &PoolSpec,
+    geom: (usize, usize, usize, usize), // (h, w, oh, ow)
+    plane0: usize,
+    chunk: &mut [f32],
+) {
+    let (h, w, oh, ow) = geom;
     let denom = (spec.window * spec.window) as f32;
-    let mut out = vec![0.0f32; b * c * oh * ow];
-    let mut o = 0usize;
-    for n in 0..b {
-        for ch in 0..c {
-            let base = (n * c + ch) * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = 0.0f32;
-                    for ky in 0..spec.window {
-                        for kx in 0..spec.window {
-                            acc += data[base + (oy * spec.stride + ky) * w + ox * spec.stride + kx];
-                        }
+    for (i, out_plane) in chunk.chunks_mut(oh * ow).enumerate() {
+        let base = (plane0 + i) * h * w;
+        let mut o = 0usize;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ky in 0..spec.window {
+                    for kx in 0..spec.window {
+                        acc += data[base + (oy * spec.stride + ky) * w + ox * spec.stride + kx];
                     }
-                    out[o] = acc / denom;
-                    o += 1;
                 }
+                out_plane[o] = acc / denom;
+                o += 1;
             }
         }
     }
+}
+
+/// [`avg_pool2d`] with a parallel execution policy: `batch * channels`
+/// planes chunked across scoped threads, bitwise identical to serial.
+///
+/// # Errors
+///
+/// Returns an error on rank or geometry problems.
+pub fn avg_pool2d_with(input: &Tensor, spec: &PoolSpec, par: &Parallelism) -> Result<Tensor> {
+    let (b, c, h, w) = check_rank4(input)?;
+    let (oh, ow) = spec.output_size(h, w)?;
+    let data = input.data();
+    let plane_out = oh * ow;
+    let mut out = vec![0.0f32; b * c * plane_out];
+    par.run_rows(
+        &mut out,
+        plane_out,
+        plane_out * spec.window * spec.window,
+        |plane0, chunk| avg_pool_planes(data, spec, (h, w, oh, ow), plane0, chunk),
+    );
     Tensor::from_vec(out, &[b, c, oh, ow])
 }
 
@@ -233,11 +322,7 @@ mod tests {
 
     #[test]
     fn max_pool_backward_routes_gradient_to_winner() {
-        let input = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0],
-            &[1, 1, 2, 2],
-        )
-        .unwrap();
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
         let (out, arg) = max_pool2d(&input, &PoolSpec::new(2, 2)).unwrap();
         assert_eq!(out.data(), &[4.0]);
         let grad = Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]).unwrap();
@@ -247,11 +332,7 @@ mod tests {
 
     #[test]
     fn avg_pool_averages_windows() {
-        let input = Tensor::from_vec(
-            vec![1.0, 3.0, 5.0, 7.0],
-            &[1, 1, 2, 2],
-        )
-        .unwrap();
+        let input = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]).unwrap();
         let out = avg_pool2d(&input, &PoolSpec::new(2, 2)).unwrap();
         assert_eq!(out.data(), &[4.0]);
     }
@@ -268,6 +349,28 @@ mod tests {
     fn pool_rejects_window_larger_than_input() {
         let input = Tensor::zeros(&[1, 1, 2, 2]);
         assert!(max_pool2d(&input, &PoolSpec::new(3, 1)).is_err());
+    }
+
+    #[test]
+    fn parallel_pooling_is_bitwise_serial() {
+        let (b, c, h, w) = (2, 3, 7, 6);
+        let input = Tensor::from_vec(
+            (0..b * c * h * w)
+                .map(|v| ((v * 23) % 31) as f32 * 0.7 - 10.0)
+                .collect(),
+            &[b, c, h, w],
+        )
+        .unwrap();
+        let spec = PoolSpec::new(2, 2);
+        let (out_s, arg_s) = max_pool2d(&input, &spec).unwrap();
+        let avg_s = avg_pool2d(&input, &spec).unwrap();
+        for threads in [2, 3, 6] {
+            let par = Parallelism::new(threads).with_min_work(1);
+            let (out_p, arg_p) = max_pool2d_with(&input, &spec, &par).unwrap();
+            assert_eq!(out_s, out_p);
+            assert_eq!(arg_s, arg_p);
+            assert_eq!(avg_s, avg_pool2d_with(&input, &spec, &par).unwrap());
+        }
     }
 
     #[test]

@@ -1,10 +1,27 @@
 //! Property-based tests for tensor algebra invariants.
 
-use darnet_tensor::{col2im, im2col, Conv2dSpec, SplitMix64, Tensor};
+use darnet_tensor::{
+    avg_pool2d, avg_pool2d_with, col2im, im2col, im2col_with, max_pool2d, max_pool2d_with,
+    Conv2dSpec, Parallelism, PoolSpec, SplitMix64, Tensor,
+};
 use proptest::prelude::*;
 
 fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-100.0f32..100.0, 1..max_len)
+}
+
+fn random_tensor(dims: &[usize], rng: &mut SplitMix64) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    for v in t.data_mut() {
+        *v = rng.uniform(-2.0, 2.0);
+    }
+    t
+}
+
+/// A handle that always fans out: `min_work(1)` defeats the serial
+/// fallback so even tiny proptest shapes exercise the threaded path.
+fn forced(threads: usize) -> Parallelism {
+    Parallelism::new(threads).with_min_work(1)
 }
 
 proptest! {
@@ -84,6 +101,66 @@ proptest! {
         let a = Tensor::from_vec(data, &[n]).unwrap();
         let idx = a.argmax().unwrap();
         prop_assert_eq!(a.data()[idx], a.max());
+    }
+
+    #[test]
+    fn parallel_matmul_is_bitwise_serial(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12,
+        threads in 2usize..9, seed in 0u64..500,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let a = random_tensor(&[m, k], &mut rng);
+        let b = random_tensor(&[k, n], &mut rng);
+        let par = forced(threads);
+        prop_assert_eq!(
+            a.matmul_with(&b, &par).unwrap(),
+            a.matmul(&b).unwrap()
+        );
+        let bt = random_tensor(&[n, k], &mut rng);
+        prop_assert_eq!(
+            a.matmul_transpose_b_with(&bt, &par).unwrap(),
+            a.matmul_transpose_b(&bt).unwrap()
+        );
+        let at = random_tensor(&[k, m], &mut rng);
+        prop_assert_eq!(
+            at.matmul_transpose_a_with(&b, &par).unwrap(),
+            at.matmul_transpose_a(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_im2col_is_bitwise_serial(
+        b in 1usize..3, c in 1usize..3, h in 3usize..8, w in 3usize..8,
+        kernel in 1usize..4, threads in 2usize..9, seed in 0u64..500,
+    ) {
+        let spec = Conv2dSpec::square(c, 1, kernel, 1, kernel / 2);
+        let mut rng = SplitMix64::new(seed);
+        let x = random_tensor(&[b, c, h, w], &mut rng);
+        prop_assert_eq!(
+            im2col_with(&x, &spec, &forced(threads)).unwrap(),
+            im2col(&x, &spec).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_pooling_is_bitwise_serial(
+        b in 1usize..3, c in 1usize..4, h in 2usize..9, w in 2usize..9,
+        window in 2usize..4, stride in 1usize..3,
+        threads in 2usize..9, seed in 0u64..500,
+    ) {
+        let window = window.min(h).min(w);
+        let spec = PoolSpec::new(window, stride);
+        let mut rng = SplitMix64::new(seed);
+        let x = random_tensor(&[b, c, h, w], &mut rng);
+        let par = forced(threads);
+        let (out_p, arg_p) = max_pool2d_with(&x, &spec, &par).unwrap();
+        let (out_s, arg_s) = max_pool2d(&x, &spec).unwrap();
+        prop_assert_eq!(out_p, out_s);
+        prop_assert_eq!(arg_p, arg_s);
+        prop_assert_eq!(
+            avg_pool2d_with(&x, &spec, &par).unwrap(),
+            avg_pool2d(&x, &spec).unwrap()
+        );
     }
 
     #[test]

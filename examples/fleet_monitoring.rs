@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         d.dedup();
         d
     };
-    println!("\nfleet report ({} drivers, {} scored steps)", drivers.len(), eval.len());
+    println!(
+        "\nfleet report ({} drivers, {} scored steps)",
+        drivers.len(),
+        eval.len()
+    );
     println!(
         "{:<8} {:>8} {:>12} {:>14} {:>12}",
         "driver", "steps", "distracted", "worst class", "alerts"
@@ -54,10 +58,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         // (~0.75 s at 4 Hz) raise an alert; 4 normal ones clear it.
         let mut tracker = AlertTracker::new(AlertPolicy::default());
         for sample in eval.samples().iter().filter(|s| s.driver == driver) {
-            let window = Tensor::from_vec(
-                sample.imu_window.clone(),
-                &[1, WINDOW_LEN, IMU_FEATURES],
-            )?;
+            let window =
+                Tensor::from_vec(sample.imu_window.clone(), &[1, WINDOW_LEN, IMU_FEATURES])?;
             let result = engine.classify_step(&sample.frame, &window)?;
             steps += 1;
             if result.behavior != Behavior::NormalDriving {

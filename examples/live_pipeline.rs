@@ -18,9 +18,24 @@ fn main() -> Result<(), Box<dyn Error>> {
     let world = Arc::new(DrivingWorld::new(WorldConfig::default()));
     // One driver performing three scripted 10-second tasks.
     let segments = vec![
-        Segment { driver: 0, behavior: Behavior::NormalDriving, start: 0.0, duration: 10.0 },
-        Segment { driver: 0, behavior: Behavior::Texting, start: 10.0, duration: 10.0 },
-        Segment { driver: 0, behavior: Behavior::Talking, start: 20.0, duration: 10.0 },
+        Segment {
+            driver: 0,
+            behavior: Behavior::NormalDriving,
+            start: 0.0,
+            duration: 10.0,
+        },
+        Segment {
+            driver: 0,
+            behavior: Behavior::Texting,
+            start: 10.0,
+            duration: 10.0,
+        },
+        Segment {
+            driver: 0,
+            behavior: Behavior::Talking,
+            start: 20.0,
+            duration: 10.0,
+        },
     ];
     let duration = 30.0;
 

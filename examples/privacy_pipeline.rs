@@ -43,7 +43,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
     }
     let n_train = frames.len() * 4 / 5;
-    println!("dataset: {} frames, {} train / {} eval", frames.len(), n_train, frames.len() - n_train);
+    println!(
+        "dataset: {} frames, {} train / {} eval",
+        frames.len(),
+        n_train,
+        frames.len() - n_train
+    );
 
     // Teacher CNN at full resolution.
     let mut teacher = FrameCnn::new(
@@ -59,7 +64,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     teacher.fit(&train_tensor, &labels[..n_train], 10)?;
     let eval_tensor = frames_to_tensor(&frames[n_train..])?;
     let teacher_acc = teacher.evaluate(&eval_tensor, &labels[n_train..])?;
-    println!("teacher top-1 on held-out frames: {:.1}%\n", teacher_acc * 100.0);
+    println!(
+        "teacher top-1 on held-out frames: {:.1}%\n",
+        teacher_acc * 100.0
+    );
 
     // Bandwidth ledger: what each privacy level costs on the wire.
     let sample_frame = &frames[0];
@@ -76,8 +84,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     };
     let downsampler = Downsampler::new(sample_frame.width());
     let full_bytes = wire_size(sample_frame);
-    println!("{:<10} {:>10} {:>12} {:>12}", "level", "pixels", "wire bytes", "reduction");
-    println!("{:<10} {:>10} {:>12} {:>12}", "full", "48x48", full_bytes, "1x");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12}",
+        "level", "pixels", "wire bytes", "reduction"
+    );
+    println!(
+        "{:<10} {:>10} {:>12} {:>12}",
+        "full", "48x48", full_bytes, "1x"
+    );
     for level in PrivacyLevel::ALL {
         let small = downsampler.distort(sample_frame, level);
         let bytes = wire_size(&small);

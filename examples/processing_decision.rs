@@ -14,7 +14,9 @@ use darnet::collect::{
 fn site_label(site: ProcessingSite) -> String {
     match site {
         ProcessingSite::Local => "local".to_string(),
-        ProcessingSite::Remote { distortion_divisor: 1 } => "remote (full res)".to_string(),
+        ProcessingSite::Remote {
+            distortion_divisor: 1,
+        } => "remote (full res)".to_string(),
         ProcessingSite::Remote { distortion_divisor } => {
             format!("remote (1/{distortion_divisor} res)")
         }
@@ -24,11 +26,46 @@ fn site_label(site: ProcessingSite) -> String {
 fn main() {
     let caps = SiteCapabilities::default();
     let networks = [
-        ("wifi direct", LinkObservation { latency: 0.015, bandwidth: 2_000_000.0, loss: 0.0 }),
-        ("good LTE", LinkObservation { latency: 0.050, bandwidth: 250_000.0, loss: 0.01 }),
-        ("weak LTE", LinkObservation { latency: 0.120, bandwidth: 12_000.0, loss: 0.05 }),
-        ("edge of coverage", LinkObservation { latency: 0.350, bandwidth: 2_000.0, loss: 0.25 }),
-        ("tunnel", LinkObservation { latency: 3.000, bandwidth: 100.0, loss: 0.60 }),
+        (
+            "wifi direct",
+            LinkObservation {
+                latency: 0.015,
+                bandwidth: 2_000_000.0,
+                loss: 0.0,
+            },
+        ),
+        (
+            "good LTE",
+            LinkObservation {
+                latency: 0.050,
+                bandwidth: 250_000.0,
+                loss: 0.01,
+            },
+        ),
+        (
+            "weak LTE",
+            LinkObservation {
+                latency: 0.120,
+                bandwidth: 12_000.0,
+                loss: 0.05,
+            },
+        ),
+        (
+            "edge of coverage",
+            LinkObservation {
+                latency: 0.350,
+                bandwidth: 2_000.0,
+                loss: 0.25,
+            },
+        ),
+        (
+            "tunnel",
+            LinkObservation {
+                latency: 3.000,
+                bandwidth: 100.0,
+                loss: 0.60,
+            },
+        ),
     ];
     let preferences = [
         ("no privacy floor", PrivacyPreference::None),

@@ -72,7 +72,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     for (i, sample) in eval.samples().iter().take(shown).enumerate() {
         let window = Tensor::from_vec(
             sample.imu_window.clone(),
-            &[1, darnet::core::dataset::WINDOW_LEN, darnet::core::dataset::IMU_FEATURES],
+            &[
+                1,
+                darnet::core::dataset::WINDOW_LEN,
+                darnet::core::dataset::IMU_FEATURES,
+            ],
         )?;
         let result = engine.classify_step(&sample.frame, &window)?;
         let ok = result.behavior == sample.behavior;

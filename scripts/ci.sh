@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full CI pipeline, runnable offline on any checkout:
+#
+#   1. tier-1 gate   — lockfile freshness, fmt --check, release build,
+#                      tests, clippy -D warnings (scripts/tier1.sh)
+#   2. docs          — rustdoc must build cleanly (missing_docs is denied
+#                      in the crates, so this catches broken intra-doc
+#                      links and malformed examples)
+#   3. bench smoke   — the parallel/batching benchmark in --fast mode,
+#                      compared against the committed BENCH_parallel.json
+#                      baseline; any speedup_* ratio more than 15% below
+#                      baseline fails the build, as does missing the
+#                      hardware-scaled absolute floors (--check)
+#
+# The workspace vendors every dependency, so the whole pipeline runs with
+# the network off; CARGO_NET_OFFLINE makes cargo fail fast if anything
+# ever tries to reach out.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> tier-1 gate (fmt, build, test, clippy)"
+scripts/tier1.sh
+
+echo "==> doc build"
+cargo doc --workspace --no-deps --locked --quiet
+
+echo "==> bench smoke + regression compare"
+mkdir -p target/ci
+cargo run --release --locked -p darnet-bench --bin bench_parallel -- \
+  --fast --json \
+  --out target/ci/BENCH_parallel.json \
+  --compare BENCH_parallel.json \
+  --check
+
+echo "==> CI pipeline passed"

@@ -1,9 +1,19 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, and a warnings-as-errors
-# clippy pass over the whole workspace. Run from anywhere.
+# Tier-1 gate: formatting, release build, full test suite, and a
+# warnings-as-errors clippy pass over the whole workspace. Run from
+# anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q
-cargo clippy --workspace -- -D warnings
+# A stale lockfile would make every cargo invocation below resolve (or
+# refuse to run) differently than CI sees it; fail loudly up front
+# instead of letting a later step die with a confusing message.
+if ! cargo metadata --locked --format-version 1 >/dev/null 2>&1; then
+  echo "tier1: Cargo.lock is stale or missing — regenerate it (cargo update -w) and commit it" >&2
+  exit 1
+fi
+
+cargo fmt --all --check
+cargo build --release --locked
+cargo test -q --locked
+cargo clippy --workspace --locked -- -D warnings

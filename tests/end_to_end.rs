@@ -113,12 +113,11 @@ fn engine_classifies_held_out_steps_end_to_end() {
     let mut correct = 0;
     let n = eval.len().min(40);
     for sample in eval.samples().iter().take(n) {
-        let window = Tensor::from_vec(
-            sample.imu_window.clone(),
-            &[1, WINDOW_LEN, IMU_FEATURES],
-        )
-        .expect("window shape");
-        let out = engine.classify_step(&sample.frame, &window).expect("classifies");
+        let window = Tensor::from_vec(sample.imu_window.clone(), &[1, WINDOW_LEN, IMU_FEATURES])
+            .expect("window shape");
+        let out = engine
+            .classify_step(&sample.frame, &window)
+            .expect("classifies");
         assert!((out.scores.iter().sum::<f32>() - 1.0).abs() < 1e-3);
         if out.behavior == sample.behavior {
             correct += 1;
@@ -142,12 +141,11 @@ fn svm_slot_works_in_engine() {
         EngineConfig::default(),
     );
     let sample = &eval.samples()[0];
-    let window = Tensor::from_vec(
-        sample.imu_window.clone(),
-        &[1, WINDOW_LEN, IMU_FEATURES],
-    )
-    .expect("window shape");
-    let out = engine.classify_step(&sample.frame, &window).expect("classifies");
+    let window = Tensor::from_vec(sample.imu_window.clone(), &[1, WINDOW_LEN, IMU_FEATURES])
+        .expect("window shape");
+    let out = engine
+        .classify_step(&sample.frame, &window)
+        .expect("classifies");
     assert_eq!(out.imu_probs.len(), 3);
 }
 

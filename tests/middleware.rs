@@ -131,8 +131,8 @@ fn tsdb_rollups_reflect_session_dynamics() {
     // accelerometer magnitude variance should be visible per bucket.
     use darnet::collect::live::run_live_session;
     use darnet::collect::Aggregation;
-    let live = run_live_session(&world(), 0, &script(6.0), 12.0, ControllerConfig::default())
-        .unwrap();
+    let live =
+        run_live_session(&world(), 0, &script(6.0), 12.0, ControllerConfig::default()).unwrap();
     let buckets = live
         .controller
         .tsdb()
@@ -153,11 +153,16 @@ fn tsdb_rollups_reflect_session_dynamics() {
 #[test]
 fn live_threaded_mode_agrees_with_event_driven_grid() {
     let rec = run_session(&world(), 0, &script(5.0), &CampaignConfig::default()).unwrap();
-    let live = run_live_session(&world(), 0, &script(5.0), 10.0, ControllerConfig::default())
-        .unwrap();
+    let live =
+        run_live_session(&world(), 0, &script(5.0), 10.0, ControllerConfig::default()).unwrap();
     let live_grid = live.controller.aligned_imu().unwrap();
     // Same virtual duration → comparable grid density (live mode has no
     // network model, so counts differ only at the edges).
     let diff = (rec.imu.len() as i64 - live_grid.len() as i64).abs();
-    assert!(diff <= 4, "event {} vs live {}", rec.imu.len(), live_grid.len());
+    assert!(
+        diff <= 4,
+        "event {} vs live {}",
+        rec.imu.len(),
+        live_grid.len()
+    );
 }

@@ -2,10 +2,10 @@
 //! bit-identical behaviour — the contract behind the paper's promise to
 //! release its learning models.
 
+use darnet::collect::runtime::{run_campaign, CampaignConfig};
+use darnet::core::dataset::MultimodalDataset;
 use darnet::core::experiment::{train_stack_on, ExperimentConfig};
 use darnet::core::models::{CnnConfig, FrameCnn, ImuRnn, RnnConfig};
-use darnet::core::dataset::MultimodalDataset;
-use darnet::collect::runtime::{run_campaign, CampaignConfig};
 use darnet::sim::schedule::{build_schedule, ScheduleConfig};
 use darnet::sim::{DrivingWorld, WorldConfig};
 use std::sync::Arc;

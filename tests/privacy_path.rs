@@ -66,7 +66,9 @@ fn distillation_transfers_teacher_behaviour_to_student() {
     let eval_distorted = ds
         .roundtrip_tensor(&frames[n_train..], PrivacyLevel::Low)
         .unwrap();
-    let student_acc = student.evaluate(&eval_distorted, &labels[n_train..]).unwrap();
+    let student_acc = student
+        .evaluate(&eval_distorted, &labels[n_train..])
+        .unwrap();
     // dCNN-L keeps most of the teacher's accuracy (paper: it can even
     // exceed it).
     assert!(

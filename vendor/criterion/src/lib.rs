@@ -76,7 +76,11 @@ fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
 
 impl Criterion {
     /// Benchmarks `f` under `name`.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
         run_one(name.as_ref(), self.sample_size, &mut f);
         self
     }
@@ -107,7 +111,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks `f` under `group/name`.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
         let full = format!("{}/{}", self.name, name.as_ref());
         run_one(&full, self.sample_size, &mut f);
         self

@@ -30,7 +30,9 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Blocking send; errors if the receiver is gone.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.inner.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+            self.inner
+                .send(msg)
+                .map_err(|mpsc::SendError(m)| SendError(m))
         }
     }
 
