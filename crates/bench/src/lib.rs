@@ -12,6 +12,7 @@
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
+#![warn(rust_2018_idioms)]
 
 use darnet_core::experiment::{ExperimentConfig, PrivacyExperimentConfig};
 

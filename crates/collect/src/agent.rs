@@ -302,7 +302,7 @@ impl CollectionAgent {
         self.in_flight
             .iter()
             .map(|e| e.deadline)
-            .min_by(|a, b| a.partial_cmp(b).expect("finite deadlines"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Collects every in-flight batch whose ack deadline has passed at

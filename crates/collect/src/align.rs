@@ -42,7 +42,7 @@ pub fn interpolate_grid(observations: &[(f64, Vec<f32>)], grid: &GridSpec) -> Ve
         return Vec::new();
     }
     let mut obs: Vec<&(f64, Vec<f32>)> = observations.iter().collect();
-    obs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("timestamps are finite"));
+    obs.sort_by(|a, b| a.0.total_cmp(&b.0));
     let channels = obs[0].1.len();
     let mut out = Vec::new();
     let mut hi = 0usize; // first observation with time >= g

@@ -238,7 +238,7 @@ impl Controller {
     /// Received frames sorted by timestamp.
     pub fn frames_sorted(&self) -> Vec<FrameRecord> {
         let mut out = self.frames.clone();
-        out.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite timestamps"));
+        out.sort_by(|a, b| a.t.total_cmp(&b.t));
         out
     }
 

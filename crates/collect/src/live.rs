@@ -1,7 +1,8 @@
-//! Live (threaded) collection mode: agents on real OS threads stream
-//! encoded batches to the controller over crossbeam channels — the shape of
-//! the paper's deployed system, useful for the example binaries and for
-//! validating that the pipeline is `Send`-clean under real concurrency.
+//! Live (threaded) collection mode: agents on real OS threads (scoped —
+//! see DESIGN.md §11, scoped-threads-only) stream encoded batches to the
+//! controller over crossbeam channels — the shape of the paper's deployed
+//! system, useful for the example binaries and for validating that the
+//! pipeline is `Send`-clean under real concurrency.
 //!
 //! The faulty variant ([`run_live_session_faulty`]) puts a seeded [`Link`]
 //! in front of each agent's channel: a transmission the link drops is
@@ -71,7 +72,11 @@ impl FaultySend {
     }
 }
 
-fn spawn_agent(
+/// Drives one collection agent to completion on the calling thread —
+/// invoked from a scoped worker inside [`run_live_inner`] (the project's
+/// scoped-threads-only invariant: no detached `thread::spawn`, workers
+/// cannot outlive the session).
+fn run_agent(
     agent_id: u32,
     sensor: Box<dyn Sensor>,
     clock: DriftClock,
@@ -79,42 +84,40 @@ fn spawn_agent(
     transmit_period: f64,
     mut faulty: Option<FaultySend>,
     tx: Sender<Vec<u8>>,
-) -> thread::JoinHandle<Option<(TransportStats, LinkStats)>> {
-    thread::spawn(move || {
-        let poll_period = sensor.period();
-        let mut agent = CollectionAgent::new(
-            agent_id,
-            sensor,
-            clock,
-            AgentConfig {
-                poll_period,
-                transmit_period,
-            },
-        );
-        let deliver = |t: f64, encoded: &[u8], faulty: &mut Option<FaultySend>| match faulty {
-            Some(f) => f.send(t, encoded, &tx),
-            None => tx.send(encoded.to_vec()).is_ok(),
-        };
-        let mut t = 0.0f64;
-        let mut next_flush = transmit_period;
-        while t <= duration {
-            agent.poll(t);
-            if t >= next_flush {
-                if let Some(batch) = agent.flush() {
-                    let encoded = encode_batch(&batch);
-                    if !deliver(t, &encoded, &mut faulty) {
-                        return faulty.map(|f| (f.stats, f.link.link_stats()));
-                    }
+) -> Option<(TransportStats, LinkStats)> {
+    let poll_period = sensor.period();
+    let mut agent = CollectionAgent::new(
+        agent_id,
+        sensor,
+        clock,
+        AgentConfig {
+            poll_period,
+            transmit_period,
+        },
+    );
+    let deliver = |t: f64, encoded: &[u8], faulty: &mut Option<FaultySend>| match faulty {
+        Some(f) => f.send(t, encoded, &tx),
+        None => tx.send(encoded.to_vec()).is_ok(),
+    };
+    let mut t = 0.0f64;
+    let mut next_flush = transmit_period;
+    while t <= duration {
+        agent.poll(t);
+        if t >= next_flush {
+            if let Some(batch) = agent.flush() {
+                let encoded = encode_batch(&batch);
+                if !deliver(t, &encoded, &mut faulty) {
+                    return faulty.map(|f| (f.stats, f.link.link_stats()));
                 }
-                next_flush += transmit_period;
             }
-            t += poll_period;
+            next_flush += transmit_period;
         }
-        if let Some(batch) = agent.flush() {
-            let _ = deliver(t, &encode_batch(&batch), &mut faulty);
-        }
-        faulty.map(|f| (f.stats, f.link.link_stats()))
-    })
+        t += poll_period;
+    }
+    if let Some(batch) = agent.flush() {
+        let _ = deliver(t, &encode_batch(&batch), &mut faulty);
+    }
+    faulty.map(|f| (f.stats, f.link.link_stats()))
 }
 
 fn run_live_inner(
@@ -140,54 +143,64 @@ fn run_live_inner(
         })
     };
 
-    let imu_handle = spawn_agent(
-        0,
-        Box::new(ImuSensor::new(
-            Arc::clone(world),
-            driver,
-            script.clone(),
-            0.025,
-        )),
-        DriftClock::new(50e-6, 0.01),
-        duration,
-        0.5,
-        make_faulty(0),
-        tx.clone(),
-    );
-    let cam_handle = spawn_agent(
-        1,
-        Box::new(CameraSensor::new(Arc::clone(world), driver, script, 0.25)),
-        DriftClock::new(1e-6, 0.0),
-        duration,
-        0.5,
-        make_faulty(1),
-        tx,
-    );
+    // Scoped threads: the controller ingests on this thread while both
+    // agents stream from workers that provably terminate before the scope
+    // (and thus this function) returns. If the ingest loop aborts early on
+    // a decode error, dropping `rx` makes the workers' sends fail and they
+    // exit — the scope cannot deadlock.
+    let tx_imu = tx.clone();
+    let script_imu = script.clone();
+    let faulty_imu = make_faulty(0);
+    let faulty_cam = make_faulty(1);
+    thread::scope(|scope| {
+        let imu_handle = scope.spawn(move || {
+            run_agent(
+                0,
+                Box::new(ImuSensor::new(Arc::clone(world), driver, script_imu, 0.025)),
+                DriftClock::new(50e-6, 0.01),
+                duration,
+                0.5,
+                faulty_imu,
+                tx_imu,
+            )
+        });
+        let cam_handle = scope.spawn(move || {
+            run_agent(
+                1,
+                Box::new(CameraSensor::new(Arc::clone(world), driver, script, 0.25)),
+                DriftClock::new(1e-6, 0.0),
+                duration,
+                0.5,
+                faulty_cam,
+                tx,
+            )
+        });
 
-    let mut controller = Controller::new(controller_config);
-    let mut bytes_transferred = 0usize;
-    let mut batches = 0usize;
-    for encoded in rx {
-        bytes_transferred += encoded.len();
-        batches += 1;
-        let batch = decode_batch(bytes::Bytes::from(encoded))?;
-        controller.ingest(&batch);
-    }
-    let imu_transport = imu_handle
-        .join()
-        .map_err(|_| CollectError::InvalidConfig("imu agent thread panicked".into()))?;
-    let cam_transport = cam_handle
-        .join()
-        .map_err(|_| CollectError::InvalidConfig("camera agent thread panicked".into()))?;
+        let mut controller = Controller::new(controller_config);
+        let mut bytes_transferred = 0usize;
+        let mut batches = 0usize;
+        for encoded in rx {
+            bytes_transferred += encoded.len();
+            batches += 1;
+            let batch = decode_batch(bytes::Bytes::from(encoded))?;
+            controller.ingest(&batch);
+        }
+        let imu_transport = imu_handle
+            .join()
+            .map_err(|_| CollectError::InvalidConfig("imu agent thread panicked".into()))?;
+        let cam_transport = cam_handle
+            .join()
+            .map_err(|_| CollectError::InvalidConfig("camera agent thread panicked".into()))?;
 
-    Ok(LiveRunReport {
-        controller,
-        bytes_transferred,
-        batches,
-        transports: [imu_transport, cam_transport]
-            .into_iter()
-            .flatten()
-            .collect(),
+        Ok(LiveRunReport {
+            controller,
+            bytes_transferred,
+            batches,
+            transports: [imu_transport, cam_transport]
+                .into_iter()
+                .flatten()
+                .collect(),
+        })
     })
 }
 

@@ -199,11 +199,12 @@ impl PartialOrd for Event {
 }
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap: invert for earliest-first.
+        // BinaryHeap is a max-heap: invert for earliest-first. total_cmp
+        // keeps the ordering panic-free even if a NaN timestamp ever
+        // slipped in (it would sort last instead of aborting the loop).
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("finite event times")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }

@@ -87,7 +87,7 @@ impl CameraSensor {
         mut segments: Vec<Segment<Behavior>>,
         period: f64,
     ) -> Self {
-        segments.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite starts"));
+        segments.sort_by(|a, b| a.start.total_cmp(&b.start));
         CameraSensor {
             world,
             driver,
@@ -131,7 +131,7 @@ impl ImuSensor {
         mut segments: Vec<Segment<Behavior>>,
         period: f64,
     ) -> Self {
-        segments.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite starts"));
+        segments.sort_by(|a, b| a.start.total_cmp(&b.start));
         ImuSensor {
             world,
             driver,

@@ -184,7 +184,7 @@ impl TsDb {
                     Aggregation::Count => slice.len() as f32,
                     Aggregation::P95 => {
                         let mut vals: Vec<f32> = slice.iter().map(|&(_, v)| v).collect();
-                        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+                        vals.sort_by(|a, b| a.total_cmp(b));
                         vals[((vals.len() as f64 - 1.0) * 0.95).round() as usize]
                     }
                 };
@@ -271,21 +271,17 @@ mod tests {
 
     #[test]
     fn concurrent_inserts_are_safe() {
-        use std::sync::Arc;
-        let db = Arc::new(TsDb::new());
-        let handles: Vec<_> = (0..4)
-            .map(|k| {
-                let db = Arc::clone(&db);
-                std::thread::spawn(move || {
+        let db = TsDb::new();
+        std::thread::scope(|scope| {
+            for k in 0..4 {
+                let db = &db;
+                scope.spawn(move || {
                     for i in 0..250 {
                         db.insert("shared", (k * 250 + i) as f64, i as f32);
                     }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
-        }
+                });
+            }
+        });
         assert_eq!(db.len("shared"), 1000);
         // Sorted invariant holds.
         let pts = db.query_range("shared", 0.0, 1e9).unwrap();

@@ -91,7 +91,7 @@ impl MultimodalDataset {
                 .filter(|s| s.driver == rec.driver)
                 .copied()
                 .collect();
-            script.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite starts"));
+            script.sort_by(|a, b| a.start.total_cmp(&b.start));
             // The collect pipeline owns frame↔window pairing; the dataset
             // adds ground-truth labels from the schedule on top.
             for tup in rec.aligned_tuples(WINDOW_LEN) {

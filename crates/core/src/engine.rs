@@ -194,7 +194,7 @@ impl AnalyticsEngine {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         let behavior = Behavior::from_index(best)
@@ -407,7 +407,13 @@ impl AnalyticsEngine {
             let (cnn_probs, imu_probs) = std::thread::scope(|scope| {
                 let cnn_branch = scope.spawn(move || cnn.predict_proba(frame_tensor));
                 let imu_probs = run_imu(imu);
-                (cnn_branch.join().expect("cnn branch panicked"), imu_probs)
+                let cnn_probs = match cnn_branch.join() {
+                    Ok(probs) => probs,
+                    Err(_) => Err(CoreError::WorkerPanicked {
+                        stage: "AnalyticsEngine frame-CNN branch",
+                    }),
+                };
+                (cnn_probs, imu_probs)
             });
             Ok((cnn_probs?, imu_probs?))
         }

@@ -19,6 +19,13 @@ pub enum CoreError {
     Dataset(String),
     /// The engine was used before its models were trained/registered.
     NotReady(String),
+    /// A scoped worker thread panicked during a concurrent engine stage
+    /// (see DESIGN.md §11: hot paths convert panics at the join boundary
+    /// instead of re-panicking).
+    WorkerPanicked {
+        /// The concurrent stage whose worker died.
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -29,6 +36,9 @@ impl fmt::Display for CoreError {
             CoreError::Collect(e) => write!(f, "collection error: {e}"),
             CoreError::Dataset(msg) => write!(f, "dataset error: {msg}"),
             CoreError::NotReady(msg) => write!(f, "engine not ready: {msg}"),
+            CoreError::WorkerPanicked { stage } => {
+                write!(f, "a parallel worker thread panicked in stage {stage}")
+            }
         }
     }
 }

@@ -599,7 +599,7 @@ pub fn run_ablation_combiner(stack: &TrainedStack) -> Result<CombinerAblation> {
         let best = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         product_preds.push(best);

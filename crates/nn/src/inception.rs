@@ -10,7 +10,7 @@ use darnet_tensor::{Parallelism, SplitMix64, Tensor};
 
 use crate::conv::Conv2d;
 use crate::error::NnError;
-use crate::layer::{Layer, Mode, Relu};
+use crate::layer::{join_worker, Layer, Mode, Relu};
 use crate::param::Param;
 use crate::pool::MaxPool2d;
 use crate::Result;
@@ -190,9 +190,9 @@ impl Layer for InceptionBlock {
                 let h3 = scope.spawn(branch3);
                 let y4 = branch4();
                 (
-                    h1.join().expect("inception branch 1 panicked"),
-                    h2.join().expect("inception branch 2 panicked"),
-                    h3.join().expect("inception branch 3 panicked"),
+                    join_worker(h1, "Inception branch 1"),
+                    join_worker(h2, "Inception branch 2"),
+                    join_worker(h3, "Inception branch 3"),
                     y4,
                 )
             })

@@ -130,6 +130,19 @@ impl Sigmoid {
     }
 }
 
+/// Joins a scoped worker and converts a worker panic into a typed
+/// [`NnError::WorkerPanicked`] instead of re-panicking on the caller's
+/// thread (the hot paths are panic-free by project invariant; see
+/// DESIGN.md §11).
+pub(crate) fn join_worker<T>(
+    handle: std::thread::ScopedJoinHandle<'_, Result<T>>,
+    layer: &'static str,
+) -> Result<T> {
+    handle
+        .join()
+        .map_err(|_| NnError::WorkerPanicked { layer })?
+}
+
 /// Numerically stable scalar sigmoid.
 pub(crate) fn sigmoid_scalar(x: f32) -> f32 {
     if x >= 0.0 {

@@ -7,13 +7,13 @@
 use darnet_tensor::{uniform_init, Parallelism, SplitMix64, Tensor};
 
 use crate::error::NnError;
-use crate::layer::{sigmoid_scalar, Mode};
+use crate::layer::{join_worker, sigmoid_scalar, Mode};
 use crate::param::Param;
 use crate::Result;
 
 /// Extracts timestep `t` of a `[batch, time, feat]` tensor as `[batch,
 /// feat]`.
-fn step_slice(x: &Tensor, t: usize) -> Tensor {
+fn step_slice(x: &Tensor, t: usize) -> Result<Tensor> {
     let d = x.dims();
     let (b, time, f) = (d[0], d[1], d[2]);
     debug_assert!(t < time);
@@ -22,7 +22,7 @@ fn step_slice(x: &Tensor, t: usize) -> Tensor {
         let src = (n * time + t) * f;
         out[n * f..(n + 1) * f].copy_from_slice(&x.data()[src..src + f]);
     }
-    Tensor::from_vec(out, &[b, f]).expect("step_slice shape is consistent")
+    Ok(Tensor::from_vec(out, &[b, f])?)
 }
 
 /// Writes a `[batch, feat]` matrix into timestep `t` of a `[batch, time,
@@ -126,7 +126,7 @@ impl LstmCell {
         let mut out = Tensor::zeros(&[b, time, h]);
 
         for t in 0..time {
-            let x_t = step_slice(x, t);
+            let x_t = step_slice(x, t)?;
             // z = x_t·W_xᵀ + h·W_hᵀ + b  → [B, 4H]
             let mut z = x_t.matmul_transpose_b_with(&self.w_x.value, &self.par)?;
             let zh = h_t.matmul_transpose_b_with(&self.w_h.value, &self.par)?;
@@ -198,7 +198,7 @@ impl LstmCell {
 
         for t in (0..time).rev() {
             let cache = &self.cache[t];
-            let mut dh = step_slice(grad_h, t);
+            let mut dh = step_slice(grad_h, t)?;
             dh.add_assign(&dh_next)?;
 
             // dL/do = dh * tanh(c); dL/dc += dh * o * (1 - tanh²(c))
@@ -320,7 +320,7 @@ impl BiLstm {
             std::thread::scope(|scope| {
                 let handle = scope.spawn(run_fwd);
                 let hb = run_bwd();
-                (handle.join().expect("forward-direction LSTM panicked"), hb)
+                (join_worker(handle, "BiLstm::forward_seq"), hb)
             })
         };
         // Concat along feature axis (axis 2).
@@ -335,8 +335,14 @@ impl BiLstm {
     pub fn backward_seq(&mut self, grad: &Tensor) -> Result<Tensor> {
         let h = self.hidden_size;
         let mut parts = grad.split(2, &[h, h])?;
-        let grad_bwd = parts.pop().expect("split returned two parts");
-        let grad_fwd = parts.pop().expect("split returned two parts");
+        let (grad_fwd, grad_bwd) = match (parts.pop(), parts.pop()) {
+            (Some(bwd), Some(fwd)) => (fwd, bwd),
+            _ => {
+                return Err(NnError::InvalidConfig(
+                    "BiLstm::backward_seq: split produced fewer than two parts".into(),
+                ))
+            }
+        };
         let BiLstm { fwd, bwd, par, .. } = self;
         let mut run_fwd = move || fwd.backward_seq(&grad_fwd);
         let mut run_bwd = move || -> Result<Tensor> {
@@ -349,10 +355,7 @@ impl BiLstm {
             std::thread::scope(|scope| {
                 let handle = scope.spawn(run_fwd);
                 let dx_b = run_bwd();
-                (
-                    handle.join().expect("forward-direction LSTM panicked"),
-                    dx_b,
-                )
+                (join_worker(handle, "BiLstm::backward_seq"), dx_b)
             })
         };
         let mut dx = dx_f?;
@@ -543,7 +546,7 @@ mod tests {
         let x = random_tensor(&[2, 3, 4], 1);
         let mut y = Tensor::zeros(&[2, 3, 4]);
         for t in 0..3 {
-            let s = step_slice(&x, t);
+            let s = step_slice(&x, t).unwrap();
             assert_eq!(s.dims(), &[2, 4]);
             step_write(&mut y, t, &s);
         }
@@ -556,7 +559,7 @@ mod tests {
         assert_eq!(reverse_time(&reverse_time(&x)), x);
         // And actually reverses.
         let r = reverse_time(&x);
-        assert_eq!(step_slice(&r, 0), step_slice(&x, 4));
+        assert_eq!(step_slice(&r, 0).unwrap(), step_slice(&x, 4).unwrap());
     }
 
     #[test]

@@ -205,10 +205,14 @@ impl ExtendedBehavior {
 
     /// Zero-based class index.
     pub fn index(self) -> usize {
+        // `ALL` lists every variant in declaration order; falling back to 0
+        // (instead of panicking) keeps this total should the lists ever
+        // drift — `extended_taxonomy_has_18_distinct_classes` pins that
+        // they don't.
         ExtendedBehavior::ALL
             .iter()
             .position(|b| *b == self)
-            .expect("ALL contains every variant")
+            .unwrap_or(0)
     }
 
     /// The class for a zero-based index, if valid.

@@ -40,6 +40,7 @@
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
+#![warn(rust_2018_idioms)]
 
 mod behavior;
 mod driver;

@@ -32,6 +32,7 @@
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
+#![warn(rust_2018_idioms)]
 
 mod conv;
 mod error;

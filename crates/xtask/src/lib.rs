@@ -1,0 +1,147 @@
+//! # xtask — workspace maintenance tasks
+//!
+//! Home of **darlint**, the in-repo invariant lint pass (`cargo run -p
+//! xtask -- lint`). darlint is a self-contained, std-only lexical static
+//! analysis over `crates/*/src` that machine-checks the project invariants
+//! documented in DESIGN.md §11:
+//!
+//! * **no-panic-paths** — `.unwrap()`, `.expect(`, `panic!`,
+//!   `unreachable!`, `todo!` are forbidden in non-`#[cfg(test)]` code of
+//!   the hot-path crates (`tensor`, `nn`, `core`, `collect`); typed errors
+//!   must be threaded instead. Escape hatch:
+//!   `// darlint: allow(panic) — <reason>` (a justification is mandatory).
+//! * **deterministic-time** — `Instant::now` / `SystemTime::now` only in
+//!   the runtime allowlist (`collect::runtime`, `collect::live`, `bench`).
+//! * **scoped-threads-only** — `thread::spawn` is forbidden outside the
+//!   `Parallelism`/`MicroBatcher` allowlist; concurrency goes through
+//!   `std::thread::scope`.
+//! * **crate-hygiene** — every crate root carries
+//!   `#![deny(unsafe_code)]`, `#![deny(missing_docs)]`, and
+//!   `#![warn(rust_2018_idioms)]`.
+//!
+//! The pass is *lexical*: it scans masked source (comments, strings, and
+//! char literals blanked out — see [`scan`]), so it is fast, dependency
+//! free, and deliberately conservative. Semantic cousins of these rules
+//! (`clippy::unwrap_used` et al.) run in the same tier-1 gate and catch
+//! what a lexical pass cannot; darlint catches what clippy does not model
+//! (allowlists, justification-bearing escape hatches, attribute hygiene).
+
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use report::LintReport;
+use rules::{check_crate_root, lint_file};
+
+/// Runs the full darlint pass over the workspace rooted at `root`
+/// (the directory containing the top-level `Cargo.toml` and `crates/`).
+///
+/// # Errors
+///
+/// Returns a message when the workspace layout cannot be read.
+pub fn run_lint(root: &Path) -> Result<LintReport, String> {
+    let crates_dir = root.join("crates");
+    let mut report = LintReport::default();
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    for crate_dir in &crate_dirs {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        // Crate root: lib.rs when present, else main.rs (binary-only
+        // crates).
+        let root_file = if src.join("lib.rs").is_file() {
+            Some(src.join("lib.rs"))
+        } else if src.join("main.rs").is_file() {
+            Some(src.join("main.rs"))
+        } else {
+            None
+        };
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let rel = relative(root, &file);
+            let source = fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            let lint = lint_file(&rel, &source);
+            report.violations.extend(lint.violations);
+            report.allowed += lint.allowed;
+            report.files_scanned += 1;
+            if root_file.as_deref() == Some(file.as_path()) {
+                report
+                    .violations
+                    .extend(check_crate_root(&rel, &source).violations);
+            }
+        }
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Locates the workspace root: `CARGO_MANIFEST_DIR/../..` when invoked via
+/// cargo, else walks up from the current directory looking for a
+/// `Cargo.toml` with a `[workspace]` table.
+pub fn find_root() -> Result<PathBuf, String> {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.ancestors().nth(2) {
+            if root.join("Cargo.toml").is_file() {
+                return Ok(root.to_owned());
+            }
+        }
+    }
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest).unwrap_or_default();
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root found above the current directory".into());
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))? {
+        let path = entry
+            .map_err(|e| format!("cannot read entry in {}: {e}", dir.display()))?
+            .path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with `/` separators.
+fn relative(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

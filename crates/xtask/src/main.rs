@@ -1,0 +1,121 @@
+//! CLI entry point for workspace maintenance tasks.
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--check] [--json] [--out PATH] [--root PATH]
+//! ```
+//!
+//! `lint` runs the darlint invariant pass (see the crate docs and
+//! DESIGN.md §11). Human diagnostics go to stderr; `--json` emits the
+//! machine report on stdout (or to `--out PATH`). Without `--check` the
+//! command always exits 0 (report-only); with `--check` any violation
+//! exits 1. Exit code 2 signals an operational failure (unreadable
+//! workspace, bad flags).
+
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{find_root, run_lint};
+
+const USAGE: &str = "\
+xtask — workspace maintenance tasks
+
+USAGE:
+    cargo run -p xtask -- lint [--check] [--json] [--out PATH] [--root PATH]
+
+COMMANDS:
+    lint    run the darlint invariant pass over crates/*/src
+
+OPTIONS:
+    --check        exit nonzero when any violation is found
+    --json         emit the JSON report on stdout
+    --out PATH     write the JSON report to PATH (implies --json)
+    --root PATH    workspace root (default: auto-detected)
+";
+
+struct Args {
+    check: bool,
+    json: bool,
+    out: Option<PathBuf>,
+    root: Option<PathBuf>,
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
+    let _ = argv.next(); // program name
+    match argv.next().as_deref() {
+        Some("lint") => {}
+        Some("help") | Some("--help") | Some("-h") | None => return Err(USAGE.to_owned()),
+        Some(other) => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+    let mut args = Args {
+        check: false,
+        json: false,
+        out: None,
+        root: None,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--check" => args.check = true,
+            "--json" => args.json = true,
+            "--out" => {
+                let path = argv.next().ok_or("--out requires a path")?;
+                args.out = Some(PathBuf::from(path));
+                args.json = true;
+            }
+            "--root" => {
+                let path = argv.next().ok_or("--root requires a path")?;
+                args.root = Some(PathBuf::from(path));
+            }
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args()) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.map(Ok).unwrap_or_else(find_root) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("xtask: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run_lint(&root) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("xtask: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    eprint!("{}", report.render_human());
+    if args.json {
+        let json = report.render_json();
+        match &args.out {
+            Some(path) => {
+                if let Some(parent) = path.parent() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("xtask: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("darlint: JSON report written to {}", path.display());
+            }
+            None => print!("{json}"),
+        }
+    }
+    if args.check && !report.is_clean() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

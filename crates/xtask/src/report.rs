@@ -1,0 +1,157 @@
+//! Rendering of lint results: human-readable diagnostics and the JSON
+//! report consumed by CI.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::Violation;
+
+/// Aggregated outcome of a full workspace lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Every diagnostic, in (file, line) order.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Matches suppressed by justified escape hatches.
+    pub allowed: usize,
+}
+
+impl LintReport {
+    /// Whether the run is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable diagnostics, one block per violation plus a summary
+    /// line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(
+                out,
+                "darlint[{}] {}:{}: {}",
+                v.rule, v.file, v.line, v.message
+            );
+            if !v.snippet.is_empty() {
+                let _ = writeln!(out, "    {}", v.snippet);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "darlint: {} violation(s), {} justified allow(s), {} file(s) scanned",
+            self.violations.len(),
+            self.allowed,
+            self.files_scanned
+        );
+        out
+    }
+
+    /// The JSON report (stable schema, version 1).
+    pub fn render_json(&self) -> String {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for v in &self.violations {
+            *counts.entry(v.rule).or_insert(0) += 1;
+        }
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"tool\": \"darlint\",");
+        let _ = writeln!(out, "  \"schema_version\": 1,");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"allowed\": {},", self.allowed);
+        out.push_str("  \"counts\": {");
+        for (i, (rule, n)) in counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{rule}\": {n}");
+        }
+        if !counts.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.message),
+                json_str(&v.snippet)
+            );
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::rule;
+
+    fn sample() -> LintReport {
+        LintReport {
+            violations: vec![Violation {
+                rule: rule::PANIC,
+                file: "crates/nn/src/a.rs".into(),
+                line: 3,
+                message: "`.unwrap()` — no".into(),
+                snippet: "x.unwrap()".into(),
+            }],
+            files_scanned: 7,
+            allowed: 2,
+        }
+    }
+
+    #[test]
+    fn human_mentions_rule_file_line() {
+        let h = sample().render_human();
+        assert!(h.contains("darlint[no-panic-paths] crates/nn/src/a.rs:3"));
+        assert!(h.contains("1 violation(s), 2 justified allow(s), 7 file(s) scanned"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let j = sample().render_json();
+        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"no-panic-paths\": 1"));
+        assert!(j.contains("\"files_scanned\": 7"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,337 @@
+//! The darlint rule set and its application to scanned files.
+//!
+//! Policy lives here as data (`POLICY`); DESIGN.md §11 is the prose
+//! counterpart. Every rule is lexical: it matches tokens in the masked
+//! source produced by [`crate::scan`], so comments, strings, and char
+//! literals can never trigger a diagnostic.
+
+use crate::scan::{scan, LineComment, ScannedFile};
+
+/// Machine-readable rule identifiers (stable: they appear in JSON reports
+/// and escape-hatch comments).
+pub mod rule {
+    /// `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / `todo!` in
+    /// non-test hot-path code.
+    pub const PANIC: &str = "no-panic-paths";
+    /// `Instant::now` / `SystemTime::now` outside the runtime allowlist.
+    pub const TIME: &str = "deterministic-time";
+    /// `thread::spawn` outside the `Parallelism`/`MicroBatcher` allowlist.
+    pub const THREAD: &str = "scoped-threads-only";
+    /// Crate roots missing the required inner attributes.
+    pub const HYGIENE: &str = "crate-hygiene";
+    /// An escape-hatch comment without a justification.
+    pub const BARE_ALLOW: &str = "bare-allow";
+}
+
+/// Crates whose non-test code must be panic-free (the inference and
+/// collection hot paths).
+pub const PANIC_CRATES: &[&str] = &["tensor", "nn", "core", "collect"];
+
+/// Tokens forbidden by [`rule::PANIC`].
+pub const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!", "unreachable!", "todo!"];
+
+/// Tokens forbidden by [`rule::TIME`].
+pub const TIME_TOKENS: &[&str] = &["Instant::now", "SystemTime::now"];
+
+/// Tokens forbidden by [`rule::THREAD`].
+pub const THREAD_TOKENS: &[&str] = &["thread::spawn"];
+
+/// Files (workspace-relative, `/`-separated) or path prefixes where
+/// wall-clock reads are legitimate: the live collection layer and the
+/// benchmark harness.
+pub const TIME_ALLOWLIST: &[&str] = &[
+    "crates/collect/src/runtime.rs",
+    "crates/collect/src/live.rs",
+    "crates/bench/",
+];
+
+/// Files where `thread::spawn` would be legitimate. The two sanctioned
+/// concurrency owners use `std::thread::scope` exclusively today, so the
+/// allowlist exists to keep future spawns confined to them.
+pub const THREAD_ALLOWLIST: &[&str] = &[
+    "crates/tensor/src/parallel.rs",
+    "crates/core/src/batching.rs",
+];
+
+/// Inner attributes every crate root must carry.
+pub const REQUIRED_ROOT_ATTRS: &[&str] = &[
+    "#![deny(unsafe_code)]",
+    "#![deny(missing_docs)]",
+    "#![warn(rust_2018_idioms)]",
+];
+
+/// One diagnostic produced by the lint pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier (one of the [`rule`] constants).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Per-file lint outcome.
+#[derive(Debug, Default)]
+pub struct FileLint {
+    /// Diagnostics for this file.
+    pub violations: Vec<Violation>,
+    /// Number of matches suppressed by a justified escape hatch.
+    pub allowed: usize,
+}
+
+/// A parsed `// darlint: allow(<rule>) — <reason>` comment.
+struct Hatch {
+    line: usize,
+    own_line: bool,
+    rule: String,
+    has_reason: bool,
+}
+
+/// Parses an escape-hatch comment, if the comment is one.
+fn parse_hatch(c: &LineComment) -> Option<Hatch> {
+    let body = c.text.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("darlint:")?.trim();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_owned();
+    let tail = rest[close + 1..].trim();
+    // A justification must follow an em-dash or hyphen separator.
+    let reason = tail
+        .strip_prefix('—')
+        .or_else(|| tail.strip_prefix('-'))
+        .map(|r| r.trim_start_matches('-').trim());
+    let has_reason = reason.is_some_and(|r| !r.is_empty());
+    Some(Hatch {
+        line: c.line,
+        own_line: c.own_line,
+        rule,
+        has_reason,
+    })
+}
+
+/// Short escape-hatch rule names accepted in `allow(...)`.
+fn hatch_name(rule_id: &str) -> &'static str {
+    match rule_id {
+        rule::PANIC => "panic",
+        rule::TIME => "time",
+        rule::THREAD => "thread",
+        _ => "",
+    }
+}
+
+/// Does `path` match the allowlist (exact file or directory prefix)?
+fn allowlisted(path: &str, allowlist: &[&str]) -> bool {
+    allowlist
+        .iter()
+        .any(|a| path == *a || (a.ends_with('/') && path.starts_with(a)))
+}
+
+/// Crate name for a `crates/<name>/src/...` path, if any.
+fn crate_of(path: &str) -> Option<&str> {
+    path.strip_prefix("crates/")?.split('/').next()
+}
+
+/// Is the byte before `pos` part of an identifier (which would make a
+/// token match a substring of a longer name)?
+fn ident_before(masked: &str, pos: usize) -> bool {
+    if pos == 0 {
+        return false;
+    }
+    let b = masked.as_bytes()[pos - 1];
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lints one file's token rules. `path` must be workspace-relative with
+/// `/` separators (it selects which rules apply).
+pub fn lint_file(path: &str, source: &str) -> FileLint {
+    let scanned = scan(source);
+    let hatches: Vec<Hatch> = scanned.comments.iter().filter_map(parse_hatch).collect();
+    let mut out = FileLint::default();
+
+    // Reject bare allows up front: an escape hatch without a reason is a
+    // violation wherever it appears (even if it suppresses nothing).
+    for h in &hatches {
+        if !h.has_reason {
+            out.violations.push(Violation {
+                rule: rule::BARE_ALLOW,
+                file: path.to_owned(),
+                line: h.line,
+                message: format!(
+                    "darlint: allow({}) without a justification; write \
+                     `// darlint: allow({}) — <reason>`",
+                    h.rule, h.rule
+                ),
+                snippet: snippet(&scanned, h.line),
+            });
+        }
+    }
+
+    let panic_applies = crate_of(path).is_some_and(|c| PANIC_CRATES.contains(&c));
+    let time_applies = !allowlisted(path, TIME_ALLOWLIST);
+    let thread_applies = !allowlisted(path, THREAD_ALLOWLIST);
+
+    let mut checks: Vec<(&'static str, &[&str], String)> = Vec::new();
+    if panic_applies {
+        checks.push((
+            rule::PANIC,
+            PANIC_TOKENS,
+            "panicking call in hot-path code; return a typed error instead".to_owned(),
+        ));
+    }
+    if time_applies {
+        checks.push((
+            rule::TIME,
+            TIME_TOKENS,
+            "wall-clock read outside the runtime allowlist; inject time \
+             through the clock abstraction"
+                .to_owned(),
+        ));
+    }
+    if thread_applies {
+        checks.push((
+            rule::THREAD,
+            THREAD_TOKENS,
+            "raw thread::spawn; use std::thread::scope under the \
+             Parallelism policy"
+                .to_owned(),
+        ));
+    }
+
+    for (rule_id, tokens, why) in checks {
+        for token in tokens {
+            let mut search = 0usize;
+            while let Some(rel) = scanned.masked[search..].find(token) {
+                let pos = search + rel;
+                search = pos + token.len();
+                // Boundary guard for tokens that start mid-identifier
+                // (`panic!` must not match `my_panic!`); tokens that begin
+                // with `.` are already anchored by the dot.
+                let starts_ident = token
+                    .as_bytes()
+                    .first()
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
+                if starts_ident && ident_before(&scanned.masked, pos) {
+                    continue;
+                }
+                let line = 1 + scanned.masked[..pos].matches('\n').count();
+                if scanned.is_test_line.get(line - 1).copied().unwrap_or(false) {
+                    continue;
+                }
+                if suppressed(&hatches, rule_id, line) {
+                    out.allowed += 1;
+                    continue;
+                }
+                out.violations.push(Violation {
+                    rule: rule_id,
+                    file: path.to_owned(),
+                    line,
+                    message: format!("`{token}` — {why}"),
+                    snippet: snippet(&scanned, line),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Is a match on `line` covered by a justified hatch for `rule_id` —
+/// either trailing on the same line or on its own line directly above?
+fn suppressed(hatches: &[Hatch], rule_id: &str, line: usize) -> bool {
+    let name = hatch_name(rule_id);
+    hatches.iter().any(|h| {
+        h.has_reason && h.rule == name && (h.line == line || (h.own_line && h.line + 1 == line))
+    })
+}
+
+/// Checks the crate-hygiene rule on a crate-root file.
+pub fn check_crate_root(path: &str, source: &str) -> FileLint {
+    let scanned = scan(source);
+    let mut out = FileLint::default();
+    for attr in REQUIRED_ROOT_ATTRS {
+        if !scanned.masked.contains(attr) {
+            out.violations.push(Violation {
+                rule: rule::HYGIENE,
+                file: path.to_owned(),
+                line: 1,
+                message: format!("crate root is missing the required inner attribute `{attr}`"),
+                snippet: String::new(),
+            });
+        }
+    }
+    out
+}
+
+/// The offending line, trimmed, for diagnostics.
+fn snippet(scanned: &ScannedFile, line: usize) -> String {
+    scanned
+        .lines
+        .get(line - 1)
+        .map(|l| l.trim().to_owned())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_rule_scoped_to_hot_path_crates() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(lint_file("crates/nn/src/a.rs", src).violations.len(), 1);
+        assert_eq!(lint_file("crates/sim/src/a.rs", src).violations.len(), 0);
+    }
+
+    #[test]
+    fn time_allowlist_honored() {
+        let src = "fn t() { let _ = std::time::Instant::now(); }\n";
+        assert_eq!(lint_file("crates/core/src/a.rs", src).violations.len(), 1);
+        assert_eq!(
+            lint_file("crates/collect/src/runtime.rs", src)
+                .violations
+                .len(),
+            0
+        );
+        assert_eq!(
+            lint_file("crates/bench/src/bin/b.rs", src).violations.len(),
+            0
+        );
+    }
+
+    #[test]
+    fn hatch_with_reason_suppresses_and_counts() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // darlint: allow(panic) — invariant: x is Some by construction\n    x.unwrap()\n}\n";
+        let lint = lint_file("crates/tensor/src/a.rs", src);
+        assert!(lint.violations.is_empty());
+        assert_eq!(lint.allowed, 1);
+    }
+
+    #[test]
+    fn bare_hatch_rejected() {
+        let src =
+            "fn f(x: Option<u32>) -> u32 {\n    // darlint: allow(panic)\n    x.unwrap()\n}\n";
+        let lint = lint_file("crates/tensor/src/a.rs", src);
+        let rules: Vec<_> = lint.violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&rule::BARE_ALLOW));
+        assert!(rules.contains(&rule::PANIC));
+    }
+
+    #[test]
+    fn hygiene_flags_missing_attrs() {
+        let good = "#![deny(unsafe_code)]\n#![deny(missing_docs)]\n#![warn(rust_2018_idioms)]\n";
+        assert!(check_crate_root("crates/nn/src/lib.rs", good)
+            .violations
+            .is_empty());
+        let bad = "#![deny(unsafe_code)]\n";
+        assert_eq!(
+            check_crate_root("crates/nn/src/lib.rs", bad)
+                .violations
+                .len(),
+            2
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: an entirely clean hot-path file — typed errors, scoped
+//! threads, injected time. Zero diagnostics expected.
+
+/// Typed error instead of a panic.
+pub fn safe_head(xs: &[f32]) -> Result<f32, String> {
+    xs.first().copied().ok_or_else(|| "empty slice".to_owned())
+}
+
+/// Deterministic ordering without partial_cmp().expect().
+pub fn sort_times(ts: &mut [f64]) {
+    ts.sort_by(|a, b| a.total_cmp(b));
+}
+
+/// Time injected by the caller, never read from the wall clock.
+pub fn stale(now: f64, stamped: f64, horizon: f64) -> bool {
+    now - stamped > horizon
+}

@@ -1,0 +1,8 @@
+//! Fixture: an escape hatch WITHOUT a justification must be rejected —
+//! the bare allow is itself a violation, and it does not suppress the
+//! panic it decorates.
+
+pub fn bare(x: Option<u32>) -> u32 {
+    // darlint: allow(panic)
+    x.unwrap() // line 7
+}

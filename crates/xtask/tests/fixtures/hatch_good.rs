@@ -1,0 +1,11 @@
+//! Fixture: justified escape hatches suppress the panic rule, both as a
+//! leading own-line comment and as a trailing comment.
+
+pub fn leading(x: Option<u32>) -> u32 {
+    // darlint: allow(panic) — x is Some by construction of the caller
+    x.unwrap()
+}
+
+pub fn trailing(x: Option<u32>) -> u32 {
+    x.unwrap() // darlint: allow(panic) — invariant checked two lines up
+}

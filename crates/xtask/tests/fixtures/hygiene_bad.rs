@@ -1,0 +1,6 @@
+//! Fixture: a crate root missing two of the three required inner
+//! attributes (only unsafe_code is denied).
+
+#![deny(unsafe_code)]
+
+pub fn not_ok() {}

@@ -1,0 +1,7 @@
+//! Fixture: a crate root carrying the full required attribute set.
+
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub fn ok() {}

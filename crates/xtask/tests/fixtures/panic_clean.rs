@@ -1,0 +1,38 @@
+//! Fixture: a file full of panic-shaped text that must NOT fire the
+//! no-panic-paths rule — every occurrence is in a comment, a doc example,
+//! a string literal, or `#[cfg(test)]` code.
+
+/// Doc examples idiomatically unwrap; they compile as test code:
+///
+/// ```
+/// let v: Option<u32> = Some(1);
+/// let _ = v.unwrap();
+/// ```
+pub fn documented() -> &'static str {
+    // A comment saying x.unwrap() or panic! is not a call.
+    "this string mentions .unwrap() and panic! and Instant::now"
+}
+
+pub fn raw_string() -> &'static str {
+    r#"even raw strings with .expect("x") and todo!"#
+}
+
+pub fn lifetime_not_char<'a>(s: &'a str) -> &'a str {
+    // Lifetimes must not confuse the char-literal masker into eating the
+    // rest of the file.
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let r: Result<u32, ()> = Ok(2);
+        assert_eq!(r.expect("ok"), 2);
+        if false {
+            panic!("tests may panic");
+        }
+    }
+}

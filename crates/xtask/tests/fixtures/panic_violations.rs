@@ -1,0 +1,22 @@
+//! Fixture: every no-panic-paths token fires exactly once, on the line
+//! numbers the integration test pins down.
+
+pub fn unwrap_site(x: Option<u32>) -> u32 {
+    x.unwrap() // line 5
+}
+
+pub fn expect_site(x: Option<u32>) -> u32 {
+    x.expect("boom") // line 9
+}
+
+pub fn panic_site() {
+    panic!("boom"); // line 13
+}
+
+pub fn unreachable_site() {
+    unreachable!(); // line 17
+}
+
+pub fn todo_site() {
+    todo!() // line 21
+}

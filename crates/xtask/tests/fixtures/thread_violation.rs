@@ -1,0 +1,11 @@
+//! Fixture: a raw detached spawn outside the Parallelism allowlist.
+
+pub fn detached() {
+    let h = std::thread::spawn(|| 1 + 1); // line 4
+    let _ = h.join();
+}
+
+pub fn scoped_is_fine() -> i32 {
+    // scope.spawn is the sanctioned pattern and must not fire.
+    std::thread::scope(|scope| scope.spawn(|| 2 + 2).join().unwrap_or(0))
+}

@@ -1,0 +1,11 @@
+//! Fixture: wall-clock reads outside the runtime allowlist.
+
+use std::time::{Instant, SystemTime};
+
+pub fn bad_instant() -> Instant {
+    Instant::now() // line 6
+}
+
+pub fn bad_system_time() -> SystemTime {
+    SystemTime::now() // line 10
+}

@@ -1,0 +1,159 @@
+//! Integration tests for darlint: each fixture under `tests/fixtures/`
+//! exercises one rule, and the assertions pin the exact (rule, line)
+//! pairs so a scanner regression cannot silently widen or narrow a rule.
+
+use xtask::rules::{check_crate_root, lint_file, rule, FileLint, Violation};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// (rule, line) pairs, sorted, for compact comparisons.
+fn fired(lint: &FileLint) -> Vec<(&'static str, usize)> {
+    let mut v: Vec<_> = lint.violations.iter().map(|x| (x.rule, x.line)).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn panic_tokens_fire_exactly_where_expected() {
+    let lint = lint_file("crates/nn/src/fixture.rs", &fixture("panic_violations.rs"));
+    assert_eq!(
+        fired(&lint),
+        vec![
+            (rule::PANIC, 5),  // .unwrap()
+            (rule::PANIC, 9),  // .expect(
+            (rule::PANIC, 13), // panic!
+            (rule::PANIC, 17), // unreachable!
+            (rule::PANIC, 21), // todo!
+        ]
+    );
+}
+
+#[test]
+fn panic_rule_only_applies_to_hot_path_crates() {
+    let lint = lint_file("crates/sim/src/fixture.rs", &fixture("panic_violations.rs"));
+    assert!(
+        lint.violations.is_empty(),
+        "sim is not a hot-path crate: {:?}",
+        lint.violations
+    );
+}
+
+#[test]
+fn comments_strings_docs_and_test_code_never_fire() {
+    let lint = lint_file("crates/tensor/src/fixture.rs", &fixture("panic_clean.rs"));
+    assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+    assert_eq!(lint.allowed, 0, "nothing should even need an allow");
+}
+
+#[test]
+fn time_rule_fires_outside_allowlist_only() {
+    let src = fixture("time_violation.rs");
+    let lint = lint_file("crates/core/src/fixture.rs", &src);
+    assert_eq!(fired(&lint), vec![(rule::TIME, 6), (rule::TIME, 10)]);
+    // The same source inside the allowlist is clean.
+    for allowed in [
+        "crates/collect/src/runtime.rs",
+        "crates/collect/src/live.rs",
+        "crates/bench/src/bin/bench_parallel.rs",
+    ] {
+        let lint = lint_file(allowed, &src);
+        assert!(
+            lint.violations.iter().all(|v| v.rule != rule::TIME),
+            "{allowed} must be allowlisted: {:?}",
+            lint.violations
+        );
+    }
+}
+
+#[test]
+fn thread_rule_fires_on_detached_spawn_not_scoped() {
+    let src = fixture("thread_violation.rs");
+    let lint = lint_file("crates/collect/src/fixture.rs", &src);
+    assert_eq!(fired(&lint), vec![(rule::THREAD, 4)]);
+    // In the Parallelism allowlist the same spawn is tolerated.
+    let lint = lint_file("crates/tensor/src/parallel.rs", &src);
+    assert!(lint.violations.iter().all(|v| v.rule != rule::THREAD));
+}
+
+#[test]
+fn justified_hatch_suppresses_both_positions() {
+    let lint = lint_file("crates/nn/src/fixture.rs", &fixture("hatch_good.rs"));
+    assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+    assert_eq!(lint.allowed, 2, "both hatches must be counted");
+}
+
+#[test]
+fn bare_hatch_is_rejected_and_does_not_suppress() {
+    let lint = lint_file("crates/nn/src/fixture.rs", &fixture("hatch_bare.rs"));
+    assert_eq!(
+        fired(&lint),
+        vec![
+            (rule::BARE_ALLOW, 6), // the unjustified allow itself
+            (rule::PANIC, 7),      // and the unwrap it failed to cover
+        ]
+    );
+    assert_eq!(lint.allowed, 0);
+}
+
+#[test]
+fn hatch_for_wrong_rule_does_not_suppress() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    // darlint: allow(time) — wrong rule name\n    x.unwrap()\n}\n";
+    let lint = lint_file("crates/nn/src/fixture.rs", src);
+    assert_eq!(fired(&lint), vec![(rule::PANIC, 3)]);
+}
+
+#[test]
+fn hygiene_good_root_is_clean_bad_root_lists_each_missing_attr() {
+    let good = check_crate_root("crates/nn/src/lib.rs", &fixture("hygiene_good.rs"));
+    assert!(good.violations.is_empty(), "{:?}", good.violations);
+
+    let bad = check_crate_root("crates/nn/src/lib.rs", &fixture("hygiene_bad.rs"));
+    assert_eq!(bad.violations.len(), 2);
+    assert!(bad.violations.iter().all(|v| v.rule == rule::HYGIENE));
+    let missing: Vec<&str> = bad.violations.iter().map(|v| v.message.as_str()).collect();
+    assert!(missing.iter().any(|m| m.contains("missing_docs")));
+    assert!(missing.iter().any(|m| m.contains("rust_2018_idioms")));
+}
+
+#[test]
+fn clean_file_is_clean_everywhere() {
+    let src = fixture("clean.rs");
+    for path in [
+        "crates/tensor/src/fixture.rs",
+        "crates/nn/src/fixture.rs",
+        "crates/core/src/fixture.rs",
+        "crates/collect/src/fixture.rs",
+    ] {
+        let lint = lint_file(path, &src);
+        assert!(lint.violations.is_empty(), "{path}: {:?}", lint.violations);
+    }
+}
+
+#[test]
+fn violations_carry_snippets_and_stable_fields() {
+    let lint = lint_file("crates/nn/src/fixture.rs", &fixture("panic_violations.rs"));
+    let v: &Violation = &lint.violations[0];
+    assert_eq!(v.file, "crates/nn/src/fixture.rs");
+    assert!(v.snippet.contains("x.unwrap()"));
+    assert!(v.message.contains(".unwrap()"));
+}
+
+#[test]
+fn whole_workspace_lint_is_clean() {
+    // The acceptance bar for this PR: the real tree has zero violations.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_else(|| panic!("workspace root not found"));
+    let report = xtask::run_lint(&root).unwrap_or_else(|e| panic!("lint failed to run: {e}"));
+    assert!(
+        report.is_clean(),
+        "workspace has darlint violations:\n{}",
+        report.render_human()
+    );
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+}

@@ -2,11 +2,16 @@
 # Full CI pipeline, runnable offline on any checkout:
 #
 #   1. tier-1 gate   — lockfile freshness, fmt --check, release build,
-#                      tests, clippy -D warnings (scripts/tier1.sh)
-#   2. docs          — rustdoc must build cleanly (missing_docs is denied
+#                      tests, clippy -D warnings + escalated panic lints,
+#                      darlint --check (scripts/tier1.sh)
+#   2. darlint JSON  — re-runs the invariant lint with --json, writing the
+#                      machine-readable report next to the bench artifacts
+#                      (target/ci/darlint.json); any violation fails the
+#                      pipeline
+#   3. docs          — rustdoc must build cleanly (missing_docs is denied
 #                      in the crates, so this catches broken intra-doc
 #                      links and malformed examples)
-#   3. bench smoke   — the parallel/batching benchmark in --fast mode,
+#   4. bench smoke   — the parallel/batching benchmark in --fast mode,
 #                      compared against the committed BENCH_parallel.json
 #                      baseline; any speedup_* ratio more than 15% below
 #                      baseline fails the build, as does missing the
@@ -20,8 +25,12 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-echo "==> tier-1 gate (fmt, build, test, clippy)"
+echo "==> tier-1 gate (fmt, build, test, clippy, darlint)"
 scripts/tier1.sh
+
+echo "==> darlint JSON report"
+mkdir -p target/ci
+cargo run --locked -q -p xtask -- lint --check --json --out target/ci/darlint.json
 
 echo "==> doc build"
 cargo doc --workspace --no-deps --locked --quiet

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 gate: formatting, release build, full test suite, and a
-# warnings-as-errors clippy pass over the whole workspace. Run from
-# anywhere.
+# Tier-1 gate: formatting, release build, full test suite, a
+# warnings-as-errors clippy pass over the whole workspace (escalated with
+# panic-hunting lints on the hot-path crates), and the darlint invariant
+# pass (see DESIGN.md §11). Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,3 +18,15 @@ cargo fmt --all --check
 cargo build --release --locked
 cargo test -q --locked
 cargo clippy --workspace --locked -- -D warnings
+
+# Escalated pass on the hot-path crates: panics in non-test code are build
+# errors (clippy.toml exempts tests). darlint's lexical pass enforces the
+# same invariant with allowlists and justification-bearing escape hatches;
+# clippy catches the semantic cases a lexical pass cannot see.
+cargo clippy --locked -p darnet-tensor -p darnet-nn -p darnet-core -p darnet-collect \
+  --all-targets -- -D warnings \
+  -D clippy::unwrap_used -D clippy::expect_used -D clippy::dbg_macro
+
+# darlint: the in-repo invariant lint (no-panic-paths, deterministic-time,
+# scoped-threads-only, crate-hygiene).
+cargo run --locked -q -p xtask -- lint --check

@@ -34,6 +34,7 @@
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
+#![warn(rust_2018_idioms)]
 
 pub use darnet_collect as collect;
 pub use darnet_core as core;
