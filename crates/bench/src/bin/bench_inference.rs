@@ -1,0 +1,349 @@
+//! Zero-alloc inference-path benchmark with regression tracking.
+//!
+//! Measures the workspace-backed `*_into` classification paths against
+//! the allocating paths on the same engine and inputs, and — via the
+//! crate's counting global allocator ([`darnet_bench::alloc_counter`]) —
+//! the number of heap allocation events a steady-state classification
+//! performs. Three shapes are measured, matching how the engine is
+//! actually driven: one step at a time (streaming), a micro-batch of 8
+//! (a typical deadline flush at 4 Hz), and the `MicroBatcher` tuple
+//! drain. Emits a flat-JSON metrics file (see [`darnet_bench::metrics`]).
+//!
+//! Flags:
+//!
+//! * `--fast` — reduced reps (the CI smoke configuration).
+//! * `--json` — print the metrics JSON to stdout instead of a summary.
+//! * `--out PATH` — also write the metrics JSON to `PATH`.
+//! * `--compare PATH` — compare `speedup_*` metrics against a committed
+//!   baseline; exits non-zero on any >15% regression.
+//! * `--check` — enforce the acceptance gates: the warm workspace paths
+//!   perform exactly **0** heap allocations per call, and single-step
+//!   steady-state throughput is ≥1.15× the allocating path.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use darnet_bench::{alloc_counter, metrics};
+use darnet_collect::runtime::AlignedTuple;
+use darnet_core::dataset::{IMU_FEATURES, WINDOW_LEN};
+use darnet_core::{
+    AnalyticsEngine, BayesianCombiner, CnnConfig, CombinerKind, EngineConfig, FrameCnn,
+    ImuModelSlot, ImuRnn, RnnConfig, StepClassification,
+};
+use darnet_sim::Frame;
+use darnet_tensor::{SplitMix64, Tensor};
+
+const TOLERANCE: f64 = 0.15;
+const FRAME_SIZE: usize = 12;
+/// Micro-batch size for the batched measurements: what a deadline flush
+/// typically holds at the paper's 4 Hz per-driver rate. (At much larger
+/// batches per-item model compute dominates and the allocation savings
+/// shrink toward the noise floor.)
+const BATCH: usize = 8;
+const STEP_SPEEDUP_FLOOR: f64 = 1.15;
+
+fn random_tensor(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = SplitMix64::new(seed);
+    let mut t = Tensor::zeros(dims);
+    // Non-zero everywhere: the matmul kernel skips zero elements, so a
+    // zero-filled benchmark input would measure the wrong code path.
+    for v in t.data_mut() {
+        *v = rng.uniform(0.1, 1.0);
+    }
+    t
+}
+
+/// Best (minimum) seconds per call for two alternatives measured
+/// back-to-back in the same loop, after one warmup call each. The single
+/// closure runs alternative A when called with `false` and B with `true`
+/// (one closure, so both sides may borrow the same engine). Interleaving
+/// keeps scheduler drift from loading one side of the comparison, and
+/// min-of-N is robust to noise spikes on small shared hosts.
+fn paired_time_per_call<F: FnMut(bool)>(reps: usize, mut f: F) -> (f64, f64) {
+    f(false);
+    f(true);
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let start = Instant::now();
+        f(false);
+        best_a = best_a.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        f(true);
+        best_b = best_b.min(start.elapsed().as_secs_f64());
+    }
+    (best_a, best_b)
+}
+
+/// The same deliberately small engine as `bench_parallel`: per-item
+/// compute low enough that per-call allocation and dispatch overhead is a
+/// visible fraction of runtime, which is exactly what the workspace path
+/// removes. The engine keeps its default serial parallelism — threaded
+/// dispatch allocates by design, so the zero-alloc contract is serial.
+fn tiny_engine() -> AnalyticsEngine {
+    let cnn = FrameCnn::new(
+        CnnConfig {
+            input_size: FRAME_SIZE,
+            classes: 6,
+            width: 0.25,
+            ..CnnConfig::default()
+        },
+        1,
+    );
+    let mut rnn = ImuRnn::new(
+        RnnConfig {
+            hidden: 8,
+            depth: 1,
+            ..RnnConfig::default()
+        },
+        2,
+    );
+    let x = Tensor::ones(&[6, WINDOW_LEN, IMU_FEATURES]);
+    rnn.fit(&x, &[0, 1, 2, 0, 1, 2], 1).expect("rnn smoke fit");
+    let mut combiner = BayesianCombiner::darnet();
+    combiner
+        .fit(
+            &Tensor::full(&[6, 6], 1.0 / 6.0),
+            &Tensor::full(&[6, 3], 1.0 / 3.0),
+            &[0, 1, 2, 3, 4, 5],
+        )
+        .expect("combiner smoke fit");
+    AnalyticsEngine::new(
+        cnn,
+        ImuModelSlot::Rnn(rnn),
+        combiner,
+        EngineConfig {
+            combiner: CombinerKind::Bayesian,
+        },
+    )
+}
+
+/// Worst (maximum) allocation count over `probes` calls of `f`, after
+/// `warmups` unmeasured calls. Max-of-N because a single allocating call
+/// anywhere in steady state is a contract violation, not noise.
+fn steady_allocs<F: FnMut()>(warmups: usize, probes: usize, mut f: F) -> u64 {
+    for _ in 0..warmups {
+        f();
+    }
+    let mut worst = 0u64;
+    for _ in 0..probes {
+        let ((), allocs) = alloc_counter::allocations_during(&mut f);
+        worst = worst.max(allocs);
+    }
+    worst
+}
+
+fn run(fast: bool) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    out.insert("threads_available".to_string(), available as f64);
+
+    let mut engine = tiny_engine();
+    let frames: Vec<Frame> = (0..BATCH)
+        .map(|_| Frame::new(FRAME_SIZE, FRAME_SIZE))
+        .collect();
+    let windows = random_tensor(&[BATCH, WINDOW_LEN, IMU_FEATURES], 14);
+    let row = WINDOW_LEN * IMU_FEATURES;
+    let single_window = Tensor::from_vec(
+        windows.data()[..row].to_vec(),
+        &[1, WINDOW_LEN, IMU_FEATURES],
+    )
+    .expect("window slice");
+    let tuples: Vec<AlignedTuple> = (0..BATCH)
+        .map(|i| AlignedTuple {
+            t: i as f64 * 0.25,
+            frame: frames[i].clone(),
+            window: windows.data()[i * row..(i + 1) * row].to_vec(),
+        })
+        .collect();
+    let mut results: Vec<StepClassification> = Vec::new();
+    let mut step_result: Vec<StepClassification> = Vec::new();
+
+    // Steady-state allocation counts for every workspace path.
+    let probes = if fast { 3 } else { 5 };
+    let allocs_batch = steady_allocs(3, probes, || {
+        engine
+            .classify_batch_into(&frames, &windows, &mut results)
+            .expect("classify_batch_into");
+    });
+    out.insert("allocs_per_batch_steady".to_string(), allocs_batch as f64);
+    let allocs_step = steady_allocs(3, probes, || {
+        engine
+            .classify_step_into(&frames[0], &single_window, &mut step_result)
+            .expect("classify_step_into");
+    });
+    out.insert("allocs_per_step_steady".to_string(), allocs_step as f64);
+    let allocs_tuples = steady_allocs(3, probes, || {
+        engine
+            .classify_tuples_into(&tuples, &mut results)
+            .expect("classify_tuples_into");
+    });
+    out.insert("allocs_per_flush_steady".to_string(), allocs_tuples as f64);
+
+    // The allocating baseline, for scale (informative, not gated).
+    let ((), base_allocs) = alloc_counter::allocations_during(|| {
+        engine
+            .classify_batch(&frames, &windows)
+            .expect("classify_batch");
+    });
+    out.insert(
+        "allocs_per_batch_alloc_path".to_string(),
+        base_allocs as f64,
+    );
+
+    // Steady-state timing: allocating path vs workspace path on the same
+    // engine and inputs (everything warmed by the probes above). Only the
+    // single-step comparison is a compared/gated `speedup_*` metric: it
+    // has the largest allocation-to-compute ratio and therefore the most
+    // stable margin; the batched ratios swing with scheduler noise on
+    // small hosts and are recorded under `ratio_*` for humans.
+    let reps = if fast { 15 } else { 50 };
+    let (t_step_alloc, t_step_ws) = paired_time_per_call(reps, |workspace_path| {
+        if workspace_path {
+            engine
+                .classify_step_into(&frames[0], &single_window, &mut step_result)
+                .expect("classify_step_into");
+        } else {
+            engine
+                .classify_step(&frames[0], &single_window)
+                .expect("classify_step");
+        }
+    });
+    out.insert("throughput_step_alloc".to_string(), 1.0 / t_step_alloc);
+    out.insert("throughput_step_workspace".to_string(), 1.0 / t_step_ws);
+    out.insert(
+        "speedup_workspace_step".to_string(),
+        t_step_alloc / t_step_ws,
+    );
+
+    let (t_batch_alloc, t_batch_ws) = paired_time_per_call(reps, |workspace_path| {
+        if workspace_path {
+            engine
+                .classify_batch_into(&frames, &windows, &mut results)
+                .expect("classify_batch_into");
+        } else {
+            engine
+                .classify_batch(&frames, &windows)
+                .expect("classify_batch");
+        }
+    });
+    let items = BATCH as f64;
+    out.insert("throughput_batch8_alloc".to_string(), items / t_batch_alloc);
+    out.insert(
+        "throughput_batch8_workspace".to_string(),
+        items / t_batch_ws,
+    );
+    out.insert(
+        "ratio_workspace_batch8".to_string(),
+        t_batch_alloc / t_batch_ws,
+    );
+
+    let (t_tuples_alloc, t_tuples_ws) = paired_time_per_call(reps, |workspace_path| {
+        if workspace_path {
+            engine
+                .classify_tuples_into(&tuples, &mut results)
+                .expect("classify_tuples_into");
+        } else {
+            engine.classify_tuples(&tuples).expect("classify_tuples");
+        }
+    });
+    out.insert(
+        "throughput_tuples8_alloc".to_string(),
+        items / t_tuples_alloc,
+    );
+    out.insert(
+        "throughput_tuples8_workspace".to_string(),
+        items / t_tuples_ws,
+    );
+    out.insert(
+        "ratio_workspace_tuples8".to_string(),
+        t_tuples_alloc / t_tuples_ws,
+    );
+
+    out
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let json = args.iter().any(|a| a == "--json");
+    let check = args.iter().any(|a| a == "--check");
+
+    let results = run(fast);
+    let text = metrics::to_json(&results);
+
+    if json {
+        print!("{text}");
+    } else {
+        darnet_bench::header("workspace-backed zero-alloc inference");
+        for (key, value) in &results {
+            if key.starts_with("speedup_") {
+                println!("{key:30} {value:.3}×");
+            } else if key.starts_with("allocs_") {
+                println!("{key:30} {value:.3}");
+            } else {
+                println!("{key:30} {value:.3e}");
+            }
+        }
+    }
+
+    if let Some(path) = arg_value(&args, "--out") {
+        std::fs::write(&path, &text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    let mut failed = false;
+    if let Some(path) = arg_value(&args, "--compare") {
+        let baseline_text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let baseline =
+            metrics::parse_json(&baseline_text).unwrap_or_else(|e| panic!("parsing {path}: {e}"));
+        let regressions = metrics::compare(&baseline, &results, TOLERANCE);
+        if regressions.is_empty() {
+            eprintln!("no regressions against {path}");
+        } else {
+            for r in &regressions {
+                eprintln!("REGRESSION: {r}");
+            }
+            failed = true;
+        }
+    }
+
+    if check {
+        for key in [
+            "allocs_per_batch_steady",
+            "allocs_per_step_steady",
+            "allocs_per_flush_steady",
+        ] {
+            if results[key] != 0.0 {
+                eprintln!(
+                    "GATE FAILED: {key} = {} ≠ 0 — the warm workspace path must not \
+                     touch the heap",
+                    results[key]
+                );
+                failed = true;
+            }
+        }
+        if results["speedup_workspace_step"] < STEP_SPEEDUP_FLOOR {
+            eprintln!(
+                "GATE FAILED: speedup_workspace_step = {:.3} < {STEP_SPEEDUP_FLOOR}",
+                results["speedup_workspace_step"]
+            );
+            failed = true;
+        }
+        if !failed {
+            eprintln!("all gates passed");
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

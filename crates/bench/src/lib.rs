@@ -140,6 +140,57 @@ pub mod metrics {
     }
 }
 
+/// Counting global allocator for allocation-budget benchmarks and tests.
+///
+/// Installed as this crate's `#[global_allocator]`, so every
+/// `darnet-bench` binary, test, and Criterion bench can measure heap
+/// allocation events (alloc + realloc; frees are not counted). The
+/// zero-alloc inference gate (`bench_inference`, the `zero_alloc`
+/// integration test) is built on this.
+#[allow(unsafe_code)]
+pub mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// A [`System`]-backed allocator that counts every allocation event.
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// Total allocation events since process start.
+    pub fn allocation_count() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` and returns its result together with the number of
+    /// allocation events it performed. Only meaningful when no other
+    /// thread is allocating concurrently.
+    pub fn allocations_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
+        let before = allocation_count();
+        let out = f();
+        (out, allocation_count() - before)
+    }
+}
+
 /// Prints a section header.
 pub fn header(title: &str) {
     println!("\n=== {title} ===");

@@ -1,0 +1,133 @@
+//! Steady-state zero-allocation gate for the workspace inference path.
+//!
+//! Uses the crate's counting global allocator
+//! ([`darnet_bench::alloc_counter`]) to prove that, after warm-up, the
+//! `*_into` classification paths of a serially-configured engine never
+//! touch the heap. Kept as a single `#[test]` in its own integration
+//! binary: the allocation counter is process-global, so a concurrently
+//! running test would pollute the measurement.
+
+use darnet_bench::alloc_counter;
+use darnet_collect::runtime::AlignedTuple;
+use darnet_core::dataset::{IMU_FEATURES, WINDOW_LEN};
+use darnet_core::{
+    AnalyticsEngine, BayesianCombiner, CnnConfig, CombinerKind, EngineConfig, FrameCnn,
+    ImuModelSlot, ImuRnn, RnnConfig, StepClassification,
+};
+use darnet_sim::Frame;
+use darnet_tensor::{SplitMix64, Tensor};
+
+const FRAME_SIZE: usize = 12;
+const BATCH: usize = 8;
+
+fn random_tensor(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = SplitMix64::new(seed);
+    let mut t = Tensor::zeros(dims);
+    for v in t.data_mut() {
+        *v = rng.uniform(0.1, 1.0);
+    }
+    t
+}
+
+fn tiny_engine() -> AnalyticsEngine {
+    let cnn = FrameCnn::new(
+        CnnConfig {
+            input_size: FRAME_SIZE,
+            classes: 6,
+            width: 0.25,
+            ..CnnConfig::default()
+        },
+        1,
+    );
+    let mut rnn = ImuRnn::new(
+        RnnConfig {
+            hidden: 8,
+            depth: 1,
+            ..RnnConfig::default()
+        },
+        2,
+    );
+    let x = Tensor::ones(&[6, WINDOW_LEN, IMU_FEATURES]);
+    rnn.fit(&x, &[0, 1, 2, 0, 1, 2], 1).expect("rnn smoke fit");
+    let mut combiner = BayesianCombiner::darnet();
+    combiner
+        .fit(
+            &Tensor::full(&[6, 6], 1.0 / 6.0),
+            &Tensor::full(&[6, 3], 1.0 / 3.0),
+            &[0, 1, 2, 3, 4, 5],
+        )
+        .expect("combiner smoke fit");
+    AnalyticsEngine::new(
+        cnn,
+        ImuModelSlot::Rnn(rnn),
+        combiner,
+        EngineConfig {
+            combiner: CombinerKind::Bayesian,
+        },
+    )
+}
+
+#[test]
+fn warm_into_paths_perform_zero_heap_allocations() {
+    let mut engine = tiny_engine();
+    let frames: Vec<Frame> = (0..BATCH)
+        .map(|_| Frame::new(FRAME_SIZE, FRAME_SIZE))
+        .collect();
+    let windows = random_tensor(&[BATCH, WINDOW_LEN, IMU_FEATURES], 14);
+    let row = WINDOW_LEN * IMU_FEATURES;
+    let single_window = Tensor::from_vec(
+        windows.data()[..row].to_vec(),
+        &[1, WINDOW_LEN, IMU_FEATURES],
+    )
+    .expect("window slice");
+    let tuples: Vec<AlignedTuple> = (0..BATCH)
+        .map(|i| AlignedTuple {
+            t: i as f64 * 0.25,
+            frame: frames[i].clone(),
+            window: windows.data()[i * row..(i + 1) * row].to_vec(),
+        })
+        .collect();
+    let mut results: Vec<StepClassification> = Vec::new();
+    let mut step_result: Vec<StepClassification> = Vec::new();
+
+    // Warm-up: one call per path populates the workspaces and session
+    // buffers for every shape used below.
+    for _ in 0..2 {
+        engine
+            .classify_batch_into(&frames, &windows, &mut results)
+            .expect("warm classify_batch_into");
+        engine
+            .classify_step_into(&frames[0], &single_window, &mut step_result)
+            .expect("warm classify_step_into");
+        engine
+            .classify_tuples_into(&tuples, &mut results)
+            .expect("warm classify_tuples_into");
+    }
+
+    // Steady state: several rounds, every round must be allocation-free.
+    for round in 0..3 {
+        let ((), allocs) = alloc_counter::allocations_during(|| {
+            engine
+                .classify_batch_into(&frames, &windows, &mut results)
+                .expect("steady classify_batch_into");
+        });
+        assert_eq!(allocs, 0, "classify_batch_into allocated in round {round}");
+        assert_eq!(results.len(), BATCH);
+
+        let ((), allocs) = alloc_counter::allocations_during(|| {
+            engine
+                .classify_step_into(&frames[0], &single_window, &mut step_result)
+                .expect("steady classify_step_into");
+        });
+        assert_eq!(allocs, 0, "classify_step_into allocated in round {round}");
+        assert_eq!(step_result.len(), 1);
+
+        let ((), allocs) = alloc_counter::allocations_during(|| {
+            engine
+                .classify_tuples_into(&tuples, &mut results)
+                .expect("steady classify_tuples_into");
+        });
+        assert_eq!(allocs, 0, "classify_tuples_into allocated in round {round}");
+        assert_eq!(results.len(), BATCH);
+    }
+}

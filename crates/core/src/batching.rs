@@ -154,6 +154,59 @@ impl AnalyticsEngine {
         let (frames, windows) = tuples_to_inputs(tuples)?;
         self.classify_batch(&frames, &windows)
     }
+
+    /// [`AnalyticsEngine::classify_tuples`] on the session's reused
+    /// buffers: the frame scratch list and window tensor are engine-owned
+    /// (frames are `clone_from`ed into place, so their pixel buffers keep
+    /// their capacity), and classification runs through
+    /// [`AnalyticsEngine::classify_batch_into`]. After one warm-up call
+    /// at a given batch shape the drain loop performs zero heap
+    /// allocations per flush; results are bitwise-identical to
+    /// [`AnalyticsEngine::classify_tuples`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates model and window-shape errors.
+    // darlint: hot
+    pub fn classify_tuples_into(
+        &mut self,
+        tuples: &[AlignedTuple],
+        out: &mut Vec<StepClassification>,
+    ) -> Result<()> {
+        let n = tuples.len();
+        if n == 0 {
+            out.clear();
+            return Ok(());
+        }
+        let row = WINDOW_LEN * IMU_FEATURES;
+        for tup in tuples {
+            if tup.window.len() != row {
+                return Err(CoreError::Dataset(format!(
+                    "tuple at t={} has a {}-element window, expected {row}",
+                    tup.t,
+                    tup.window.len()
+                )));
+            }
+        }
+        let mut windows = self.ws.checkout(&[n, WINDOW_LEN, IMU_FEATURES]);
+        let wd = windows.data_mut();
+        for (i, tup) in tuples.iter().enumerate() {
+            wd[i * row..(i + 1) * row].copy_from_slice(&tup.window);
+        }
+        let mut frames = std::mem::take(&mut self.tuple_frames);
+        for (i, tup) in tuples.iter().enumerate() {
+            if let Some(slot) = frames.get_mut(i) {
+                slot.clone_pixels_from(&tup.frame);
+            } else {
+                frames.push(tup.frame.clone());
+            }
+        }
+        frames.truncate(n);
+        let result = self.classify_batch_into(&frames, &windows, out);
+        self.tuple_frames = frames;
+        self.ws.restore(windows);
+        result
+    }
 }
 
 #[cfg(test)]

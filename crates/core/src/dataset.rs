@@ -313,11 +313,21 @@ impl Standardizer {
 
     /// Applies the transform, returning a new tensor of the same shape.
     pub fn apply(&self, data: &Tensor) -> Tensor {
-        let f = self.mean.len();
         let mut out = data.clone();
-        let rows = out.len() / f;
+        self.apply_inplace(&mut out);
+        out
+    }
+
+    /// Applies the transform in place — the workspace inference path
+    /// copies the input into a checked-out buffer and standardizes it
+    /// there. Bitwise-identical to [`Standardizer::apply`], which
+    /// delegates here.
+    // darlint: hot
+    pub fn apply_inplace(&self, data: &mut Tensor) {
+        let f = self.mean.len();
+        let rows = data.len() / f;
         for r in 0..rows {
-            for ((v, &m), &s) in out.data_mut()[r * f..(r + 1) * f]
+            for ((v, &m), &s) in data.data_mut()[r * f..(r + 1) * f]
                 .iter_mut()
                 .zip(&self.mean)
                 .zip(&self.std)
@@ -325,7 +335,6 @@ impl Standardizer {
                 *v = (*v - m) / s;
             }
         }
-        out
     }
 }
 
@@ -516,6 +525,38 @@ pub fn frames_to_tensor(frames: &[Frame]) -> Result<Tensor> {
         data.extend_from_slice(f.pixels());
     }
     Ok(Tensor::from_vec(data, &[frames.len(), 1, h, w])?)
+}
+
+/// [`frames_to_tensor`] writing into a caller-provided `[n, 1, h, w]`
+/// tensor (typically a workspace checkout) instead of allocating one.
+/// Bitwise-identical values to the allocating variant.
+///
+/// # Errors
+///
+/// Returns an error for an empty batch, inconsistent frame sizes, or an
+/// `out` tensor whose shape does not match the batch.
+// darlint: hot
+pub fn frames_to_tensor_into(frames: &[Frame], out: &mut Tensor) -> Result<()> {
+    let first = frames
+        .first()
+        .ok_or_else(|| CoreError::Dataset("empty frame batch".into()))?;
+    let (w, h) = (first.width(), first.height());
+    if out.dims() != [frames.len(), 1, h, w] {
+        return Err(CoreError::Dataset(format!(
+            "frame batch is [{}, 1, {h}, {w}] but output tensor is {:?}",
+            frames.len(),
+            out.dims()
+        )));
+    }
+    let od = out.data_mut();
+    let hw = h * w;
+    for (i, f) in frames.iter().enumerate() {
+        if f.width() != w || f.height() != h {
+            return Err(CoreError::Dataset("inconsistent frame sizes".into()));
+        }
+        od[i * hw..(i + 1) * hw].copy_from_slice(f.pixels());
+    }
+    Ok(())
 }
 
 #[cfg(test)]

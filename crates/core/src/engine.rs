@@ -3,10 +3,12 @@
 //! at each time-step for near-real-time detection.
 
 use darnet_sim::{Behavior, Frame};
-use darnet_tensor::{Parallelism, Tensor};
+use darnet_tensor::{Parallelism, Tensor, Workspace};
 
-use crate::dataset::{frames_to_tensor, IMU_FEATURES, WINDOW_LEN};
-use crate::ensemble::{imu_index_of, product_combine, BayesianCombiner, CombinerKind};
+use crate::dataset::{frames_to_tensor, frames_to_tensor_into, IMU_FEATURES, WINDOW_LEN};
+use crate::ensemble::{
+    imu_index_of, product_combine, product_combine_into, BayesianCombiner, CombinerKind,
+};
 use crate::error::CoreError;
 use crate::health::ModalityStatus;
 use crate::models::{FrameCnn, ImuRnn, ImuSvm};
@@ -106,6 +108,14 @@ pub struct AnalyticsEngine {
     students: Vec<(PrivacyLevel, FrameCnn)>,
     fallbacks: FallbackCounters,
     parallelism: Parallelism,
+    /// Session buffers for the zero-alloc `*_into` classification path:
+    /// a workspace for the assembled input tensors plus flat probability
+    /// and score buffers reused across calls.
+    pub(crate) ws: Workspace,
+    cnn_buf: Vec<f32>,
+    imu_buf: Vec<f32>,
+    scores_buf: Vec<f32>,
+    pub(crate) tuple_frames: Vec<Frame>,
 }
 
 impl AnalyticsEngine {
@@ -126,6 +136,11 @@ impl AnalyticsEngine {
             students: Vec::new(),
             fallbacks: FallbackCounters::default(),
             parallelism: Parallelism::serial(),
+            ws: Workspace::new(),
+            cnn_buf: Vec::new(),
+            imu_buf: Vec::new(),
+            scores_buf: Vec::new(),
+            tuple_frames: Vec::new(),
         }
     }
 
@@ -147,6 +162,14 @@ impl AnalyticsEngine {
     /// Running counts of fused vs fallback classifications.
     pub fn fallback_counters(&self) -> FallbackCounters {
         self.fallbacks
+    }
+
+    /// `(pool_hits, cold_misses)` of the engine's session workspace.
+    /// Once the `_into` paths are warm at a given batch shape, the cold
+    /// misses stay constant across calls — the observable form of the
+    /// zero-alloc steady state (DESIGN.md §12).
+    pub fn workspace_stats(&self) -> (u64, u64) {
+        (self.ws.pool_hits(), self.ws.cold_misses())
     }
 
     /// Registers a distilled dCNN student for a privacy level.
@@ -180,6 +203,21 @@ impl AnalyticsEngine {
             CombinerKind::Bayesian => self.combiner.combine(cnn_probs, imu_probs),
             CombinerKind::Product => product_combine(cnn_probs, imu_probs),
             CombinerKind::CnnOnly => Ok(cnn_probs.to_vec()),
+        }
+    }
+
+    /// [`AnalyticsEngine::fuse`] into a reused buffer (cleared first);
+    /// bitwise-identical scores.
+    // darlint: hot
+    fn fuse_into(&self, cnn_probs: &[f32], imu_probs: &[f32], scores: &mut Vec<f32>) -> Result<()> {
+        match self.config.combiner {
+            CombinerKind::Bayesian => self.combiner.combine_into(cnn_probs, imu_probs, scores),
+            CombinerKind::Product => product_combine_into(cnn_probs, imu_probs, scores),
+            CombinerKind::CnnOnly => {
+                scores.clear();
+                scores.extend_from_slice(cnn_probs);
+                Ok(())
+            }
         }
     }
 
@@ -379,6 +417,163 @@ impl AnalyticsEngine {
         Ok(out)
     }
 
+    /// [`AnalyticsEngine::classify_step`] on the session's reused
+    /// buffers: equivalent to calling
+    /// [`AnalyticsEngine::classify_batch_into`] with a single-item batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors; returns a dataset error on a malformed
+    /// window.
+    pub fn classify_step_into(
+        &mut self,
+        frame: &Frame,
+        window: &Tensor,
+        out: &mut Vec<StepClassification>,
+    ) -> Result<()> {
+        self.classify_batch_into(std::slice::from_ref(frame), window, out)
+    }
+
+    /// [`AnalyticsEngine::classify_batch`] writing results into a reused
+    /// output vector: existing entries are updated in place (their inner
+    /// vectors keep their capacity) and the vector is truncated or grown
+    /// to the batch length. After one warm-up call at a given batch
+    /// shape, a steady-state call performs **zero heap allocations** end
+    /// to end — input assembly, both model branches, fusion, and result
+    /// write-back all run on workspace checkouts and reused buffers —
+    /// and every result is bitwise-identical to
+    /// [`AnalyticsEngine::classify_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors; returns a dataset error when the window
+    /// count does not match the frame count.
+    // darlint: hot
+    pub fn classify_batch_into(
+        &mut self,
+        frames: &[Frame],
+        windows: &Tensor,
+        out: &mut Vec<StepClassification>,
+    ) -> Result<()> {
+        let n = frames.len();
+        if windows.dims() != [n, WINDOW_LEN, IMU_FEATURES] {
+            return Err(CoreError::Dataset(format!(
+                "expected [{n}, {WINDOW_LEN}, {IMU_FEATURES}] windows, got {:?}",
+                windows.dims()
+            )));
+        }
+        if n == 0 {
+            out.clear();
+            return Ok(());
+        }
+        let (w, h) = (frames[0].width(), frames[0].height());
+        let mut frame_tensor = self.ws.checkout(&[n, 1, h, w]);
+        let filled = frames_to_tensor_into(frames, &mut frame_tensor);
+        if let Err(e) = filled {
+            self.ws.restore(frame_tensor);
+            return Err(e);
+        }
+        let branches = self.predict_branches_into(&frame_tensor, windows);
+        self.ws.restore(frame_tensor);
+        branches?;
+        let classes = self.cnn_buf.len() / n;
+        let imu_classes = self.imu_buf.len() / n;
+        // Take the buffers out of `self` so the per-item loop can borrow
+        // them as slices while `self` mutates its counters. On an error
+        // return they stay taken (empty); that only forfeits their reuse.
+        let cnn_buf = std::mem::take(&mut self.cnn_buf);
+        let imu_buf = std::mem::take(&mut self.imu_buf);
+        let mut scores = std::mem::take(&mut self.scores_buf);
+        for i in 0..n {
+            let cp = &cnn_buf[i * classes..(i + 1) * classes];
+            let ip = &imu_buf[i * imu_classes..(i + 1) * imu_classes];
+            self.fuse_into(cp, ip, &mut scores)?;
+            let best = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            let behavior = Behavior::from_index(best)
+                .ok_or_else(|| CoreError::Dataset(format!("class index {best} out of range")))?;
+            self.fallbacks.fused += 1;
+            if let Some(slot) = out.get_mut(i) {
+                slot.behavior = behavior;
+                slot.scores.clear();
+                slot.scores.extend_from_slice(&scores);
+                slot.cnn_probs.clear();
+                slot.cnn_probs.extend_from_slice(cp);
+                slot.imu_probs.clear();
+                slot.imu_probs.extend_from_slice(ip);
+                slot.source = FusionSource::Fused;
+                slot.degraded = false;
+            } else {
+                // Growth path: only taken while `out` is still shorter
+                // than the batch (warm-up or a larger batch shape).
+                out.push(StepClassification {
+                    behavior,
+                    scores: scores.clone(),
+                    // darlint: allow(hot-alloc) — growth path, never taken warm
+                    cnn_probs: cp.to_vec(),
+                    // darlint: allow(hot-alloc) — growth path, never taken warm
+                    imu_probs: ip.to_vec(),
+                    source: FusionSource::Fused,
+                    degraded: false,
+                });
+            }
+        }
+        out.truncate(n);
+        self.cnn_buf = cnn_buf;
+        self.imu_buf = imu_buf;
+        self.scores_buf = scores;
+        Ok(())
+    }
+
+    /// Runs both model branches over a batch through their zero-alloc
+    /// `predict_proba_into` paths, filling `self.cnn_buf` / `self.imu_buf`
+    /// with row-major probabilities. Same branch/thread structure as
+    /// [`AnalyticsEngine::predict_branches`].
+    // darlint: hot
+    fn predict_branches_into(&mut self, frame_tensor: &Tensor, windows: &Tensor) -> Result<()> {
+        let AnalyticsEngine {
+            cnn,
+            imu,
+            parallelism,
+            cnn_buf,
+            imu_buf,
+            ..
+        } = self;
+        let run_imu = |imu: &mut ImuModelSlot, buf: &mut Vec<f32>| match imu {
+            ImuModelSlot::Rnn(m) => m.predict_proba_into(windows, buf),
+            ImuModelSlot::Svm(m) => {
+                // The SVM baseline has no workspace path; fall back to its
+                // allocating prediction and copy the rows out.
+                let probs = m.predict_proba(windows)?;
+                buf.clear();
+                buf.extend_from_slice(probs.data());
+                Ok(())
+            }
+        };
+        if parallelism.is_serial() {
+            cnn.predict_proba_into(frame_tensor, cnn_buf)?;
+            run_imu(imu, imu_buf)
+        } else {
+            let (cnn_result, imu_result) = std::thread::scope(|scope| {
+                let cnn_branch = scope.spawn(move || cnn.predict_proba_into(frame_tensor, cnn_buf));
+                let imu_result = run_imu(imu, imu_buf);
+                let cnn_result = match cnn_branch.join() {
+                    Ok(r) => r,
+                    Err(_) => Err(CoreError::WorkerPanicked {
+                        stage: "AnalyticsEngine frame-CNN branch",
+                    }),
+                };
+                (cnn_result, imu_result)
+            });
+            cnn_result?;
+            imu_result
+        }
+    }
+
     /// Runs both model branches over a batch. The CNN and IMU models are
     /// disjoint engine state, so with a non-serial handle the CNN branch
     /// gets a scoped worker thread while the IMU branch runs on the
@@ -553,6 +748,122 @@ mod tests {
             assert_eq!(batch[i], step, "serial batch item {i} diverged");
             assert_eq!(par_batch[i], step, "parallel batch item {i} diverged");
         }
+    }
+
+    #[test]
+    fn classify_batch_into_matches_allocating_path() {
+        use darnet_sim::{DriverProfile, FrameRenderer};
+
+        let renderer = FrameRenderer::new(11).with_size(24);
+        let driver = DriverProfile::generate(0, 42);
+        let behaviors = [
+            Behavior::NormalDriving,
+            Behavior::Texting,
+            Behavior::Reaching,
+        ];
+        let frames: Vec<Frame> = behaviors
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| renderer.render(&driver, b, i as f64 * 0.29))
+            .collect();
+        let n = frames.len();
+        let mut windows = Tensor::zeros(&[n, WINDOW_LEN, IMU_FEATURES]);
+        for (i, v) in windows.data_mut().iter_mut().enumerate() {
+            *v = (i % 5) as f32 * 0.2;
+        }
+
+        let mut baseline = tiny_engine(CombinerKind::Bayesian);
+        let expected = baseline.classify_batch(&frames, &windows).unwrap();
+
+        // Serial engine: repeated calls reuse the session buffers and stay
+        // bitwise-identical; the engine workspace stops allocating after
+        // the first call.
+        let mut engine = tiny_engine(CombinerKind::Bayesian);
+        let mut out = Vec::new();
+        engine
+            .classify_batch_into(&frames, &windows, &mut out)
+            .unwrap();
+        assert_eq!(out, expected);
+        let misses = engine.ws.cold_misses();
+        for round in 0..2 {
+            engine
+                .classify_batch_into(&frames, &windows, &mut out)
+                .unwrap();
+            assert_eq!(out, expected, "round {round} diverged");
+        }
+        assert_eq!(engine.ws.cold_misses(), misses, "engine workspace grew");
+        assert_eq!(engine.fallback_counters().fused, 3 * n as u64);
+
+        // Concurrent engine: same results bitwise.
+        let mut parallel = tiny_engine(CombinerKind::Bayesian);
+        parallel.set_parallelism(Parallelism::new(4).with_min_work(1));
+        let mut par_out = Vec::new();
+        parallel
+            .classify_batch_into(&frames, &windows, &mut par_out)
+            .unwrap();
+        assert_eq!(par_out, expected);
+
+        // A shorter batch truncates the reused output vector.
+        let short_windows = Tensor::from_vec(
+            windows.data()[..WINDOW_LEN * IMU_FEATURES].to_vec(),
+            &[1, WINDOW_LEN, IMU_FEATURES],
+        )
+        .unwrap();
+        engine
+            .classify_batch_into(&frames[..1], &short_windows, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], expected[0]);
+    }
+
+    #[test]
+    fn classify_tuples_into_matches_allocating_path() {
+        use darnet_collect::runtime::AlignedTuple;
+
+        let tuples: Vec<AlignedTuple> = (0..4)
+            .map(|i| AlignedTuple {
+                t: i as f64 * 0.25,
+                frame: Frame::new(24, 24),
+                window: (0..WINDOW_LEN * IMU_FEATURES)
+                    .map(|k| ((k + i) % 9) as f32 * 0.1)
+                    .collect(),
+            })
+            .collect();
+
+        let mut baseline = tiny_engine(CombinerKind::Bayesian);
+        let expected = baseline.classify_tuples(&tuples).unwrap();
+
+        let mut engine = tiny_engine(CombinerKind::Bayesian);
+        let mut out = Vec::new();
+        for round in 0..3 {
+            engine.classify_tuples_into(&tuples, &mut out).unwrap();
+            assert_eq!(out, expected, "round {round} diverged");
+        }
+
+        // Malformed tuple windows are rejected without disturbing state.
+        let bad = vec![AlignedTuple {
+            t: 0.0,
+            frame: Frame::new(24, 24),
+            window: vec![0.0; 7],
+        }];
+        assert!(engine.classify_tuples_into(&bad, &mut out).is_err());
+        engine.classify_tuples_into(&tuples, &mut out).unwrap();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn classify_step_into_matches_classify_step() {
+        let frame = Frame::new(24, 24);
+        let window = Tensor::zeros(&[1, WINDOW_LEN, IMU_FEATURES]);
+        let mut baseline = tiny_engine(CombinerKind::Bayesian);
+        let expected = baseline.classify_step(&frame, &window).unwrap();
+        let mut engine = tiny_engine(CombinerKind::Bayesian);
+        let mut out = Vec::new();
+        engine
+            .classify_step_into(&frame, &window, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], expected);
     }
 
     #[test]

@@ -118,6 +118,27 @@ impl BayesianCombiner {
     /// Returns [`CoreError::NotReady`] before fitting or on width
     /// mismatches.
     pub fn combine(&self, cnn_probs: &[f32], imu_probs: &[f32]) -> Result<Vec<f32>> {
+        let mut scores = Vec::with_capacity(self.classes);
+        self.combine_into(cnn_probs, imu_probs, &mut scores)?;
+        Ok(scores)
+    }
+
+    /// [`BayesianCombiner::combine`] writing into a caller-provided
+    /// buffer (cleared first), so the steady-state fusion loop allocates
+    /// nothing once the buffer has capacity. Bitwise-identical to
+    /// [`BayesianCombiner::combine`], which delegates here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotReady`] before fitting or on width
+    /// mismatches.
+    // darlint: hot
+    pub fn combine_into(
+        &self,
+        cnn_probs: &[f32],
+        imu_probs: &[f32],
+        scores: &mut Vec<f32>,
+    ) -> Result<()> {
         if !self.fitted {
             return Err(CoreError::NotReady("bayesian combiner not fitted".into()));
         }
@@ -130,7 +151,8 @@ impl BayesianCombiner {
                 imu_probs.len()
             )));
         }
-        let mut scores = vec![0.0f32; self.classes];
+        scores.clear();
+        scores.resize(self.classes, 0.0);
         for (a, &pa) in cnn_probs.iter().enumerate().take(self.classes) {
             if pa == 0.0 {
                 continue;
@@ -147,11 +169,11 @@ impl BayesianCombiner {
         }
         let total: f32 = scores.iter().sum();
         if total > 0.0 {
-            for s in &mut scores {
+            for s in scores.iter_mut() {
                 *s /= total;
             }
         }
-        Ok(scores)
+        Ok(())
     }
 
     /// Batch combination: `[n, classes]` scores from `[n, classes]` and

@@ -38,6 +38,23 @@ pub(crate) fn imu_index_of(behavior_index: usize) -> usize {
 ///
 /// Returns an error on width mismatch.
 pub fn product_combine(cnn_probs: &[f32], imu_probs: &[f32]) -> Result<Vec<f32>> {
+    let mut scores = Vec::with_capacity(6);
+    product_combine_into(cnn_probs, imu_probs, &mut scores)?;
+    Ok(scores)
+}
+
+/// [`product_combine`] writing into a caller-provided buffer (cleared
+/// first); bitwise-identical — the allocating variant delegates here.
+///
+/// # Errors
+///
+/// Returns an error on width mismatch.
+// darlint: hot
+pub fn product_combine_into(
+    cnn_probs: &[f32],
+    imu_probs: &[f32],
+    scores: &mut Vec<f32>,
+) -> Result<()> {
     if cnn_probs.len() != 6 || imu_probs.len() != 3 {
         return Err(CoreError::Dataset(format!(
             "product combiner expects 6/3 probabilities, got {}/{}",
@@ -45,16 +62,17 @@ pub fn product_combine(cnn_probs: &[f32], imu_probs: &[f32]) -> Result<Vec<f32>>
             imu_probs.len()
         )));
     }
-    let mut scores: Vec<f32> = (0..6)
-        .map(|c| cnn_probs[c] * imu_probs[imu_index_of(c)].max(1e-6))
-        .collect();
+    scores.clear();
+    for c in 0..6 {
+        scores.push(cnn_probs[c] * imu_probs[imu_index_of(c)].max(1e-6));
+    }
     let total: f32 = scores.iter().sum();
     if total > 0.0 {
-        for s in &mut scores {
+        for s in scores.iter_mut() {
             *s /= total;
         }
     }
-    Ok(scores)
+    Ok(())
 }
 
 #[cfg(test)]

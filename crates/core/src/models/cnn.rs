@@ -9,10 +9,10 @@
 //! Architecture").
 
 use darnet_nn::{
-    softmax, softmax_cross_entropy, AvgPool2d, Conv2d, Dense, Dropout, Flatten, InceptionBlock,
-    InceptionChannels, Layer, MaxPool2d, Mode, Optimizer, Relu, Sequential, Sgd,
+    softmax, softmax_cross_entropy, softmax_inplace, AvgPool2d, Conv2d, Dense, Dropout, Flatten,
+    InceptionBlock, InceptionChannels, Layer, MaxPool2d, Mode, Optimizer, Relu, Sequential, Sgd,
 };
-use darnet_tensor::{Parallelism, SplitMix64, Tensor};
+use darnet_tensor::{Parallelism, SplitMix64, Tensor, Workspace};
 
 use crate::Result;
 
@@ -65,6 +65,8 @@ pub struct FrameCnn {
     config: CnnConfig,
     feat_dim: usize,
     rng: SplitMix64,
+    /// Reusable inference buffers for the zero-alloc prediction path.
+    ws: Workspace,
 }
 
 impl FrameCnn {
@@ -124,6 +126,7 @@ impl FrameCnn {
             config,
             feat_dim,
             rng,
+            ws: Workspace::new(),
         }
     }
 
@@ -244,6 +247,42 @@ impl FrameCnn {
             rows.extend_from_slice(probs.data());
         }
         Ok(Tensor::from_vec(rows, &[n, self.config.classes])?)
+    }
+
+    /// [`FrameCnn::predict_proba`] writing row-major probabilities into a
+    /// caller-provided buffer (cleared first), running every layer through
+    /// its workspace-backed `forward_into` path. After one warm-up call at
+    /// a given batch shape the model allocates nothing; outputs are
+    /// bitwise-identical to [`FrameCnn::predict_proba`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    // darlint: hot
+    pub fn predict_proba_into(&mut self, frames: &Tensor, out: &mut Vec<f32>) -> Result<()> {
+        let d = frames.dims();
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let img = c * h * w;
+        let bs = 64usize;
+        out.clear();
+        out.reserve(n * self.config.classes);
+        for start in (0..n).step_by(bs) {
+            let end = (start + bs).min(n);
+            let mut batch = self.ws.checkout(&[end - start, c, h, w]);
+            batch
+                .data_mut()
+                .copy_from_slice(&frames.data()[start * img..end * img]);
+            let feats = self
+                .features
+                .forward_into(&batch, Mode::Eval, &mut self.ws)?;
+            self.ws.restore(batch);
+            let mut logits = self.head.forward_into(&feats, Mode::Eval, &mut self.ws)?;
+            self.ws.restore(feats);
+            softmax_inplace(&mut logits)?;
+            out.extend_from_slice(logits.data());
+            self.ws.restore(logits);
+        }
+        Ok(())
     }
 
     /// Raw logits for a batch (used by the distillation trainer, which

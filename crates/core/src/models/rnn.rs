@@ -2,8 +2,10 @@
 //! windows (paper §4.2 "IMU-Sequence Architecture": 2 bidirectional LSTM
 //! cells of 64 hidden units, 4 Hz sampling, 5 s windows, softmax output).
 
-use darnet_nn::{softmax, softmax_cross_entropy, Adam, DeepBiLstmClassifier, Mode, Optimizer};
-use darnet_tensor::{Parallelism, SplitMix64, Tensor};
+use darnet_nn::{
+    softmax, softmax_cross_entropy, softmax_inplace, Adam, DeepBiLstmClassifier, Mode, Optimizer,
+};
+use darnet_tensor::{Parallelism, SplitMix64, Tensor, Workspace};
 
 use crate::dataset::Standardizer;
 use crate::error::CoreError;
@@ -45,6 +47,8 @@ pub struct ImuRnn {
     standardizer: Option<Standardizer>,
     config: RnnConfig,
     rng: SplitMix64,
+    /// Reusable inference buffers for the zero-alloc prediction path.
+    ws: Workspace,
 }
 
 impl ImuRnn {
@@ -63,6 +67,7 @@ impl ImuRnn {
             standardizer: None,
             config,
             rng,
+            ws: Workspace::new(),
         }
     }
 
@@ -171,6 +176,47 @@ impl ImuRnn {
             rows.extend_from_slice(softmax(&logits)?.data());
         }
         Ok(Tensor::from_vec(rows, &[n, self.config.classes])?)
+    }
+
+    /// [`ImuRnn::predict_proba`] writing row-major probabilities into a
+    /// caller-provided buffer (cleared first): the windows are
+    /// standardized inside a workspace checkout and the stacked BiLSTM
+    /// runs through its `forward_into` path, so after one warm-up call at
+    /// a given batch shape the model allocates nothing. Outputs are
+    /// bitwise-identical to [`ImuRnn::predict_proba`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotReady`] before [`ImuRnn::fit`].
+    // darlint: hot
+    pub fn predict_proba_into(&mut self, windows: &Tensor, out: &mut Vec<f32>) -> Result<()> {
+        let std = self
+            .standardizer
+            .as_ref()
+            .ok_or_else(|| CoreError::NotReady("imu rnn not fitted".into()))?;
+        let d = windows.dims();
+        let (n, t, f) = (d[0], d[1], d[2]);
+        let row = t * f;
+        let mut x = self.ws.checkout(&[n, t, f]);
+        x.data_mut().copy_from_slice(windows.data());
+        std.apply_inplace(&mut x);
+        let bs = 64usize;
+        out.clear();
+        out.reserve(n * self.config.classes);
+        for start in (0..n).step_by(bs) {
+            let end = (start + bs).min(n);
+            let mut batch = self.ws.checkout(&[end - start, t, f]);
+            batch
+                .data_mut()
+                .copy_from_slice(&x.data()[start * row..end * row]);
+            let mut logits = self.model.forward_into(&batch, Mode::Eval, &mut self.ws)?;
+            self.ws.restore(batch);
+            softmax_inplace(&mut logits)?;
+            out.extend_from_slice(logits.data());
+            self.ws.restore(logits);
+        }
+        self.ws.restore(x);
+        Ok(())
     }
 
     /// Hard class predictions.

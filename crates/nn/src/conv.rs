@@ -1,6 +1,9 @@
 //! 2-D convolution layer implemented via im2col lowering.
 
-use darnet_tensor::{col2im, he_normal, im2col_with, Conv2dSpec, Parallelism, SplitMix64, Tensor};
+use darnet_tensor::{
+    col2im, he_normal, im2col_into, im2col_with, Conv2dSpec, Parallelism, SplitMix64, Tensor,
+    TensorView, Workspace,
+};
 
 use crate::error::NnError;
 use crate::layer::{Layer, Mode};
@@ -83,6 +86,38 @@ fn pixels_to_nchw(pixels: &Tensor, b: usize, c: usize, oh: usize, ow: usize) -> 
     Ok(Tensor::from_vec(out, &[b, c, oh, ow])?)
 }
 
+/// [`pixels_to_nchw`] writing into a caller-provided buffer of shape
+/// `[b, c, oh, ow]` (same element order, so results are bitwise identical).
+// darlint: hot
+fn pixels_to_nchw_into(
+    pixels: &Tensor,
+    b: usize,
+    c: usize,
+    oh: usize,
+    ow: usize,
+    out: &mut Tensor,
+) -> Result<()> {
+    let hw = oh * ow;
+    if out.dims() != [b, c, oh, ow] || pixels.len() != b * c * hw {
+        return Err(NnError::InvalidConfig(format!(
+            "pixels_to_nchw_into: {:?} pixels into {:?} output",
+            pixels.dims(),
+            out.dims()
+        )));
+    }
+    let od = out.data_mut();
+    let data = pixels.data();
+    for n in 0..b {
+        for p in 0..hw {
+            let row = (n * hw + p) * c;
+            for ch in 0..c {
+                od[(n * c + ch) * hw + p] = data[row + ch];
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Inverse of [`pixels_to_nchw`].
 fn nchw_to_pixels(t: &Tensor) -> Result<Tensor> {
     let d = t.dims();
@@ -121,6 +156,38 @@ impl Layer for Conv2d {
             self.input_dims = Some(d.to_vec());
         }
         pixels_to_nchw(&pixels, b, self.spec.out_channels, oh, ow)
+    }
+
+    // darlint: hot
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<TensorView> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        if input.rank() != 4 {
+            return Err(NnError::InvalidConfig(format!(
+                "conv expects [batch, c, h, w], got {:?}",
+                input.dims()
+            )));
+        }
+        let d = input.dims();
+        let (b, h, w) = (d[0], d[2], d[3]);
+        let (oh, ow) = self.spec.output_size(h, w)?;
+        let rows = b * oh * ow;
+        let mut cols = ws.checkout(&[rows, self.spec.patch_len()]);
+        im2col_into(input, &self.spec, &self.par, &mut cols)?;
+        let mut pixels = ws.checkout(&[rows, self.spec.out_channels]);
+        cols.matmul_transpose_b_into(&self.weight.value, &self.par, &mut pixels)?;
+        ws.restore(cols);
+        pixels.add_row_broadcast_assign(&self.bias.value)?;
+        let mut out = ws.checkout(&[b, self.spec.out_channels, oh, ow]);
+        pixels_to_nchw_into(&pixels, b, self.spec.out_channels, oh, ow, &mut out)?;
+        ws.restore(pixels);
+        Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

@@ -1,6 +1,6 @@
 //! Fully connected (dense) layer.
 
-use darnet_tensor::{xavier_uniform, Parallelism, SplitMix64, Tensor};
+use darnet_tensor::{xavier_uniform, Parallelism, SplitMix64, Tensor, TensorView, Workspace};
 
 use crate::error::NnError;
 use crate::layer::{Layer, Mode};
@@ -83,6 +83,29 @@ impl Layer for Dense {
         }
         let out = input.matmul_transpose_b_with(&self.weight.value, &self.par)?;
         Ok(out.add_row_broadcast(&self.bias.value)?)
+    }
+
+    // darlint: hot
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<TensorView> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        if input.rank() != 2 || input.dims()[1] != self.in_features {
+            return Err(NnError::InvalidConfig(format!(
+                "dense expects [batch, {}], got {:?}",
+                self.in_features,
+                input.dims()
+            )));
+        }
+        let mut out = ws.checkout(&[input.dims()[0], self.out_features]);
+        input.matmul_transpose_b_into(&self.weight.value, &self.par, &mut out)?;
+        out.add_row_broadcast_assign(&self.bias.value)?;
+        Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

@@ -1,6 +1,6 @@
 //! Inverted dropout.
 
-use darnet_tensor::{SplitMix64, Tensor};
+use darnet_tensor::{SplitMix64, Tensor, TensorView, Workspace};
 
 use crate::error::NnError;
 use crate::layer::{Layer, Mode};
@@ -46,7 +46,12 @@ impl Layer for Dropout {
             Mode::Train => {
                 let keep = 1.0 - self.p;
                 let scale = 1.0 / keep;
-                let mut mask = Tensor::zeros(input.dims());
+                // Reuse the previous step's mask buffer when the batch shape
+                // is unchanged; every element is overwritten below.
+                let mut mask = match self.mask.take() {
+                    Some(m) if m.dims() == input.dims() => m,
+                    _ => Tensor::zeros(input.dims()),
+                };
                 for v in mask.data_mut() {
                     *v = if self.rng.next_f32() < keep {
                         scale
@@ -59,6 +64,21 @@ impl Layer for Dropout {
                 Ok(out)
             }
         }
+    }
+
+    // darlint: hot
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<TensorView> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        let mut out = ws.checkout(input.dims());
+        input.copy_into(&mut out)?;
+        Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

@@ -6,7 +6,7 @@
 //! branches, motivated by the Hebbian principle the paper cites) at a CPU-
 //! trainable scale.
 
-use darnet_tensor::{Parallelism, SplitMix64, Tensor};
+use darnet_tensor::{Parallelism, SplitMix64, Tensor, TensorView, Workspace};
 
 use crate::conv::Conv2d;
 use crate::error::NnError;
@@ -60,6 +60,35 @@ fn pad_spatial(input: &Tensor, pad: usize, value: f32) -> Result<Tensor> {
     Ok(out)
 }
 
+/// [`pad_spatial`] writing into a caller-provided `[b, c, h+2p, w+2p]`
+/// buffer.
+// darlint: hot
+fn pad_spatial_into(input: &Tensor, pad: usize, value: f32, out: &mut Tensor) -> Result<()> {
+    let d = input.dims();
+    let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let (nh, nw) = (h + 2 * pad, w + 2 * pad);
+    if out.dims() != [b, c, nh, nw] {
+        return Err(NnError::InvalidConfig(format!(
+            "pad_spatial_into: {:?} padded by {pad} into {:?} output",
+            input.dims(),
+            out.dims()
+        )));
+    }
+    let od = out.data_mut();
+    od.fill(value);
+    let id = input.data();
+    for n in 0..b {
+        for ch in 0..c {
+            for y in 0..h {
+                let src = ((n * c + ch) * h + y) * w;
+                let dst = ((n * c + ch) * nh + y + pad) * nw + pad;
+                od[dst..dst + w].copy_from_slice(&id[src..src + w]);
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Crops one ring of `pad` from the spatial dims (inverse of
 /// [`pad_spatial`]).
 fn crop_spatial(input: &Tensor, pad: usize) -> Result<Tensor> {
@@ -100,6 +129,12 @@ pub struct InceptionBlock {
     b4_proj: Conv2d,
     b4_act: Relu,
     pad_dims: Option<Vec<usize>>,
+    /// Per-branch workspaces for the zero-alloc inference path: the four
+    /// branches may run on scoped threads, so each needs its own pool.
+    ws1: Workspace,
+    ws2: Workspace,
+    ws3: Workspace,
+    ws4: Workspace,
     par: Parallelism,
 }
 
@@ -122,6 +157,10 @@ impl InceptionBlock {
             b4_proj: Conv2d::square(in_channels, channels.pool_proj, 1, 1, 0, rng),
             b4_act: Relu::new(),
             pad_dims: None,
+            ws1: Workspace::new(),
+            ws2: Workspace::new(),
+            ws3: Workspace::new(),
+            ws4: Workspace::new(),
             par: Parallelism::serial(),
         }
     }
@@ -198,6 +237,113 @@ impl Layer for InceptionBlock {
             })
         };
         Ok(Tensor::concat(&[&y1?, &y2?, &y3?, &y4?], 1)?)
+    }
+
+    // darlint: hot
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<TensorView> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        if input.rank() != 4 {
+            return Err(NnError::InvalidConfig(format!(
+                "inception block expects rank-4 input, got {:?}",
+                input.dims()
+            )));
+        }
+        // Same branch structure as `forward`, but every intermediate lives
+        // in the branch's own workspace; only the concatenated result comes
+        // from the caller's pool.
+        let (y1, y2, y3, y4) = {
+            let InceptionBlock {
+                b1,
+                b1_act,
+                b2_reduce,
+                b2_reduce_act,
+                b2,
+                b2_act,
+                b3_reduce,
+                b3_reduce_act,
+                b3,
+                b3_act,
+                b4_pool,
+                b4_proj,
+                b4_act,
+                ws1,
+                ws2,
+                ws3,
+                ws4,
+                par,
+                ..
+            } = self;
+            let mut branch1 = move || -> Result<TensorView> {
+                let a = b1.forward_into(input, mode, ws1)?;
+                let y = b1_act.forward_into(&a, mode, ws1)?;
+                ws1.restore(a);
+                Ok(y)
+            };
+            let mut branch2 = move || -> Result<TensorView> {
+                let a = b2_reduce.forward_into(input, mode, ws2)?;
+                let r = b2_reduce_act.forward_into(&a, mode, ws2)?;
+                ws2.restore(a);
+                let c = b2.forward_into(&r, mode, ws2)?;
+                ws2.restore(r);
+                let y = b2_act.forward_into(&c, mode, ws2)?;
+                ws2.restore(c);
+                Ok(y)
+            };
+            let mut branch3 = move || -> Result<TensorView> {
+                let a = b3_reduce.forward_into(input, mode, ws3)?;
+                let r = b3_reduce_act.forward_into(&a, mode, ws3)?;
+                ws3.restore(a);
+                let c = b3.forward_into(&r, mode, ws3)?;
+                ws3.restore(r);
+                let y = b3_act.forward_into(&c, mode, ws3)?;
+                ws3.restore(c);
+                Ok(y)
+            };
+            let mut branch4 = move || -> Result<TensorView> {
+                let d = input.dims();
+                let mut padded = ws4.checkout(&[d[0], d[1], d[2] + 2, d[3] + 2]);
+                pad_spatial_into(input, 1, f32::NEG_INFINITY, &mut padded)?;
+                let pooled = b4_pool.forward_into(&padded, mode, ws4)?;
+                ws4.restore(padded);
+                let p = b4_proj.forward_into(&pooled, mode, ws4)?;
+                ws4.restore(pooled);
+                let y = b4_act.forward_into(&p, mode, ws4)?;
+                ws4.restore(p);
+                Ok(y)
+            };
+            if par.is_serial() {
+                (branch1(), branch2(), branch3(), branch4())
+            } else {
+                std::thread::scope(|scope| {
+                    let h1 = scope.spawn(branch1);
+                    let h2 = scope.spawn(branch2);
+                    let h3 = scope.spawn(branch3);
+                    let y4 = branch4();
+                    (
+                        join_worker(h1, "Inception branch 1"),
+                        join_worker(h2, "Inception branch 2"),
+                        join_worker(h3, "Inception branch 3"),
+                        y4,
+                    )
+                })
+            }
+        };
+        let (y1, y2, y3, y4) = (y1?, y2?, y3?, y4?);
+        let d = y1.dims();
+        let mut out = ws.checkout(&[d[0], self.channels.total(), d[2], d[3]]);
+        Tensor::concat_into(&[&y1, &y2, &y3, &y4], 1, &mut out)?;
+        self.ws1.restore(y1);
+        self.ws2.restore(y2);
+        self.ws3.restore(y3);
+        self.ws4.restore(y4);
+        Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

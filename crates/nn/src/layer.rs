@@ -1,6 +1,6 @@
 //! The [`Layer`] trait and simple stateless layers (activations, flatten).
 
-use darnet_tensor::{Parallelism, Tensor};
+use darnet_tensor::{Parallelism, Tensor, TensorView, Workspace};
 
 use crate::error::NnError;
 use crate::param::Param;
@@ -32,6 +32,31 @@ pub trait Layer: Send {
     ///
     /// Returns an error if the input shape is incompatible with the layer.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Computes the layer output into a buffer checked out from `ws`,
+    /// avoiding heap allocation once the workspace is warm.
+    ///
+    /// The returned [`TensorView`] is bitwise identical to what
+    /// [`Layer::forward`] would produce; callers should hand it back via
+    /// [`Workspace::restore`] when done so the buffer is reused. The
+    /// caller's `input` is never consumed. Implementations only take the
+    /// workspace path in [`Mode::Eval`]; in [`Mode::Train`] they defer to
+    /// `forward` (training must cache activations, which requires owned
+    /// allocations anyway). The default implementation just calls
+    /// `forward`, so custom layers remain correct without opting in.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<TensorView> {
+        let _ = ws;
+        self.forward(input, mode)
+    }
 
     /// Backpropagates `grad_out = dL/d(output)`, accumulating parameter
     /// gradients, and returns `dL/d(input)`.
@@ -83,6 +108,21 @@ impl Layer for Relu {
             self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
         }
         Ok(input.map(|v| v.max(0.0)))
+    }
+
+    // darlint: hot
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<TensorView> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        let mut out = ws.checkout(input.dims());
+        input.map_into(|v| v.max(0.0), &mut out)?;
+        Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -162,6 +202,21 @@ impl Layer for Sigmoid {
         Ok(out)
     }
 
+    // darlint: hot
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<TensorView> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        let mut out = ws.checkout(input.dims());
+        input.map_into(sigmoid_scalar, &mut out)?;
+        Ok(out)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let out = self
             .output
@@ -202,6 +257,21 @@ impl Layer for Tanh {
         if mode == Mode::Train {
             self.output = Some(out.clone());
         }
+        Ok(out)
+    }
+
+    // darlint: hot
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<TensorView> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        let mut out = ws.checkout(input.dims());
+        input.map_into(f32::tanh, &mut out)?;
         Ok(out)
     }
 
@@ -249,6 +319,26 @@ impl Layer for Flatten {
         let batch = input.dims()[0];
         let feats = input.len() / batch.max(1);
         Ok(input.reshape(&[batch, feats])?)
+    }
+
+    // darlint: hot
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<TensorView> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        if input.rank() < 1 {
+            return Err(NnError::InvalidConfig("flatten needs rank >= 1".into()));
+        }
+        let batch = input.dims()[0];
+        let feats = input.len() / batch.max(1);
+        let mut out = ws.checkout(&[batch, feats]);
+        out.data_mut().copy_from_slice(input.data());
+        Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

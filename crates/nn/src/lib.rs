@@ -66,7 +66,7 @@ pub use dropout::Dropout;
 pub use error::NnError;
 pub use inception::{InceptionBlock, InceptionChannels};
 pub use layer::{Flatten, Layer, Mode, Relu, Sigmoid, Tanh};
-pub use loss::{l2_distill_loss, log_softmax, softmax, softmax_cross_entropy};
+pub use loss::{l2_distill_loss, log_softmax, softmax, softmax_cross_entropy, softmax_inplace};
 pub use lstm::{BiLstm, DeepBiLstmClassifier, LstmCell};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Param;

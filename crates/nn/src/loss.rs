@@ -12,6 +12,21 @@ use crate::Result;
 ///
 /// Returns an error if `logits` is not rank 2.
 pub fn softmax(logits: &Tensor) -> Result<Tensor> {
+    let mut out = logits.clone();
+    softmax_inplace(&mut out)?;
+    Ok(out)
+}
+
+/// Row-wise softmax of a `[batch, classes]` tensor, overwriting the
+/// logits in place. Bitwise-identical to [`softmax`] (they share the row
+/// kernel); the workspace-backed inference path uses this to normalize a
+/// checked-out logits buffer without allocating.
+///
+/// # Errors
+///
+/// Returns an error if `logits` is not rank 2.
+// darlint: hot
+pub fn softmax_inplace(logits: &mut Tensor) -> Result<()> {
     if logits.rank() != 2 {
         return Err(NnError::Tensor(darnet_tensor::TensorError::RankMismatch {
             expected: 2,
@@ -19,8 +34,7 @@ pub fn softmax(logits: &Tensor) -> Result<Tensor> {
         }));
     }
     let (b, c) = (logits.dims()[0], logits.dims()[1]);
-    let mut out = logits.clone();
-    let data = out.data_mut();
+    let data = logits.data_mut();
     for i in 0..b {
         let row = &mut data[i * c..(i + 1) * c];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -33,7 +47,7 @@ pub fn softmax(logits: &Tensor) -> Result<Tensor> {
             *v /= sum;
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Row-wise log-softmax of a `[batch, classes]` tensor.

@@ -4,7 +4,7 @@
 //! ([`DeepBiLstmClassifier`] — 2 bidirectional layers × 64 hidden units in
 //! the paper's configuration, §4.2).
 
-use darnet_tensor::{uniform_init, Parallelism, SplitMix64, Tensor};
+use darnet_tensor::{uniform_init, Parallelism, SplitMix64, Tensor, TensorView, Workspace};
 
 use crate::error::NnError;
 use crate::layer::{join_worker, sigmoid_scalar, Mode};
@@ -25,11 +25,26 @@ fn step_slice(x: &Tensor, t: usize) -> Result<Tensor> {
     Ok(Tensor::from_vec(out, &[b, f])?)
 }
 
+/// [`step_slice`] writing into a caller-provided `[batch, feat]` buffer.
+// darlint: hot
+fn step_slice_into(x: &Tensor, t: usize, out: &mut Tensor) {
+    let d = x.dims();
+    let (b, time, f) = (d[0], d[1], d[2]);
+    debug_assert!(t < time && out.len() == b * f);
+    for n in 0..b {
+        let src = (n * time + t) * f;
+        out.data_mut()[n * f..(n + 1) * f].copy_from_slice(&x.data()[src..src + f]);
+    }
+}
+
 /// Writes a `[batch, feat]` matrix into timestep `t` of a `[batch, time,
 /// feat]` tensor.
+// darlint: hot
 fn step_write(dst: &mut Tensor, t: usize, src: &Tensor) {
-    let d = dst.dims().to_vec();
-    let (b, time, f) = (d[0], d[1], d[2]);
+    let (b, time, f) = {
+        let d = dst.dims();
+        (d[0], d[1], d[2])
+    };
     debug_assert!(t < time);
     for n in 0..b {
         let off = (n * time + t) * f;
@@ -172,6 +187,79 @@ impl LstmCell {
         Ok(out)
     }
 
+    /// [`LstmCell::forward_seq`] running entirely in workspace buffers:
+    /// after one warm-up call per input shape the steady state performs no
+    /// heap allocation. Results are bitwise identical to `forward_seq` —
+    /// the fused gate update evaluates the exact same scalar expressions
+    /// in the same order as the tensor-op path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input rank or feature width is wrong.
+    // darlint: hot
+    pub fn forward_seq_into(
+        &mut self,
+        x: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<TensorView> {
+        if mode == Mode::Train {
+            return self.forward_seq(x, mode);
+        }
+        if x.rank() != 3 || x.dims()[2] != self.input_size {
+            return Err(NnError::InvalidConfig(format!(
+                "lstm expects [batch, time, {}], got {:?}",
+                self.input_size,
+                x.dims()
+            )));
+        }
+        let (b, time) = (x.dims()[0], x.dims()[1]);
+        let h = self.hidden_size;
+        self.cache.clear();
+        // Checked out once; reused across all timesteps.
+        let mut x_t = ws.checkout(&[b, self.input_size]);
+        let mut z = ws.checkout(&[b, 4 * h]);
+        let mut zh = ws.checkout(&[b, 4 * h]);
+        let mut h_t = ws.checkout(&[b, h]);
+        let mut c_t = ws.checkout(&[b, h]);
+        let mut out = ws.checkout(&[b, time, h]);
+
+        for t in 0..time {
+            step_slice_into(x, t, &mut x_t);
+            // z = x_t·W_xᵀ + h·W_hᵀ + b  → [B, 4H]
+            x_t.matmul_transpose_b_into(&self.w_x.value, &self.par, &mut z)?;
+            h_t.matmul_transpose_b_into(&self.w_h.value, &self.par, &mut zh)?;
+            z.add_assign(&zh)?;
+            z.add_row_broadcast_assign(&self.b.value)?;
+
+            // Fused gate update: same per-element expressions, in the same
+            // order, as the allocating path's gate tensors.
+            let zd = z.data();
+            let hd = h_t.data_mut();
+            let cd = c_t.data_mut();
+            for n in 0..b {
+                let row = &zd[n * 4 * h..(n + 1) * 4 * h];
+                for k in 0..h {
+                    let i_g = sigmoid_scalar(row[k]);
+                    let f_g = sigmoid_scalar(row[h + k]);
+                    let g_g = row[2 * h + k].tanh();
+                    let o_g = sigmoid_scalar(row[3 * h + k]);
+                    let c_new = f_g * cd[n * h + k] + i_g * g_g;
+                    let tanh_c = c_new.tanh();
+                    hd[n * h + k] = o_g * tanh_c;
+                    cd[n * h + k] = c_new;
+                }
+            }
+            step_write(&mut out, t, &h_t);
+        }
+        ws.restore(x_t);
+        ws.restore(z);
+        ws.restore(zh);
+        ws.restore(h_t);
+        ws.restore(c_t);
+        Ok(out)
+    }
+
     /// Backpropagates through time. `grad_h` is `dL/d(hidden)` for every
     /// timestep, shape `[batch, time, hidden]`. Returns `dL/d(input)` of
     /// shape `[batch, time, features]`, accumulating weight gradients.
@@ -264,6 +352,23 @@ fn reverse_time(x: &Tensor) -> Tensor {
     out
 }
 
+/// [`reverse_time`] writing into a caller-provided same-shape buffer.
+// darlint: hot
+fn reverse_time_into(x: &Tensor, out: &mut Tensor) {
+    let d = x.dims();
+    let (b, time, f) = (d[0], d[1], d[2]);
+    debug_assert_eq!(x.dims(), out.dims());
+    let od = out.data_mut();
+    let id = x.data();
+    for n in 0..b {
+        for t in 0..time {
+            let src = (n * time + t) * f;
+            let dst = (n * time + (time - 1 - t)) * f;
+            od[dst..dst + f].copy_from_slice(&id[src..src + f]);
+        }
+    }
+}
+
 /// A bidirectional LSTM layer: a forward cell and a backward cell whose
 /// per-timestep outputs are concatenated, producing `[batch, time,
 /// 2·hidden]`. This mirrors the paper's description of each LSTM "cell
@@ -273,6 +378,10 @@ pub struct BiLstm {
     fwd: LstmCell,
     bwd: LstmCell,
     hidden_size: usize,
+    /// Per-direction workspaces: the two cells may run on scoped threads,
+    /// so each direction needs its own buffer pool.
+    ws_fwd: Workspace,
+    ws_bwd: Workspace,
     par: Parallelism,
 }
 
@@ -283,6 +392,8 @@ impl BiLstm {
             fwd: LstmCell::new(input_size, hidden_size, rng),
             bwd: LstmCell::new(input_size, hidden_size, rng),
             hidden_size,
+            ws_fwd: Workspace::new(),
+            ws_bwd: Workspace::new(),
             par: Parallelism::serial(),
         }
     }
@@ -325,6 +436,62 @@ impl BiLstm {
         };
         // Concat along feature axis (axis 2).
         Ok(Tensor::concat(&[&hf?, &hb?], 2)?)
+    }
+
+    /// [`BiLstm::forward_seq`] on workspace buffers: each direction runs in
+    /// its own pool (the cells may execute on scoped threads) and the final
+    /// concatenation lands in a buffer checked out from the caller's `ws`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cell errors (bad input shape).
+    // darlint: hot
+    pub fn forward_seq_into(
+        &mut self,
+        x: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<TensorView> {
+        if mode == Mode::Train {
+            return self.forward_seq(x, mode);
+        }
+        let (hf, hb) = {
+            let BiLstm {
+                fwd,
+                bwd,
+                ws_fwd,
+                ws_bwd,
+                par,
+                ..
+            } = self;
+            let mut run_fwd = move || fwd.forward_seq_into(x, mode, ws_fwd);
+            let mut run_bwd = move || -> Result<TensorView> {
+                let mut x_rev = ws_bwd.checkout(x.dims());
+                reverse_time_into(x, &mut x_rev);
+                let h_rev = bwd.forward_seq_into(&x_rev, mode, ws_bwd)?;
+                ws_bwd.restore(x_rev);
+                let mut h_out = ws_bwd.checkout(h_rev.dims());
+                reverse_time_into(&h_rev, &mut h_out);
+                ws_bwd.restore(h_rev);
+                Ok(h_out)
+            };
+            if par.is_serial() {
+                (run_fwd(), run_bwd())
+            } else {
+                std::thread::scope(|scope| {
+                    let handle = scope.spawn(run_fwd);
+                    let hb = run_bwd();
+                    (join_worker(handle, "BiLstm::forward_seq_into"), hb)
+                })
+            }
+        };
+        let (hf, hb) = (hf?, hb?);
+        let d = hf.dims();
+        let mut out = ws.checkout(&[d[0], d[1], 2 * self.hidden_size]);
+        Tensor::concat_into(&[&hf, &hb], 2, &mut out)?;
+        self.ws_fwd.restore(hf);
+        self.ws_bwd.restore(hb);
+        Ok(out)
     }
 
     /// Backward pass; `grad` has shape `[batch, time, 2·hidden]`.
@@ -469,6 +636,67 @@ impl DeepBiLstmClassifier {
         }
         let logits = pooled.matmul_transpose_b_with(&self.head_w.value, &self.par)?;
         Ok(logits.add_row_broadcast(&self.head_b.value)?)
+    }
+
+    /// [`DeepBiLstmClassifier::forward`] on workspace buffers; bitwise
+    /// identical logits with zero steady-state heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    // darlint: hot
+    pub fn forward_into(
+        &mut self,
+        x: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<TensorView> {
+        if mode == Mode::Train {
+            return self.forward(x, mode);
+        }
+        let mut layers = self.layers.iter_mut();
+        let mut h = match layers.next() {
+            Some(first) => first.forward_seq_into(x, mode, ws)?,
+            None => {
+                // Unreachable by construction (`new` rejects depth 0), but
+                // degrade gracefully rather than panic.
+                let mut copy = ws.checkout(x.dims());
+                x.copy_into(&mut copy)?;
+                copy
+            }
+        };
+        for layer in layers {
+            let y = layer.forward_seq_into(&h, mode, ws)?;
+            ws.restore(h);
+            h = y;
+        }
+        let d = h.dims();
+        let (b, time, feat) = (d[0], d[1], d[2]);
+        // Mean over time → [B, 2H]; the checkout is zero-filled, so the
+        // accumulation matches the allocating path exactly.
+        let mut pooled = ws.checkout(&[b, feat]);
+        {
+            let pd = pooled.data_mut();
+            let hd = h.data();
+            for n in 0..b {
+                for t in 0..time {
+                    let src = (n * time + t) * feat;
+                    for k in 0..feat {
+                        pd[n * feat + k] += hd[src + k];
+                    }
+                }
+            }
+            let inv_t = 1.0 / time as f32;
+            for v in pd.iter_mut() {
+                *v *= inv_t;
+            }
+        }
+        ws.restore(h);
+        let mut logits = ws.checkout(&[b, self.classes]);
+        pooled.matmul_transpose_b_into(&self.head_w.value, &self.par, &mut logits)?;
+        ws.restore(pooled);
+        logits.add_row_broadcast_assign(&self.head_b.value)?;
+        Ok(logits)
     }
 
     /// Backward pass from `dL/d(logits)`.

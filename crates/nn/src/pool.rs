@@ -1,8 +1,8 @@
 //! Pooling layers: max, average, and global average pooling.
 
 use darnet_tensor::{
-    avg_pool2d_backward, avg_pool2d_with, max_pool2d_backward, max_pool2d_with, Parallelism,
-    PoolSpec, Tensor,
+    avg_pool2d_backward, avg_pool2d_into, avg_pool2d_with, max_pool2d_backward, max_pool2d_into,
+    max_pool2d_with, Parallelism, PoolSpec, Tensor, TensorView, Workspace,
 };
 
 use crate::error::NnError;
@@ -16,6 +16,9 @@ pub struct MaxPool2d {
     spec: PoolSpec,
     argmax: Option<Vec<usize>>,
     input_dims: Option<Vec<usize>>,
+    /// Reused argmax buffer for the workspace inference path (Eval mode
+    /// never needs the indices, but the kernel still produces them).
+    scratch_arg: Vec<usize>,
     par: Parallelism,
 }
 
@@ -26,6 +29,7 @@ impl MaxPool2d {
             spec: PoolSpec::new(window, stride),
             argmax: None,
             input_dims: None,
+            scratch_arg: Vec::new(),
             par: Parallelism::serial(),
         }
     }
@@ -38,6 +42,32 @@ impl Layer for MaxPool2d {
             self.argmax = Some(arg);
             self.input_dims = Some(input.dims().to_vec());
         }
+        Ok(out)
+    }
+
+    // darlint: hot
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<TensorView> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        if input.rank() != 4 {
+            return Err(NnError::InvalidConfig(format!(
+                "max pool expects rank-4 input, got {:?}",
+                input.dims()
+            )));
+        }
+        let d = input.dims();
+        let (oh, ow) = self.spec.output_size(d[2], d[3])?;
+        let mut out = ws.checkout(&[d[0], d[1], oh, ow]);
+        let mut arg = std::mem::take(&mut self.scratch_arg);
+        let result = max_pool2d_into(input, &self.spec, &self.par, &mut out, &mut arg);
+        self.scratch_arg = arg;
+        result?;
         Ok(out)
     }
 
@@ -91,6 +121,29 @@ impl Layer for AvgPool2d {
         if mode == Mode::Train {
             self.input_dims = Some(input.dims().to_vec());
         }
+        Ok(out)
+    }
+
+    // darlint: hot
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<TensorView> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        if input.rank() != 4 {
+            return Err(NnError::InvalidConfig(format!(
+                "avg pool expects rank-4 input, got {:?}",
+                input.dims()
+            )));
+        }
+        let d = input.dims();
+        let (oh, ow) = self.spec.output_size(d[2], d[3])?;
+        let mut out = ws.checkout(&[d[0], d[1], oh, ow]);
+        avg_pool2d_into(input, &self.spec, &self.par, &mut out)?;
         Ok(out)
     }
 
@@ -153,6 +206,38 @@ impl Layer for GlobalAvgPool {
         }
         if mode == Mode::Train {
             self.input_dims = Some(d.to_vec());
+        }
+        Ok(out)
+    }
+
+    // darlint: hot
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<TensorView> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        if input.rank() != 4 {
+            return Err(NnError::InvalidConfig(format!(
+                "global avg pool expects rank-4 input, got {:?}",
+                input.dims()
+            )));
+        }
+        let d = input.dims();
+        let (b, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let hw = (h * w) as f32;
+        let mut out = ws.checkout(&[b, c]);
+        let od = out.data_mut();
+        let id = input.data();
+        for n in 0..b {
+            for ch in 0..c {
+                let base = (n * c + ch) * h * w;
+                let sum: f32 = id[base..base + h * w].iter().sum();
+                od[n * c + ch] = sum / hw;
+            }
         }
         Ok(out)
     }

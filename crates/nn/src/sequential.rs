@@ -1,6 +1,6 @@
 //! A sequential container of boxed layers.
 
-use darnet_tensor::Tensor;
+use darnet_tensor::{Tensor, TensorView, Workspace};
 
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
@@ -65,9 +65,40 @@ impl std::fmt::Debug for Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
+        // The first layer reads the caller's input directly; cloning it up
+        // front would be a wasted allocation on every forward pass.
+        let mut layers = self.layers.iter_mut();
+        let Some(first) = layers.next() else {
+            return Ok(input.clone());
+        };
+        let mut x = first.forward(input, mode)?;
+        for layer in layers {
             x = layer.forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    // darlint: hot
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<TensorView> {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        let mut layers = self.layers.iter_mut();
+        let Some(first) = layers.next() else {
+            let mut out = ws.checkout(input.dims());
+            input.copy_into(&mut out)?;
+            return Ok(out);
+        };
+        let mut x = first.forward_into(input, mode, ws)?;
+        for layer in layers {
+            let y = layer.forward_into(&x, mode, ws)?;
+            ws.restore(x);
+            x = y;
         }
         Ok(x)
     }

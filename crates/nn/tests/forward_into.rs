@@ -1,0 +1,235 @@
+//! Bitwise-equality tests for the workspace-backed `forward_into` path.
+//!
+//! Every layer's `forward_into` must produce output bytes identical to its
+//! allocating `forward`, for serial and threaded policies alike, and a
+//! warm workspace must stop allocating (cold-miss counter goes flat).
+
+use darnet_nn::{
+    AvgPool2d, BiLstm, Conv2d, DeepBiLstmClassifier, Dense, Dropout, Flatten, GlobalAvgPool,
+    InceptionBlock, InceptionChannels, Layer, LstmCell, MaxPool2d, Mode, Relu, Sequential, Sigmoid,
+    Tanh,
+};
+use darnet_tensor::{Parallelism, SplitMix64, Tensor, Workspace};
+
+fn random_tensor(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = SplitMix64::new(seed);
+    let mut t = Tensor::zeros(dims);
+    for v in t.data_mut() {
+        *v = rng.uniform(-1.5, 1.5);
+    }
+    t
+}
+
+/// Runs `forward` and `forward_into` three times each, asserting bitwise
+/// identity on every round and that cold misses stop after the first
+/// workspace round.
+// Not a #[test] fn itself, so clippy's allow-unwrap-in-tests does not
+// apply; here a failed unwrap IS the test failing.
+#[allow(clippy::unwrap_used)]
+fn assert_into_matches(layer: &mut dyn Layer, input: &Tensor) {
+    let mut ws = Workspace::new();
+    let expected = layer.forward(input, Mode::Eval).unwrap();
+    for round in 0..3 {
+        let got = layer.forward_into(input, Mode::Eval, &mut ws).unwrap();
+        assert_eq!(got, expected, "round {round} diverged from forward()");
+        ws.restore(got);
+        if round == 0 {
+            // Pin the warm-up cost; later rounds must not add to it.
+            let misses = ws.cold_misses();
+            let got = layer.forward_into(input, Mode::Eval, &mut ws).unwrap();
+            ws.restore(got);
+            assert_eq!(
+                ws.cold_misses(),
+                misses,
+                "warm workspace allocated again for {}",
+                layer.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn activations_and_flatten_match() {
+    let x = random_tensor(&[3, 4, 2, 2], 1);
+    assert_into_matches(&mut Relu::new(), &x);
+    assert_into_matches(&mut Sigmoid::new(), &x);
+    assert_into_matches(&mut Tanh::new(), &x);
+    assert_into_matches(&mut Flatten::new(), &x);
+    assert_into_matches(&mut Dropout::new(0.4, 7), &x);
+}
+
+#[test]
+fn dense_matches_serial_and_parallel() {
+    let x = random_tensor(&[5, 6], 2);
+    for threads in [1, 4] {
+        let mut rng = SplitMix64::new(3);
+        let mut layer = Dense::new(6, 4, &mut rng);
+        layer.set_parallelism(Parallelism::new(threads).with_min_work(1));
+        assert_into_matches(&mut layer, &x);
+    }
+}
+
+#[test]
+fn conv_and_pools_match_serial_and_parallel() {
+    let x = random_tensor(&[2, 3, 6, 6], 4);
+    for threads in [1, 4] {
+        let par = Parallelism::new(threads).with_min_work(1);
+        let mut rng = SplitMix64::new(5);
+        let mut conv = Conv2d::square(3, 4, 3, 1, 1, &mut rng);
+        conv.set_parallelism(par);
+        assert_into_matches(&mut conv, &x);
+
+        let mut mp = MaxPool2d::new(2, 2);
+        mp.set_parallelism(par);
+        assert_into_matches(&mut mp, &x);
+
+        let mut ap = AvgPool2d::new(2, 2);
+        ap.set_parallelism(par);
+        assert_into_matches(&mut ap, &x);
+    }
+    assert_into_matches(&mut GlobalAvgPool::new(), &x);
+}
+
+#[test]
+fn sequential_stack_matches() {
+    let x = random_tensor(&[2, 1, 8, 8], 6);
+    for threads in [1, 4] {
+        let mut rng = SplitMix64::new(7);
+        let mut net = Sequential::new();
+        net.push(Conv2d::square(1, 4, 3, 1, 1, &mut rng));
+        net.push(Relu::new());
+        net.push(MaxPool2d::new(2, 2));
+        net.push(Flatten::new());
+        net.push(Dense::new(4 * 4 * 4, 5, &mut rng));
+        net.set_parallelism(Parallelism::new(threads).with_min_work(1));
+        assert_into_matches(&mut net, &x);
+    }
+}
+
+#[test]
+fn inception_block_matches_serial_and_parallel() {
+    let ch = InceptionChannels {
+        c1: 2,
+        c3_reduce: 2,
+        c3: 3,
+        c5_reduce: 1,
+        c5: 2,
+        pool_proj: 1,
+    };
+    let x = random_tensor(&[2, 3, 5, 5], 8);
+    for threads in [1, 4] {
+        let mut block = InceptionBlock::new(3, ch, &mut SplitMix64::new(9));
+        block.set_parallelism(Parallelism::new(threads).with_min_work(1));
+        assert_into_matches(&mut block, &x);
+    }
+}
+
+#[test]
+fn lstm_cell_seq_into_matches() {
+    let x = random_tensor(&[2, 5, 3], 10);
+    for threads in [1, 4] {
+        let mut cell = LstmCell::new(3, 6, &mut SplitMix64::new(11));
+        cell.set_parallelism(Parallelism::new(threads).with_min_work(1));
+        let expected = cell.forward_seq(&x, Mode::Eval).unwrap();
+        let mut ws = Workspace::new();
+        for _ in 0..3 {
+            let got = cell.forward_seq_into(&x, Mode::Eval, &mut ws).unwrap();
+            assert_eq!(got, expected);
+            ws.restore(got);
+        }
+        let misses = ws.cold_misses();
+        let got = cell.forward_seq_into(&x, Mode::Eval, &mut ws).unwrap();
+        ws.restore(got);
+        assert_eq!(ws.cold_misses(), misses, "warm LSTM workspace allocated");
+    }
+}
+
+#[test]
+fn bilstm_and_classifier_match() {
+    let x = random_tensor(&[2, 6, 3], 12);
+    for threads in [1, 4] {
+        let mut bi = BiLstm::new(3, 5, &mut SplitMix64::new(13));
+        bi.set_parallelism(Parallelism::new(threads).with_min_work(1));
+        let expected = bi.forward_seq(&x, Mode::Eval).unwrap();
+        let mut ws = Workspace::new();
+        for _ in 0..3 {
+            let got = bi.forward_seq_into(&x, Mode::Eval, &mut ws).unwrap();
+            assert_eq!(got, expected);
+            ws.restore(got);
+        }
+
+        let mut model = DeepBiLstmClassifier::new(3, 4, 2, 3, &mut SplitMix64::new(14));
+        model.set_parallelism(Parallelism::new(threads).with_min_work(1));
+        let expected = model.forward(&x, Mode::Eval).unwrap();
+        let mut ws = Workspace::new();
+        for _ in 0..3 {
+            let got = model.forward_into(&x, Mode::Eval, &mut ws).unwrap();
+            assert_eq!(got, expected);
+            ws.restore(got);
+        }
+    }
+}
+
+#[test]
+fn train_mode_falls_back_to_forward() {
+    // forward_into in Train mode must behave exactly like forward,
+    // including cache population (backward must work afterwards).
+    let x = random_tensor(&[2, 3], 15);
+    let mut rng = SplitMix64::new(16);
+    let mut layer = Dense::new(3, 2, &mut rng);
+    let mut ws = Workspace::new();
+    let y = layer.forward_into(&x, Mode::Train, &mut ws).unwrap();
+    assert_eq!(y.dims(), &[2, 2]);
+    assert!(layer.backward(&Tensor::ones(&[2, 2])).is_ok());
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn dense_into_is_bitwise_forward(
+            in_f in 1usize..7,
+            out_f in 1usize..7,
+            batch in 1usize..5,
+            threads in 1usize..5,
+            seed in 0u64..500,
+        ) {
+            let mut rng = SplitMix64::new(seed);
+            let mut layer = Dense::new(in_f, out_f, &mut rng);
+            layer.set_parallelism(Parallelism::new(threads).with_min_work(1));
+            let x = random_tensor(&[batch, in_f], seed ^ 0xABCD);
+            let expected = layer.forward(&x, Mode::Eval).unwrap();
+            let mut ws = Workspace::new();
+            for _ in 0..2 {
+                let got = layer.forward_into(&x, Mode::Eval, &mut ws).unwrap();
+                prop_assert_eq!(&got, &expected);
+                ws.restore(got);
+            }
+        }
+
+        #[test]
+        fn lstm_into_is_bitwise_forward(
+            feat in 1usize..5,
+            hidden in 1usize..5,
+            time in 1usize..5,
+            batch in 1usize..4,
+            threads in 1usize..5,
+            seed in 0u64..200,
+        ) {
+            let mut cell = LstmCell::new(feat, hidden, &mut SplitMix64::new(seed));
+            cell.set_parallelism(Parallelism::new(threads).with_min_work(1));
+            let x = random_tensor(&[batch, time, feat], seed ^ 0x1234);
+            let expected = cell.forward_seq(&x, Mode::Eval).unwrap();
+            let mut ws = Workspace::new();
+            for _ in 0..2 {
+                let got = cell.forward_seq_into(&x, Mode::Eval, &mut ws).unwrap();
+                prop_assert_eq!(&got, &expected);
+                ws.restore(got);
+            }
+        }
+    }
+}

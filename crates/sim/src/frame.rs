@@ -56,6 +56,16 @@ impl Frame {
         &self.pixels
     }
 
+    /// Copies `other` into this frame, reusing the existing pixel buffer
+    /// when its capacity suffices (`Vec::clone_from` semantics). The
+    /// zero-alloc batching path refreshes its frame scratch list with
+    /// this instead of cloning fresh frames.
+    pub fn clone_pixels_from(&mut self, other: &Frame) {
+        self.width = other.width;
+        self.height = other.height;
+        self.pixels.clone_from(&other.pixels);
+    }
+
     /// Mutable pixel buffer.
     pub fn pixels_mut(&mut self) -> &mut [f32] {
         &mut self.pixels

@@ -138,6 +138,24 @@ fn im2col_rows(
 ///
 /// Same conditions as [`im2col`].
 pub fn im2col_with(input: &Tensor, spec: &Conv2dSpec, par: &Parallelism) -> Result<Tensor> {
+    let ((b, c, h, w), (oh, ow), patch) = check_im2col(input, spec)?;
+    let mut out = vec![0.0f32; b * oh * ow * patch];
+    let data = input.data();
+    if patch > 0 {
+        par.run_rows(&mut out, patch, patch, |row0, chunk| {
+            im2col_rows(data, spec, (c, h, w, oh, ow), row0, chunk)
+        });
+    }
+    Tensor::from_vec(out, &[b * oh * ow, patch])
+}
+
+/// Validates an im2col input against `spec`, returning the input dims, the
+/// output spatial size, and the patch length.
+#[allow(clippy::type_complexity)]
+fn check_im2col(
+    input: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<((usize, usize, usize, usize), (usize, usize), usize)> {
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -153,15 +171,46 @@ pub fn im2col_with(input: &Tensor, spec: &Conv2dSpec, par: &Parallelism) -> Resu
         )));
     }
     let (oh, ow) = spec.output_size(h, w)?;
-    let patch = spec.patch_len();
-    let mut out = vec![0.0f32; b * oh * ow * patch];
+    Ok(((b, c, h, w), (oh, ow), spec.patch_len()))
+}
+
+/// [`im2col_with`] writing into a caller-provided `[batch * out_h * out_w,
+/// c * kh * kw]` buffer (typically a [`crate::Workspace`] checkout);
+/// bitwise identical to the allocating variant. Every output element is
+/// overwritten (padding positions included), so `out`'s prior contents are
+/// irrelevant.
+///
+/// # Errors
+///
+/// Same conditions as [`im2col`], plus [`TensorError::ShapeMismatch`] if
+/// `out` does not have the patch-matrix shape.
+// darlint: hot
+pub fn im2col_into(
+    input: &Tensor,
+    spec: &Conv2dSpec,
+    par: &Parallelism,
+    out: &mut Tensor,
+) -> Result<()> {
+    let ((b, c, h, w), (oh, ow), patch) = check_im2col(input, spec)?;
+    check_out_dims(out, &[b * oh * ow, patch])?;
     let data = input.data();
     if patch > 0 {
-        par.run_rows(&mut out, patch, patch, |row0, chunk| {
+        par.run_rows(out.data_mut(), patch, patch, |row0, chunk| {
             im2col_rows(data, spec, (c, h, w, oh, ow), row0, chunk)
         });
     }
-    Tensor::from_vec(out, &[b * oh * ow, patch])
+    Ok(())
+}
+
+/// Validates that `out` has exactly `dims`.
+pub(crate) fn check_out_dims(out: &Tensor, dims: &[usize]) -> Result<()> {
+    if out.dims() != dims {
+        return Err(TensorError::ShapeMismatch {
+            left: out.dims().to_vec(),
+            right: dims.to_vec(),
+        });
+    }
+    Ok(())
 }
 
 /// Scatters a patch-matrix gradient (shape `[batch * out_h * out_w,
@@ -239,6 +288,37 @@ mod tests {
             ..Conv2dSpec::square(1, 1, 1, 1, 0)
         };
         assert!(zero_stride.output_size(3, 3).is_err());
+    }
+
+    #[test]
+    fn im2col_into_matches_allocating_variant() {
+        use crate::workspace::Workspace;
+        let input = Tensor::from_vec(
+            (0..2 * 3 * 6 * 6)
+                .map(|v| ((v * 31) % 23) as f32 * 0.25 - 2.0)
+                .collect(),
+            &[2, 3, 6, 6],
+        )
+        .unwrap();
+        let spec = Conv2dSpec::square(3, 4, 3, 1, 1);
+        let mut ws = Workspace::new();
+        for threads in [1, 4] {
+            let par = Parallelism::new(threads).with_min_work(1);
+            let expected = im2col_with(&input, &spec, &par).unwrap();
+            let mut out = ws.checkout(expected.dims());
+            out.data_mut().fill(7.0); // stale contents must be overwritten
+            im2col_into(&input, &spec, &par, &mut out).unwrap();
+            assert_eq!(out, expected);
+            ws.restore(out);
+        }
+    }
+
+    #[test]
+    fn im2col_into_rejects_bad_output_shape() {
+        let input = Tensor::zeros(&[1, 1, 4, 4]);
+        let spec = Conv2dSpec::square(1, 1, 2, 2, 0);
+        let mut bad = Tensor::zeros(&[3, 3]);
+        assert!(im2col_into(&input, &spec, &Parallelism::serial(), &mut bad).is_err());
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! * max/average pooling kernels,
 //! * deterministic weight initialisation helpers,
 //! * a [`Parallelism`] policy that chunk-parallelizes the matmul, `im2col`,
-//!   and pooling kernels over scoped threads with bitwise-identical results.
+//!   and pooling kernels over scoped threads with bitwise-identical results,
+//! * a [`Workspace`] buffer pool and `_into` kernel variants that write into
+//!   checked-out buffers, making steady-state inference allocation-free
+//!   after warm-up (see [`workspace`](crate::Workspace)).
 //!
 //! The library intentionally trades generality for auditability: everything
 //! is plain safe Rust over a `Vec<f32>`, so every numerical routine can be
@@ -42,17 +45,19 @@ mod parallel;
 mod pool;
 mod shape;
 mod tensor;
+mod workspace;
 
-pub use conv::{col2im, im2col, im2col_with, Conv2dSpec};
+pub use conv::{col2im, im2col, im2col_into, im2col_with, Conv2dSpec};
 pub use error::TensorError;
 pub use init::{he_normal, uniform_init, xavier_uniform, SplitMix64};
 pub use parallel::Parallelism;
 pub use pool::{
-    avg_pool2d, avg_pool2d_backward, avg_pool2d_with, max_pool2d, max_pool2d_backward,
-    max_pool2d_with, PoolSpec,
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_into, avg_pool2d_with, max_pool2d,
+    max_pool2d_backward, max_pool2d_into, max_pool2d_with, PoolSpec,
 };
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::{TensorView, Workspace};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, TensorError>;

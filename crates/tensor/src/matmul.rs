@@ -88,6 +88,32 @@ fn check_rank2(a: &Tensor, b: &Tensor) -> Result<()> {
     Ok(())
 }
 
+/// Validates operands of shapes `[m,k] × [k,n]` (or the stated transpose
+/// layout) and an `out` buffer of `[m,n]`; returns `(m, k, n)`. Shared by
+/// the `_into` product variants so their hot bodies stay allocation-free.
+fn check_product_into(
+    a_dims: (usize, usize),
+    b_inner: usize,
+    n: usize,
+    operands: (&Tensor, &Tensor),
+    out: &Tensor,
+) -> Result<(usize, usize, usize)> {
+    let (m, k) = a_dims;
+    if k != b_inner {
+        return Err(TensorError::MatmulDimMismatch {
+            left: operands.0.dims().to_vec(),
+            right: operands.1.dims().to_vec(),
+        });
+    }
+    if out.dims() != [m, n] {
+        return Err(TensorError::ShapeMismatch {
+            left: out.dims().to_vec(),
+            right: vec![m, n],
+        });
+    }
+    Ok((m, k, n))
+}
+
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `self [m,k] × other [k,n] →
     /// [m,n]`.
@@ -217,6 +243,109 @@ impl Tensor {
         Tensor::from_vec(out, &[m, n])
     }
 
+    /// [`Tensor::matmul_with`] writing into a caller-provided `[m,n]`
+    /// buffer (typically a [`crate::Workspace`] checkout) instead of
+    /// allocating; bitwise identical to the allocating variant. `out` is
+    /// zeroed first, so its prior contents are irrelevant.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`], plus
+    /// [`TensorError::ShapeMismatch`] if `out` is not `[m,n]`.
+    // darlint: hot
+    pub fn matmul_into(&self, other: &Tensor, par: &Parallelism, out: &mut Tensor) -> Result<()> {
+        check_rank2(self, other)?;
+        let (_m, k, n) = check_product_into(
+            (self.dims()[0], self.dims()[1]),
+            other.dims()[0],
+            other.dims()[1],
+            (self, other),
+            out,
+        )?;
+        let a = self.data();
+        let b = other.data();
+        let c = out.data_mut();
+        // The row kernel accumulates, so the recycled buffer must start
+        // from zero — a memset, still cheaper than allocate-and-zero.
+        c.fill(0.0);
+        if n > 0 {
+            par.run_rows(c, n, k * n, |row0, chunk| {
+                matmul_rows(a, b, k, n, row0, chunk)
+            });
+        }
+        Ok(())
+    }
+
+    /// [`Tensor::matmul_transpose_b_with`] writing into a caller-provided
+    /// `[m,n]` buffer; bitwise identical to the allocating variant. Every
+    /// output element is overwritten, so `out`'s prior contents are
+    /// irrelevant.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`], plus
+    /// [`TensorError::ShapeMismatch`] if `out` is not `[m,n]`.
+    // darlint: hot
+    pub fn matmul_transpose_b_into(
+        &self,
+        other: &Tensor,
+        par: &Parallelism,
+        out: &mut Tensor,
+    ) -> Result<()> {
+        check_rank2(self, other)?;
+        let (_m, k, n) = check_product_into(
+            (self.dims()[0], self.dims()[1]),
+            other.dims()[1],
+            other.dims()[0],
+            (self, other),
+            out,
+        )?;
+        let a = self.data();
+        let b = other.data();
+        if n > 0 {
+            par.run_rows(out.data_mut(), n, k * n, |row0, chunk| {
+                matmul_transpose_b_rows(a, b, k, n, row0, chunk)
+            });
+        }
+        Ok(())
+    }
+
+    /// [`Tensor::matmul_transpose_a_with`] writing into a caller-provided
+    /// `[m,n]` buffer; bitwise identical to the allocating variant. `out`
+    /// is zeroed first, so its prior contents are irrelevant.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`], plus
+    /// [`TensorError::ShapeMismatch`] if `out` is not `[m,n]`.
+    // darlint: hot
+    pub fn matmul_transpose_a_into(
+        &self,
+        other: &Tensor,
+        par: &Parallelism,
+        out: &mut Tensor,
+    ) -> Result<()> {
+        check_rank2(self, other)?;
+        let (m, k, n) = check_product_into(
+            (self.dims()[1], self.dims()[0]),
+            other.dims()[0],
+            other.dims()[1],
+            (self, other),
+            out,
+        )?;
+        let a = self.data();
+        let b = other.data();
+        let c = out.data_mut();
+        // Accumulating kernel: start from zero (see matmul_into).
+        c.fill(0.0);
+        if n > 0 {
+            par.run_rows(c, n, k * n, |row0, chunk| {
+                matmul_transpose_a_rows(a, b, k, m, n, row0, chunk)
+            });
+        }
+        Ok(())
+    }
+
     /// Matrix–vector product: `self [m,k] × v [k] → [m]`.
     ///
     /// # Errors
@@ -343,6 +472,78 @@ mod tests {
         let v = Tensor::from_slice(&[1.0, 0.5, -1.0]);
         let direct = a.matvec(&v).unwrap();
         assert_eq!(direct.data(), &[0.5 - 2.0, 3.0 + 2.0 - 5.0]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_and_ignore_stale_contents() {
+        use crate::workspace::Workspace;
+        let a = Tensor::from_vec(
+            (0..12 * 7)
+                .map(|v| ((v * 13) % 9) as f32 * 0.4 - 1.0)
+                .collect(),
+            &[12, 7],
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            (0..7 * 5)
+                .map(|v| ((v * 19) % 11) as f32 * 0.2 - 0.7)
+                .collect(),
+            &[7, 5],
+        )
+        .unwrap();
+        let bt = Tensor::from_vec(
+            (0..5 * 7)
+                .map(|v| ((v * 23) % 13) as f32 * 0.3 - 1.2)
+                .collect(),
+            &[5, 7],
+        )
+        .unwrap();
+        let at = Tensor::from_vec(
+            (0..12 * 5)
+                .map(|v| ((v * 29) % 17) as f32 * 0.1 - 0.4)
+                .collect(),
+            &[12, 5],
+        )
+        .unwrap();
+        let mut ws = Workspace::new();
+        for threads in [1, 3] {
+            let par = Parallelism::new(threads).with_min_work(1);
+            // Poison the output buffers to prove prior contents are
+            // irrelevant (the accumulating kernels must self-zero).
+            let mut out = ws.checkout(&[12, 5]);
+            out.data_mut().fill(99.0);
+            a.matmul_into(&b, &par, &mut out).unwrap();
+            assert_eq!(out, a.matmul_with(&b, &par).unwrap());
+            ws.restore(out);
+
+            let mut out = ws.checkout(&[12, 5]);
+            out.data_mut().fill(-3.5);
+            a.matmul_transpose_b_into(&bt, &par, &mut out).unwrap();
+            assert_eq!(out, a.matmul_transpose_b_with(&bt, &par).unwrap());
+            ws.restore(out);
+
+            let mut out = ws.checkout(&[7, 5]);
+            out.data_mut().fill(42.0);
+            a.matmul_transpose_a_into(&at, &par, &mut out).unwrap();
+            assert_eq!(out, a.matmul_transpose_a_with(&at, &par).unwrap());
+            ws.restore(out);
+        }
+    }
+
+    #[test]
+    fn into_variants_reject_bad_output_shapes() {
+        let a = Tensor::zeros(&[3, 4]);
+        let b = Tensor::zeros(&[4, 2]);
+        let mut bad = Tensor::zeros(&[3, 3]);
+        assert!(a.matmul_into(&b, &Parallelism::serial(), &mut bad).is_err());
+        let bt = Tensor::zeros(&[2, 4]);
+        assert!(a
+            .matmul_transpose_b_into(&bt, &Parallelism::serial(), &mut bad)
+            .is_err());
+        let at = Tensor::zeros(&[3, 2]);
+        assert!(a
+            .matmul_transpose_a_into(&at, &Parallelism::serial(), &mut bad)
+            .is_err());
     }
 
     #[test]

@@ -154,11 +154,14 @@ impl Parallelism {
             return;
         }
         let rows = out.len() / row_len.max(1);
-        let ranges = self.partition(rows, work_per_row);
-        if ranges.len() <= 1 {
+        // Inline execution decided without materializing the partition:
+        // the serial fast path must stay allocation-free for the
+        // workspace-backed inference path.
+        if self.effective_threads(rows, work_per_row) <= 1 {
             kernel(0, out);
             return;
         }
+        let ranges = self.partition(rows, work_per_row);
         std::thread::scope(|scope| {
             let mut rest = out;
             for range in ranges {

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::conv::check_out_dims;
 use crate::error::TensorError;
 use crate::parallel::Parallelism;
 use crate::tensor::Tensor;
@@ -125,18 +126,46 @@ pub fn max_pool2d_with(
 ) -> Result<(Tensor, Vec<usize>)> {
     let (b, c, h, w) = check_rank4(input)?;
     let (oh, ow) = spec.output_size(h, w)?;
-    let data = input.data();
     let plane_out = oh * ow;
     let mut out = vec![0.0f32; b * c * plane_out];
     let mut arg = vec![0usize; b * c * plane_out];
+    max_pool_dispatch(
+        input.data(),
+        spec,
+        (b * c, h, w, oh, ow),
+        par,
+        &mut out,
+        &mut arg,
+    );
+    Ok((Tensor::from_vec(out, &[b, c, oh, ow])?, arg))
+}
+
+/// Shared serial/threaded dispatch for max pooling: chunks the `planes`
+/// `[h,w]` planes across scoped threads (output and argmax buffers split
+/// in lockstep) or runs inline under a serial policy. Both entry points go
+/// through here, so the `_into` variant is bitwise identical by
+/// construction.
+// darlint: hot
+fn max_pool_dispatch(
+    data: &[f32],
+    spec: &PoolSpec,
+    geom: (usize, usize, usize, usize, usize), // (planes, h, w, oh, ow)
+    par: &Parallelism,
+    out: &mut [f32],
+    arg: &mut [usize],
+) {
+    let (planes, h, w, oh, ow) = geom;
+    let plane_out = oh * ow;
     let work_per_plane = plane_out * spec.window * spec.window;
-    let ranges = par.partition(b * c, work_per_plane);
-    if ranges.len() <= 1 {
-        max_pool_planes(data, spec, (h, w, oh, ow), 0, &mut out, &mut arg);
+    // Inline execution decided without materializing the partition, so
+    // the serial fast path stays allocation-free (see Parallelism).
+    if par.effective_threads(planes, work_per_plane) <= 1 {
+        max_pool_planes(data, spec, (h, w, oh, ow), 0, out, arg);
     } else {
+        let ranges = par.partition(planes, work_per_plane);
         std::thread::scope(|scope| {
-            let mut out_rest = out.as_mut_slice();
-            let mut arg_rest = arg.as_mut_slice();
+            let mut out_rest = out;
+            let mut arg_rest = arg;
             for range in ranges {
                 let take = (range.end - range.start) * plane_out;
                 let (out_chunk, out_tail) = out_rest.split_at_mut(take);
@@ -156,7 +185,39 @@ pub fn max_pool2d_with(
             }
         });
     }
-    Ok((Tensor::from_vec(out, &[b, c, oh, ow])?, arg))
+}
+
+/// [`max_pool2d_with`] writing into a caller-provided `[b, c, oh, ow]`
+/// buffer (typically a [`crate::Workspace`] checkout) and a reusable
+/// argmax scratch vector; bitwise identical to the allocating variant.
+/// `argmax` is resized to the output length (no allocation once its
+/// capacity suffices) and every element of both buffers is overwritten.
+///
+/// # Errors
+///
+/// Returns an error on rank or geometry problems, or if `out` does not
+/// have the pooled output shape.
+// darlint: hot
+pub fn max_pool2d_into(
+    input: &Tensor,
+    spec: &PoolSpec,
+    par: &Parallelism,
+    out: &mut Tensor,
+    argmax: &mut Vec<usize>,
+) -> Result<()> {
+    let (b, c, h, w) = check_rank4(input)?;
+    let (oh, ow) = spec.output_size(h, w)?;
+    check_out_dims(out, &[b, c, oh, ow])?;
+    argmax.resize(b * c * oh * ow, 0);
+    max_pool_dispatch(
+        input.data(),
+        spec,
+        (b * c, h, w, oh, ow),
+        par,
+        out.data_mut(),
+        argmax,
+    );
+    Ok(())
 }
 
 /// Backward pass of max pooling: routes each output gradient to the input
@@ -249,6 +310,35 @@ pub fn avg_pool2d_with(input: &Tensor, spec: &PoolSpec, par: &Parallelism) -> Re
     Tensor::from_vec(out, &[b, c, oh, ow])
 }
 
+/// [`avg_pool2d_with`] writing into a caller-provided `[b, c, oh, ow]`
+/// buffer (typically a [`crate::Workspace`] checkout); bitwise identical
+/// to the allocating variant. Every output element is overwritten.
+///
+/// # Errors
+///
+/// Returns an error on rank or geometry problems, or if `out` does not
+/// have the pooled output shape.
+// darlint: hot
+pub fn avg_pool2d_into(
+    input: &Tensor,
+    spec: &PoolSpec,
+    par: &Parallelism,
+    out: &mut Tensor,
+) -> Result<()> {
+    let (b, c, h, w) = check_rank4(input)?;
+    let (oh, ow) = spec.output_size(h, w)?;
+    check_out_dims(out, &[b, c, oh, ow])?;
+    let data = input.data();
+    let plane_out = oh * ow;
+    par.run_rows(
+        out.data_mut(),
+        plane_out,
+        plane_out * spec.window * spec.window,
+        |plane0, chunk| avg_pool_planes(data, spec, (h, w, oh, ow), plane0, chunk),
+    );
+    Ok(())
+}
+
 /// Backward pass of average pooling: spreads each output gradient uniformly
 /// over its window.
 ///
@@ -318,6 +408,50 @@ mod tests {
         assert_eq!(out.dims(), &[1, 1, 2, 2]);
         assert_eq!(out.data(), &[4.0, 8.0, 12.0, 16.0]);
         assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn pool_into_variants_match_allocating() {
+        use crate::workspace::Workspace;
+        let input = Tensor::from_vec(
+            (0..2 * 3 * 6 * 6)
+                .map(|v| ((v * 37) % 29) as f32 * 0.5 - 7.0)
+                .collect(),
+            &[2, 3, 6, 6],
+        )
+        .unwrap();
+        let spec = PoolSpec::new(2, 2);
+        let mut ws = Workspace::new();
+        let mut argmax = Vec::new();
+        for threads in [1, 4] {
+            let par = Parallelism::new(threads).with_min_work(1);
+            let (expected, expected_arg) = max_pool2d_with(&input, &spec, &par).unwrap();
+            let mut out = ws.checkout(expected.dims());
+            out.data_mut().fill(-1.0);
+            argmax.clear();
+            max_pool2d_into(&input, &spec, &par, &mut out, &mut argmax).unwrap();
+            assert_eq!(out, expected);
+            assert_eq!(argmax, expected_arg);
+            ws.restore(out);
+
+            let expected_avg = avg_pool2d_with(&input, &spec, &par).unwrap();
+            let mut out = ws.checkout(expected_avg.dims());
+            out.data_mut().fill(123.0);
+            avg_pool2d_into(&input, &spec, &par, &mut out).unwrap();
+            assert_eq!(out, expected_avg);
+            ws.restore(out);
+        }
+    }
+
+    #[test]
+    fn pool_into_rejects_bad_output_shape() {
+        let input = Tensor::zeros(&[1, 1, 4, 4]);
+        let spec = PoolSpec::new(2, 2);
+        let mut bad = Tensor::zeros(&[1, 1, 3, 3]);
+        let mut arg = Vec::new();
+        let par = Parallelism::serial();
+        assert!(max_pool2d_into(&input, &spec, &par, &mut bad, &mut arg).is_err());
+        assert!(avg_pool2d_into(&input, &spec, &par, &mut bad).is_err());
     }
 
     #[test]

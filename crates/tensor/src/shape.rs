@@ -49,6 +49,12 @@ impl Shape {
         &self.0
     }
 
+    /// Consumes the shape, returning the backing dimension vector (used by
+    /// the workspace pool to recycle the allocation).
+    pub(crate) fn into_dims(self) -> Vec<usize> {
+        self.0
+    }
+
     /// Size of dimension `axis`.
     ///
     /// # Errors

@@ -101,6 +101,14 @@ impl Tensor {
         }
     }
 
+    /// Crate-internal constructor pairing a pre-validated shape with a
+    /// pooled buffer (the [`crate::Workspace`] checkout path). Callers
+    /// must guarantee `shape.len() == data.len()`.
+    pub(crate) fn from_pooled(shape: Shape, data: Vec<f32>) -> Self {
+        debug_assert_eq!(shape.len(), data.len());
+        Tensor { shape, data }
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
@@ -143,6 +151,12 @@ impl Tensor {
     /// Consumes the tensor and returns its flat data.
     pub fn into_vec(self) -> Vec<f32> {
         self.data
+    }
+
+    /// Consumes the tensor into its shape and data (so the workspace pool
+    /// can recycle both allocations).
+    pub(crate) fn into_parts(self) -> (Shape, Vec<f32>) {
+        (self.shape, self.data)
     }
 
     /// Element at a multi-dimensional index, or `None` if out of bounds.
@@ -245,37 +259,8 @@ impl Tensor {
     /// Returns an error if the tensor list is empty, ranks differ, the axis
     /// is out of range, or non-axis dimensions disagree.
     pub fn concat(tensors: &[&Tensor], axis: usize) -> Result<Tensor> {
-        let first = tensors
-            .first()
-            .ok_or_else(|| TensorError::InvalidArgument("concat of zero tensors".into()))?;
-        let rank = first.rank();
-        if axis >= rank {
-            return Err(TensorError::AxisOutOfRange { axis, rank });
-        }
-        let mut out_dims = first.dims().to_vec();
-        let mut axis_total = 0usize;
-        for t in tensors {
-            if t.rank() != rank {
-                return Err(TensorError::RankMismatch {
-                    expected: rank,
-                    actual: t.rank(),
-                });
-            }
-            for (d, (&a, &b)) in first.dims().iter().zip(t.dims()).enumerate() {
-                if d != axis && a != b {
-                    return Err(TensorError::ShapeMismatch {
-                        left: first.dims().to_vec(),
-                        right: t.dims().to_vec(),
-                    });
-                }
-            }
-            axis_total += t.dims()[axis];
-        }
-        out_dims[axis] = axis_total;
-
         // outer = product of dims before axis; inner = product after.
-        let outer: usize = first.dims()[..axis].iter().product();
-        let inner: usize = first.dims()[axis + 1..].iter().product();
+        let (out_dims, outer, inner) = Tensor::concat_dims(tensors, axis)?;
         let mut data = Vec::with_capacity(out_dims.iter().product());
         for o in 0..outer {
             for t in tensors {
@@ -468,6 +453,200 @@ impl Tensor {
     }
 
     // ------------------------------------------------------------------
+    // Buffer-reusing (`_into`) variants — the zero-alloc inference path
+    // ------------------------------------------------------------------
+
+    /// Validates that `out` has exactly this tensor's shape.
+    fn check_same_shape(&self, out: &Tensor) -> Result<()> {
+        if self.shape != out.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: out.dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Copies this tensor's elements into a same-shaped `out` buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    // darlint: hot
+    pub fn copy_into(&self, out: &mut Tensor) -> Result<()> {
+        self.check_same_shape(out)?;
+        out.data.copy_from_slice(&self.data);
+        Ok(())
+    }
+
+    /// [`Tensor::map`] writing into a caller-provided same-shaped buffer;
+    /// bitwise identical to the allocating variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    // darlint: hot
+    pub fn map_into<F: Fn(f32) -> f32>(&self, f: F, out: &mut Tensor) -> Result<()> {
+        self.check_same_shape(out)?;
+        for (o, &v) in out.data.iter_mut().zip(&self.data) {
+            *o = f(v);
+        }
+        Ok(())
+    }
+
+    /// [`Tensor::add`] writing into a caller-provided same-shaped buffer;
+    /// bitwise identical to the allocating variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if any shape differs.
+    // darlint: hot
+    pub fn add_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
+        self.check_same_shape(other)?;
+        self.check_same_shape(out)?;
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = a + b;
+        }
+        Ok(())
+    }
+
+    /// [`Tensor::mul`] writing into a caller-provided same-shaped buffer;
+    /// bitwise identical to the allocating variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if any shape differs.
+    // darlint: hot
+    pub fn mul_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
+        self.check_same_shape(other)?;
+        self.check_same_shape(out)?;
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = a * b;
+        }
+        Ok(())
+    }
+
+    /// In-place [`Tensor::add_row_broadcast`]: adds a rank-1 bias to each
+    /// row of this rank-2 tensor without allocating; bitwise identical to
+    /// the allocating variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank/shape mismatch.
+    // darlint: hot
+    pub fn add_row_broadcast_assign(&mut self, bias: &Tensor) -> Result<()> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        if bias.rank() != 1 || bias.len() != c {
+            return Err(TensorError::ShapeMismatch {
+                // darlint: allow(hot-alloc) — error path, never taken warm
+                left: self.dims().to_vec(),
+                // darlint: allow(hot-alloc) — error path, never taken warm
+                right: bias.dims().to_vec(),
+            });
+        }
+        for i in 0..r {
+            for j in 0..c {
+                self.data[i * c + j] += bias.data[j];
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Tensor::concat`] writing into a caller-provided buffer of the
+    /// concatenated shape; bitwise identical to the allocating variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Tensor::concat`], plus
+    /// [`TensorError::ShapeMismatch`] if `out` does not have the
+    /// concatenated shape.
+    // darlint: hot
+    pub fn concat_into(tensors: &[&Tensor], axis: usize, out: &mut Tensor) -> Result<()> {
+        let (axis_total, outer, inner) = Tensor::concat_strides(tensors, axis)?;
+        let first = tensors[0];
+        let shape_ok = out.rank() == first.rank()
+            && out
+                .dims()
+                .iter()
+                .zip(first.dims())
+                .enumerate()
+                .all(|(d, (&o, &f))| if d == axis { o == axis_total } else { o == f });
+        if !shape_ok {
+            // darlint: allow(hot-alloc) — error path, never taken warm
+            let mut want = first.dims().to_vec();
+            want[axis] = axis_total;
+            return Err(TensorError::ShapeMismatch {
+                // darlint: allow(hot-alloc) — error path, never taken warm
+                left: out.dims().to_vec(),
+                right: want,
+            });
+        }
+        let mut offset = 0usize;
+        for o in 0..outer {
+            for t in tensors {
+                let a = t.dims()[axis];
+                let start = o * a * inner;
+                let len = a * inner;
+                out.data[offset..offset + len].copy_from_slice(&t.data[start..start + len]);
+                offset += len;
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a concat argument list and returns the output dims plus
+    /// the outer/inner strides (allocating variant, for [`Tensor::concat`]).
+    fn concat_dims(tensors: &[&Tensor], axis: usize) -> Result<(Vec<usize>, usize, usize)> {
+        let (axis_total, outer, inner) = Tensor::concat_strides(tensors, axis)?;
+        let mut out_dims = tensors[0].dims().to_vec();
+        out_dims[axis] = axis_total;
+        Ok((out_dims, outer, inner))
+    }
+
+    /// Validates a concat argument list without allocating: returns the
+    /// total length along `axis` plus the outer/inner strides. The
+    /// zero-alloc [`Tensor::concat_into`] builds on this.
+    // darlint: hot
+    fn concat_strides(tensors: &[&Tensor], axis: usize) -> Result<(usize, usize, usize)> {
+        let first = tensors
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument("concat of zero tensors".into()))?;
+        let rank = first.rank();
+        if axis >= rank {
+            return Err(TensorError::AxisOutOfRange { axis, rank });
+        }
+        let mut axis_total = 0usize;
+        for t in tensors {
+            if t.rank() != rank {
+                return Err(TensorError::RankMismatch {
+                    expected: rank,
+                    actual: t.rank(),
+                });
+            }
+            for (d, (&a, &b)) in first.dims().iter().zip(t.dims()).enumerate() {
+                if d != axis && a != b {
+                    return Err(TensorError::ShapeMismatch {
+                        // darlint: allow(hot-alloc) — error path, never taken warm
+                        left: first.dims().to_vec(),
+                        // darlint: allow(hot-alloc) — error path, never taken warm
+                        right: t.dims().to_vec(),
+                    });
+                }
+            }
+            axis_total += t.dims()[axis];
+        }
+        let outer: usize = first.dims()[..axis].iter().product();
+        let inner: usize = first.dims()[axis + 1..].iter().product();
+        Ok((axis_total, outer, inner))
+    }
+
+    // ------------------------------------------------------------------
     // Reductions
     // ------------------------------------------------------------------
 
@@ -597,6 +776,54 @@ impl std::fmt::Display for Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn elementwise_into_variants_match_allocating() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 3.5, 0.25], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, 4.0, -1.0, 2.0], &[2, 2]).unwrap();
+        let mut out = Tensor::full(&[2, 2], 9.0); // stale contents
+
+        a.copy_into(&mut out).unwrap();
+        assert_eq!(out, a);
+
+        a.map_into(|v| v * v + 1.0, &mut out).unwrap();
+        assert_eq!(out, a.map(|v| v * v + 1.0));
+
+        a.add_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.add(&b).unwrap());
+
+        a.mul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.mul(&b).unwrap());
+
+        let mut shape_err = Tensor::zeros(&[4]);
+        assert!(a.copy_into(&mut shape_err).is_err());
+        assert!(a.add_into(&b, &mut shape_err).is_err());
+    }
+
+    #[test]
+    fn add_row_broadcast_assign_matches_allocating() {
+        let x = Tensor::from_vec((0..12).map(|v| v as f32 * 0.5).collect(), &[3, 4]).unwrap();
+        let bias = Tensor::from_vec(vec![1.0, -1.0, 0.25, 2.0], &[4]).unwrap();
+        let expected = x.add_row_broadcast(&bias).unwrap();
+        let mut y = x.clone();
+        y.add_row_broadcast_assign(&bias).unwrap();
+        assert_eq!(y, expected);
+        let wrong = Tensor::zeros(&[3]);
+        assert!(y.add_row_broadcast_assign(&wrong).is_err());
+    }
+
+    #[test]
+    fn concat_into_matches_allocating() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[2, 2, 3]).unwrap();
+        let b = Tensor::from_vec((0..18).map(|v| -(v as f32)).collect(), &[2, 3, 3]).unwrap();
+        let expected = Tensor::concat(&[&a, &b], 1).unwrap();
+        let mut out = Tensor::full(expected.dims(), 55.0);
+        Tensor::concat_into(&[&a, &b], 1, &mut out).unwrap();
+        assert_eq!(out, expected);
+
+        let mut bad = Tensor::zeros(&[2, 4, 3]);
+        assert!(Tensor::concat_into(&[&a, &b], 1, &mut bad).is_err());
+    }
 
     #[test]
     fn constructors_produce_expected_values() {

@@ -172,4 +172,66 @@ proptest! {
         let b = Tensor::from_vec(a.data().to_vec(), a.dims()).unwrap();
         prop_assert_eq!(a, b);
     }
+
+    #[test]
+    fn into_products_are_bitwise_allocating(
+        m in 1usize..7, k in 1usize..7, n in 1usize..7,
+        threads in 1usize..6, seed in 0u64..500,
+    ) {
+        use darnet_tensor::Workspace;
+        let mut rng = SplitMix64::new(seed);
+        let a = random_tensor(&[m, k], &mut rng);
+        let b = random_tensor(&[k, n], &mut rng);
+        let bt = random_tensor(&[n, k], &mut rng);
+        let par = forced(threads);
+        let mut ws = Workspace::new();
+
+        let mut out = ws.checkout(&[m, n]);
+        out.data_mut().fill(f32::NAN); // stale garbage must not survive
+        a.matmul_into(&b, &par, &mut out).unwrap();
+        prop_assert_eq!(&out, &a.matmul_with(&b, &par).unwrap());
+        ws.restore(out);
+
+        let mut out = ws.checkout(&[m, n]);
+        a.matmul_transpose_b_into(&bt, &par, &mut out).unwrap();
+        prop_assert_eq!(&out, &a.matmul_transpose_b_with(&bt, &par).unwrap());
+        ws.restore(out);
+
+        // a viewed as [k, m] stored: use a fresh [k, m] operand.
+        let akm = random_tensor(&[k, m], &mut rng);
+        let akn = random_tensor(&[k, n], &mut rng);
+        let mut out = ws.checkout(&[m, n]);
+        out.data_mut().fill(1e30);
+        akm.matmul_transpose_a_into(&akn, &par, &mut out).unwrap();
+        prop_assert_eq!(&out, &akm.matmul_transpose_a_with(&akn, &par).unwrap());
+        ws.restore(out);
+    }
+
+    #[test]
+    fn workspace_reuse_never_leaks_stale_data(
+        shapes in prop::collection::vec((1usize..6, 1usize..6), 3..8),
+        rounds in 2usize..5,
+    ) {
+        use darnet_tensor::Workspace;
+        let mut ws = Workspace::new();
+        // Cycle through several different shapes, dirtying every buffer
+        // before restoring it: each checkout must come back zero-filled.
+        for _ in 0..rounds {
+            for &(r, c) in &shapes {
+                let mut t = ws.checkout(&[r, c]);
+                prop_assert_eq!(t.dims(), &[r, c]);
+                prop_assert!(t.data().iter().all(|&v| v == 0.0),
+                    "stale data leaked into a checkout");
+                t.data_mut().fill(f32::NAN);
+                ws.restore(t);
+            }
+        }
+        // Warm steady state: a second identical pass allocates nothing new.
+        let misses = ws.cold_misses();
+        for &(r, c) in &shapes {
+            let t = ws.checkout(&[r, c]);
+            ws.restore(t);
+        }
+        prop_assert_eq!(ws.cold_misses(), misses);
+    }
 }

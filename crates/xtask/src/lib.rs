@@ -18,6 +18,13 @@
 //! * **crate-hygiene** — every crate root carries
 //!   `#![deny(unsafe_code)]`, `#![deny(missing_docs)]`, and
 //!   `#![warn(rust_2018_idioms)]`.
+//! * **hot-alloc** — inside any function annotated with an own-line
+//!   `// darlint: hot` marker, the allocating constructs
+//!   `Tensor::zeros`, `vec!`, `.collect()`, and `.to_vec()` are
+//!   forbidden; hot code checks buffers out of a
+//!   `darnet_tensor::Workspace` or writes through an `_into` kernel.
+//!   Cold branches (error construction, first-call growth) use
+//!   `// darlint: allow(hot-alloc) — <reason>`.
 //!
 //! The pass is *lexical*: it scans masked source (comments, strings, and
 //! char literals blanked out — see [`scan`]), so it is fast, dependency

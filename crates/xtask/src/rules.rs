@@ -21,6 +21,9 @@ pub mod rule {
     pub const HYGIENE: &str = "crate-hygiene";
     /// An escape-hatch comment without a justification.
     pub const BARE_ALLOW: &str = "bare-allow";
+    /// Allocating constructs inside a function annotated `// darlint: hot`
+    /// (the zero-alloc inference path).
+    pub const HOT_ALLOC: &str = "hot-alloc";
 }
 
 /// Crates whose non-test code must be panic-free (the inference and
@@ -35,6 +38,13 @@ pub const TIME_TOKENS: &[&str] = &["Instant::now", "SystemTime::now"];
 
 /// Tokens forbidden by [`rule::THREAD`].
 pub const THREAD_TOKENS: &[&str] = &["thread::spawn"];
+
+/// Tokens forbidden by [`rule::HOT_ALLOC`] inside `// darlint: hot`
+/// functions. Each one heap-allocates on the success path of the steady
+/// state; hot code must go through workspace checkouts and the `_into`
+/// kernels instead. (Error-path `format!`/`.into()` construction is
+/// deliberately not banned — errors are the cold path by definition.)
+pub const HOT_ALLOC_TOKENS: &[&str] = &["Tensor::zeros", "vec!", ".collect()", ".to_vec()"];
 
 /// Files (workspace-relative, `/`-separated) or path prefixes where
 /// wall-clock reads are legitimate: the live collection layer and the
@@ -120,8 +130,54 @@ fn hatch_name(rule_id: &str) -> &'static str {
         rule::PANIC => "panic",
         rule::TIME => "time",
         rule::THREAD => "thread",
+        rule::HOT_ALLOC => "hot-alloc",
         _ => "",
     }
+}
+
+/// Is this comment a `// darlint: hot` marker (annotating the next `fn`
+/// as part of the zero-alloc inference path)?
+fn is_hot_marker(c: &LineComment) -> bool {
+    let body = c.text.trim_start_matches('/').trim();
+    body.strip_prefix("darlint:")
+        .is_some_and(|rest| rest.trim() == "hot")
+}
+
+/// Byte offset of the start of 1-based `line` in `text`.
+fn offset_of_line(text: &str, line: usize) -> usize {
+    if line <= 1 {
+        return 0;
+    }
+    let mut count = 1usize;
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            count += 1;
+            if count == line {
+                return i + 1;
+            }
+        }
+    }
+    text.len()
+}
+
+/// Body byte-range `(open_brace, close_brace)` of the first function
+/// declared after a `// darlint: hot` marker on `marker_line`.
+fn hot_fn_body(masked: &str, marker_line: usize) -> Option<(usize, usize)> {
+    let bytes = masked.as_bytes();
+    let from = offset_of_line(masked, marker_line + 1);
+    let mut search = from;
+    let fn_pos = loop {
+        let rel = masked[search..].find("fn")?;
+        let pos = search + rel;
+        search = pos + 2;
+        let next_ok = bytes.get(pos + 2).is_some_and(u8::is_ascii_whitespace);
+        if next_ok && !ident_before(masked, pos) {
+            break pos;
+        }
+    };
+    let open = fn_pos + masked[fn_pos..].find('{')?;
+    let close = crate::scan::matching(bytes, open, b'{', b'}')?;
+    Some((open, close))
 }
 
 /// Does `path` match the allowlist (exact file or directory prefix)?
@@ -236,6 +292,55 @@ pub fn lint_file(path: &str, source: &str) -> FileLint {
             }
         }
     }
+
+    // hot-alloc: inside every function annotated `// darlint: hot`, the
+    // allocating constructs are banned outright — the annotation is the
+    // author's claim that the function is on the zero-alloc inference
+    // path, and this rule keeps the claim honest.
+    for marker in scanned
+        .comments
+        .iter()
+        .filter(|c| c.own_line && is_hot_marker(c))
+    {
+        let Some((open, close)) = hot_fn_body(&scanned.masked, marker.line) else {
+            continue;
+        };
+        let bytes = scanned.masked.as_bytes();
+        for token in HOT_ALLOC_TOKENS {
+            let region = &scanned.masked[open..close];
+            let mut search = 0usize;
+            while let Some(rel) = region[search..].find(token) {
+                let pos = search + rel;
+                search = pos + token.len();
+                let abs = open + pos;
+                let starts_ident = token
+                    .as_bytes()
+                    .first()
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
+                if starts_ident && ident_before(&scanned.masked, abs) {
+                    continue;
+                }
+                let line = crate::scan::line_of(bytes, abs);
+                if scanned.is_test_line.get(line - 1).copied().unwrap_or(false) {
+                    continue;
+                }
+                if suppressed(&hatches, rule::HOT_ALLOC, line) {
+                    out.allowed += 1;
+                    continue;
+                }
+                out.violations.push(Violation {
+                    rule: rule::HOT_ALLOC,
+                    file: path.to_owned(),
+                    line,
+                    message: format!(
+                        "`{token}` allocates inside a `// darlint: hot` function; \
+                         use a workspace checkout or an `_into` kernel"
+                    ),
+                    snippet: snippet(&scanned, line),
+                });
+            }
+        }
+    }
     out
 }
 
@@ -318,6 +423,62 @@ mod tests {
         let rules: Vec<_> = lint.violations.iter().map(|v| v.rule).collect();
         assert!(rules.contains(&rule::BARE_ALLOW));
         assert!(rules.contains(&rule::PANIC));
+    }
+
+    #[test]
+    fn hot_alloc_fires_only_inside_hot_functions() {
+        let src = "\
+fn cold() -> Vec<u32> { (0..4).collect() }
+
+// darlint: hot
+fn hot(t: &Tensor, ws: &mut Workspace) -> Vec<f32> {
+    let x = Tensor::zeros(&[2, 2]);
+    let v = vec![0.0f32; 4];
+    let c: Vec<f32> = v.iter().copied().collect();
+    t.data().to_vec()
+}
+
+fn also_cold() -> Vec<u32> { vec![1, 2] }
+";
+        let lint = lint_file("crates/tensor/src/a.rs", src);
+        let lines: Vec<usize> = lint
+            .violations
+            .iter()
+            .filter(|v| v.rule == rule::HOT_ALLOC)
+            .map(|v| v.line)
+            .collect();
+        assert_eq!(lines, vec![5, 6, 7, 8], "zeros, vec!, collect, to_vec");
+    }
+
+    #[test]
+    fn hot_alloc_hatch_suppresses() {
+        let src = "\
+// darlint: hot
+fn hot(t: &Tensor) -> TensorError {
+    // darlint: allow(hot-alloc) — error path, never taken warm
+    let dims = t.dims().to_vec();
+    TensorError::Shape(dims)
+}
+";
+        let lint = lint_file("crates/tensor/src/a.rs", src);
+        assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+        assert_eq!(lint.allowed, 1);
+    }
+
+    #[test]
+    fn hot_marker_skips_fn_in_identifier_names() {
+        // `fn` appearing inside an identifier between the marker and the
+        // real function must not derail extent detection.
+        let src = "\
+// darlint: hot
+pub fn hot_fn_like(defn_count: usize) -> usize {
+    let v = vec![0u8; defn_count];
+    v.len()
+}
+";
+        let lint = lint_file("crates/tensor/src/a.rs", src);
+        assert_eq!(lint.violations.len(), 1);
+        assert_eq!(lint.violations[0].line, 3);
     }
 
     #[test]

@@ -379,12 +379,12 @@ fn test_lines(masked: &str, line_count: usize) -> Vec<bool> {
 }
 
 /// Index of the byte's 1-based line.
-fn line_of(bytes: &[u8], pos: usize) -> usize {
+pub(crate) fn line_of(bytes: &[u8], pos: usize) -> usize {
     1 + bytes[..pos].iter().filter(|&&b| b == b'\n').count()
 }
 
 /// Finds the index of the delimiter matching `open` at `start`.
-fn matching(bytes: &[u8], start: usize, open: u8, close: u8) -> Option<usize> {
+pub(crate) fn matching(bytes: &[u8], start: usize, open: u8, close: u8) -> Option<usize> {
     let mut depth = 0usize;
     let mut i = start;
     while i < bytes.len() {

@@ -1,0 +1,9 @@
+//! Fixture: justified hatches suppress hot-alloc at both positions.
+
+// darlint: hot
+fn hot_path(xs: &[f32]) -> Vec<f32> {
+    // darlint: allow(hot-alloc) — cold growth path, measured zero warm
+    let d = xs.to_vec();
+    let _e = xs.to_vec(); // darlint: allow(hot-alloc) — error path only
+    d
+}

@@ -1,0 +1,15 @@
+//! Fixture: allocating tokens fire only inside hot-marked functions.
+
+// darlint: hot
+fn hot_path(xs: &[f32]) -> Vec<f32> {
+    let t = Tensor::zeros(&[4]);
+    let v = vec![0.0f32; 4];
+    let c: Vec<f32> = xs.iter().copied().collect();
+    let d = xs.to_vec();
+    let _ = (t, v, c);
+    d
+}
+
+fn cold_path(xs: &[f32]) -> Vec<f32> {
+    xs.to_vec()
+}

@@ -106,6 +106,33 @@ fn hatch_for_wrong_rule_does_not_suppress() {
 }
 
 #[test]
+fn hot_alloc_fixture_fires_inside_hot_fn_and_spares_cold_fn() {
+    let lint = lint_file(
+        "crates/tensor/src/fixture.rs",
+        &fixture("hot_alloc_violations.rs"),
+    );
+    assert_eq!(
+        fired(&lint),
+        vec![
+            (rule::HOT_ALLOC, 5), // Tensor::zeros
+            (rule::HOT_ALLOC, 6), // vec!
+            (rule::HOT_ALLOC, 7), // .collect()
+            (rule::HOT_ALLOC, 8), // .to_vec()
+        ]
+    );
+}
+
+#[test]
+fn hot_alloc_hatches_suppress_trailing_and_own_line_positions() {
+    let lint = lint_file(
+        "crates/tensor/src/fixture.rs",
+        &fixture("hot_alloc_hatched.rs"),
+    );
+    assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+    assert_eq!(lint.allowed, 2, "both hatches must be counted");
+}
+
+#[test]
 fn hygiene_good_root_is_clean_bad_root_lists_each_missing_attr() {
     let good = check_crate_root("crates/nn/src/lib.rs", &fixture("hygiene_good.rs"));
     assert!(good.violations.is_empty(), "{:?}", good.violations);

@@ -58,8 +58,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("training CNN, BiLSTM, SVM and Bayesian combiners...");
     let stack = train_stack_on(&config, dataset)?;
 
-    // 5. Assemble the analytics engine and classify a few held-out
-    //    time-steps, exactly as the deployed system would per frame.
+    // 5. Assemble the analytics engine and classify held-out time-steps
+    //    through the session API, exactly as the deployed system would
+    //    per frame: one reused window tensor, one reused result vector,
+    //    and the engine's own workspace behind them. After the first call
+    //    warms the buffer pool, every subsequent step runs without a
+    //    single heap allocation (DESIGN.md §12).
     let eval = stack.eval.clone();
     let mut engine = AnalyticsEngine::new(
         stack.cnn,
@@ -67,30 +71,35 @@ fn main() -> Result<(), Box<dyn Error>> {
         stack.bn_rnn,
         EngineConfig::default(),
     );
+    let mut window = Tensor::zeros(&[
+        1,
+        darnet::core::dataset::WINDOW_LEN,
+        darnet::core::dataset::IMU_FEATURES,
+    ]);
+    let mut result = Vec::new();
     let mut correct = 0;
     let shown = eval.len().min(10);
     for (i, sample) in eval.samples().iter().take(shown).enumerate() {
-        let window = Tensor::from_vec(
-            sample.imu_window.clone(),
-            &[
-                1,
-                darnet::core::dataset::WINDOW_LEN,
-                darnet::core::dataset::IMU_FEATURES,
-            ],
-        )?;
-        let result = engine.classify_step(&sample.frame, &window)?;
-        let ok = result.behavior == sample.behavior;
+        window.data_mut().copy_from_slice(&sample.imu_window);
+        engine.classify_step_into(&sample.frame, &window, &mut result)?;
+        let step = &result[0];
+        let ok = step.behavior == sample.behavior;
         if ok {
             correct += 1;
         }
         println!(
             "step {i}: true={:<16} predicted={:<16} confidence={:.2} {}",
             sample.behavior.name(),
-            result.behavior.name(),
-            result.scores.iter().cloned().fold(0.0f32, f32::max),
+            step.behavior.name(),
+            step.scores.iter().cloned().fold(0.0f32, f32::max),
             if ok { "ok" } else { "MISS" }
         );
     }
+    let (hits, misses) = engine.workspace_stats();
     println!("\n{correct}/{shown} correct on the first held-out steps");
+    println!(
+        "workspace: {hits} pooled checkouts, {misses} cold allocations \
+         (cold count stops growing after the first step)"
+    );
     Ok(())
 }

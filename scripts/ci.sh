@@ -16,6 +16,11 @@
 #                      baseline; any speedup_* ratio more than 15% below
 #                      baseline fails the build, as does missing the
 #                      hardware-scaled absolute floors (--check)
+#   5. zero-alloc    — the workspace inference benchmark in --fast mode,
+#                      compared against the committed BENCH_inference.json
+#                      baseline; the warm *_into paths must perform 0 heap
+#                      allocations per call and keep the single-step
+#                      speedup ≥1.15× (--check)
 #
 # The workspace vendors every dependency, so the whole pipeline runs with
 # the network off; CARGO_NET_OFFLINE makes cargo fail fast if anything
@@ -41,6 +46,13 @@ cargo run --release --locked -p darnet-bench --bin bench_parallel -- \
   --fast --json \
   --out target/ci/BENCH_parallel.json \
   --compare BENCH_parallel.json \
+  --check
+
+echo "==> zero-alloc inference gate"
+cargo run --release --locked -p darnet-bench --bin bench_inference -- \
+  --fast --json \
+  --out target/ci/BENCH_inference.json \
+  --compare BENCH_inference.json \
   --check
 
 echo "==> CI pipeline passed"
