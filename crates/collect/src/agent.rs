@@ -22,6 +22,9 @@ pub struct AgentConfig {
     /// Batch transmission period, seconds — chosen "based on the latency
     /// and bandwidth between the agent and the controller" (§3.1).
     pub transmit_period: f64,
+    /// Bound and policy for the agent-side spill buffer that holds
+    /// readings while the controller is unreachable or backpressuring.
+    pub spill: SpillConfig,
 }
 
 impl Default for AgentConfig {
@@ -29,8 +32,43 @@ impl Default for AgentConfig {
         AgentConfig {
             poll_period: 0.025,
             transmit_period: 0.5,
+            spill: SpillConfig::default(),
         }
     }
+}
+
+/// Bound on the agent-side spill buffer: readings accumulated while
+/// flushes are deferred (full in-flight window, controller blackout or
+/// restart). Embedded devices have finite memory, so the buffer is
+/// explicitly bounded and hitting the bound has *typed* semantics
+/// instead of unbounded growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillConfig {
+    /// Maximum readings held in the spill buffer.
+    pub max_readings: usize,
+    /// What to do at the bound: `true` drops the *oldest* buffered
+    /// reading to admit the new one (graceful degradation — recent data
+    /// is worth more to a live detector than stale data); `false` makes
+    /// the poll fail with [`CollectError::Overload`] (strict give-up).
+    pub drop_oldest: bool,
+}
+
+impl Default for SpillConfig {
+    fn default() -> Self {
+        SpillConfig {
+            max_readings: 100_000,
+            drop_oldest: false,
+        }
+    }
+}
+
+/// Cumulative spill-buffer counters for one agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpillStats {
+    /// High-water mark of buffered readings.
+    pub peak_buffered: usize,
+    /// Readings dropped (oldest-first) to stay under the bound.
+    pub dropped_oldest: u64,
 }
 
 /// Reliable-delivery configuration for one agent.
@@ -53,11 +91,9 @@ pub struct RetransmitConfig {
     /// strict mode).
     pub max_retries: u32,
     /// Maximum unacked batches in flight. A full window exerts
-    /// backpressure: flushes are deferred and readings keep buffering.
+    /// backpressure: flushes are deferred and readings keep buffering in
+    /// the spill buffer (bounded by [`SpillConfig`]).
     pub window: usize,
-    /// Hard cap on readings buffered while backpressured; exceeding it is
-    /// a [`CollectError::Transport`] window overflow.
-    pub max_buffered_readings: usize,
     /// When `true`, abandoning a batch (retries exhausted) is an error
     /// instead of a counter bump.
     pub strict: bool,
@@ -72,7 +108,6 @@ impl Default for RetransmitConfig {
             jitter_frac: 0.25,
             max_retries: 8,
             window: 16,
-            max_buffered_readings: 100_000,
             strict: false,
         }
     }
@@ -128,9 +163,10 @@ pub struct CollectionAgent {
     clock: DriftClock,
     config: AgentConfig,
     transport: RetransmitConfig,
-    buffer: Vec<StampedReading>,
+    buffer: VecDeque<StampedReading>,
     in_flight: VecDeque<InFlight>,
     stats: TransportStats,
+    spill_stats: SpillStats,
     rng: SplitMix64,
     next_seq: u32,
     polls: u64,
@@ -146,9 +182,10 @@ impl CollectionAgent {
             clock,
             config,
             transport: RetransmitConfig::default(),
-            buffer: Vec::new(),
+            buffer: VecDeque::new(),
             in_flight: VecDeque::new(),
             stats: TransportStats::default(),
+            spill_stats: SpillStats::default(),
             rng: SplitMix64::new(0xA6E7 ^ id as u64),
             next_seq: 0,
             polls: 0,
@@ -203,23 +240,56 @@ impl CollectionAgent {
         self.polls
     }
 
+    /// Cumulative spill-buffer counters.
+    pub fn spill_stats(&self) -> SpillStats {
+        self.spill_stats
+    }
+
+    /// Readings currently held in the spill buffer.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
     /// Polls the sensor at true time `t`, stamping the reading with the
     /// agent's *local* clock (which is what the paper's system must
-    /// correct for via synchronization).
-    pub fn poll(&mut self, t: f64) {
+    /// correct for via synchronization). The reading lands in the bounded
+    /// spill buffer until the next successful flush.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError::Overload`] when the spill buffer is at its
+    /// bound and `drop_oldest` is off — the typed give-up: the reading is
+    /// *discarded*, the buffered backlog is kept intact for when the
+    /// controller returns.
+    pub fn poll(&mut self, t: f64) -> Result<()> {
         let reading = self.sensor.sample(t);
-        self.buffer.push(StampedReading {
+        self.polls += 1;
+        if self.buffer.len() >= self.config.spill.max_readings {
+            if !self.config.spill.drop_oldest {
+                return Err(CollectError::Overload {
+                    agent_id: self.id,
+                    buffered: self.buffer.len(),
+                    capacity: self.config.spill.max_readings,
+                });
+            }
+            // Graceful mode: age out the stalest reading to admit the
+            // fresh one.
+            self.buffer.pop_front();
+            self.spill_stats.dropped_oldest += 1;
+        }
+        self.buffer.push_back(StampedReading {
             timestamp: self.clock.now(t),
             reading,
         });
-        self.polls += 1;
+        self.spill_stats.peak_buffered = self.spill_stats.peak_buffered.max(self.buffer.len());
+        Ok(())
     }
 
     fn make_batch(&mut self) -> Batch {
         let batch = Batch {
             agent_id: self.id,
             seq: self.next_seq,
-            readings: std::mem::take(&mut self.buffer),
+            readings: std::mem::take(&mut self.buffer).into(),
         };
         self.next_seq += 1;
         batch
@@ -244,13 +314,10 @@ impl CollectionAgent {
 
     /// Transport-aware flush at true time `t`. With the transport enabled,
     /// the returned batch also enters the in-flight window with its first
-    /// ack deadline; a full window defers the flush (readings keep
-    /// buffering — backpressure) and returns `Ok(None)`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CollectError::Transport`] if deferral has pushed the
-    /// buffer past `max_buffered_readings` (window overflow).
+    /// ack deadline; a full window defers the flush and returns
+    /// `Ok(None)` — readings keep accumulating in the bounded spill
+    /// buffer (backpressure), whose overflow policy lives at the *poll*
+    /// ([`SpillConfig`]), not here.
     pub fn flush_at(&mut self, t: f64) -> Result<Option<Batch>> {
         if !self.transport.enabled {
             return Ok(self.flush());
@@ -260,15 +327,6 @@ impl CollectionAgent {
         }
         if self.in_flight.len() >= self.transport.window {
             self.stats.backpressure_events += 1;
-            if self.buffer.len() > self.transport.max_buffered_readings {
-                return Err(CollectError::Transport(format!(
-                    "agent {}: window overflow — {} readings buffered behind a full \
-                     {}-batch in-flight window",
-                    self.id,
-                    self.buffer.len(),
-                    self.transport.window
-                )));
-            }
             return Ok(None);
         }
         let batch = self.make_batch();
@@ -373,7 +431,7 @@ mod tests {
     use darnet_sim::{Behavior, DrivingWorld, Segment, WorldConfig};
     use std::sync::Arc;
 
-    fn make_agent(clock: DriftClock) -> CollectionAgent {
+    fn make_agent_with(clock: DriftClock, config: AgentConfig) -> CollectionAgent {
         let world = Arc::new(DrivingWorld::new(WorldConfig::default()));
         let script = vec![Segment {
             driver: 0,
@@ -385,14 +443,18 @@ mod tests {
             7,
             Box::new(ImuSensor::new(world, 0, script, 0.025)),
             clock,
-            AgentConfig::default(),
+            config,
         )
+    }
+
+    fn make_agent(clock: DriftClock) -> CollectionAgent {
+        make_agent_with(clock, AgentConfig::default())
     }
 
     #[test]
     fn poll_stamps_with_local_clock() {
         let mut agent = make_agent(DriftClock::new(0.0, 0.5));
-        agent.poll(1.0);
+        agent.poll(1.0).unwrap();
         let batch = agent.flush().unwrap();
         assert_eq!(batch.readings.len(), 1);
         // Local clock = true + 0.5.
@@ -404,8 +466,8 @@ mod tests {
     fn flush_returns_none_when_empty_and_drains_buffer() {
         let mut agent = make_agent(DriftClock::perfect());
         assert!(agent.flush().is_none());
-        agent.poll(0.0);
-        agent.poll(0.025);
+        agent.poll(0.0).unwrap();
+        agent.poll(0.025).unwrap();
         let b = agent.flush().unwrap();
         assert_eq!(b.readings.len(), 2);
         assert!(agent.flush().is_none());
@@ -414,9 +476,9 @@ mod tests {
     #[test]
     fn sequence_numbers_increase() {
         let mut agent = make_agent(DriftClock::perfect());
-        agent.poll(0.0);
+        agent.poll(0.0).unwrap();
         let b0 = agent.flush().unwrap();
-        agent.poll(1.0);
+        agent.poll(1.0).unwrap();
         let b1 = agent.flush().unwrap();
         assert_eq!(b0.seq, 0);
         assert_eq!(b1.seq, 1);
@@ -429,7 +491,7 @@ mod tests {
         assert!(agent.clock_error(0.0).abs() > 1.0);
         agent.handle_sync(10.0, 9.98, 0.02);
         assert!(agent.clock_error(10.0).abs() < 1e-9);
-        agent.poll(10.5);
+        agent.poll(10.5).unwrap();
         let b = agent.flush().unwrap();
         assert!((b.readings[0].timestamp - 10.5).abs() < 1e-9);
     }
@@ -437,7 +499,7 @@ mod tests {
     #[test]
     fn tracked_flush_enters_window_and_ack_retires() {
         let mut agent = make_agent(DriftClock::perfect());
-        agent.poll(0.0);
+        agent.poll(0.0).unwrap();
         let batch = agent.flush_at(0.5).unwrap().unwrap();
         assert_eq!(agent.in_flight(), 1);
         assert!(agent.next_deadline().unwrap() > 0.5);
@@ -462,7 +524,7 @@ mod tests {
             ..RetransmitConfig::default()
         };
         let mut agent = make_agent(DriftClock::perfect()).with_transport(transport, 99);
-        agent.poll(0.0);
+        agent.poll(0.0).unwrap();
         agent.flush_at(0.0).unwrap().unwrap();
         // First deadline at t = 1.
         assert!((agent.next_deadline().unwrap() - 1.0).abs() < 1e-9);
@@ -498,7 +560,7 @@ mod tests {
             ..RetransmitConfig::default()
         };
         let mut agent = make_agent(DriftClock::perfect()).with_transport(transport, 5);
-        agent.poll(0.0);
+        agent.poll(0.0).unwrap();
         agent.flush_at(0.0).unwrap().unwrap();
         let err = agent.due_retransmits(10.0).unwrap_err();
         assert!(matches!(err, CollectError::Transport(_)));
@@ -506,33 +568,79 @@ mod tests {
     }
 
     #[test]
-    fn full_window_defers_flush_and_overflows_in_strict_bound() {
+    fn full_window_defers_flush_and_spill_bound_gives_up_typed() {
+        let config = AgentConfig {
+            spill: SpillConfig {
+                max_readings: 3,
+                drop_oldest: false,
+            },
+            ..AgentConfig::default()
+        };
         let transport = RetransmitConfig {
             window: 2,
-            max_buffered_readings: 3,
             ..RetransmitConfig::default()
         };
-        let mut agent = make_agent(DriftClock::perfect()).with_transport(transport, 7);
+        let mut agent = make_agent_with(DriftClock::perfect(), config).with_transport(transport, 7);
         for i in 0..2 {
-            agent.poll(i as f64 * 0.025);
+            agent.poll(i as f64 * 0.025).unwrap();
             assert!(agent.flush_at(0.5).unwrap().is_some());
         }
         assert_eq!(agent.in_flight(), 2);
-        // Window full: flush defers, readings keep buffering.
-        agent.poll(0.075);
+        // Window full: flush defers, readings keep spilling.
+        agent.poll(0.075).unwrap();
         assert!(agent.flush_at(1.0).unwrap().is_none());
         assert_eq!(agent.transport_stats().backpressure_events, 1);
-        // Past the buffered-readings cap it becomes a Transport error.
-        for i in 0..4 {
-            agent.poll(0.1 + i as f64 * 0.025);
-        }
-        let err = agent.flush_at(1.5).unwrap_err();
-        assert!(matches!(err, CollectError::Transport(_)));
-        assert!(err.to_string().contains("window overflow"));
-        // An ack frees the window and the backlog flushes as one batch.
+        // Fill the spill buffer to its bound...
+        agent.poll(0.1).unwrap();
+        agent.poll(0.125).unwrap();
+        assert_eq!(agent.buffered(), 3);
+        // ...the next poll is the typed give-up, with full context.
+        let err = agent.poll(0.15).unwrap_err();
+        assert_eq!(
+            err,
+            CollectError::Overload {
+                agent_id: 7,
+                buffered: 3,
+                capacity: 3,
+            }
+        );
+        // The backlog itself is preserved: an ack frees the window and
+        // the three held readings flush as one batch.
         agent.handle_ack(0);
         let batch = agent.flush_at(2.0).unwrap().unwrap();
-        assert_eq!(batch.readings.len(), 5);
+        assert_eq!(batch.readings.len(), 3);
+        assert_eq!(agent.spill_stats().peak_buffered, 3);
+        assert_eq!(agent.spill_stats().dropped_oldest, 0);
+    }
+
+    #[test]
+    fn drop_oldest_spill_keeps_freshest_readings() {
+        let config = AgentConfig {
+            spill: SpillConfig {
+                max_readings: 2,
+                drop_oldest: true,
+            },
+            ..AgentConfig::default()
+        };
+        let transport = RetransmitConfig {
+            window: 1,
+            ..RetransmitConfig::default()
+        };
+        let mut agent = make_agent_with(DriftClock::perfect(), config).with_transport(transport, 7);
+        agent.poll(0.0).unwrap();
+        assert!(agent.flush_at(0.0).unwrap().is_some());
+        // Window (size 1) is now full; polls spill, bound 2, oldest ages out.
+        for i in 0..4 {
+            agent.poll(0.1 + i as f64 * 0.1).unwrap();
+        }
+        assert_eq!(agent.buffered(), 2);
+        assert_eq!(agent.spill_stats().dropped_oldest, 2);
+        agent.handle_ack(0);
+        let batch = agent.flush_at(1.0).unwrap().unwrap();
+        // The two *freshest* readings survived (t = 0.3, 0.4).
+        assert_eq!(batch.readings.len(), 2);
+        assert!((batch.readings[0].timestamp - 0.3).abs() < 1e-9);
+        assert!((batch.readings[1].timestamp - 0.4).abs() < 1e-9);
     }
 
     #[test]
@@ -545,7 +653,7 @@ mod tests {
         let mut deadlines = Vec::new();
         for seed in 0..20 {
             let mut agent = make_agent(DriftClock::perfect()).with_transport(transport, seed);
-            agent.poll(0.0);
+            agent.poll(0.0).unwrap();
             agent.flush_at(0.0).unwrap();
             deadlines.push(agent.next_deadline().unwrap());
         }

@@ -30,6 +30,9 @@ pub struct ControllerConfig {
     pub smoothing_window: usize,
     /// Clock re-synchronization period, seconds (paper: 5 s).
     pub sync_period: f64,
+    /// Ingest admission control (off by default — the pre-overload
+    /// behaviour admits everything).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ControllerConfig {
@@ -38,8 +41,72 @@ impl Default for ControllerConfig {
             grid_hz: 4.0,
             smoothing_window: 3,
             sync_period: 5.0,
+            admission: AdmissionConfig::default(),
         }
     }
+}
+
+/// Token-bucket admission control over the controller's ingest queue.
+///
+/// Each offered batch costs its readings' processing weight (an IMU
+/// reading costs 1, a camera frame [`AdmissionConfig::FRAME_COST`] — the
+/// heavy payloads). The bucket drains at `drain_per_sec` cost units;
+/// when it runs low, *low-priority* batches (any batch carrying frames)
+/// are shed first: they must leave `low_priority_reserve` tokens behind,
+/// a reserve only IMU batches may dip into. A shed batch is **not**
+/// acked, so the agent's backoff retransmission retries it after the
+/// burst — shedding under transient overload is deferral, not loss.
+/// Persistent shedding surfaces in [`StreamHealth::shed`] and degrades
+/// the modality via the health policy (IMU-only fallback).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Whether admission control runs at all.
+    pub enabled: bool,
+    /// Token-bucket capacity, in cost units.
+    pub capacity: f64,
+    /// Bucket refill rate, cost units per second of arrival time.
+    pub drain_per_sec: f64,
+    /// Tokens a low-priority (frame-bearing) batch must leave in the
+    /// bucket; the reserve keeps the light, latency-critical IMU stream
+    /// flowing through an overload burst.
+    pub low_priority_reserve: f64,
+}
+
+impl AdmissionConfig {
+    /// Admission cost of one camera frame relative to one IMU reading.
+    pub const FRAME_COST: f64 = 16.0;
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            enabled: false,
+            capacity: 512.0,
+            drain_per_sec: 1024.0,
+            low_priority_reserve: 128.0,
+        }
+    }
+}
+
+/// Admission cost of one batch, in IMU-reading-equivalent units.
+fn batch_cost(batch: &Batch) -> f64 {
+    batch
+        .readings
+        .iter()
+        .map(|r| match r.reading {
+            SensorReading::Imu(_) => 1.0,
+            SensorReading::Frame(_) => AdmissionConfig::FRAME_COST,
+        })
+        .sum()
+}
+
+/// Whether a batch may dip into the low-priority reserve (IMU-only
+/// batches are high priority; anything carrying frames is shed first).
+fn is_high_priority(batch: &Batch) -> bool {
+    !batch
+        .readings
+        .iter()
+        .any(|r| matches!(r.reading, SensorReading::Frame(_)))
 }
 
 /// One aligned, smoothed IMU grid point.
@@ -68,6 +135,10 @@ pub enum IngestOutcome {
     /// Already seen: readings were discarded (the ack should still be
     /// re-sent, since a duplicate usually means the first ack was lost).
     Duplicate,
+    /// Admission control refused the batch under overload. It was
+    /// neither ingested nor logged and must **not** be acked — the
+    /// agent's retransmission schedule re-offers it after the burst.
+    Shed,
 }
 
 /// Liveness/completeness report for one agent's stream, as observed by the
@@ -87,6 +158,8 @@ pub struct StreamHealth {
     pub gaps: u64,
     /// Arrival time of the most recent accepted batch (controller clock).
     pub last_arrival: f64,
+    /// Batch deliveries refused by admission control (overload shedding).
+    pub shed: u64,
 }
 
 impl StreamHealth {
@@ -94,6 +167,17 @@ impl StreamHealth {
     pub fn gap_ratio(&self) -> f64 {
         let expected = self.highest_seq as f64 + 1.0;
         self.gaps as f64 / expected
+    }
+
+    /// Fraction of offered deliveries (accepted + shed) that admission
+    /// control refused — sustained shedding is the overload signal the
+    /// health policy degrades a modality on.
+    pub fn shed_ratio(&self) -> f64 {
+        let offered = self.delivered + self.shed;
+        if offered == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / offered as f64
     }
 
     /// Seconds since the last accepted batch, at observation time `t`.
@@ -108,6 +192,14 @@ struct StreamState {
     delivered: u64,
     duplicates: u64,
     last_arrival: f64,
+    shed: u64,
+}
+
+/// Token-bucket state for admission control.
+#[derive(Debug, Clone, Copy)]
+struct AdmissionState {
+    tokens: f64,
+    last_refill: f64,
 }
 
 /// The centralized controller for one collection session.
@@ -120,6 +212,7 @@ pub struct Controller {
     streams: BTreeMap<u32, StreamState>,
     batches: u64,
     readings: u64,
+    admission: AdmissionState,
 }
 
 impl Controller {
@@ -133,6 +226,10 @@ impl Controller {
             streams: BTreeMap::new(),
             batches: 0,
             readings: 0,
+            admission: AdmissionState {
+                tokens: config.admission.capacity,
+                last_refill: 0.0,
+            },
         }
     }
 
@@ -166,6 +263,80 @@ impl Controller {
             stream.duplicates += 1;
             return IngestOutcome::Duplicate;
         }
+        self.ingest_accepted(arrival, batch);
+        IngestOutcome::Accepted
+    }
+
+    /// Offers one batch arriving at controller time `arrival`, running
+    /// the full resilient ingest path: duplicate detection, admission
+    /// control, then — *before* any state mutation that would be acked —
+    /// a durable WAL append when `wal` is provided. The caller acks
+    /// `Accepted` and `Duplicate` outcomes only; a [`IngestOutcome::Shed`]
+    /// batch is left to the agent's retransmission schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CollectError::Wal`] when the durable append fails;
+    /// the batch is then neither ingested nor acked.
+    pub fn offer_at(
+        &mut self,
+        arrival: f64,
+        batch: &Batch,
+        wal: Option<&mut crate::wal::Wal>,
+    ) -> Result<IngestOutcome> {
+        // Admission first, so duplicate storms exert genuine pressure on
+        // the bucket: a retransmission flood costs tokens whether or not
+        // its batches turn out to be duplicates.
+        if self.config.admission.enabled && !self.admit(arrival, batch) {
+            self.streams.entry(batch.agent_id).or_default().shed += 1;
+            return Ok(IngestOutcome::Shed);
+        }
+        if self
+            .streams
+            .get(&batch.agent_id)
+            .is_some_and(|s| s.seen.contains(&batch.seq))
+        {
+            self.streams.entry(batch.agent_id).or_default().duplicates += 1;
+            return Ok(IngestOutcome::Duplicate);
+        }
+        if let Some(wal) = wal {
+            wal.append(arrival, batch)?;
+        }
+        self.streams
+            .entry(batch.agent_id)
+            .or_default()
+            .seen
+            .insert(batch.seq);
+        self.ingest_accepted(arrival, batch);
+        Ok(IngestOutcome::Accepted)
+    }
+
+    /// Token-bucket admission decision for one batch at arrival time `t`.
+    fn admit(&mut self, t: f64, batch: &Batch) -> bool {
+        let cfg = self.config.admission;
+        let elapsed = (t - self.admission.last_refill).max(0.0);
+        self.admission.tokens = cfg
+            .capacity
+            .min(self.admission.tokens + elapsed * cfg.drain_per_sec);
+        self.admission.last_refill = self.admission.last_refill.max(t);
+        let cost = batch_cost(batch);
+        let floor = if is_high_priority(batch) {
+            0.0
+        } else {
+            cfg.low_priority_reserve
+        };
+        if self.admission.tokens - cost < floor {
+            return false;
+        }
+        self.admission.tokens -= cost;
+        true
+    }
+
+    /// The accepted-batch ingest body shared by [`Controller::ingest_at`]
+    /// and [`Controller::offer_at`]; the caller has already recorded
+    /// `batch.seq` in the stream's seen-set.
+    fn ingest_accepted(&mut self, arrival: f64, batch: &Batch) {
+        let stream = self.streams.entry(batch.agent_id).or_default();
         stream.delivered += 1;
         stream.last_arrival = stream.last_arrival.max(arrival);
         self.batches += 1;
@@ -187,7 +358,6 @@ impl Controller {
                 }
             }
         }
-        IngestOutcome::Accepted
     }
 
     /// The ack to return to the sender for a just-ingested batch. Issued
@@ -213,8 +383,39 @@ impl Controller {
             highest_seq: highest,
             gaps: (highest as u64 + 1) - s.seen.len() as u64,
             last_arrival: s.last_arrival,
+            shed: s.shed,
         }
         .into()
+    }
+
+    /// Whether `(agent_id, seq)` has been accepted — the durability
+    /// invariant's probe: every batch whose ack an agent received must
+    /// satisfy `has_seen` on the (possibly crash-recovered) controller.
+    pub fn has_seen(&self, agent_id: u32, seq: u32) -> bool {
+        self.streams
+            .get(&agent_id)
+            .is_some_and(|s| s.seen.contains(&seq))
+    }
+
+    /// Per-stream `(agent_id, duplicates, shed)` counters — the state a
+    /// WAL snapshot must carry explicitly because it is *not* derivable
+    /// from replaying accepted batches (duplicates and shed deliveries
+    /// never enter the log).
+    pub fn stream_meta(&self) -> Vec<(u32, u64, u64)> {
+        self.streams
+            .iter()
+            .map(|(&id, s)| (id, s.duplicates, s.shed))
+            .collect()
+    }
+
+    /// Restores snapshot-carried stream counters during WAL replay (the
+    /// inverse of [`Controller::stream_meta`]). Counters are added, not
+    /// assigned, so replaying a snapshot into a fresh controller and
+    /// accumulating later segment activity both work.
+    pub fn restore_stream_meta(&mut self, agent_id: u32, duplicates: u64, shed: u64) {
+        let stream = self.streams.entry(agent_id).or_default();
+        stream.duplicates += duplicates;
+        stream.shed += shed;
     }
 
     /// Health reports for every stream the controller has seen.
@@ -228,6 +429,44 @@ impl Controller {
     /// `(batches, readings)` ingest counters (accepted only).
     pub fn ingest_stats(&self) -> (u64, u64) {
         (self.batches, self.readings)
+    }
+
+    /// A bitwise-exact digest of the controller's durable state: stream
+    /// seen-sets and counters, ingest counters, raw IMU observations and
+    /// frames in acceptance order, and the TSDB fingerprint. Recovery is
+    /// correct iff the recovered controller digests identically to the
+    /// controller that wrote the log (modulo explicitly-shed state —
+    /// see DESIGN.md §13).
+    pub fn state_digest(&self) -> u64 {
+        use crate::tsdb::{fnv1a, fnv1a_init};
+        let mut h = fnv1a_init();
+        for (&id, s) in &self.streams {
+            fnv1a(&mut h, &id.to_le_bytes());
+            fnv1a(&mut h, &s.delivered.to_le_bytes());
+            fnv1a(&mut h, &s.duplicates.to_le_bytes());
+            fnv1a(&mut h, &s.shed.to_le_bytes());
+            fnv1a(&mut h, &s.last_arrival.to_bits().to_le_bytes());
+            fnv1a(&mut h, &(s.seen.len() as u64).to_le_bytes());
+            for &seq in &s.seen {
+                fnv1a(&mut h, &seq.to_le_bytes());
+            }
+        }
+        fnv1a(&mut h, &self.batches.to_le_bytes());
+        fnv1a(&mut h, &self.readings.to_le_bytes());
+        for (t, feats) in &self.imu_observations {
+            fnv1a(&mut h, &t.to_bits().to_le_bytes());
+            for v in feats {
+                fnv1a(&mut h, &v.to_bits().to_le_bytes());
+            }
+        }
+        for fr in &self.frames {
+            fnv1a(&mut h, &fr.t.to_bits().to_le_bytes());
+            for &p in fr.frame.pixels() {
+                fnv1a(&mut h, &p.to_bits().to_le_bytes());
+            }
+        }
+        fnv1a(&mut h, &self.tsdb.fingerprint().to_le_bytes());
+        h
     }
 
     /// The controller's time-series store.
@@ -356,7 +595,7 @@ mod tests {
         let mut c = Controller::new(ControllerConfig {
             grid_hz: 4.0,
             smoothing_window: 1,
-            sync_period: 5.0,
+            ..ControllerConfig::default()
         });
         // accel.x = t, sampled at 40 Hz over 1 second.
         let stamps: Vec<f64> = (0..=40).map(|i| i as f64 * 0.025).collect();
@@ -411,6 +650,116 @@ mod tests {
         let times: Vec<f64> = frames.iter().map(|f| f.t).collect();
         assert_eq!(times, vec![0.1, 0.3, 0.5]);
         assert_eq!(c.tsdb().len("camera.mean_intensity"), 3);
+    }
+
+    fn frame_batch(agent: u32, seq: u32, t: f64) -> Batch {
+        Batch {
+            agent_id: agent,
+            seq,
+            readings: vec![StampedReading {
+                timestamp: t,
+                reading: SensorReading::Frame(darnet_sim::Frame::new(4, 4)),
+            }],
+        }
+    }
+
+    fn admission_config() -> ControllerConfig {
+        ControllerConfig {
+            admission: AdmissionConfig {
+                enabled: true,
+                capacity: 60.0,
+                drain_per_sec: 10.0,
+                low_priority_reserve: 20.0,
+            },
+            ..ControllerConfig::default()
+        }
+    }
+
+    #[test]
+    fn admission_sheds_low_priority_first_and_recovers() {
+        let mut c = Controller::new(admission_config());
+        // A frame costs 16: two frame batches drain the bucket from 60
+        // to 28 tokens; a third would leave 12, under the 20-token
+        // reserve — it is shed.
+        for seq in 0..2 {
+            assert_eq!(
+                c.offer_at(0.0, &frame_batch(1, seq, 0.0), None).unwrap(),
+                IngestOutcome::Accepted
+            );
+        }
+        assert_eq!(
+            c.offer_at(0.0, &frame_batch(1, 2, 0.0), None).unwrap(),
+            IngestOutcome::Shed
+        );
+        // The light IMU stream may dip into the reserve and keeps flowing.
+        assert_eq!(
+            c.offer_at(0.0, &imu_batch(0, 0, &[0.0, 0.01]), None)
+                .unwrap(),
+            IngestOutcome::Accepted
+        );
+        // Shed is deferral: once the bucket refills, the same batch is
+        // admitted — nothing was recorded as seen.
+        assert!(!c.has_seen(1, 2));
+        assert_eq!(
+            c.offer_at(5.0, &frame_batch(1, 2, 5.0), None).unwrap(),
+            IngestOutcome::Accepted
+        );
+        let h = c.stream_health(1).unwrap();
+        assert_eq!(h.shed, 1);
+        assert_eq!(h.delivered, 3);
+        assert!((h.shed_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offer_at_detects_duplicates_and_disabled_admission_admits_all() {
+        let mut c = Controller::new(ControllerConfig::default());
+        let b = imu_batch(0, 0, &[0.0]);
+        assert_eq!(c.offer_at(0.1, &b, None).unwrap(), IngestOutcome::Accepted);
+        assert_eq!(c.offer_at(0.2, &b, None).unwrap(), IngestOutcome::Duplicate);
+        assert!(c.has_seen(0, 0));
+        assert!(!c.has_seen(0, 1));
+        // Without admission even a huge burst is admitted.
+        for seq in 1..200 {
+            assert_eq!(
+                c.offer_at(0.2, &frame_batch(0, seq, 0.2), None).unwrap(),
+                IngestOutcome::Accepted
+            );
+        }
+    }
+
+    #[test]
+    fn stream_meta_roundtrips_through_restore() {
+        let mut c = Controller::new(admission_config());
+        let b = imu_batch(4, 0, &[0.0]);
+        c.offer_at(0.0, &b, None).unwrap();
+        c.offer_at(0.1, &b, None).unwrap(); // duplicate
+        for seq in 0..3 {
+            c.offer_at(0.0, &frame_batch(5, seq, 0.0), None).unwrap();
+        }
+        let meta = c.stream_meta();
+        let mut fresh = Controller::new(admission_config());
+        for (agent, dup, shed) in meta {
+            fresh.restore_stream_meta(agent, dup, shed);
+        }
+        assert_eq!(
+            fresh.stream_meta(),
+            c.stream_meta(),
+            "meta must restore verbatim"
+        );
+    }
+
+    #[test]
+    fn state_digest_tracks_durable_state() {
+        let mut a = Controller::new(ControllerConfig::default());
+        let mut b = Controller::new(ControllerConfig::default());
+        assert_eq!(a.state_digest(), b.state_digest());
+        a.ingest_at(0.5, &imu_batch(0, 0, &[0.0, 0.025]));
+        assert_ne!(a.state_digest(), b.state_digest());
+        b.ingest_at(0.5, &imu_batch(0, 0, &[0.0, 0.025]));
+        assert_eq!(a.state_digest(), b.state_digest());
+        // Duplicates change the counters, hence the digest.
+        a.ingest_at(0.6, &imu_batch(0, 0, &[0.0, 0.025]));
+        assert_ne!(a.state_digest(), b.state_digest());
     }
 
     #[test]

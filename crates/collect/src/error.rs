@@ -19,6 +19,38 @@ pub enum CollectError {
     /// Reliable delivery failed: the in-flight window overflowed under
     /// backpressure, or a batch exhausted its ack-timeout retries.
     Transport(String),
+    /// A write-ahead-log storage operation failed. Carries the storage
+    /// object, the operation, and the underlying I/O error kind (the
+    /// error itself is not `Clone`, its kind is).
+    Wal {
+        /// Storage object (segment or snapshot name) involved.
+        object: String,
+        /// Storage operation: `"list"`, `"read"`, `"append"`,
+        /// `"truncate"`, or `"delete"`.
+        op: &'static str,
+        /// Kind of the underlying `std::io::Error`.
+        kind: std::io::ErrorKind,
+    },
+    /// Replay-on-open hit corruption that torn-tail truncation cannot
+    /// mask: an invalid record *before* the tail of the newest segment.
+    Recovery {
+        /// Storage object the bad record was read from.
+        object: String,
+        /// Byte offset of the bad record within the object.
+        offset: u64,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A bounded buffer refused new work: the agent's spill buffer hit
+    /// its configured bound with `drop_oldest` off.
+    Overload {
+        /// The agent whose buffer overflowed.
+        agent_id: u32,
+        /// Readings buffered when the bound was hit.
+        buffered: usize,
+        /// The configured bound.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for CollectError {
@@ -28,6 +60,27 @@ impl fmt::Display for CollectError {
             CollectError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CollectError::NoData(msg) => write!(f, "no data: {msg}"),
             CollectError::Transport(msg) => write!(f, "transport failure: {msg}"),
+            CollectError::Wal { object, op, kind } => {
+                write!(f, "wal storage failure: {op} {object}: {kind}")
+            }
+            CollectError::Recovery {
+                object,
+                offset,
+                reason,
+            } => {
+                write!(f, "recovery failure: {object} at byte {offset}: {reason}")
+            }
+            CollectError::Overload {
+                agent_id,
+                buffered,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "overload: agent {agent_id} spill buffer full \
+                     ({buffered} readings buffered, bound {capacity})"
+                )
+            }
         }
     }
 }
@@ -45,5 +98,32 @@ mod tests {
         assert!(CollectError::NoData("imu".into())
             .to_string()
             .contains("imu"));
+    }
+
+    #[test]
+    fn structured_variants_carry_their_context() {
+        let wal = CollectError::Wal {
+            object: "seg-00000003".into(),
+            op: "append",
+            kind: std::io::ErrorKind::PermissionDenied,
+        };
+        assert!(wal.to_string().contains("seg-00000003"));
+        assert!(wal.to_string().contains("append"));
+        assert_eq!(wal.clone(), wal);
+
+        let rec = CollectError::Recovery {
+            object: "seg-00000001".into(),
+            offset: 128,
+            reason: "crc mismatch".into(),
+        };
+        assert!(rec.to_string().contains("byte 128"));
+
+        let over = CollectError::Overload {
+            agent_id: 7,
+            buffered: 101,
+            capacity: 100,
+        };
+        assert!(over.to_string().contains("agent 7"));
+        assert!(over.to_string().contains("bound 100"));
     }
 }

@@ -48,13 +48,17 @@ mod network;
 pub mod runtime;
 mod sensor;
 mod tsdb;
+pub mod wal;
 mod wire;
 
-pub use agent::{AgentConfig, CollectionAgent, RetransmitConfig, TransportStats};
+pub use agent::{
+    AgentConfig, CollectionAgent, RetransmitConfig, SpillConfig, SpillStats, TransportStats,
+};
 pub use align::{interpolate_grid, moving_average, GridSpec};
 pub use clock::{ClockConfig, DriftClock};
 pub use controller::{
-    AlignedImuPoint, Controller, ControllerConfig, FrameRecord, IngestOutcome, StreamHealth,
+    AdmissionConfig, AlignedImuPoint, Controller, ControllerConfig, FrameRecord, IngestOutcome,
+    StreamHealth,
 };
 pub use decision::{
     decide_processing, LinkObservation, PrivacyPreference, ProcessingSite, SiteCapabilities,
@@ -63,6 +67,9 @@ pub use error::CollectError;
 pub use network::{FaultConfig, Link, LinkConfig, LinkStats};
 pub use sensor::{CameraSensor, ImuSensor, Sensor, SensorReading};
 pub use tsdb::{Aggregation, SeriesStats, TsDb};
+pub use wal::{
+    replay_into, DirStorage, MemStorage, RecoveryReport, Wal, WalConfig, WalStats, WalStorage,
+};
 pub use wire::compact::{decode_imu_batch, encode_imu_batch};
 pub use wire::{decode_ack, decode_batch, encode_ack, encode_batch, Ack, Batch, StampedReading};
 

@@ -18,9 +18,10 @@ use darnet_sim::{Behavior, DrivingWorld, Segment};
 
 use crate::agent::{AgentConfig, CollectionAgent, RetransmitConfig, TransportStats};
 use crate::clock::DriftClock;
-use crate::controller::{Controller, ControllerConfig};
+use crate::controller::{Controller, ControllerConfig, IngestOutcome};
 use crate::network::{Link, LinkConfig, LinkStats};
 use crate::sensor::{CameraSensor, ImuSensor, Sensor};
+use crate::wal::{self, RecoveryReport, Wal, WalConfig, WalStorage};
 use crate::wire::{decode_batch, encode_batch};
 use crate::{CollectError, Result};
 
@@ -93,6 +94,7 @@ fn run_agent(
         AgentConfig {
             poll_period,
             transmit_period,
+            ..AgentConfig::default()
         },
     );
     let deliver = |t: f64, encoded: &[u8], faulty: &mut Option<FaultySend>| match faulty {
@@ -102,7 +104,12 @@ fn run_agent(
     let mut t = 0.0f64;
     let mut next_flush = transmit_period;
     while t <= duration {
-        agent.poll(t);
+        if agent.poll(t).is_err() {
+            // Spill bound hit in strict mode: the agent gives up polling
+            // but still drains what it holds (channel flushes below keep
+            // the buffer far from the default bound in practice).
+            break;
+        }
         if t >= next_flush {
             if let Some(batch) = agent.flush() {
                 let encoded = encode_batch(&batch);
@@ -127,6 +134,7 @@ fn run_live_inner(
     duration: f64,
     controller_config: ControllerConfig,
     faults: Option<(LinkConfig, RetransmitConfig, u64)>,
+    durable: Option<(Arc<dyn WalStorage>, WalConfig)>,
 ) -> Result<LiveRunReport> {
     let script: Vec<Segment<Behavior>> = segments
         .iter()
@@ -134,6 +142,16 @@ fn run_live_inner(
         .copied()
         .collect();
     let (tx, rx) = bounded::<Vec<u8>>(64);
+
+    // Open the durable controller (replaying any prior incarnation's WAL)
+    // before the agent threads start streaming.
+    let (mut controller, mut wal): (Controller, Option<Wal>) = match durable {
+        Some((storage, wal_config)) => {
+            let (c, w, _) = wal::open(controller_config, storage, wal_config)?;
+            (c, Some(w))
+        }
+        None => (Controller::new(controller_config), None),
+    };
 
     let make_faulty = |agent_id: u64| {
         faults.map(|(link, retransmit, seed)| FaultySend {
@@ -176,14 +194,28 @@ fn run_live_inner(
             )
         });
 
-        let mut controller = Controller::new(controller_config);
         let mut bytes_transferred = 0usize;
         let mut batches = 0usize;
         for encoded in rx {
             bytes_transferred += encoded.len();
             batches += 1;
             let batch = decode_batch(bytes::Bytes::from(encoded))?;
-            controller.ingest(&batch);
+            // Live mode's arrival time base is the batch's own newest
+            // stamp (matching `Controller::ingest`); the durable path
+            // appends to the WAL before mutating state.
+            let arrival = batch
+                .readings
+                .last()
+                .map(|r| r.timestamp)
+                .unwrap_or_default();
+            let outcome = controller.offer_at(arrival, &batch, wal.as_mut())?;
+            if outcome != IngestOutcome::Shed {
+                if let Some(w) = wal.as_mut() {
+                    if w.needs_snapshot() {
+                        w.snapshot(&controller)?;
+                    }
+                }
+            }
         }
         let imu_transport = imu_handle
             .join()
@@ -218,7 +250,53 @@ pub fn run_live_session(
     duration: f64,
     controller_config: ControllerConfig,
 ) -> Result<LiveRunReport> {
-    run_live_inner(world, driver, segments, duration, controller_config, None)
+    run_live_inner(
+        world,
+        driver,
+        segments,
+        duration,
+        controller_config,
+        None,
+        None,
+    )
+}
+
+/// Like [`run_live_session`], but every accepted batch is appended to a
+/// write-ahead log in `storage` before it mutates controller state, and
+/// any state a previous session left in `storage` is replayed on open —
+/// kill the process mid-run and the next call resumes from the durable
+/// state. The replay accounting is returned alongside the report.
+///
+/// # Errors
+///
+/// Everything [`run_live_session`] returns, plus
+/// [`crate::CollectError::Wal`] / [`crate::CollectError::Recovery`] from
+/// the durability layer.
+pub fn run_live_session_durable(
+    world: &Arc<DrivingWorld>,
+    driver: usize,
+    segments: &[Segment<Behavior>],
+    duration: f64,
+    controller_config: ControllerConfig,
+    storage: Arc<dyn WalStorage>,
+    wal_config: WalConfig,
+) -> Result<(LiveRunReport, RecoveryReport)> {
+    // Probe the replay separately so the caller sees what recovery did
+    // (run_live_inner then re-opens; replay is idempotent and cheap at
+    // live-session scale).
+    let mut probe = Controller::new(controller_config);
+    let report = wal::replay_into(&mut probe, storage.as_ref())?;
+    drop(probe);
+    run_live_inner(
+        world,
+        driver,
+        segments,
+        duration,
+        controller_config,
+        None,
+        Some((storage, wal_config)),
+    )
+    .map(|live| (live, report))
 }
 
 /// Like [`run_live_session`], but every agent sends through a seeded faulty
@@ -246,6 +324,7 @@ pub fn run_live_session_faulty(
         duration,
         controller_config,
         Some((link, retransmit, seed)),
+        None,
     )
 }
 

@@ -138,6 +138,30 @@ impl TsDb {
         self.series.write().clear();
     }
 
+    /// An order-independent-across-series, bitwise-exact fingerprint of
+    /// the whole store: series are folded in sorted-name order, points in
+    /// their stored (timestamp) order, hashing the exact f64/f32 bit
+    /// patterns. Two stores fingerprint equal iff they hold identical
+    /// data — the equality check behind the WAL recovery invariant
+    /// (replay must rebuild the TSDB *bitwise*, DESIGN.md §13).
+    pub fn fingerprint(&self) -> u64 {
+        let guard = self.series.read();
+        let mut names: Vec<&String> = guard.keys().collect();
+        names.sort();
+        let mut h = fnv1a_init();
+        for name in names {
+            fnv1a(&mut h, name.as_bytes());
+            if let Some(points) = guard.get(name) {
+                fnv1a(&mut h, &(points.len() as u64).to_le_bytes());
+                for &(t, v) in points {
+                    fnv1a(&mut h, &t.to_bits().to_le_bytes());
+                    fnv1a(&mut h, &v.to_bits().to_le_bytes());
+                }
+            }
+        }
+        h
+    }
+
     /// Rolls `metric` up into fixed-width buckets over `[t0, t1)` with the
     /// given aggregation — the statsd-style query a dashboard over the
     /// controller's store would issue. Buckets with no points are omitted.
@@ -193,6 +217,21 @@ impl TsDb {
             bucket_start = bucket_end;
         }
         Ok(out)
+    }
+}
+
+/// FNV-1a 64-bit offset basis.
+pub(crate) fn fnv1a_init() -> u64 {
+    0xcbf2_9ce4_8422_2325
+}
+
+/// Folds `bytes` into the running FNV-1a 64-bit hash `h`. Shared by the
+/// TSDB fingerprint and the controller's state digest; FNV keeps the
+/// digest dependency-free and byte-order stable across platforms.
+pub(crate) fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
 }
 
@@ -341,6 +380,24 @@ mod tests {
         assert!(db
             .rollup("absent", 0.0, 1.0, 1.0, Aggregation::Mean)
             .is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_content_addressed() {
+        let a = TsDb::new();
+        let b = TsDb::new();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Same content, different insertion interleaving across series.
+        a.insert("x", 0.0, 1.0);
+        a.insert("y", 0.5, 2.0);
+        a.insert("x", 1.0, 3.0);
+        b.insert("y", 0.5, 2.0);
+        b.insert("x", 0.0, 1.0);
+        b.insert("x", 1.0, 3.0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Any value difference changes the fingerprint.
+        b.insert("x", 2.0, 4.0);
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

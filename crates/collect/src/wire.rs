@@ -87,6 +87,15 @@ pub fn decode_ack(mut data: Bytes) -> Result<Ack> {
 /// Encodes a batch into its wire representation.
 pub fn encode_batch(batch: &Batch) -> Bytes {
     let mut buf = BytesMut::with_capacity(16 + batch.readings.len() * 64);
+    encode_batch_into(&mut buf, batch);
+    buf.freeze()
+}
+
+/// Encodes a batch into a caller-provided buffer (appended at the tail),
+/// so hot append paths — the WAL's record framing in particular — can
+/// reuse one scratch allocation across calls.
+// darlint: hot
+pub fn encode_batch_into(buf: &mut BytesMut, batch: &Batch) {
     buf.put_u32(batch.agent_id);
     buf.put_u32(batch.seq);
     buf.put_u32(batch.readings.len() as u32);
@@ -109,7 +118,6 @@ pub fn encode_batch(batch: &Batch) -> Bytes {
             }
         }
     }
-    buf.freeze()
 }
 
 /// Decodes a batch from its wire representation.
@@ -424,6 +432,20 @@ mod tests {
         for (a, b) in orig.pixels().iter().zip(got.pixels()) {
             assert!((a - b).abs() <= 1.0 / 255.0 + 1e-6);
         }
+    }
+
+    #[test]
+    fn encode_into_appends_at_tail_and_matches_encode() {
+        let batch = Batch {
+            agent_id: 2,
+            seq: 5,
+            readings: vec![imu_reading(0.1), frame_reading(0.2)],
+        };
+        let mut buf = BytesMut::new();
+        buf.put_u8(0xEE); // pre-existing framing byte must survive
+        encode_batch_into(&mut buf, &batch);
+        assert_eq!(buf[0], 0xEE);
+        assert_eq!(&buf[1..], &encode_batch(&batch)[..]);
     }
 
     #[test]

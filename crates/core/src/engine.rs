@@ -961,6 +961,7 @@ mod tests {
             highest_seq: 19,
             gaps: 0,
             last_arrival: 10.0,
+            shed: 0,
         };
         let imu_health = StreamHealth {
             agent_id: 0,

@@ -28,6 +28,14 @@ pub struct HealthPolicy {
     pub degraded_gap_ratio: f64,
     /// Gap fraction above which a stream is unavailable outright.
     pub max_gap_ratio: f64,
+    /// Admission-shed fraction (shed / offered batches) above which a
+    /// stream is degraded: the controller is deliberately deferring this
+    /// stream under overload, so its recent windows are thin.
+    pub degraded_shed_ratio: f64,
+    /// Shed fraction above which the stream is unavailable — the
+    /// ensemble should degrade to the surviving modality (CNN-only /
+    /// IMU-only) rather than fuse from a starved stream.
+    pub max_shed_ratio: f64,
 }
 
 impl Default for HealthPolicy {
@@ -36,6 +44,8 @@ impl Default for HealthPolicy {
             max_staleness: 2.0,
             degraded_gap_ratio: 0.05,
             max_gap_ratio: 0.5,
+            degraded_shed_ratio: 0.25,
+            max_shed_ratio: 0.75,
         }
     }
 }
@@ -47,10 +57,13 @@ impl HealthPolicy {
         let Some(h) = health else {
             return ModalityStatus::Unavailable;
         };
-        if h.staleness(now) > self.max_staleness || h.gap_ratio() > self.max_gap_ratio {
+        if h.staleness(now) > self.max_staleness
+            || h.gap_ratio() > self.max_gap_ratio
+            || h.shed_ratio() > self.max_shed_ratio
+        {
             return ModalityStatus::Unavailable;
         }
-        if h.gap_ratio() > self.degraded_gap_ratio {
+        if h.gap_ratio() > self.degraded_gap_ratio || h.shed_ratio() > self.degraded_shed_ratio {
             return ModalityStatus::Degraded;
         }
         ModalityStatus::Healthy
@@ -69,6 +82,7 @@ mod tests {
             highest_seq: highest,
             gaps,
             last_arrival,
+            shed: 0,
         }
     }
 
@@ -85,6 +99,25 @@ mod tests {
         let h = health(19, 0, 10.0);
         assert_eq!(p.assess(Some(&h), 13.0), ModalityStatus::Unavailable);
         assert_eq!(p.assess(None, 0.0), ModalityStatus::Unavailable);
+    }
+
+    #[test]
+    fn shed_ratio_degrades_then_drops_the_modality() {
+        let p = HealthPolicy::default();
+        // 30% of offers shed: degraded (fuse, but flag it).
+        let mut h = health(13, 0, 10.0);
+        h.delivered = 14;
+        h.shed = 6;
+        assert_eq!(p.assess(Some(&h), 10.1), ModalityStatus::Degraded);
+        // 80% shed: the stream is starved — fall back to the other
+        // modality entirely.
+        h.shed = 56;
+        assert_eq!(p.assess(Some(&h), 10.1), ModalityStatus::Unavailable);
+        // Shedding that stopped (ratio back under threshold as fresh
+        // deliveries accumulate) returns the stream to healthy.
+        h.shed = 1;
+        h.delivered = 99;
+        assert_eq!(p.assess(Some(&h), 10.1), ModalityStatus::Healthy);
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //!   `darnet_tensor::Workspace` or writes through an `_into` kernel.
 //!   Cold branches (error construction, first-call growth) use
 //!   `// darlint: allow(hot-alloc) — <reason>`.
+//! * **durable-io** — `std::fs` / `File::open` / `File::create` /
+//!   `OpenOptions::new` only in the durable-I/O owners (`collect::wal`,
+//!   `core::model_io`, `core::experiment`, `bench`, `xtask`); everything
+//!   else persists through a `WalStorage` so crash recovery stays
+//!   testable against `MemStorage`. Escape hatch:
+//!   `// darlint: allow(io) — <reason>`.
 //!
 //! The pass is *lexical*: it scans masked source (comments, strings, and
 //! char literals blanked out — see [`scan`]), so it is fast, dependency

@@ -24,6 +24,9 @@ pub mod rule {
     /// Allocating constructs inside a function annotated `// darlint: hot`
     /// (the zero-alloc inference path).
     pub const HOT_ALLOC: &str = "hot-alloc";
+    /// Direct filesystem access (`std::fs`, `File::open`, ...) outside the
+    /// sanctioned durable-I/O owners.
+    pub const DURABLE_IO: &str = "durable-io";
 }
 
 /// Crates whose non-test code must be panic-free (the inference and
@@ -48,11 +51,30 @@ pub const HOT_ALLOC_TOKENS: &[&str] = &["Tensor::zeros", "vec!", ".collect()", "
 
 /// Files (workspace-relative, `/`-separated) or path prefixes where
 /// wall-clock reads are legitimate: the live collection layer and the
-/// benchmark harness.
+/// benchmark harness. The WAL (`collect::wal`) is deliberately *not*
+/// here: durability code must be replayable, so it receives time as data
+/// (arrival stamps) rather than reading a clock.
 pub const TIME_ALLOWLIST: &[&str] = &[
     "crates/collect/src/runtime.rs",
     "crates/collect/src/live.rs",
     "crates/bench/",
+];
+
+/// Tokens forbidden by [`rule::DURABLE_IO`].
+pub const DURABLE_IO_TOKENS: &[&str] =
+    &["std::fs", "File::open", "File::create", "OpenOptions::new"];
+
+/// Files or path prefixes sanctioned to touch the filesystem: the WAL's
+/// directory storage backend, model/experiment persistence, the bench
+/// harness, and xtask itself. Everything else must route durable state
+/// through a `WalStorage` (so tests can substitute `MemStorage` and
+/// crash-recovery stays simulable).
+pub const DURABLE_IO_ALLOWLIST: &[&str] = &[
+    "crates/collect/src/wal.rs",
+    "crates/core/src/model_io.rs",
+    "crates/core/src/experiment.rs",
+    "crates/bench/",
+    "crates/xtask/",
 ];
 
 /// Files where `thread::spawn` would be legitimate. The two sanctioned
@@ -131,6 +153,7 @@ fn hatch_name(rule_id: &str) -> &'static str {
         rule::TIME => "time",
         rule::THREAD => "thread",
         rule::HOT_ALLOC => "hot-alloc",
+        rule::DURABLE_IO => "io",
         _ => "",
     }
 }
@@ -230,6 +253,7 @@ pub fn lint_file(path: &str, source: &str) -> FileLint {
     let panic_applies = crate_of(path).is_some_and(|c| PANIC_CRATES.contains(&c));
     let time_applies = !allowlisted(path, TIME_ALLOWLIST);
     let thread_applies = !allowlisted(path, THREAD_ALLOWLIST);
+    let io_applies = !allowlisted(path, DURABLE_IO_ALLOWLIST);
 
     let mut checks: Vec<(&'static str, &[&str], String)> = Vec::new();
     if panic_applies {
@@ -254,6 +278,15 @@ pub fn lint_file(path: &str, source: &str) -> FileLint {
             THREAD_TOKENS,
             "raw thread::spawn; use std::thread::scope under the \
              Parallelism policy"
+                .to_owned(),
+        ));
+    }
+    if io_applies {
+        checks.push((
+            rule::DURABLE_IO,
+            DURABLE_IO_TOKENS,
+            "direct filesystem access outside the durable-I/O owners; \
+             route persistence through a WalStorage backend"
                 .to_owned(),
         ));
     }
@@ -403,6 +436,29 @@ mod tests {
         );
         assert_eq!(
             lint_file("crates/bench/src/bin/b.rs", src).violations.len(),
+            0
+        );
+    }
+
+    #[test]
+    fn durable_io_allowlist_honored() {
+        let src = "fn w(p: &std::path::Path) { let _ = std::fs::read(p); }\n";
+        assert_eq!(
+            lint_file("crates/collect/src/tsdb.rs", src)
+                .violations
+                .len(),
+            1
+        );
+        assert_eq!(
+            lint_file("crates/collect/src/wal.rs", src).violations.len(),
+            0
+        );
+        assert_eq!(
+            lint_file("crates/bench/src/bin/b.rs", src).violations.len(),
+            0
+        );
+        assert_eq!(
+            lint_file("crates/xtask/src/lib.rs", src).violations.len(),
             0
         );
     }

@@ -1,0 +1,30 @@
+//! Fixture: every durable-io token, one per line, outside the allowlist.
+
+use std::path::Path;
+
+pub fn read_raw(p: &Path) -> Vec<u8> {
+    std::fs::read(p).unwrap_or_default()
+}
+
+pub fn open_raw(p: &Path) -> Option<File> {
+    File::open(p).ok()
+}
+
+pub fn create_raw(p: &Path) -> Option<File> {
+    File::create(p).ok()
+}
+
+pub fn append_raw(p: &Path) -> Option<File> {
+    OpenOptions::new().append(true).open(p).ok()
+}
+
+// In a string or comment the tokens are inert: "std::fs", File::open.
+pub const DOC: &str = "never call std::fs or File::create here";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_touch_the_fs() {
+        let _ = std::fs::read("/dev/null");
+    }
+}

@@ -69,6 +69,53 @@ fn time_rule_fires_outside_allowlist_only() {
 }
 
 #[test]
+fn durable_io_fires_per_token_outside_allowlist() {
+    let src = fixture("durable_io_violation.rs");
+    let lint = lint_file("crates/collect/src/fixture.rs", &src);
+    assert_eq!(
+        fired(&lint),
+        vec![
+            (rule::DURABLE_IO, 6),  // std::fs
+            (rule::DURABLE_IO, 10), // File::open
+            (rule::DURABLE_IO, 14), // File::create
+            (rule::DURABLE_IO, 18), // OpenOptions::new
+        ]
+    );
+    // The sanctioned durable-I/O owners may touch the filesystem freely.
+    for allowed in [
+        "crates/collect/src/wal.rs",
+        "crates/core/src/model_io.rs",
+        "crates/core/src/experiment.rs",
+        "crates/bench/src/bin/bench_chaos.rs",
+        "crates/xtask/src/lib.rs",
+    ] {
+        let lint = lint_file(allowed, &src);
+        assert!(
+            lint.violations.iter().all(|v| v.rule != rule::DURABLE_IO),
+            "{allowed} must be allowlisted: {:?}",
+            lint.violations
+        );
+    }
+}
+
+#[test]
+fn durable_io_hatch_uses_the_io_short_name() {
+    let src = "fn probe(p: &std::path::Path) -> bool {\n    // darlint: allow(io) — feature probe at startup, not durable state\n    std::fs::metadata(p).is_ok()\n}\n";
+    let lint = lint_file("crates/collect/src/fixture.rs", src);
+    assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+    assert_eq!(lint.allowed, 1);
+}
+
+#[test]
+fn wal_module_is_held_to_the_deterministic_time_rule() {
+    // The WAL is a durable-I/O owner but *not* a time owner: replay must
+    // be deterministic, so wall-clock reads there are violations.
+    let src = fixture("time_violation.rs");
+    let lint = lint_file("crates/collect/src/wal.rs", &src);
+    assert_eq!(fired(&lint), vec![(rule::TIME, 6), (rule::TIME, 10)]);
+}
+
+#[test]
 fn thread_rule_fires_on_detached_spawn_not_scoped() {
     let src = fixture("thread_violation.rs");
     let lint = lint_file("crates/collect/src/fixture.rs", &src);

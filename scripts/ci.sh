@@ -21,6 +21,13 @@
 #                      baseline; the warm *_into paths must perform 0 heap
 #                      allocations per call and keep the single-step
 #                      speedup ≥1.15× (--check)
+#   6. chaos         — the crash-tolerance harness in --fast mode,
+#                      compared against the committed BENCH_chaos.json
+#                      baseline; seeded controller kills with torn tail
+#                      writes must recover with zero acked samples lost,
+#                      deterministically, within the replay time budget,
+#                      and overload must shed low-priority streams first
+#                      (--check)
 #
 # The workspace vendors every dependency, so the whole pipeline runs with
 # the network off; CARGO_NET_OFFLINE makes cargo fail fast if anything
@@ -53,6 +60,13 @@ cargo run --release --locked -p darnet-bench --bin bench_inference -- \
   --fast --json \
   --out target/ci/BENCH_inference.json \
   --compare BENCH_inference.json \
+  --check
+
+echo "==> chaos recovery gate"
+cargo run --release --locked -p darnet-bench --bin bench_chaos -- \
+  --fast --json \
+  --out target/ci/BENCH_chaos.json \
+  --compare BENCH_chaos.json \
   --check
 
 echo "==> CI pipeline passed"

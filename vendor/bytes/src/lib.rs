@@ -134,6 +134,11 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Clears the buffer, retaining its capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
@@ -144,6 +149,12 @@ impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 
