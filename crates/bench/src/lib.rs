@@ -49,16 +49,24 @@ pub fn pct(x: f64) -> String {
 /// The CI pipeline commits a baseline `BENCH_parallel.json` and compares
 /// every run's metrics against it. Files are a single flat object of
 /// numeric values — hand-rolled here so the harness works offline with no
-/// serde dependence. Only `speedup_*` keys participate in regression
-/// comparison: speedups are ratios of two timings taken on the same
-/// machine in the same run, so they are comparable across machines, while
-/// absolute throughputs are recorded for humans but would make the gate
-/// flaky across hardware.
+/// serde dependence. Three key prefixes participate in regression
+/// comparison: `speedup_*` and `rate_*` are higher-is-better, `cost_*`
+/// is lower-is-better. Speedups are ratios of two timings taken on the
+/// same machine in the same run, so they are comparable across machines;
+/// `rate_`/`cost_` keys must likewise be machine-portable (simulated-time
+/// latencies, deterministic byte counts, 0/1 invariant checks — or
+/// wall-clock rates whose committed baselines are deliberately
+/// conservative). Everything else is recorded for humans but would make
+/// the gate flaky across hardware.
 pub mod metrics {
     use std::collections::BTreeMap;
 
-    /// Metric prefix subject to regression comparison.
+    /// Higher-is-better metric prefix subject to regression comparison.
     pub const COMPARED_PREFIX: &str = "speedup_";
+    /// Higher-is-better prefix for throughputs and invariant indicators.
+    pub const RATE_PREFIX: &str = "rate_";
+    /// Lower-is-better prefix for latencies and footprints.
+    pub const COST_PREFIX: &str = "cost_";
 
     /// Serializes metrics as a flat JSON object (sorted keys, one per
     /// line — diff-friendly for a committed baseline).
@@ -111,10 +119,11 @@ pub mod metrics {
         Ok(out)
     }
 
-    /// Compares a run against a committed baseline: every `speedup_*` key
-    /// present in both must not fall below `baseline × (1 − tolerance)`.
-    /// Higher-is-better only — improvements never fail. Returns the list
-    /// of regression descriptions (empty = pass).
+    /// Compares a run against a committed baseline: every `speedup_*` or
+    /// `rate_*` key present in both must not fall below
+    /// `baseline × (1 − tolerance)`, and every `cost_*` key must not rise
+    /// above `baseline × (1 + tolerance)`. Improvements never fail.
+    /// Returns the list of regression descriptions (empty = pass).
     pub fn compare(
         baseline: &BTreeMap<String, f64>,
         current: &BTreeMap<String, f64>,
@@ -122,13 +131,21 @@ pub mod metrics {
     ) -> Vec<String> {
         let mut regressions = Vec::new();
         for (key, &base) in baseline {
-            if !key.starts_with(COMPARED_PREFIX) || base <= 0.0 {
+            let higher_better = key.starts_with(COMPARED_PREFIX) || key.starts_with(RATE_PREFIX);
+            let lower_better = key.starts_with(COST_PREFIX);
+            if (!higher_better && !lower_better) || base <= 0.0 {
                 continue;
             }
             match current.get(key) {
-                Some(&cur) if cur < base * (1.0 - tolerance) => {
+                Some(&cur) if higher_better && cur < base * (1.0 - tolerance) => {
                     regressions.push(format!(
                         "{key}: {cur:.3} is below baseline {base:.3} − {:.0}% tolerance",
+                        tolerance * 100.0
+                    ));
+                }
+                Some(&cur) if lower_better && cur > base * (1.0 + tolerance) => {
+                    regressions.push(format!(
+                        "{key}: {cur:.3} is above baseline {base:.3} + {:.0}% tolerance",
                         tolerance * 100.0
                     ));
                 }
@@ -254,5 +271,40 @@ mod tests {
         // Improvements never fail.
         cur.insert("speedup_engine_batch32".to_string(), 3.0);
         assert!(metrics::compare(&base, &cur, 0.15).is_empty());
+    }
+
+    #[test]
+    fn compare_gates_rates_up_and_costs_down() {
+        let mut base = std::collections::BTreeMap::new();
+        base.insert("rate_ingest_rps".to_string(), 100_000.0);
+        base.insert("cost_ack_p99_s".to_string(), 0.20);
+        base.insert("cost_bytes_per_agent".to_string(), 4096.0);
+        base.insert("agents".to_string(), 10_000.0);
+
+        // Within tolerance both ways; the unprefixed key is ignored.
+        let mut cur = base.clone();
+        cur.insert("rate_ingest_rps".to_string(), 90_000.0);
+        cur.insert("cost_ack_p99_s".to_string(), 0.22);
+        cur.insert("agents".to_string(), 1.0);
+        assert!(metrics::compare(&base, &cur, 0.15).is_empty());
+
+        // Throughput collapse fails.
+        cur.insert("rate_ingest_rps".to_string(), 50_000.0);
+        let regressions = metrics::compare(&base, &cur, 0.15);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("rate_ingest_rps"));
+
+        // Cost blow-up fails (lower-is-better inverts the check).
+        cur.insert("rate_ingest_rps".to_string(), 100_000.0);
+        cur.insert("cost_bytes_per_agent".to_string(), 9000.0);
+        let regressions = metrics::compare(&base, &cur, 0.15);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("cost_bytes_per_agent"));
+
+        // Cost improvements never fail; missing gated cost key does.
+        cur.insert("cost_bytes_per_agent".to_string(), 100.0);
+        assert!(metrics::compare(&base, &cur, 0.15).is_empty());
+        cur.remove("cost_ack_p99_s");
+        assert_eq!(metrics::compare(&base, &cur, 0.15).len(), 1);
     }
 }

@@ -340,6 +340,15 @@ impl CollectionAgent {
         Ok(Some(batch))
     }
 
+    /// Records a flush deferred by an *external* backpressure signal —
+    /// the fleet admission rollup telling agents to hold off — so the
+    /// deferral shows up in [`TransportStats::backpressure_events`]
+    /// alongside window-full deferrals. Readings keep accumulating in
+    /// the bounded spill buffer exactly as for a window-full deferral.
+    pub fn note_deferred_flush(&mut self) {
+        self.stats.backpressure_events += 1;
+    }
+
     /// Handles a controller ack for `seq`: retires the matching in-flight
     /// entry (idempotent — re-acks for already-retired batches are counted
     /// and ignored).

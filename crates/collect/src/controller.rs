@@ -33,6 +33,13 @@ pub struct ControllerConfig {
     /// Ingest admission control (off by default — the pre-overload
     /// behaviour admits everything).
     pub admission: AdmissionConfig,
+    /// Key TSDB series per agent (`imu.<agent>.<ch>` instead of the
+    /// session-scoped `imu.<ch>`). A single driver session shares series
+    /// across its two agents, but at fleet scale a shared series turns
+    /// every insert into an O(points) binary insertion among interleaved
+    /// agent timestamps; per-agent keys make each series append-only
+    /// because one agent's stream is timestamp-monotone (DESIGN.md §14).
+    pub per_agent_series: bool,
 }
 
 impl Default for ControllerConfig {
@@ -42,6 +49,7 @@ impl Default for ControllerConfig {
             smoothing_window: 3,
             sync_period: 5.0,
             admission: AdmissionConfig::default(),
+            per_agent_series: false,
         }
     }
 }
@@ -340,17 +348,34 @@ impl Controller {
         stream.delivered += 1;
         stream.last_arrival = stream.last_arrival.max(arrival);
         self.batches += 1;
+        let per_agent = self.config.per_agent_series;
         for r in &batch.readings {
             self.readings += 1;
             match &r.reading {
                 SensorReading::Imu(sample) => {
                     let feats = sample.to_features().to_vec();
-                    self.tsdb.insert_vector("imu", r.timestamp, &feats);
+                    if per_agent {
+                        self.tsdb.insert_vector(
+                            &format!("imu.{}", batch.agent_id),
+                            r.timestamp,
+                            &feats,
+                        );
+                    } else {
+                        self.tsdb.insert_vector("imu", r.timestamp, &feats);
+                    }
                     self.imu_observations.push((r.timestamp, feats));
                 }
                 SensorReading::Frame(frame) => {
-                    self.tsdb
-                        .insert("camera.mean_intensity", r.timestamp, frame.mean());
+                    if per_agent {
+                        self.tsdb.insert(
+                            &format!("camera.mean_intensity.{}", batch.agent_id),
+                            r.timestamp,
+                            frame.mean(),
+                        );
+                    } else {
+                        self.tsdb
+                            .insert("camera.mean_intensity", r.timestamp, frame.mean());
+                    }
                     self.frames.push(FrameRecord {
                         t: r.timestamp,
                         frame: frame.clone(),
@@ -467,6 +492,27 @@ impl Controller {
         }
         fnv1a(&mut h, &self.tsdb.fingerprint().to_le_bytes());
         h
+    }
+
+    /// Approximate resident bytes of the controller's retained state:
+    /// per-stream seen-sets, raw IMU observations, frame pixels, and the
+    /// TSDB points. Logical payload bytes only (container overhead is
+    /// ignored), so the figure is deterministic for a given traffic
+    /// history — the basis of the gated bytes-per-agent fleet metric.
+    pub fn approx_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for s in self.streams.values() {
+            // Fixed counters (delivered/duplicates/shed/last_arrival)
+            // plus 4 bytes per recorded sequence number.
+            total += 32 + s.seen.len() as u64 * 4;
+        }
+        for (_, feats) in &self.imu_observations {
+            total += 8 + feats.len() as u64 * 4;
+        }
+        for fr in &self.frames {
+            total += 8 + fr.frame.pixels().len() as u64 * 4;
+        }
+        total + self.tsdb.approx_bytes()
     }
 
     /// The controller's time-series store.
@@ -760,6 +806,32 @@ mod tests {
         // Duplicates change the counters, hence the digest.
         a.ingest_at(0.6, &imu_batch(0, 0, &[0.0, 0.025]));
         assert_ne!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn per_agent_series_keys_by_agent() {
+        let mut c = Controller::new(ControllerConfig {
+            per_agent_series: true,
+            ..ControllerConfig::default()
+        });
+        c.ingest(&imu_batch(7, 0, &[0.0]));
+        c.ingest(&frame_batch(9, 0, 0.5));
+        assert_eq!(c.tsdb().len("imu.7.0"), 1);
+        assert_eq!(c.tsdb().len("imu.0"), 0);
+        assert_eq!(c.tsdb().len("camera.mean_intensity.9"), 1);
+        assert_eq!(c.tsdb().len("camera.mean_intensity"), 0);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_ingest() {
+        let mut c = Controller::new(ControllerConfig::default());
+        assert_eq!(c.approx_bytes(), 0);
+        c.ingest(&imu_batch(0, 0, &[0.0]));
+        let after_imu = c.approx_bytes();
+        // One stream (32 + 4), one observation (8 + 48), 12 TSDB points.
+        assert_eq!(after_imu, 36 + 56 + 144);
+        c.ingest(&frame_batch(0, 1, 0.5));
+        assert!(c.approx_bytes() > after_imu);
     }
 
     #[test]

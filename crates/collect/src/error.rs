@@ -41,6 +41,13 @@ pub enum CollectError {
         /// What was wrong with it.
         reason: String,
     },
+    /// A worker thread driving a shard drain panicked. The shard's
+    /// controller state may be partially updated; callers should treat
+    /// the whole drain pass as failed.
+    WorkerPanicked {
+        /// Index of the shard whose drain worker died.
+        shard: usize,
+    },
     /// A bounded buffer refused new work: the agent's spill buffer hit
     /// its configured bound with `drop_oldest` off.
     Overload {
@@ -69,6 +76,9 @@ impl fmt::Display for CollectError {
                 reason,
             } => {
                 write!(f, "recovery failure: {object} at byte {offset}: {reason}")
+            }
+            CollectError::WorkerPanicked { shard } => {
+                write!(f, "worker panicked: shard {shard} drain thread died")
             }
             CollectError::Overload {
                 agent_id,
@@ -125,5 +135,8 @@ mod tests {
         };
         assert!(over.to_string().contains("agent 7"));
         assert!(over.to_string().contains("bound 100"));
+
+        let panicked = CollectError::WorkerPanicked { shard: 3 };
+        assert!(panicked.to_string().contains("shard 3"));
     }
 }

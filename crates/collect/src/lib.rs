@@ -44,9 +44,11 @@ mod controller;
 mod decision;
 mod error;
 pub mod live;
+pub mod loadgen;
 mod network;
 pub mod runtime;
 mod sensor;
+pub mod shard;
 mod tsdb;
 pub mod wal;
 mod wire;
@@ -64,9 +66,14 @@ pub use decision::{
     decide_processing, LinkObservation, PrivacyPreference, ProcessingSite, SiteCapabilities,
 };
 pub use error::CollectError;
+pub use loadgen::{run_fleet, run_fleet_into, run_fleet_timed, FleetConfig, FleetReport};
 pub use network::{FaultConfig, Link, LinkConfig, LinkStats};
 pub use sensor::{CameraSensor, ImuSensor, Sensor, SensorReading};
-pub use tsdb::{Aggregation, SeriesStats, TsDb};
+pub use shard::{
+    shard_of, BackpressureConfig, FleetAdmission, FleetPressure, OfferOutcome, ShardAck,
+    ShardConfig, ShardPressure, ShardedController,
+};
+pub use tsdb::{canonical_fingerprint_merged, Aggregation, SeriesStats, TsDb};
 pub use wal::{
     replay_into, DirStorage, MemStorage, RecoveryReport, Wal, WalConfig, WalStats, WalStorage,
 };

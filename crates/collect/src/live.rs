@@ -21,6 +21,7 @@ use crate::clock::DriftClock;
 use crate::controller::{Controller, ControllerConfig, IngestOutcome};
 use crate::network::{Link, LinkConfig, LinkStats};
 use crate::sensor::{CameraSensor, ImuSensor, Sensor};
+use crate::shard::{ShardConfig, ShardedController};
 use crate::wal::{self, RecoveryReport, Wal, WalConfig, WalStorage};
 use crate::wire::{decode_batch, encode_batch};
 use crate::{CollectError, Result};
@@ -328,6 +329,114 @@ pub fn run_live_session_faulty(
     )
 }
 
+/// Output of a sharded live run: the fleet front door after ingesting
+/// every stream, plus channel-level accounting.
+#[derive(Debug)]
+pub struct LiveFleetReport {
+    /// The sharded controller after the final drain.
+    pub sharded: ShardedController,
+    /// Total encoded bytes that crossed the channel.
+    pub bytes_transferred: usize,
+    /// Batches delivered over the channel.
+    pub batches: usize,
+}
+
+/// Runs a multi-driver session on real threads — two agents (IMU +
+/// camera) per driver, all streaming over one channel into a
+/// [`ShardedController`] that is drained as traffic arrives. The live
+/// analogue of the event-driven fleet load generator: agent `2*d` is
+/// driver `d`'s IMU, `2*d + 1` its camera, and the hash partition routes
+/// both to whatever shards own them.
+///
+/// # Errors
+///
+/// Returns a decode error if a batch is corrupted in transit, and
+/// propagates shard-drain errors.
+pub fn run_live_session_sharded(
+    world: &Arc<DrivingWorld>,
+    drivers: &[usize],
+    segments: &[Segment<Behavior>],
+    duration: f64,
+    shard_config: ShardConfig,
+) -> Result<LiveFleetReport> {
+    let mut sharded = ShardedController::new(shard_config)?;
+    let (tx, rx) = bounded::<Vec<u8>>(64);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(drivers.len() * 2);
+        for &driver in drivers {
+            let script: Vec<Segment<Behavior>> = segments
+                .iter()
+                .filter(|s| s.driver == driver)
+                .copied()
+                .collect();
+            let imu_id = (driver as u32) * 2;
+            let tx_imu = tx.clone();
+            let tx_cam = tx.clone();
+            let script_cam = script.clone();
+            let world_imu = Arc::clone(world);
+            let world_cam = Arc::clone(world);
+            handles.push(scope.spawn(move || {
+                run_agent(
+                    imu_id,
+                    Box::new(ImuSensor::new(world_imu, driver, script, 0.025)),
+                    DriftClock::new(50e-6, 0.01),
+                    duration,
+                    0.5,
+                    None,
+                    tx_imu,
+                )
+            }));
+            handles.push(scope.spawn(move || {
+                run_agent(
+                    imu_id + 1,
+                    Box::new(CameraSensor::new(world_cam, driver, script_cam, 0.25)),
+                    DriftClock::new(1e-6, 0.0),
+                    duration,
+                    0.5,
+                    None,
+                    tx_cam,
+                )
+            }));
+        }
+        // The spawning thread's clone of `tx` must drop, or `rx` never
+        // closes and the ingest loop below spins forever.
+        drop(tx);
+
+        let mut bytes_transferred = 0usize;
+        let mut batches = 0usize;
+        for encoded in rx {
+            bytes_transferred += encoded.len();
+            batches += 1;
+            let batch = decode_batch(bytes::Bytes::from(encoded))?;
+            let arrival = batch
+                .readings
+                .last()
+                .map(|r| r.timestamp)
+                .unwrap_or_default();
+            // Queue-shed offers are fine here: the channel is reliable, so
+            // a shed batch simply surfaces as a controller-side gap, the
+            // same contract as a lossy link.
+            let _ = sharded.offer_at(arrival, &batch);
+            // Drain opportunistically so queues stay shallow (acks are
+            // meaningless over a reliable channel and are dropped).
+            if batches.is_multiple_of(64) {
+                sharded.drain()?;
+            }
+        }
+        sharded.drain()?;
+        for handle in handles {
+            handle
+                .join()
+                .map_err(|_| CollectError::InvalidConfig("agent thread panicked".into()))?;
+        }
+        Ok(LiveFleetReport {
+            sharded,
+            bytes_transferred,
+            batches,
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +481,48 @@ mod tests {
         let aligned = report.controller.aligned_imu().unwrap();
         // 3 s at 4 Hz ≈ 13 points (inclusive grid, small edge effects).
         assert!((10..=14).contains(&aligned.len()), "{}", aligned.len());
+    }
+
+    #[test]
+    fn sharded_live_session_collects_every_driver() {
+        let world = Arc::new(DrivingWorld::new(WorldConfig::default()));
+        let segments = vec![
+            Segment {
+                driver: 0,
+                behavior: Behavior::Talking,
+                start: 0.0,
+                duration: 3.0,
+            },
+            Segment {
+                driver: 1,
+                behavior: Behavior::Texting,
+                start: 0.0,
+                duration: 3.0,
+            },
+        ];
+        let report = run_live_session_sharded(
+            &world,
+            &[0, 1],
+            &segments,
+            3.0,
+            ShardConfig {
+                shards: 3,
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(report.batches > 0);
+        assert!(report.bytes_transferred > 1000);
+        assert_eq!(report.sharded.queued(), 0, "final drain empties queues");
+        // All four agents (2 drivers × IMU + camera) reached a shard.
+        let healths = report.sharded.stream_healths();
+        assert_eq!(healths.len(), 4);
+        for h in &healths {
+            assert!(h.delivered > 0, "agent {} silent", h.agent_id);
+        }
+        let (b, r) = report.sharded.ingest_stats();
+        assert!(b > 0 && r > 0);
+        assert_ne!(report.sharded.tsdb_digest(), 0);
     }
 
     #[test]

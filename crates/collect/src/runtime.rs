@@ -114,6 +114,18 @@ pub struct Durability {
     pub torn_tail_bytes: usize,
 }
 
+impl Durability {
+    /// WAL-backed durability on a fresh in-memory store with default
+    /// tuning and no injected chaos — the "durable but hermetic" setup
+    /// used by tests and the fleet load generator.
+    pub fn in_memory() -> Self {
+        Durability {
+            storage: Some(Arc::new(crate::wal::MemStorage::new())),
+            ..Durability::default()
+        }
+    }
+}
+
 /// What the chaos machinery observed over one session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ChaosReport {
@@ -260,26 +272,29 @@ enum EventKind {
     Restart(usize),                        // recover a fresh controller from the WAL
 }
 
+/// A timestamped discrete event with a deterministic tie-break, generic
+/// over the event vocabulary — shared by the session runtime and the
+/// fleet load generator ([`crate::loadgen`]).
 #[derive(Debug, Clone, Copy)]
-struct Event {
-    time: f64,
+pub(crate) struct TimedEvent<K> {
+    pub(crate) time: f64,
     // Tie-break so heap order is deterministic.
-    seq: u64,
-    kind: EventKind,
+    pub(crate) seq: u64,
+    pub(crate) kind: K,
 }
 
-impl PartialEq for Event {
+impl<K> PartialEq for TimedEvent<K> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl Eq for Event {}
-impl PartialOrd for Event {
+impl<K> Eq for TimedEvent<K> {}
+impl<K> PartialOrd for TimedEvent<K> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Event {
+impl<K> Ord for TimedEvent<K> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: invert for earliest-first. total_cmp
         // keeps the ordering panic-free even if a NaN timestamp ever
@@ -290,6 +305,8 @@ impl Ord for Event {
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
+
+type Event = TimedEvent<EventKind>;
 
 /// Runs one driver's session and returns its recording.
 ///

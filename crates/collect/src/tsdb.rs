@@ -162,6 +162,31 @@ impl TsDb {
         h
     }
 
+    /// Canonical fingerprint: like [`TsDb::fingerprint`], but points
+    /// within each series are first sorted by (timestamp bits, value
+    /// bits), making the digest independent of insertion order among
+    /// equal-timestamp points. Shards ingest each agent's stream
+    /// independently, so equal-timestamp points from different agents can
+    /// land in a different relative order than a single controller would
+    /// produce; the canonical form is what sharded and unsharded stores
+    /// are compared under (DESIGN.md §14).
+    pub fn canonical_fingerprint(&self) -> u64 {
+        canonical_fingerprint_merged(&[self])
+    }
+
+    /// Total number of points across every series.
+    pub fn point_count(&self) -> usize {
+        self.series.read().values().map(Vec::len).sum()
+    }
+
+    /// Approximate resident bytes of the stored points (12 bytes per
+    /// point: an `f64` timestamp and an `f32` value), ignoring container
+    /// overhead. Deterministic, so it can participate in gated
+    /// memory-per-agent accounting.
+    pub fn approx_bytes(&self) -> u64 {
+        self.point_count() as u64 * 12
+    }
+
     /// Rolls `metric` up into fixed-width buckets over `[t0, t1)` with the
     /// given aggregation — the statsd-style query a dashboard over the
     /// controller's store would issue. Buckets with no points are omitted.
@@ -218,6 +243,39 @@ impl TsDb {
         }
         Ok(out)
     }
+}
+
+/// Canonical fingerprint of the *union* of several stores, as if every
+/// point had been inserted into one database. Series are folded in
+/// sorted-name order; within a series, points from all stores are pooled
+/// and sorted by (timestamp bits, value bits) before hashing, so the
+/// digest depends only on the multiset of points per series. This is how
+/// a sharded controller's per-shard TSDBs are compared against a single
+/// controller's store over the same traffic.
+pub fn canonical_fingerprint_merged(stores: &[&TsDb]) -> u64 {
+    use std::collections::BTreeSet;
+    let guards: Vec<_> = stores.iter().map(|s| s.series.read()).collect();
+    let mut names: BTreeSet<&str> = BTreeSet::new();
+    for guard in &guards {
+        names.extend(guard.keys().map(String::as_str));
+    }
+    let mut h = fnv1a_init();
+    for name in names {
+        let mut points: Vec<(u64, u32)> = Vec::new();
+        for guard in &guards {
+            if let Some(series) = guard.get(name) {
+                points.extend(series.iter().map(|&(t, v)| (t.to_bits(), v.to_bits())));
+            }
+        }
+        points.sort_unstable();
+        fnv1a(&mut h, name.as_bytes());
+        fnv1a(&mut h, &(points.len() as u64).to_le_bytes());
+        for (t, v) in points {
+            fnv1a(&mut h, &t.to_le_bytes());
+            fnv1a(&mut h, &v.to_le_bytes());
+        }
+    }
+    h
 }
 
 /// FNV-1a 64-bit offset basis.
@@ -398,6 +456,62 @@ mod tests {
         // Any value difference changes the fingerprint.
         b.insert("x", 2.0, 4.0);
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn canonical_fingerprint_ignores_equal_timestamp_order() {
+        let a = TsDb::new();
+        let b = TsDb::new();
+        // Two points share t=1.0; insertion order differs, so the plain
+        // fingerprint diverges but the canonical one must not.
+        a.insert("m", 1.0, 10.0);
+        a.insert("m", 1.0, 20.0);
+        b.insert("m", 1.0, 20.0);
+        b.insert("m", 1.0, 10.0);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.canonical_fingerprint(), b.canonical_fingerprint());
+        // A value difference still shows up.
+        b.insert("m", 1.0, 30.0);
+        assert_ne!(a.canonical_fingerprint(), b.canonical_fingerprint());
+    }
+
+    #[test]
+    fn merged_fingerprint_matches_union_store() {
+        let whole = TsDb::new();
+        let left = TsDb::new();
+        let right = TsDb::new();
+        for i in 0..50 {
+            let t = (i % 7) as f64;
+            let v = i as f32;
+            whole.insert("s", t, v);
+            if i % 2 == 0 {
+                left.insert("s", t, v);
+            } else {
+                right.insert("s", t, v);
+            }
+        }
+        whole.insert("only", 0.0, 1.0);
+        right.insert("only", 0.0, 1.0);
+        assert_eq!(
+            whole.canonical_fingerprint(),
+            canonical_fingerprint_merged(&[&left, &right])
+        );
+        // Dropping a point breaks equality.
+        left.clear();
+        assert_ne!(
+            whole.canonical_fingerprint(),
+            canonical_fingerprint_merged(&[&left, &right])
+        );
+    }
+
+    #[test]
+    fn point_count_and_bytes_accounting() {
+        let db = TsDb::new();
+        assert_eq!(db.point_count(), 0);
+        db.insert_vector("v", 0.0, &[1.0, 2.0, 3.0]);
+        db.insert("w", 1.0, 4.0);
+        assert_eq!(db.point_count(), 4);
+        assert_eq!(db.approx_bytes(), 48);
     }
 
     #[test]

@@ -317,6 +317,19 @@ pub struct RecoveryReport {
     pub segments_scanned: u64,
 }
 
+impl RecoveryReport {
+    /// Folds another report into this one — a sharded controller opens
+    /// one WAL per shard and reports fleet recovery as the sum of the
+    /// per-shard replays (`snapshot_used` is true if any shard used one).
+    pub fn absorb(&mut self, other: &RecoveryReport) {
+        self.snapshot_used |= other.snapshot_used;
+        self.records_replayed += other.records_replayed;
+        self.duplicates_skipped += other.duplicates_skipped;
+        self.torn_tail_bytes += other.torn_tail_bytes;
+        self.segments_scanned += other.segments_scanned;
+    }
+}
+
 fn seg_name(index: u64) -> String {
     format!("seg-{index:08}")
 }

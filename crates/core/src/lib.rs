@@ -59,7 +59,7 @@ pub use engine::{
 pub use ensemble::{BayesianCombiner, CombinerKind};
 pub use error::CoreError;
 pub use eval::ConfusionMatrix;
-pub use health::{HealthPolicy, ModalityStatus};
+pub use health::{FleetHealthSummary, HealthPolicy, ModalityStatus};
 pub use model_io::{decode_tensors, encode_tensors};
 pub use models::{CnnConfig, FrameCnn, ImuRnn, ImuSvm, RnnConfig};
 

@@ -54,9 +54,13 @@ pub const HOT_ALLOC_TOKENS: &[&str] = &["Tensor::zeros", "vec!", ".collect()", "
 /// benchmark harness. The WAL (`collect::wal`) is deliberately *not*
 /// here: durability code must be replayable, so it receives time as data
 /// (arrival stamps) rather than reading a clock.
+/// `collect::loadgen` is here for exactly one surface: the
+/// `run_fleet_timed` bench wrapper that wall-clocks a whole fleet run.
+/// The fleet simulation itself is event-driven virtual time.
 pub const TIME_ALLOWLIST: &[&str] = &[
     "crates/collect/src/runtime.rs",
     "crates/collect/src/live.rs",
+    "crates/collect/src/loadgen.rs",
     "crates/bench/",
 ];
 
@@ -77,12 +81,14 @@ pub const DURABLE_IO_ALLOWLIST: &[&str] = &[
     "crates/xtask/",
 ];
 
-/// Files where `thread::spawn` would be legitimate. The two sanctioned
-/// concurrency owners use `std::thread::scope` exclusively today, so the
+/// Files where `thread::spawn` would be legitimate. The sanctioned
+/// concurrency owners use `std::thread::scope` exclusively today
+/// (`shard.rs` drains its shard queues on scoped workers), so the
 /// allowlist exists to keep future spawns confined to them.
 pub const THREAD_ALLOWLIST: &[&str] = &[
     "crates/tensor/src/parallel.rs",
     "crates/core/src/batching.rs",
+    "crates/collect/src/shard.rs",
 ];
 
 /// Inner attributes every crate root must carry.

@@ -57,7 +57,9 @@ fn time_rule_fires_outside_allowlist_only() {
     for allowed in [
         "crates/collect/src/runtime.rs",
         "crates/collect/src/live.rs",
+        "crates/collect/src/loadgen.rs",
         "crates/bench/src/bin/bench_parallel.rs",
+        "crates/bench/src/bin/bench_fleet.rs",
     ] {
         let lint = lint_file(allowed, &src);
         assert!(
@@ -66,6 +68,18 @@ fn time_rule_fires_outside_allowlist_only() {
             lint.violations
         );
     }
+}
+
+#[test]
+fn loadgen_time_grant_does_not_leak_to_siblings() {
+    // `loadgen.rs` owns the one wall-clock surface (the timed bench
+    // wrapper); the grant is a single file, so its sibling shard module
+    // and the rest of collect are still held to deterministic time.
+    let src = fixture("time_violation.rs");
+    let lint = lint_file("crates/collect/src/shard.rs", &src);
+    assert_eq!(fired(&lint), vec![(rule::TIME, 6), (rule::TIME, 10)]);
+    let lint = lint_file("crates/collect/src/controller.rs", &src);
+    assert_eq!(fired(&lint), vec![(rule::TIME, 6), (rule::TIME, 10)]);
 }
 
 #[test]
@@ -120,9 +134,23 @@ fn thread_rule_fires_on_detached_spawn_not_scoped() {
     let src = fixture("thread_violation.rs");
     let lint = lint_file("crates/collect/src/fixture.rs", &src);
     assert_eq!(fired(&lint), vec![(rule::THREAD, 4)]);
-    // In the Parallelism allowlist the same spawn is tolerated.
-    let lint = lint_file("crates/tensor/src/parallel.rs", &src);
-    assert!(lint.violations.iter().all(|v| v.rule != rule::THREAD));
+    // In the sanctioned concurrency owners the same spawn is tolerated —
+    // including the sharded controller's parallel drain.
+    for allowed in [
+        "crates/tensor/src/parallel.rs",
+        "crates/collect/src/shard.rs",
+    ] {
+        let lint = lint_file(allowed, &src);
+        assert!(
+            lint.violations.iter().all(|v| v.rule != rule::THREAD),
+            "{allowed} must be a thread owner: {:?}",
+            lint.violations
+        );
+    }
+    // The thread grant is per-file too: loadgen is a time owner but NOT
+    // a thread owner, so a detached spawn there still fires.
+    let lint = lint_file("crates/collect/src/loadgen.rs", &src);
+    assert_eq!(fired(&lint), vec![(rule::THREAD, 4)]);
 }
 
 #[test]

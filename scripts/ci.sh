@@ -1,33 +1,49 @@
 #!/usr/bin/env bash
 # Full CI pipeline, runnable offline on any checkout:
 #
-#   1. tier-1 gate   — lockfile freshness, fmt --check, release build,
-#                      tests, clippy -D warnings + escalated panic lints,
-#                      darlint --check (scripts/tier1.sh)
-#   2. darlint JSON  — re-runs the invariant lint with --json, writing the
-#                      machine-readable report next to the bench artifacts
-#                      (target/ci/darlint.json); any violation fails the
-#                      pipeline
-#   3. docs          — rustdoc must build cleanly (missing_docs is denied
-#                      in the crates, so this catches broken intra-doc
-#                      links and malformed examples)
-#   4. bench smoke   — the parallel/batching benchmark in --fast mode,
-#                      compared against the committed BENCH_parallel.json
-#                      baseline; any speedup_* ratio more than 15% below
-#                      baseline fails the build, as does missing the
-#                      hardware-scaled absolute floors (--check)
-#   5. zero-alloc    — the workspace inference benchmark in --fast mode,
-#                      compared against the committed BENCH_inference.json
-#                      baseline; the warm *_into paths must perform 0 heap
-#                      allocations per call and keep the single-step
-#                      speedup ≥1.15× (--check)
-#   6. chaos         — the crash-tolerance harness in --fast mode,
-#                      compared against the committed BENCH_chaos.json
-#                      baseline; seeded controller kills with torn tail
-#                      writes must recover with zero acked samples lost,
-#                      deterministically, within the replay time budget,
-#                      and overload must shed low-priority streams first
-#                      (--check)
+#   1. tier1     — lockfile freshness, fmt --check, release build,
+#                  tests, clippy -D warnings + escalated panic lints,
+#                  darlint --check (scripts/tier1.sh)
+#   2. darlint   — re-runs the invariant lint with --json, writing the
+#                  machine-readable report next to the bench artifacts
+#                  (target/ci/darlint.json); any violation fails the
+#                  pipeline
+#   3. docs      — rustdoc must build cleanly (missing_docs is denied
+#                  in the crates, so this catches broken intra-doc
+#                  links and malformed examples)
+#   4. parallel  — the parallel/batching benchmark in --fast mode,
+#                  compared against the committed BENCH_parallel.json
+#                  baseline; any speedup_* ratio more than 15% below
+#                  baseline fails the build, as does missing the
+#                  hardware-scaled absolute floors (--check)
+#   5. inference — the workspace inference benchmark in --fast mode,
+#                  compared against the committed BENCH_inference.json
+#                  baseline; the warm *_into paths must perform 0 heap
+#                  allocations per call and keep the single-step
+#                  speedup ≥1.15× (--check)
+#   6. chaos     — the crash-tolerance harness in --fast mode,
+#                  compared against the committed BENCH_chaos.json
+#                  baseline; seeded controller kills with torn tail
+#                  writes must recover with zero acked samples lost,
+#                  deterministically, within the replay time budget,
+#                  and overload must shed low-priority streams first
+#                  (--check)
+#   7. fleet     — the fleet-scale sharded-ingest harness in --fast
+#                  mode (a 10k-agent seeded fleet), compared against
+#                  the committed BENCH_fleet.json baseline; the run
+#                  must be bit-deterministic, the sharded TSDB must
+#                  merge to the single-controller digest, and sustained
+#                  ingest rate / ack p99 / bytes-per-agent must stay
+#                  within 15% of baseline (--check)
+#
+# Usage:
+#   scripts/ci.sh                 run every step
+#   scripts/ci.sh --only fleet    run one step (repeatable: --only a --only b)
+#   scripts/ci.sh --list          list step names and exit
+#
+# Every step is timed and a per-step elapsed summary is printed at the
+# end, so the 7-step pipeline can be profiled and iterated on locally
+# without grepping logs.
 #
 # The workspace vendors every dependency, so the whole pipeline runs with
 # the network off; CARGO_NET_OFFLINE makes cargo fail fast if anything
@@ -37,36 +53,83 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-echo "==> tier-1 gate (fmt, build, test, clippy, darlint)"
-scripts/tier1.sh
+STEPS=(tier1 darlint docs parallel inference chaos fleet)
+ONLY=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --only)
+      [[ $# -ge 2 ]] || { echo "error: --only needs a step name" >&2; exit 2; }
+      ONLY+=("$2")
+      shift 2
+      ;;
+    --list)
+      printf '%s\n' "${STEPS[@]}"
+      exit 0
+      ;;
+    *)
+      echo "error: unknown argument '$1' (try --list)" >&2
+      exit 2
+      ;;
+  esac
+done
+for name in ${ONLY[@]+"${ONLY[@]}"}; do
+  case " ${STEPS[*]} " in
+    *" $name "*) ;;
+    *) echo "error: unknown step '$name' (try --list)" >&2; exit 2 ;;
+  esac
+done
 
-echo "==> darlint JSON report"
-mkdir -p target/ci
-cargo run --locked -q -p xtask -- lint --check --json --out target/ci/darlint.json
+step_tier1() {
+  scripts/tier1.sh
+}
 
-echo "==> doc build"
-cargo doc --workspace --no-deps --locked --quiet
+step_darlint() {
+  mkdir -p target/ci
+  cargo run --locked -q -p xtask -- lint --check --json --out target/ci/darlint.json
+}
 
-echo "==> bench smoke + regression compare"
-mkdir -p target/ci
-cargo run --release --locked -p darnet-bench --bin bench_parallel -- \
-  --fast --json \
-  --out target/ci/BENCH_parallel.json \
-  --compare BENCH_parallel.json \
-  --check
+step_docs() {
+  cargo doc --workspace --no-deps --locked --quiet
+}
 
-echo "==> zero-alloc inference gate"
-cargo run --release --locked -p darnet-bench --bin bench_inference -- \
-  --fast --json \
-  --out target/ci/BENCH_inference.json \
-  --compare BENCH_inference.json \
-  --check
+# Shared shape of the four gated benchmarks: --fast smoke, JSON artifact
+# under target/ci/, regression compare against the committed baseline,
+# and the bench's own invariant gates.
+run_bench() {
+  local bin="$1"
+  local baseline="$2"
+  mkdir -p target/ci
+  cargo run --release --locked -p darnet-bench --bin "$bin" -- \
+    --fast --json \
+    --out "target/ci/$baseline" \
+    --compare "$baseline" \
+    --check
+}
 
-echo "==> chaos recovery gate"
-cargo run --release --locked -p darnet-bench --bin bench_chaos -- \
-  --fast --json \
-  --out target/ci/BENCH_chaos.json \
-  --compare BENCH_chaos.json \
-  --check
+step_parallel()  { run_bench bench_parallel  BENCH_parallel.json; }
+step_inference() { run_bench bench_inference BENCH_inference.json; }
+step_chaos()     { run_bench bench_chaos     BENCH_chaos.json; }
+step_fleet()     { run_bench bench_fleet     BENCH_fleet.json; }
 
+wants() {
+  [[ ${#ONLY[@]} -eq 0 ]] && return 0
+  local name
+  for name in "${ONLY[@]}"; do
+    [[ "$name" == "$1" ]] && return 0
+  done
+  return 1
+}
+
+SUMMARY=""
+for step in "${STEPS[@]}"; do
+  wants "$step" || continue
+  echo "==> $step"
+  start=$SECONDS
+  "step_$step"
+  elapsed=$((SECONDS - start))
+  SUMMARY+=$(printf '  %-10s %3ds' "$step" "$elapsed")$'\n'
+done
+
+echo "==> step timings"
+printf '%s' "$SUMMARY"
 echo "==> CI pipeline passed"
