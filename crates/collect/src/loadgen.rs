@@ -21,7 +21,7 @@
 //! [`FleetAdmission::Throttle`] — backpressure as deferral, with the
 //! spill buffer and retransmission schedule absorbing the slack.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
 
 use darnet_sim::schedule::build_schedule;
@@ -405,7 +405,7 @@ pub fn run_fleet_into(
     // Pending transmissions stay allocated so duplicated arrivals can
     // re-read them (the controller dedupes re-deliveries).
     let mut pending: Vec<Batch> = Vec::new();
-    let mut first_flush: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut first_flush: BTreeMap<(u32, u32), f64> = BTreeMap::new();
     let mut latencies: Vec<f64> = Vec::new();
     let mut deliveries = 0u64;
     let mut wire_bytes = 0u64;

@@ -1,7 +1,7 @@
 //! A small in-memory time-series store, in the spirit of the statsd-style
 //! database the paper's controller writes aligned tuples into (§4.1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -30,6 +30,9 @@ pub struct SeriesStats {
 ///
 /// Points are kept sorted by timestamp per series; insertion keeps order
 /// (fast append for the common in-order case, binary insertion otherwise).
+/// Series live in a `BTreeMap` so every traversal — fingerprints, metric
+/// listings, point counts — walks names in one deterministic order
+/// regardless of insertion order (darlint `nondet-order`).
 ///
 /// ```
 /// use darnet_collect::TsDb;
@@ -43,7 +46,7 @@ pub struct SeriesStats {
 /// ```
 #[derive(Debug, Default)]
 pub struct TsDb {
-    series: RwLock<HashMap<String, Vec<(f64, f32)>>>,
+    series: RwLock<BTreeMap<String, Vec<(f64, f32)>>>,
 }
 
 impl TsDb {
@@ -71,11 +74,9 @@ impl TsDb {
         }
     }
 
-    /// Names of all series, sorted.
+    /// Names of all series, sorted (the map is ordered by name).
     pub fn metrics(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.series.read().keys().cloned().collect();
-        names.sort();
-        names
+        self.series.read().keys().cloned().collect()
     }
 
     /// Number of points in `metric` (0 if absent).
@@ -146,17 +147,13 @@ impl TsDb {
     /// (replay must rebuild the TSDB *bitwise*, DESIGN.md §13).
     pub fn fingerprint(&self) -> u64 {
         let guard = self.series.read();
-        let mut names: Vec<&String> = guard.keys().collect();
-        names.sort();
         let mut h = fnv1a_init();
-        for name in names {
+        for (name, points) in guard.iter() {
             fnv1a(&mut h, name.as_bytes());
-            if let Some(points) = guard.get(name) {
-                fnv1a(&mut h, &(points.len() as u64).to_le_bytes());
-                for &(t, v) in points {
-                    fnv1a(&mut h, &t.to_bits().to_le_bytes());
-                    fnv1a(&mut h, &v.to_bits().to_le_bytes());
-                }
+            fnv1a(&mut h, &(points.len() as u64).to_le_bytes());
+            for &(t, v) in points {
+                fnv1a(&mut h, &t.to_bits().to_le_bytes());
+                fnv1a(&mut h, &v.to_bits().to_le_bytes());
             }
         }
         h
@@ -311,6 +308,46 @@ pub enum Aggregation {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn canonical_fingerprint_merged_is_insertion_order_invariant() {
+        // The same multiset of points, fed in three different insertion
+        // orders (and two different shardings), must digest identically:
+        // the fingerprint may depend only on the data, never on map
+        // iteration or arrival order.
+        let points = [
+            ("imu.accel.x", 0.5, 1.0f32),
+            ("imu.accel.x", 0.5, 2.0),
+            ("imu.accel.x", 0.25, 3.0),
+            ("cam.frame.lum", 0.5, 9.0),
+            ("cam.frame.lum", 0.125, 4.0),
+            ("gps.speed", 2.0, 60.0),
+        ];
+        let forward = TsDb::new();
+        for &(m, t, v) in &points {
+            forward.insert(m, t, v);
+        }
+        let reverse = TsDb::new();
+        for &(m, t, v) in points.iter().rev() {
+            reverse.insert(m, t, v);
+        }
+        let interleaved = TsDb::new();
+        for &(m, t, v) in points.iter().skip(1).chain(points.iter().take(1)) {
+            interleaved.insert(m, t, v);
+        }
+        let expected = canonical_fingerprint_merged(&[&forward]);
+        assert_eq!(canonical_fingerprint_merged(&[&reverse]), expected);
+        assert_eq!(canonical_fingerprint_merged(&[&interleaved]), expected);
+        assert_eq!(forward.canonical_fingerprint(), expected);
+
+        // Sharded: split the stream across two stores both ways.
+        let (a, b) = (TsDb::new(), TsDb::new());
+        for (i, &(m, t, v)) in points.iter().enumerate() {
+            if i % 2 == 0 { &a } else { &b }.insert(m, t, v);
+        }
+        assert_eq!(canonical_fingerprint_merged(&[&a, &b]), expected);
+        assert_eq!(canonical_fingerprint_merged(&[&b, &a]), expected);
+    }
 
     #[test]
     fn insert_and_query_roundtrip() {

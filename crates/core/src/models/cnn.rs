@@ -230,6 +230,7 @@ impl FrameCnn {
     /// # Errors
     ///
     /// Propagates model errors.
+    // darlint: cold — owned-output twin of predict_proba_into; batches through the allocating forward path by design
     pub fn predict_proba(&mut self, frames: &Tensor) -> Result<Tensor> {
         let dims = frames.dims().to_vec();
         let n = dims[0];

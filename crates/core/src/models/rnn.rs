@@ -155,6 +155,7 @@ impl ImuRnn {
     /// # Errors
     ///
     /// Returns [`CoreError::NotReady`] before [`ImuRnn::fit`].
+    // darlint: cold — owned-output twin of predict_proba_into; batches through the allocating forward path by design
     pub fn predict_proba(&mut self, windows: &Tensor) -> Result<Tensor> {
         let std = self
             .standardizer

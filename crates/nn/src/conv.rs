@@ -136,6 +136,7 @@ fn nchw_to_pixels(t: &Tensor) -> Result<Tensor> {
 }
 
 impl Layer for Conv2d {
+    // darlint: cold — owned-output twin of forward_into; Train mode caches im2col patches and allocates by design
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         if input.rank() != 4 {
             return Err(NnError::InvalidConfig(format!(

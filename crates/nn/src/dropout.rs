@@ -40,6 +40,7 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
+    // darlint: cold — owned-output twin of forward_into; Train mode samples a fresh mask and allocates by design
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         match mode {
             Mode::Eval => Ok(input.clone()),

@@ -172,6 +172,7 @@ impl InceptionBlock {
 }
 
 impl Layer for InceptionBlock {
+    // darlint: cold — owned-output twin of forward_into; Train mode caches branch activations and allocates by design
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         if input.rank() != 4 {
             return Err(NnError::InvalidConfig(format!(

@@ -103,6 +103,7 @@ impl Relu {
 }
 
 impl Layer for Relu {
+    // darlint: cold — owned-output twin of forward_into; Train mode caches the mask and allocates by design
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         if mode == Mode::Train {
             self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
@@ -311,6 +312,7 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    // darlint: cold — owned-output twin of forward_into; caches input dims for backward and allocates by design
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         if input.rank() < 1 {
             return Err(NnError::InvalidConfig("flatten needs rank >= 1".into()));

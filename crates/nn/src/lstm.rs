@@ -13,6 +13,7 @@ use crate::Result;
 
 /// Extracts timestep `t` of a `[batch, time, feat]` tensor as `[batch,
 /// feat]`.
+// darlint: cold — owned-output twin of step_slice_into; used by the allocating forward_seq and the training backward pass
 fn step_slice(x: &Tensor, t: usize) -> Result<Tensor> {
     let d = x.dims();
     let (b, time, f) = (d[0], d[1], d[2]);
@@ -125,6 +126,7 @@ impl LstmCell {
     /// # Errors
     ///
     /// Returns an error if the input rank or feature width is wrong.
+    // darlint: cold — owned-output twin of forward_seq_into; Train mode caches per-step gates and allocates by design
     pub fn forward_seq(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
         if x.rank() != 3 || x.dims()[2] != self.input_size {
             return Err(NnError::InvalidConfig(format!(
@@ -338,6 +340,7 @@ impl LstmCell {
 }
 
 /// Reverses a `[batch, time, feat]` tensor along the time axis.
+// darlint: cold — owned-output twin of reverse_time_into; used by the allocating forward_seq and the training backward pass
 fn reverse_time(x: &Tensor) -> Tensor {
     let d = x.dims();
     let (b, time, f) = (d[0], d[1], d[2]);
@@ -418,6 +421,7 @@ impl BiLstm {
     /// # Errors
     ///
     /// Propagates cell errors (bad input shape).
+    // darlint: cold — owned-output twin of forward_seq_into; Train mode caches directional activations and allocates by design
     pub fn forward_seq(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
         let BiLstm { fwd, bwd, par, .. } = self;
         let mut run_fwd = move || fwd.forward_seq(x, mode);
@@ -612,6 +616,7 @@ impl DeepBiLstmClassifier {
     /// # Errors
     ///
     /// Propagates layer errors.
+    // darlint: cold — owned-output twin of forward_into; Train mode caches activations and allocates by design
     pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
         let mut h = x.clone();
         for layer in &mut self.layers {

@@ -36,6 +36,7 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    // darlint: cold — owned-output twin of forward_into; Train mode caches argmax indices and allocates by design
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         let (out, arg) = max_pool2d_with(input, &self.spec, &self.par)?;
         if mode == Mode::Train {
@@ -116,6 +117,7 @@ impl AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
+    // darlint: cold — owned-output twin of forward_into; Train mode caches input dims and allocates by design
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         let out = avg_pool2d_with(input, &self.spec, &self.par)?;
         if mode == Mode::Train {
@@ -184,6 +186,7 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
+    // darlint: cold — owned-output twin of forward_into; Train mode caches input dims and allocates by design
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         if input.rank() != 4 {
             return Err(NnError::InvalidConfig(format!(

@@ -206,7 +206,9 @@ pub fn im2col_into(
 pub(crate) fn check_out_dims(out: &Tensor, dims: &[usize]) -> Result<()> {
     if out.dims() != dims {
         return Err(TensorError::ShapeMismatch {
+            // darlint: allow(hot-alloc) — error construction on the cold mismatch branch
             left: out.dims().to_vec(),
+            // darlint: allow(hot-alloc) — error construction on the cold mismatch branch
             right: dims.to_vec(),
         });
     }

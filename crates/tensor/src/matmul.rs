@@ -101,13 +101,17 @@ fn check_product_into(
     let (m, k) = a_dims;
     if k != b_inner {
         return Err(TensorError::MatmulDimMismatch {
+            // darlint: allow(hot-alloc) — error construction on the cold mismatch branch
             left: operands.0.dims().to_vec(),
+            // darlint: allow(hot-alloc) — error construction on the cold mismatch branch
             right: operands.1.dims().to_vec(),
         });
     }
     if out.dims() != [m, n] {
         return Err(TensorError::ShapeMismatch {
+            // darlint: allow(hot-alloc) — error construction on the cold mismatch branch
             left: out.dims().to_vec(),
+            // darlint: allow(hot-alloc) — error construction on the cold mismatch branch
             right: vec![m, n],
         });
     }
@@ -184,6 +188,7 @@ impl Tensor {
     /// # Errors
     ///
     /// Same conditions as [`Tensor::matmul`].
+    // darlint: cold — owned-output twin of matmul_transpose_b_into; steady-state inference writes into workspace buffers
     pub fn matmul_transpose_b_with(&self, other: &Tensor, par: &Parallelism) -> Result<Tensor> {
         check_rank2(self, other)?;
         let (m, k) = (self.dims()[0], self.dims()[1]);

@@ -124,6 +124,7 @@ impl Parallelism {
     /// would hand to worker threads. Deterministic: depends only on the
     /// policy and the arguments, never on runtime load. Returns a single
     /// full-range chunk when the kernel would run serially.
+    // darlint: cold — the threaded dispatch branch materializes its chunk list by design; the serial fast path the alloc gate runs never calls this
     pub fn partition(&self, rows: usize, work_per_row: usize) -> Vec<Range<usize>> {
         if rows == 0 {
             return Vec::new();

@@ -386,7 +386,9 @@ impl Tensor {
     pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
         if self.shape != other.shape {
             return Err(TensorError::ShapeMismatch {
+                // darlint: allow(hot-alloc) — error construction on the cold mismatch branch
                 left: self.dims().to_vec(),
+                // darlint: allow(hot-alloc) — error construction on the cold mismatch branch
                 right: other.dims().to_vec(),
             });
         }
@@ -429,6 +431,7 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns an error on rank/shape mismatch.
+    // darlint: cold — owned-output twin of add_row_broadcast_assign; steady-state inference mutates workspace buffers in place
     pub fn add_row_broadcast(&self, bias: &Tensor) -> Result<Tensor> {
         if self.rank() != 2 {
             return Err(TensorError::RankMismatch {
@@ -460,7 +463,9 @@ impl Tensor {
     fn check_same_shape(&self, out: &Tensor) -> Result<()> {
         if self.shape != out.shape {
             return Err(TensorError::ShapeMismatch {
+                // darlint: allow(hot-alloc) — error construction on the cold mismatch branch
                 left: self.dims().to_vec(),
+                // darlint: allow(hot-alloc) — error construction on the cold mismatch branch
                 right: out.dims().to_vec(),
             });
         }

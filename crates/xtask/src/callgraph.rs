@@ -1,0 +1,584 @@
+//! Approximate workspace call graph and hot-path constraint propagation.
+//!
+//! The per-file `hot-alloc` rule only guards functions someone remembered
+//! to annotate with `// darlint: hot`. This pass closes the unmarked-
+//! helper hole: it builds a name-resolution call graph across every
+//! scanned file and walks it from the hot **roots** — explicitly marked
+//! functions plus the `*_into` layer/kernel entries in `tensor` and `nn`
+//! — so that *any* function transitively reachable from the zero-alloc
+//! inference path is checked for allocation (and, outside the
+//! panic-free crates, for panics). Findings carry the reach chain so
+//! the fix is obvious: break the edge, hatch the site with
+//! `// darlint: allow(hot-alloc) — <reason>`, or declare the callee
+//! `// darlint: cold — <reason>` to prune traversal.
+//!
+//! Resolution is deliberately approximate (no type information):
+//!
+//! * `recv.name(...)` resolves to every non-test method `name` taking
+//!   `self`, except the [`UNIVERSAL_METHODS`] stoplist (std names like
+//!   `clone`/`len`/`push` that would wire the graph to unrelated impls);
+//! * `Qual::name(...)` resolves to methods/associated fns of the impl or
+//!   trait owner `Qual` (`Self` maps to the caller's owner), falling
+//!   back to free functions `name` when no owner matches (covers
+//!   `module::free_fn(...)` paths);
+//! * `name(...)` resolves to free functions of that name.
+//!
+//! Over-approximation errs toward *more* reachability, which is the safe
+//! direction for a constraint checker; function *references* passed as
+//! values (`map(helper)`) are the one under-approximated form.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lex::TokKind;
+use crate::rules::{
+    self, crate_of, file_hatches, hatch_name, is_test, match_pat, rule, skip_angles, snippet,
+    suppressed, FileLint, Violation, ALLOC_PATS, PANIC_CRATES, PANIC_PATS,
+};
+use crate::scan::ScannedFile;
+
+/// Method names never used for call-graph resolution: std vocabulary so
+/// common that name matching would connect the graph to unrelated impls.
+/// The cost of listing a name here is only that a *custom* method with
+/// the same name is not traversed — its body is still checked if it is
+/// reachable some other way or marked hot directly.
+const UNIVERSAL_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_mut_slice",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search_by",
+    "borrow",
+    "borrow_mut",
+    "ceil",
+    "chunks",
+    "chunks_exact",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "contains",
+    "contains_key",
+    "copied",
+    "copy_from_slice",
+    "count",
+    "default",
+    "deref",
+    "deref_mut",
+    "drain",
+    "drop",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "exp",
+    "extend",
+    "fill",
+    "filter",
+    "find",
+    "first",
+    "floor",
+    "flush",
+    "fmt",
+    "fold",
+    "from_bits",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "ln",
+    "lock",
+    "map",
+    "map_err",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "ne",
+    "next",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_default",
+    "or_else",
+    "or_insert",
+    "partial_cmp",
+    "pop",
+    "position",
+    "pow",
+    "powf",
+    "powi",
+    "push",
+    "push_str",
+    "read",
+    "remove",
+    "replace",
+    "rev",
+    "round",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "sort_unstable_by",
+    "split",
+    "split_at",
+    "split_at_mut",
+    "sqrt",
+    "starts_with",
+    "sum",
+    "take",
+    "to_bits",
+    "to_owned",
+    "to_string",
+    "trim",
+    "try_into",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "windows",
+    "write",
+    "write_all",
+    "zip",
+];
+
+/// Crates whose `*_into` functions are implicit hot roots: the layer
+/// forwards and kernel writers of the zero-alloc inference path.
+const INTO_ROOT_PREFIXES: &[&str] = &["crates/tensor/", "crates/nn/"];
+
+/// One function node in the workspace graph.
+struct Node {
+    file: usize,
+    fn_idx: usize,
+    root: bool,
+    traversable: bool,
+}
+
+/// Runs the propagation analysis over all scanned files. Returns
+/// violations (rule [`rule::HOT_PROPAGATE`]) plus the suppression counts
+/// from hatches that covered propagated findings.
+pub fn analyze(files: &[(String, ScannedFile)]) -> FileLint {
+    let mut nodes: Vec<Node> = Vec::new();
+    // Resolution indices over non-test functions.
+    let mut methods_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut by_owner: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+
+    for (fi, (path, scanned)) in files.iter().enumerate() {
+        for (ki, f) in scanned.fns.iter().enumerate() {
+            let gid = nodes.len();
+            let item = &f.item;
+            let is_into_root = item.name.ends_with("_into")
+                && INTO_ROOT_PREFIXES.iter().any(|p| path.starts_with(p));
+            nodes.push(Node {
+                file: fi,
+                fn_idx: ki,
+                root: !item.is_test && !f.cold && (f.hot || is_into_root),
+                traversable: !item.is_test && !f.cold,
+            });
+            if item.is_test {
+                continue;
+            }
+            if item.has_self {
+                methods_by_name
+                    .entry(item.name.clone())
+                    .or_default()
+                    .push(gid);
+            }
+            if let Some(owner) = &item.owner {
+                by_owner
+                    .entry((owner.clone(), item.name.clone()))
+                    .or_default()
+                    .push(gid);
+            } else if !item.has_self {
+                free_by_name.entry(item.name.clone()).or_default().push(gid);
+            }
+        }
+    }
+
+    // Token spans to skip per node: bodies of functions nested inside it
+    // (they are nodes of their own, connected by call edges).
+    let nested: Vec<Vec<(usize, usize)>> = nodes
+        .iter()
+        .map(|n| {
+            let scanned = &files[n.file].1;
+            let Some((open, close)) = scanned.fns[n.fn_idx].item.body else {
+                return Vec::new();
+            };
+            scanned
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != n.fn_idx)
+                .filter_map(|(_, g)| g.item.body)
+                .filter(|(o, c)| *o > open && *c < close)
+                .collect()
+        })
+        .collect();
+
+    // Call edges.
+    let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nodes.len()];
+    for (gid, node) in nodes.iter().enumerate() {
+        let (_, scanned) = &files[node.file];
+        let f = &scanned.fns[node.fn_idx];
+        if f.item.is_test {
+            continue;
+        }
+        let Some((open, close)) = f.item.body else {
+            continue;
+        };
+        let tokens = &scanned.tokens;
+        let mut i = open;
+        while i <= close {
+            if let Some(&(_, nc)) = nested[gid].iter().find(|(no, _)| *no == i) {
+                i = nc + 1;
+                continue;
+            }
+            let t = &tokens[i];
+            // `.name(...)` — method call (turbofish-tolerant).
+            if t.is_punct('.') && tokens.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) {
+                let name = tokens[i + 1].text.as_str();
+                let mut j = i + 2;
+                if tokens.get(j).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(j + 2).is_some_and(|t| t.is_punct('<'))
+                {
+                    j = skip_angles(tokens, j + 2);
+                }
+                if tokens.get(j).is_some_and(|t| t.is_punct('('))
+                    && !UNIVERSAL_METHODS.contains(&name)
+                {
+                    if let Some(cands) = methods_by_name.get(name) {
+                        edges[gid].extend(cands.iter().copied());
+                    }
+                }
+                i += 2;
+                continue;
+            }
+            // `Qual::name(...)` — associated/qualified call. Matching at
+            // the *last* `X :: name (` pair means `a::b::c(...)` resolves
+            // with owner `b`, which is the segment that names an impl.
+            if t.kind == TokKind::Ident
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                && tokens.get(i + 3).is_some_and(|n| n.kind == TokKind::Ident)
+            {
+                let mut j = i + 4;
+                if tokens.get(j).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(j + 2).is_some_and(|t| t.is_punct('<'))
+                {
+                    j = skip_angles(tokens, j + 2);
+                }
+                if tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+                    let name = tokens[i + 3].text.as_str();
+                    let owner = if t.is_ident("Self") {
+                        f.item.owner.clone().unwrap_or_default()
+                    } else {
+                        t.text.clone()
+                    };
+                    match by_owner.get(&(owner, name.to_owned())) {
+                        Some(cands) => edges[gid].extend(cands.iter().copied()),
+                        // `module::free_fn(...)`: the qualifier is a
+                        // module path segment, not an impl owner.
+                        None => {
+                            if let Some(cands) = free_by_name.get(name) {
+                                edges[gid].extend(cands.iter().copied());
+                            }
+                        }
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            // `name(...)` — free-function call. Excludes definitions
+            // (`fn name(`), method calls (handled above), and path tails.
+            if t.kind == TokKind::Ident
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && !(i > 0
+                    && (tokens[i - 1].is_punct('.')
+                        || tokens[i - 1].is_punct(':')
+                        || tokens[i - 1].is_ident("fn")))
+            {
+                if let Some(cands) = free_by_name.get(t.text.as_str()) {
+                    edges[gid].extend(cands.iter().copied());
+                }
+            }
+            i += 1;
+        }
+    }
+
+    // BFS from the roots; predecessor chains feed the diagnostics.
+    let mut pred: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut visited: BTreeSet<usize> = BTreeSet::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (gid, n) in nodes.iter().enumerate() {
+        if n.root {
+            visited.insert(gid);
+            queue.push_back(gid);
+        }
+    }
+    while let Some(gid) = queue.pop_front() {
+        for &next in &edges[gid] {
+            if !nodes[next].traversable || visited.contains(&next) {
+                continue;
+            }
+            visited.insert(next);
+            pred.insert(next, gid);
+            queue.push_back(next);
+        }
+    }
+
+    // Check every reachable function that is not already covered by the
+    // per-file hot-alloc rule (i.e. not explicitly `// darlint: hot`).
+    let mut out = FileLint::default();
+    let display = |gid: usize| -> String {
+        let n = &nodes[gid];
+        let item = &files[n.file].1.fns[n.fn_idx].item;
+        match &item.owner {
+            Some(o) => format!("{o}::{}", item.name),
+            None => item.name.clone(),
+        }
+    };
+    for &gid in &visited {
+        let n = &nodes[gid];
+        let (path, scanned) = &files[n.file];
+        let f = &scanned.fns[n.fn_idx];
+        if f.hot {
+            continue;
+        }
+        let Some((open, close)) = f.item.body else {
+            continue;
+        };
+        let hatches = file_hatches(&scanned.comments);
+        let mut chain: Vec<String> = vec![display(gid)];
+        let mut cur = gid;
+        while let Some(&p) = pred.get(&cur) {
+            chain.push(display(p));
+            cur = p;
+        }
+        chain.reverse();
+        let via = chain.join(" → ");
+        let panic_too = !crate_of(path).is_some_and(|c| PANIC_CRATES.contains(&c));
+        let mut i = open;
+        while i <= close {
+            if let Some(&(_, nc)) = nested[gid].iter().find(|(no, _)| *no == i) {
+                i = nc + 1;
+                continue;
+            }
+            let pats: &[(&[rules::Pat], &str)] = if panic_too {
+                &[(ALLOC_PATS, "allocates"), (PANIC_PATS, "can panic")]
+            } else {
+                &[(ALLOC_PATS, "allocates")]
+            };
+            for (set, verb) in pats {
+                for pat in *set {
+                    let Some(line) = match_pat(&scanned.tokens, i, pat) else {
+                        continue;
+                    };
+                    if is_test(scanned, line) {
+                        continue;
+                    }
+                    if suppressed(&hatches, rule::HOT_PROPAGATE, line) {
+                        out.allowed += 1;
+                        *out.allows
+                            .entry(hatch_name(rule::HOT_PROPAGATE).to_owned())
+                            .or_insert(0) += 1;
+                        continue;
+                    }
+                    out.violations.push(Violation {
+                        rule: rule::HOT_PROPAGATE,
+                        file: path.clone(),
+                        line,
+                        message: format!(
+                            "`{}` {verb} in `{}`, which is on the hot path via \
+                             {via}; fix it, hatch the line with `// darlint: \
+                             allow(hot-alloc) — <reason>`, or mark the function \
+                             `// darlint: cold — <reason>`",
+                            pat.display,
+                            display(gid),
+                        ),
+                        snippet: snippet(&scanned.lines, line),
+                    });
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn run(files: &[(&str, &str)]) -> FileLint {
+        let scanned: Vec<(String, ScannedFile)> = files
+            .iter()
+            .map(|(p, s)| ((*p).to_owned(), scan(s)))
+            .collect();
+        analyze(&scanned)
+    }
+
+    #[test]
+    fn two_hop_propagation_flags_unmarked_helper() {
+        // hot root → helper_a → helper_b (allocates): flagged with chain.
+        let src = "\
+// darlint: hot
+pub fn step_into(ws: &mut Workspace) {
+    helper_a(ws);
+}
+
+fn helper_a(ws: &mut Workspace) {
+    helper_b(ws);
+}
+
+fn helper_b(_ws: &mut Workspace) {
+    let _scratch = vec![0u8; 64];
+}
+";
+        let lint = run(&[("crates/nn/src/fixture.rs", src)]);
+        assert_eq!(lint.violations.len(), 1, "{:?}", lint.violations);
+        let v = &lint.violations[0];
+        assert_eq!(v.rule, rule::HOT_PROPAGATE);
+        assert_eq!(v.line, 11);
+        assert!(
+            v.message.contains("step_into → helper_a → helper_b"),
+            "{}",
+            v.message
+        );
+    }
+
+    #[test]
+    fn propagation_crosses_files() {
+        let a = "// darlint: hot\npub fn forward_into(x: u32) { crate::util::scratch(x); }\n";
+        let b = "pub fn scratch(_x: u32) { let _v = vec![1u8]; }\n";
+        let lint = run(&[("crates/nn/src/dense.rs", a), ("crates/nn/src/util.rs", b)]);
+        assert_eq!(lint.violations.len(), 1, "{:?}", lint.violations);
+        assert_eq!(lint.violations[0].file, "crates/nn/src/util.rs");
+    }
+
+    #[test]
+    fn into_suffix_is_an_implicit_root_in_kernel_crates() {
+        let src = "pub fn matmul_into(out: &mut [f32]) { helper(out); }\nfn helper(_o: &mut [f32]) { let _t = [0f32; 4].to_vec(); }\n";
+        let lint = run(&[("crates/tensor/src/matmul.rs", src)]);
+        assert_eq!(lint.violations.len(), 1, "{:?}", lint.violations);
+        // The same code outside tensor/nn is not implicitly rooted.
+        let lint = run(&[("crates/collect/src/loadgen.rs", src)]);
+        assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+    }
+
+    #[test]
+    fn cold_marker_prunes_traversal() {
+        let src = "\
+// darlint: hot
+pub fn step_into(x: u32) {
+    diagnostics(x);
+}
+
+// darlint: cold — error formatting, never on the steady-state path
+fn diagnostics(x: u32) {
+    let _msg = vec![x as u8];
+}
+";
+        let lint = run(&[("crates/nn/src/fixture.rs", src)]);
+        assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+    }
+
+    #[test]
+    fn hatch_suppresses_propagated_finding_and_counts() {
+        let src = "\
+// darlint: hot
+pub fn step_into(x: u32) {
+    helper(x);
+}
+
+fn helper(x: u32) {
+    // darlint: allow(hot-alloc) — first-call growth, amortized to zero
+    let _v = vec![x as u8];
+}
+";
+        let lint = run(&[("crates/nn/src/fixture.rs", src)]);
+        assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+        assert_eq!(lint.allowed, 1);
+        assert_eq!(lint.allows.get("hot-alloc"), Some(&1));
+    }
+
+    #[test]
+    fn method_and_qualified_calls_resolve() {
+        let src = "\
+pub struct Dense;
+impl Dense {
+    // darlint: hot
+    pub fn forward_into(&self, x: u32) {
+        self.project(x);
+        Dense::assoc(x);
+    }
+    fn project(&self, x: u32) {
+        let _p = vec![x as u8];
+    }
+    fn assoc(x: u32) {
+        let _a = vec![x as u8];
+    }
+}
+";
+        let lint = run(&[("crates/nn/src/dense.rs", src)]);
+        let lines: Vec<usize> = lint.violations.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![9, 12], "{:?}", lint.violations);
+    }
+
+    #[test]
+    fn test_functions_never_enter_the_graph() {
+        let src = "\
+// darlint: hot
+pub fn step_into(x: u32) { let _ = x; }
+
+#[cfg(test)]
+mod tests {
+    fn helper() { let _v = vec![1u8]; super::step_into(1); }
+}
+";
+        let lint = run(&[("crates/nn/src/fixture.rs", src)]);
+        assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+    }
+
+    #[test]
+    fn universal_method_names_do_not_wire_the_graph() {
+        // `.len()` on a Vec must not resolve to some custom `len` impl.
+        let src = "\
+pub struct Pool;
+impl Pool {
+    fn len(&self) -> usize {
+        let _v = vec![0u8; 1];
+        1
+    }
+}
+// darlint: hot
+pub fn step_into(v: &[u32]) -> usize { v.len() }
+";
+        let lint = run(&[("crates/nn/src/fixture.rs", src)]);
+        assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+    }
+}

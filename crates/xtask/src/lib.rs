@@ -1,14 +1,14 @@
 //! # xtask — workspace maintenance tasks
 //!
 //! Home of **darlint**, the in-repo invariant lint pass (`cargo run -p
-//! xtask -- lint`). darlint is a self-contained, std-only lexical static
-//! analysis over `crates/*/src` that machine-checks the project invariants
-//! documented in DESIGN.md §11:
+//! xtask -- lint`). darlint is a self-contained, std-only static
+//! analyzer over `crates/*/src` that machine-checks the project
+//! invariants documented in DESIGN.md §11 and §15:
 //!
 //! * **no-panic-paths** — `.unwrap()`, `.expect(`, `panic!`,
 //!   `unreachable!`, `todo!` are forbidden in non-`#[cfg(test)]` code of
-//!   the hot-path crates (`tensor`, `nn`, `core`, `collect`); typed errors
-//!   must be threaded instead. Escape hatch:
+//!   the hot-path crates (`tensor`, `nn`, `core`, `collect`, `xtask`);
+//!   typed errors must be threaded instead. Escape hatch:
 //!   `// darlint: allow(panic) — <reason>` (a justification is mandatory).
 //! * **deterministic-time** — `Instant::now` / `SystemTime::now` only in
 //!   the runtime allowlist (`collect::runtime`, `collect::live`, `bench`).
@@ -20,29 +20,43 @@
 //!   `#![warn(rust_2018_idioms)]`.
 //! * **hot-alloc** — inside any function annotated with an own-line
 //!   `// darlint: hot` marker, the allocating constructs
-//!   `Tensor::zeros`, `vec!`, `.collect()`, and `.to_vec()` are
-//!   forbidden; hot code checks buffers out of a
+//!   `Tensor::zeros`, `vec!`, `.collect()` (turbofish included), and
+//!   `.to_vec()` are forbidden; hot code checks buffers out of a
 //!   `darnet_tensor::Workspace` or writes through an `_into` kernel.
-//!   Cold branches (error construction, first-call growth) use
-//!   `// darlint: allow(hot-alloc) — <reason>`.
+//! * **hot-propagate** — the workspace call graph ([`callgraph`]) walks
+//!   from every hot root (`// darlint: hot` markers and the `*_into`
+//!   entries in `tensor`/`nn`) and applies the same no-alloc constraint
+//!   to every function *transitively reachable*, closing the
+//!   unmarked-helper hole. `// darlint: cold — <reason>` prunes a
+//!   function out of the traversal.
+//! * **nondet-order** — `HashMap`/`HashSet` (declaration or iteration)
+//!   are banned on the order-sensitive paths (digests, fingerprints,
+//!   WAL replay, wire encoding, reports) where nondeterministic
+//!   iteration order would break bitwise reproducibility.
 //! * **durable-io** — `std::fs` / `File::open` / `File::create` /
 //!   `OpenOptions::new` only in the durable-I/O owners (`collect::wal`,
-//!   `core::model_io`, `core::experiment`, `bench`, `xtask`); everything
-//!   else persists through a `WalStorage` so crash recovery stays
-//!   testable against `MemStorage`. Escape hatch:
-//!   `// darlint: allow(io) — <reason>`.
+//!   `core::model_io`, `core::experiment`, `bench`, and xtask's two I/O
+//!   surfaces); everything else persists through a `WalStorage` so crash
+//!   recovery stays testable against `MemStorage`.
 //!
-//! The pass is *lexical*: it scans masked source (comments, strings, and
-//! char literals blanked out — see [`scan`]), so it is fast, dependency
-//! free, and deliberately conservative. Semantic cousins of these rules
+//! The pass operates on a real token stream ([`lex`]) and parsed item
+//! structure ([`parse`]): comments, strings, and char literals can never
+//! match, call chains split across lines still match, and `cfg(test)`
+//! regions (including `#[cfg(not(test))]`, which is *not* test-gated)
+//! resolve correctly. Semantic cousins of these rules
 //! (`clippy::unwrap_used` et al.) run in the same tier-1 gate and catch
-//! what a lexical pass cannot; darlint catches what clippy does not model
-//! (allowlists, justification-bearing escape hatches, attribute hygiene).
+//! what name-level analysis cannot; darlint catches what clippy does not
+//! model (allowlists, justification-bearing escape hatches, attribute
+//! hygiene, transitive hot-path constraints, the ratchet).
 
 #![deny(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod callgraph;
+pub mod lex;
+pub mod parse;
+pub mod ratchet;
 pub mod report;
 pub mod rules;
 pub mod scan;
@@ -51,7 +65,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use report::LintReport;
-use rules::{check_crate_root, lint_file};
+use rules::{check_crate_root, lint_scanned};
+use scan::{scan, ScannedFile};
 
 /// Runs the full darlint pass over the workspace rooted at `root`
 /// (the directory containing the top-level `Cargo.toml` and `crates/`).
@@ -61,7 +76,6 @@ use rules::{check_crate_root, lint_file};
 /// Returns a message when the workspace layout cannot be read.
 pub fn run_lint(root: &Path) -> Result<LintReport, String> {
     let crates_dir = root.join("crates");
-    let mut report = LintReport::default();
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
         .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
@@ -69,42 +83,75 @@ pub fn run_lint(root: &Path) -> Result<LintReport, String> {
         .collect();
     crate_dirs.sort();
 
+    let mut files: Vec<(String, String)> = Vec::new();
     for crate_dir in &crate_dirs {
         let src = crate_dir.join("src");
         if !src.is_dir() {
             continue;
         }
-        // Crate root: lib.rs when present, else main.rs (binary-only
-        // crates).
-        let root_file = if src.join("lib.rs").is_file() {
-            Some(src.join("lib.rs"))
-        } else if src.join("main.rs").is_file() {
-            Some(src.join("main.rs"))
-        } else {
-            None
-        };
-        let mut files = Vec::new();
-        collect_rs_files(&src, &mut files)?;
-        files.sort();
-        for file in files {
+        let mut paths = Vec::new();
+        collect_rs_files(&src, &mut paths)?;
+        paths.sort();
+        for file in paths {
             let rel = relative(root, &file);
             let source = fs::read_to_string(&file)
                 .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-            let lint = lint_file(&rel, &source);
-            report.violations.extend(lint.violations);
-            report.allowed += lint.allowed;
-            report.files_scanned += 1;
-            if root_file.as_deref() == Some(file.as_path()) {
-                report
-                    .violations
-                    .extend(check_crate_root(&rel, &source).violations);
+            files.push((rel, source));
+        }
+    }
+    Ok(lint_workspace(&files))
+}
+
+/// Lints a workspace presented as `(workspace-relative path, source)`
+/// pairs: per-file rules, crate-root hygiene, and the cross-file
+/// call-graph propagation pass. This is the pure core of [`run_lint`];
+/// tests feed it synthetic multi-file inputs directly.
+pub fn lint_workspace(files: &[(String, String)]) -> LintReport {
+    let mut report = LintReport::default();
+    let scanned: Vec<(String, ScannedFile)> = files
+        .iter()
+        .map(|(path, source)| (path.clone(), scan(source)))
+        .collect();
+
+    for (path, sc) in &scanned {
+        let lint = lint_scanned(path, sc);
+        merge(&mut report, lint);
+        report.files_scanned += 1;
+        if is_crate_root(path, files) {
+            // Hygiene is cheap; re-using the raw source keeps the
+            // token-window check simple.
+            if let Some((_, source)) = files.iter().find(|(p, _)| p == path) {
+                merge(&mut report, check_crate_root(path, source));
             }
         }
     }
+    merge(&mut report, callgraph::analyze(&scanned));
     report
         .violations
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(report)
+    report
+}
+
+/// Is `path` the crate root for its crate: `src/lib.rs`, or `src/main.rs`
+/// when the crate has no `lib.rs`?
+fn is_crate_root(path: &str, files: &[(String, String)]) -> bool {
+    if path.ends_with("/src/lib.rs") {
+        return true;
+    }
+    if let Some(prefix) = path.strip_suffix("/src/main.rs") {
+        let lib = format!("{prefix}/src/lib.rs");
+        return !files.iter().any(|(p, _)| *p == lib);
+    }
+    false
+}
+
+/// Folds a per-file result into the workspace report.
+fn merge(report: &mut LintReport, lint: rules::FileLint) {
+    report.violations.extend(lint.violations);
+    report.allowed += lint.allowed;
+    for (hatch, n) in lint.allows {
+        *report.allows.entry(hatch).or_insert(0) += n;
+    }
 }
 
 /// Locates the workspace root: `CARGO_MANIFEST_DIR/../..` when invoked via

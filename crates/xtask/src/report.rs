@@ -1,20 +1,30 @@
 //! Rendering of lint results: human-readable diagnostics and the JSON
 //! report consumed by CI.
+//!
+//! The JSON report is deterministic and diffable: violations are sorted
+//! by `(file, line, rule)` before rendering, map keys are emitted in
+//! sorted order, and `schema_version` gates consumers. Version 2 added
+//! the per-hatch `allows` object (the ratchet's debt currency).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::rules::Violation;
 
+/// JSON report schema version.
+pub const SCHEMA_VERSION: usize = 2;
+
 /// Aggregated outcome of a full workspace lint run.
 #[derive(Debug, Default)]
 pub struct LintReport {
-    /// Every diagnostic, in (file, line) order.
+    /// Every diagnostic, in (file, line, rule) order.
     pub violations: Vec<Violation>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
     /// Matches suppressed by justified escape hatches.
     pub allowed: usize,
+    /// Suppressions by hatch name (`panic`, `hot-alloc`, `order`, ...).
+    pub allows: BTreeMap<String, usize>,
 }
 
 impl LintReport {
@@ -47,7 +57,8 @@ impl LintReport {
         out
     }
 
-    /// The JSON report (stable schema, version 1).
+    /// The JSON report (stable schema, sorted keys — byte-identical for
+    /// identical runs).
     pub fn render_json(&self) -> String {
         let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
         for v in &self.violations {
@@ -55,9 +66,20 @@ impl LintReport {
         }
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"tool\": \"darlint\",");
-        let _ = writeln!(out, "  \"schema_version\": 1,");
+        let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(out, "  \"allowed\": {},", self.allowed);
+        out.push_str("  \"allows\": {");
+        for (i, (hatch, n)) in self.allows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {n}", json_str(hatch));
+        }
+        if !self.allows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
         out.push_str("  \"counts\": {");
         for (i, (rule, n)) in counts.iter().enumerate() {
             if i > 0 {
@@ -119,6 +141,8 @@ mod tests {
     use crate::rules::rule;
 
     fn sample() -> LintReport {
+        let mut allows = BTreeMap::new();
+        allows.insert("panic".to_owned(), 2);
         LintReport {
             violations: vec![Violation {
                 rule: rule::PANIC,
@@ -129,6 +153,7 @@ mod tests {
             }],
             files_scanned: 7,
             allowed: 2,
+            allows,
         }
     }
 
@@ -142,12 +167,18 @@ mod tests {
     #[test]
     fn json_is_well_formed_enough() {
         let j = sample().render_json();
-        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"schema_version\": 2"));
         assert!(j.contains("\"no-panic-paths\": 1"));
         assert!(j.contains("\"files_scanned\": 7"));
+        assert!(j.contains("\"panic\": 2"));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        assert_eq!(sample().render_json(), sample().render_json());
     }
 
     #[test]

@@ -1,14 +1,19 @@
 //! The darlint rule set and its application to scanned files.
 //!
-//! Policy lives here as data (`POLICY`); DESIGN.md §11 is the prose
-//! counterpart. Every rule is lexical: it matches tokens in the masked
-//! source produced by [`crate::scan`], so comments, strings, and char
-//! literals can never trigger a diagnostic.
+//! Policy lives here as data; DESIGN.md §11 and §15 are the prose
+//! counterpart. Every rule matches the *token stream* produced by
+//! [`crate::scan`], so comments, strings, and char literals can never
+//! trigger a diagnostic, and matching is layout-insensitive: a call
+//! split across lines or spelled with a turbofish
+//! (`.collect::<Vec<_>>()`) matches the same as its compact form.
 
-use crate::scan::{scan, LineComment, ScannedFile};
+use std::collections::{BTreeMap, BTreeSet};
 
-/// Machine-readable rule identifiers (stable: they appear in JSON reports
-/// and escape-hatch comments).
+use crate::lex::{LineComment, TokKind, Token};
+use crate::scan::{parse_cold_marker, scan, ScannedFile};
+
+/// Machine-readable rule identifiers (stable: they appear in JSON reports,
+/// escape-hatch comments, and the ratchet baseline).
 pub mod rule {
     /// `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / `todo!` in
     /// non-test hot-path code.
@@ -19,7 +24,7 @@ pub mod rule {
     pub const THREAD: &str = "scoped-threads-only";
     /// Crate roots missing the required inner attributes.
     pub const HYGIENE: &str = "crate-hygiene";
-    /// An escape-hatch comment without a justification.
+    /// An escape-hatch comment (or `cold` marker) without a justification.
     pub const BARE_ALLOW: &str = "bare-allow";
     /// Allocating constructs inside a function annotated `// darlint: hot`
     /// (the zero-alloc inference path).
@@ -27,27 +32,17 @@ pub mod rule {
     /// Direct filesystem access (`std::fs`, `File::open`, ...) outside the
     /// sanctioned durable-I/O owners.
     pub const DURABLE_IO: &str = "durable-io";
+    /// `HashMap`/`HashSet` (declaration or iteration) in an
+    /// order-sensitive path: digests, fingerprints, replay, reports.
+    pub const ORDER: &str = "nondet-order";
+    /// Allocation (or panic, outside the panic-free crates) in a function
+    /// *transitively reachable* from a hot root via the call graph.
+    pub const HOT_PROPAGATE: &str = "hot-propagate";
 }
 
 /// Crates whose non-test code must be panic-free (the inference and
-/// collection hot paths).
-pub const PANIC_CRATES: &[&str] = &["tensor", "nn", "core", "collect"];
-
-/// Tokens forbidden by [`rule::PANIC`].
-pub const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!", "unreachable!", "todo!"];
-
-/// Tokens forbidden by [`rule::TIME`].
-pub const TIME_TOKENS: &[&str] = &["Instant::now", "SystemTime::now"];
-
-/// Tokens forbidden by [`rule::THREAD`].
-pub const THREAD_TOKENS: &[&str] = &["thread::spawn"];
-
-/// Tokens forbidden by [`rule::HOT_ALLOC`] inside `// darlint: hot`
-/// functions. Each one heap-allocates on the success path of the steady
-/// state; hot code must go through workspace checkouts and the `_into`
-/// kernels instead. (Error-path `format!`/`.into()` construction is
-/// deliberately not banned — errors are the cold path by definition.)
-pub const HOT_ALLOC_TOKENS: &[&str] = &["Tensor::zeros", "vec!", ".collect()", ".to_vec()"];
+/// collection hot paths, plus the linter itself).
+pub const PANIC_CRATES: &[&str] = &["tensor", "nn", "core", "collect", "xtask"];
 
 /// Files (workspace-relative, `/`-separated) or path prefixes where
 /// wall-clock reads are legitimate: the live collection layer and the
@@ -64,21 +59,19 @@ pub const TIME_ALLOWLIST: &[&str] = &[
     "crates/bench/",
 ];
 
-/// Tokens forbidden by [`rule::DURABLE_IO`].
-pub const DURABLE_IO_TOKENS: &[&str] =
-    &["std::fs", "File::open", "File::create", "OpenOptions::new"];
-
 /// Files or path prefixes sanctioned to touch the filesystem: the WAL's
 /// directory storage backend, model/experiment persistence, the bench
-/// harness, and xtask itself. Everything else must route durable state
-/// through a `WalStorage` (so tests can substitute `MemStorage` and
-/// crash-recovery stays simulable).
+/// harness, and the two xtask surfaces that genuinely do I/O (walking
+/// the workspace; reading/writing reports and the ratchet baseline).
+/// Everything else must route durable state through a `WalStorage` (so
+/// tests can substitute `MemStorage` and crash-recovery stays simulable).
 pub const DURABLE_IO_ALLOWLIST: &[&str] = &[
     "crates/collect/src/wal.rs",
     "crates/core/src/model_io.rs",
     "crates/core/src/experiment.rs",
     "crates/bench/",
-    "crates/xtask/",
+    "crates/xtask/src/lib.rs",
+    "crates/xtask/src/main.rs",
 ];
 
 /// Files where `thread::spawn` would be legitimate. The sanctioned
@@ -91,11 +84,178 @@ pub const THREAD_ALLOWLIST: &[&str] = &[
     "crates/collect/src/shard.rs",
 ];
 
-/// Inner attributes every crate root must carry.
+/// Order-sensitive paths: files whose outputs must be bitwise
+/// reproducible (digests, fingerprints, WAL replay, wire encoding,
+/// deterministic reports). Unlike the allowlists above, the
+/// `nondet-order` rule applies *on* these paths: hash-ordered
+/// containers are banned there outright because their iteration order
+/// varies run-to-run (`RandomState`) and silently breaks digest
+/// equality. Everywhere else `HashMap` is fine.
+pub const ORDER_PATHS: &[&str] = &[
+    "crates/collect/src/tsdb.rs",
+    "crates/collect/src/controller.rs",
+    "crates/collect/src/shard.rs",
+    "crates/collect/src/wal.rs",
+    "crates/collect/src/wire.rs",
+    "crates/collect/src/loadgen.rs",
+    "crates/core/src/model_io.rs",
+    "crates/core/src/experiment.rs",
+    "crates/xtask/src/report.rs",
+    "crates/xtask/src/ratchet.rs",
+];
+
+/// Container types banned by [`rule::ORDER`] on order-sensitive paths.
+pub const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Iteration methods that surface a hash container's nondeterministic
+/// order when called on a binding known to be hash-typed.
+const ORDER_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+];
+
+/// Inner attributes every crate root must carry (display form; matching
+/// is token-based, see [`check_crate_root`]).
 pub const REQUIRED_ROOT_ATTRS: &[&str] = &[
     "#![deny(unsafe_code)]",
     "#![deny(missing_docs)]",
     "#![warn(rust_2018_idioms)]",
+];
+
+/// `(level, name)` pairs for the required root attributes.
+const ROOT_ATTRS: &[(&str, &str, &str)] = &[
+    ("deny", "unsafe_code", "#![deny(unsafe_code)]"),
+    ("deny", "missing_docs", "#![deny(missing_docs)]"),
+    ("warn", "rust_2018_idioms", "#![warn(rust_2018_idioms)]"),
+];
+
+/// A token pattern one rule forbids.
+#[derive(Clone, Copy)]
+pub(crate) struct Pat {
+    pub(crate) kind: PatKind,
+    /// Canonical display form for diagnostics (e.g. `.unwrap()`).
+    pub(crate) display: &'static str,
+}
+
+/// The shapes a forbidden construct can take.
+#[derive(Clone, Copy)]
+pub(crate) enum PatKind {
+    /// `.name(...)` — a method call, turbofish-tolerant
+    /// (`.collect::<Vec<_>>()` matches `collect`). With `empty_args`,
+    /// the argument list must be `()`.
+    Method {
+        name: &'static str,
+        empty_args: bool,
+    },
+    /// `a::b` — a `::`-joined path suffix (`std::time::Instant::now`
+    /// matches `Instant::now`).
+    Path(&'static [&'static str]),
+    /// `name!` — a macro invocation.
+    MacroCall(&'static str),
+}
+
+/// Constructs forbidden by [`rule::PANIC`].
+pub(crate) const PANIC_PATS: &[Pat] = &[
+    Pat {
+        kind: PatKind::Method {
+            name: "unwrap",
+            empty_args: true,
+        },
+        display: ".unwrap()",
+    },
+    Pat {
+        kind: PatKind::Method {
+            name: "expect",
+            empty_args: false,
+        },
+        display: ".expect(",
+    },
+    Pat {
+        kind: PatKind::MacroCall("panic"),
+        display: "panic!",
+    },
+    Pat {
+        kind: PatKind::MacroCall("unreachable"),
+        display: "unreachable!",
+    },
+    Pat {
+        kind: PatKind::MacroCall("todo"),
+        display: "todo!",
+    },
+];
+
+/// Constructs forbidden by [`rule::TIME`].
+const TIME_PATS: &[Pat] = &[
+    Pat {
+        kind: PatKind::Path(&["Instant", "now"]),
+        display: "Instant::now",
+    },
+    Pat {
+        kind: PatKind::Path(&["SystemTime", "now"]),
+        display: "SystemTime::now",
+    },
+];
+
+/// Constructs forbidden by [`rule::THREAD`].
+const THREAD_PATS: &[Pat] = &[Pat {
+    kind: PatKind::Path(&["thread", "spawn"]),
+    display: "thread::spawn",
+}];
+
+/// Constructs forbidden by [`rule::HOT_ALLOC`] (and flagged by
+/// [`rule::HOT_PROPAGATE`]) inside hot functions. Each one
+/// heap-allocates on the success path of the steady state; hot code
+/// must go through workspace checkouts and the `_into` kernels instead.
+/// (Error-path `format!`/`.into()` construction is deliberately not
+/// banned — errors are the cold path by definition.)
+pub(crate) const ALLOC_PATS: &[Pat] = &[
+    Pat {
+        kind: PatKind::Path(&["Tensor", "zeros"]),
+        display: "Tensor::zeros",
+    },
+    Pat {
+        kind: PatKind::MacroCall("vec"),
+        display: "vec!",
+    },
+    Pat {
+        kind: PatKind::Method {
+            name: "collect",
+            empty_args: true,
+        },
+        display: ".collect()",
+    },
+    Pat {
+        kind: PatKind::Method {
+            name: "to_vec",
+            empty_args: true,
+        },
+        display: ".to_vec()",
+    },
+];
+
+/// Constructs forbidden by [`rule::DURABLE_IO`].
+const IO_PATS: &[Pat] = &[
+    Pat {
+        kind: PatKind::Path(&["std", "fs"]),
+        display: "std::fs",
+    },
+    Pat {
+        kind: PatKind::Path(&["File", "open"]),
+        display: "File::open",
+    },
+    Pat {
+        kind: PatKind::Path(&["File", "create"]),
+        display: "File::create",
+    },
+    Pat {
+        kind: PatKind::Path(&["OpenOptions", "new"]),
+        display: "OpenOptions::new",
+    },
 ];
 
 /// One diagnostic produced by the lint pass.
@@ -120,14 +280,24 @@ pub struct FileLint {
     pub violations: Vec<Violation>,
     /// Number of matches suppressed by a justified escape hatch.
     pub allowed: usize,
+    /// Suppressions broken down by hatch name (`panic`, `hot-alloc`,
+    /// ...) — the debt currency the ratchet baseline tracks.
+    pub allows: BTreeMap<String, usize>,
+}
+
+impl FileLint {
+    fn count_allow(&mut self, hatch: &str) {
+        self.allowed += 1;
+        *self.allows.entry(hatch.to_owned()).or_insert(0) += 1;
+    }
 }
 
 /// A parsed `// darlint: allow(<rule>) — <reason>` comment.
-struct Hatch {
-    line: usize,
-    own_line: bool,
-    rule: String,
-    has_reason: bool,
+pub(crate) struct Hatch {
+    pub(crate) line: usize,
+    pub(crate) own_line: bool,
+    pub(crate) rule: String,
+    pub(crate) has_reason: bool,
 }
 
 /// Parses an escape-hatch comment, if the comment is one.
@@ -152,94 +322,121 @@ fn parse_hatch(c: &LineComment) -> Option<Hatch> {
     })
 }
 
+/// All escape hatches declared in a file's comments.
+pub(crate) fn file_hatches(comments: &[LineComment]) -> Vec<Hatch> {
+    comments.iter().filter_map(parse_hatch).collect()
+}
+
 /// Short escape-hatch rule names accepted in `allow(...)`.
-fn hatch_name(rule_id: &str) -> &'static str {
+pub(crate) fn hatch_name(rule_id: &str) -> &'static str {
     match rule_id {
         rule::PANIC => "panic",
         rule::TIME => "time",
         rule::THREAD => "thread",
-        rule::HOT_ALLOC => "hot-alloc",
+        // Propagated hot findings share the hot-alloc hatch: the
+        // justification ("this allocation is fine here because ...") is
+        // the same claim either way.
+        rule::HOT_ALLOC | rule::HOT_PROPAGATE => "hot-alloc",
         rule::DURABLE_IO => "io",
+        rule::ORDER => "order",
         _ => "",
     }
 }
 
-/// Is this comment a `// darlint: hot` marker (annotating the next `fn`
-/// as part of the zero-alloc inference path)?
-fn is_hot_marker(c: &LineComment) -> bool {
-    let body = c.text.trim_start_matches('/').trim();
-    body.strip_prefix("darlint:")
-        .is_some_and(|rest| rest.trim() == "hot")
-}
-
-/// Byte offset of the start of 1-based `line` in `text`.
-fn offset_of_line(text: &str, line: usize) -> usize {
-    if line <= 1 {
-        return 0;
-    }
-    let mut count = 1usize;
-    for (i, b) in text.bytes().enumerate() {
-        if b == b'\n' {
-            count += 1;
-            if count == line {
-                return i + 1;
-            }
-        }
-    }
-    text.len()
-}
-
-/// Body byte-range `(open_brace, close_brace)` of the first function
-/// declared after a `// darlint: hot` marker on `marker_line`.
-fn hot_fn_body(masked: &str, marker_line: usize) -> Option<(usize, usize)> {
-    let bytes = masked.as_bytes();
-    let from = offset_of_line(masked, marker_line + 1);
-    let mut search = from;
-    let fn_pos = loop {
-        let rel = masked[search..].find("fn")?;
-        let pos = search + rel;
-        search = pos + 2;
-        let next_ok = bytes.get(pos + 2).is_some_and(u8::is_ascii_whitespace);
-        if next_ok && !ident_before(masked, pos) {
-            break pos;
-        }
-    };
-    let open = fn_pos + masked[fn_pos..].find('{')?;
-    let close = crate::scan::matching(bytes, open, b'{', b'}')?;
-    Some((open, close))
-}
-
 /// Does `path` match the allowlist (exact file or directory prefix)?
-fn allowlisted(path: &str, allowlist: &[&str]) -> bool {
+pub(crate) fn allowlisted(path: &str, allowlist: &[&str]) -> bool {
     allowlist
         .iter()
         .any(|a| path == *a || (a.ends_with('/') && path.starts_with(a)))
 }
 
 /// Crate name for a `crates/<name>/src/...` path, if any.
-fn crate_of(path: &str) -> Option<&str> {
+pub(crate) fn crate_of(path: &str) -> Option<&str> {
     path.strip_prefix("crates/")?.split('/').next()
 }
 
-/// Is the byte before `pos` part of an identifier (which would make a
-/// token match a substring of a longer name)?
-fn ident_before(masked: &str, pos: usize) -> bool {
-    if pos == 0 {
-        return false;
+/// Skips a `<...>` group starting at `start` (which must be `<`),
+/// tolerant of `->`/`=>` arrows inside; returns the index past `>`.
+pub(crate) fn skip_angles(tokens: &[Token], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < tokens.len() {
+        if tokens[i].is_punct('<') {
+            depth += 1;
+        } else if tokens[i].is_punct('>')
+            && !(i > 0 && (tokens[i - 1].is_punct('-') || tokens[i - 1].is_punct('=')))
+        {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
     }
-    let b = masked.as_bytes()[pos - 1];
-    b.is_ascii_alphanumeric() || b == b'_'
+    i
 }
 
-/// Lints one file's token rules. `path` must be workspace-relative with
-/// `/` separators (it selects which rules apply).
+/// Tries to match `pat` at token index `i`; returns the 1-based line of
+/// the match on success.
+pub(crate) fn match_pat(tokens: &[Token], i: usize, pat: &Pat) -> Option<usize> {
+    match pat.kind {
+        PatKind::Method { name, empty_args } => {
+            if !tokens[i].is_punct('.') || !tokens.get(i + 1).is_some_and(|t| t.is_ident(name)) {
+                return None;
+            }
+            let mut j = i + 2;
+            // Optional turbofish: `.collect::<Vec<_>>()`.
+            if tokens.get(j).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(j + 2).is_some_and(|t| t.is_punct('<'))
+            {
+                j = skip_angles(tokens, j + 2);
+            }
+            if !tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+                return None;
+            }
+            if empty_args && !tokens.get(j + 1).is_some_and(|t| t.is_punct(')')) {
+                return None;
+            }
+            Some(tokens[i].line)
+        }
+        PatKind::Path(segs) => {
+            if !tokens[i].is_ident(segs[0]) {
+                return None;
+            }
+            let mut j = i + 1;
+            for seg in &segs[1..] {
+                if !(tokens.get(j).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(j + 2).is_some_and(|t| t.is_ident(seg)))
+                {
+                    return None;
+                }
+                j += 3;
+            }
+            Some(tokens[i].line)
+        }
+        PatKind::MacroCall(name) => (tokens[i].is_ident(name)
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('!')))
+        .then_some(tokens[i].line),
+    }
+}
+
+/// Lints one file. `path` must be workspace-relative with `/` separators
+/// (it selects which rules apply).
 pub fn lint_file(path: &str, source: &str) -> FileLint {
-    let scanned = scan(source);
-    let hatches: Vec<Hatch> = scanned.comments.iter().filter_map(parse_hatch).collect();
+    lint_scanned(path, &scan(source))
+}
+
+/// Lints an already-scanned file (the workspace pass scans once and
+/// shares the result with the call-graph analysis).
+pub fn lint_scanned(path: &str, scanned: &ScannedFile) -> FileLint {
+    let hatches = file_hatches(&scanned.comments);
     let mut out = FileLint::default();
 
-    // Reject bare allows up front: an escape hatch without a reason is a
-    // violation wherever it appears (even if it suppresses nothing).
+    // Reject bare allows and bare cold markers up front: an escape hatch
+    // without a reason is a violation wherever it appears (even if it
+    // suppresses nothing).
     for h in &hatches {
         if !h.has_reason {
             out.violations.push(Violation {
@@ -251,82 +448,76 @@ pub fn lint_file(path: &str, source: &str) -> FileLint {
                      `// darlint: allow({}) — <reason>`",
                     h.rule, h.rule
                 ),
-                snippet: snippet(&scanned, h.line),
+                snippet: snippet(&scanned.lines, h.line),
+            });
+        }
+    }
+    for c in scanned.comments.iter().filter(|c| c.own_line) {
+        if parse_cold_marker(c) == Some(false) {
+            out.violations.push(Violation {
+                rule: rule::BARE_ALLOW,
+                file: path.to_owned(),
+                line: c.line,
+                message: "darlint: cold marker without a justification; write \
+                          `// darlint: cold — <reason>`"
+                    .to_owned(),
+                snippet: snippet(&scanned.lines, c.line),
             });
         }
     }
 
-    let panic_applies = crate_of(path).is_some_and(|c| PANIC_CRATES.contains(&c));
-    let time_applies = !allowlisted(path, TIME_ALLOWLIST);
-    let thread_applies = !allowlisted(path, THREAD_ALLOWLIST);
-    let io_applies = !allowlisted(path, DURABLE_IO_ALLOWLIST);
-
-    let mut checks: Vec<(&'static str, &[&str], String)> = Vec::new();
-    if panic_applies {
+    let mut checks: Vec<(&'static str, &[Pat], &'static str)> = Vec::new();
+    if crate_of(path).is_some_and(|c| PANIC_CRATES.contains(&c)) {
         checks.push((
             rule::PANIC,
-            PANIC_TOKENS,
-            "panicking call in hot-path code; return a typed error instead".to_owned(),
+            PANIC_PATS,
+            "panicking call in hot-path code; return a typed error instead",
         ));
     }
-    if time_applies {
+    if !allowlisted(path, TIME_ALLOWLIST) {
         checks.push((
             rule::TIME,
-            TIME_TOKENS,
+            TIME_PATS,
             "wall-clock read outside the runtime allowlist; inject time \
-             through the clock abstraction"
-                .to_owned(),
+             through the clock abstraction",
         ));
     }
-    if thread_applies {
+    if !allowlisted(path, THREAD_ALLOWLIST) {
         checks.push((
             rule::THREAD,
-            THREAD_TOKENS,
+            THREAD_PATS,
             "raw thread::spawn; use std::thread::scope under the \
-             Parallelism policy"
-                .to_owned(),
+             Parallelism policy",
         ));
     }
-    if io_applies {
+    if !allowlisted(path, DURABLE_IO_ALLOWLIST) {
         checks.push((
             rule::DURABLE_IO,
-            DURABLE_IO_TOKENS,
+            IO_PATS,
             "direct filesystem access outside the durable-I/O owners; \
-             route persistence through a WalStorage backend"
-                .to_owned(),
+             route persistence through a WalStorage backend",
         ));
     }
 
-    for (rule_id, tokens, why) in checks {
-        for token in tokens {
-            let mut search = 0usize;
-            while let Some(rel) = scanned.masked[search..].find(token) {
-                let pos = search + rel;
-                search = pos + token.len();
-                // Boundary guard for tokens that start mid-identifier
-                // (`panic!` must not match `my_panic!`); tokens that begin
-                // with `.` are already anchored by the dot.
-                let starts_ident = token
-                    .as_bytes()
-                    .first()
-                    .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
-                if starts_ident && ident_before(&scanned.masked, pos) {
+    for (rule_id, pats, why) in checks {
+        for i in 0..scanned.tokens.len() {
+            for pat in pats {
+                let Some(line) = match_pat(&scanned.tokens, i, pat) else {
                     continue;
-                }
-                let line = 1 + scanned.masked[..pos].matches('\n').count();
-                if scanned.is_test_line.get(line - 1).copied().unwrap_or(false) {
+                };
+                if is_test(scanned, line) {
                     continue;
                 }
                 if suppressed(&hatches, rule_id, line) {
-                    out.allowed += 1;
+                    out.count_allow(hatch_name(rule_id));
                     continue;
                 }
                 out.violations.push(Violation {
                     rule: rule_id,
                     file: path.to_owned(),
                     line,
-                    message: format!("`{token}` — {why}"),
-                    snippet: snippet(&scanned, line),
+                    message: format!("`{}` — {why}", pat.display),
+                    snippet: snippet(&scanned.lines, line),
                 });
             }
         }
@@ -335,36 +526,22 @@ pub fn lint_file(path: &str, source: &str) -> FileLint {
     // hot-alloc: inside every function annotated `// darlint: hot`, the
     // allocating constructs are banned outright — the annotation is the
     // author's claim that the function is on the zero-alloc inference
-    // path, and this rule keeps the claim honest.
-    for marker in scanned
-        .comments
-        .iter()
-        .filter(|c| c.own_line && is_hot_marker(c))
-    {
-        let Some((open, close)) = hot_fn_body(&scanned.masked, marker.line) else {
+    // path, and this rule keeps the claim honest. (Functions *reached*
+    // from hot roots are handled by the call-graph pass.)
+    for f in scanned.fns.iter().filter(|f| f.hot) {
+        let Some((open, close)) = f.item.body else {
             continue;
         };
-        let bytes = scanned.masked.as_bytes();
-        for token in HOT_ALLOC_TOKENS {
-            let region = &scanned.masked[open..close];
-            let mut search = 0usize;
-            while let Some(rel) = region[search..].find(token) {
-                let pos = search + rel;
-                search = pos + token.len();
-                let abs = open + pos;
-                let starts_ident = token
-                    .as_bytes()
-                    .first()
-                    .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
-                if starts_ident && ident_before(&scanned.masked, abs) {
+        for i in open..=close {
+            for pat in ALLOC_PATS {
+                let Some(line) = match_pat(&scanned.tokens, i, pat) else {
                     continue;
-                }
-                let line = crate::scan::line_of(bytes, abs);
-                if scanned.is_test_line.get(line - 1).copied().unwrap_or(false) {
+                };
+                if is_test(scanned, line) {
                     continue;
                 }
                 if suppressed(&hatches, rule::HOT_ALLOC, line) {
-                    out.allowed += 1;
+                    out.count_allow(hatch_name(rule::HOT_ALLOC));
                     continue;
                 }
                 out.violations.push(Violation {
@@ -372,20 +549,193 @@ pub fn lint_file(path: &str, source: &str) -> FileLint {
                     file: path.to_owned(),
                     line,
                     message: format!(
-                        "`{token}` allocates inside a `// darlint: hot` function; \
-                         use a workspace checkout or an `_into` kernel"
+                        "`{}` allocates inside a `// darlint: hot` function; \
+                         use a workspace checkout or an `_into` kernel",
+                        pat.display
                     ),
-                    snippet: snippet(&scanned, line),
+                    snippet: snippet(&scanned.lines, line),
                 });
             }
         }
     }
+
+    if allowlisted(path, ORDER_PATHS) {
+        order_check(path, scanned, &hatches, &mut out);
+    }
     out
+}
+
+/// The `nondet-order` rule body: on order-sensitive paths, ban
+/// hash-ordered containers at the type level and flag iteration sites
+/// over bindings known to be hash-typed.
+fn order_check(path: &str, scanned: &ScannedFile, hatches: &[Hatch], out: &mut FileLint) {
+    let tokens = &scanned.tokens;
+    // One diagnostic per line is enough: a declaration or loop header
+    // frequently matches both sub-checks.
+    let mut reported: BTreeSet<usize> = BTreeSet::new();
+    let mut emit = |line: usize, message: String, out: &mut FileLint| {
+        if is_test(scanned, line) || reported.contains(&line) {
+            return;
+        }
+        if suppressed(hatches, rule::ORDER, line) {
+            out.count_allow(hatch_name(rule::ORDER));
+            reported.insert(line);
+            return;
+        }
+        reported.insert(line);
+        out.violations.push(Violation {
+            rule: rule::ORDER,
+            file: path.to_owned(),
+            line,
+            message,
+            snippet: snippet(&scanned.lines, line),
+        });
+    };
+
+    // Sub-check 1: the types themselves are banned on these paths —
+    // iteration order of std's RandomState-hashed containers varies
+    // run-to-run, which is exactly what a digest/replay path cannot
+    // absorb.
+    for t in tokens {
+        if t.kind == TokKind::Ident && HASH_TYPES.contains(&t.text.as_str()) {
+            emit(
+                t.line,
+                format!(
+                    "`{}` on an order-sensitive path; iteration order is \
+                     nondeterministic — use BTreeMap/BTreeSet or sort \
+                     before folding",
+                    t.text
+                ),
+                out,
+            );
+        }
+    }
+
+    // Sub-check 2: iteration sites over bindings whose declared type or
+    // initializer is hash-ordered.
+    let names = hash_bound_names(tokens);
+    if names.is_empty() {
+        return;
+    }
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `name.iter()` / `name.keys()` / ... on a known hash binding.
+        if names.contains(&t.text)
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && tokens.get(i + 2).is_some_and(|n| {
+                n.kind == TokKind::Ident && ORDER_ITER_METHODS.contains(&n.text.as_str())
+            })
+            && tokens.get(i + 3).is_some_and(|n| n.is_punct('('))
+        {
+            emit(
+                t.line,
+                format!(
+                    "iterating hash-ordered `{}` (`.{}()`); order is \
+                     nondeterministic — sort first or use a BTree container",
+                    t.text,
+                    tokens[i + 2].text
+                ),
+                out,
+            );
+        }
+        // `for pat in <expr mentioning a hash binding> {`.
+        if t.is_ident("for") {
+            let mut j = i + 1;
+            let mut depth = 0usize;
+            // Find the `in` of this loop header.
+            while j < tokens.len() && !(depth == 0 && tokens[j].is_ident("in")) {
+                if tokens[j].is_punct('(') || tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(')') || tokens[j].is_punct(']') {
+                    depth = depth.saturating_sub(1);
+                }
+                if tokens[j].is_punct('{') || j > i + 24 {
+                    j = tokens.len(); // not a for-loop header we understand
+                }
+                j += 1;
+            }
+            let mut k = j;
+            while k < tokens.len() && !tokens[k].is_punct('{') && k < j + 24 {
+                if tokens[k].kind == TokKind::Ident && names.contains(&tokens[k].text) {
+                    emit(
+                        tokens[k].line,
+                        format!(
+                            "`for … in` over hash-ordered `{}`; order is \
+                             nondeterministic — sort first or use a BTree \
+                             container",
+                            tokens[k].text
+                        ),
+                        out,
+                    );
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+/// Bindings (fields, params, lets) whose declared type or initializer
+/// mentions a hash-ordered container: `series: RwLock<HashMap<..>>`,
+/// `let mut seen = HashSet::new()`.
+fn hash_bound_names(tokens: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `name : <type tokens containing HashMap/HashSet>`
+        if tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && !tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            let mut depth = 0usize;
+            for u in tokens.iter().take(i + 40).skip(i + 2) {
+                if u.is_punct('<') {
+                    depth += 1;
+                } else if u.is_punct('>') {
+                    depth = depth.saturating_sub(1);
+                } else if depth == 0
+                    && (u.is_punct(',') || u.is_punct(';') || u.is_punct('=') || u.is_punct(')'))
+                {
+                    break;
+                } else if u.kind == TokKind::Ident && HASH_TYPES.contains(&u.text.as_str()) {
+                    names.insert(t.text.clone());
+                    break;
+                }
+            }
+        }
+        // `let [mut] name = HashMap::...`
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|n| n.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name_tok) = tokens.get(j).filter(|n| n.kind == TokKind::Ident) else {
+                continue;
+            };
+            if tokens.get(j + 1).is_some_and(|n| n.is_punct('='))
+                && tokens
+                    .get(j + 2)
+                    .is_some_and(|n| HASH_TYPES.contains(&n.text.as_str()))
+            {
+                names.insert(name_tok.text.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Is 1-based `line` inside a test-gated region?
+pub(crate) fn is_test(scanned: &ScannedFile, line: usize) -> bool {
+    scanned.is_test_line.get(line - 1).copied().unwrap_or(false)
 }
 
 /// Is a match on `line` covered by a justified hatch for `rule_id` —
 /// either trailing on the same line or on its own line directly above?
-fn suppressed(hatches: &[Hatch], rule_id: &str, line: usize) -> bool {
+pub(crate) fn suppressed(hatches: &[Hatch], rule_id: &str, line: usize) -> bool {
     let name = hatch_name(rule_id);
     hatches.iter().any(|h| {
         h.has_reason && h.rule == name && (h.line == line || (h.own_line && h.line + 1 == line))
@@ -396,13 +746,13 @@ fn suppressed(hatches: &[Hatch], rule_id: &str, line: usize) -> bool {
 pub fn check_crate_root(path: &str, source: &str) -> FileLint {
     let scanned = scan(source);
     let mut out = FileLint::default();
-    for attr in REQUIRED_ROOT_ATTRS {
-        if !scanned.masked.contains(attr) {
+    for (level, name, display) in ROOT_ATTRS {
+        if !has_inner_attr(&scanned.tokens, level, name) {
             out.violations.push(Violation {
                 rule: rule::HYGIENE,
                 file: path.to_owned(),
                 line: 1,
-                message: format!("crate root is missing the required inner attribute `{attr}`"),
+                message: format!("crate root is missing the required inner attribute `{display}`"),
                 snippet: String::new(),
             });
         }
@@ -410,10 +760,23 @@ pub fn check_crate_root(path: &str, source: &str) -> FileLint {
     out
 }
 
+/// Token-level search for `#![level(name)]`.
+fn has_inner_attr(tokens: &[Token], level: &str, name: &str) -> bool {
+    tokens.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident(level)
+            && w[4].is_punct('(')
+            && w[5].is_ident(name)
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    })
+}
+
 /// The offending line, trimmed, for diagnostics.
-fn snippet(scanned: &ScannedFile, line: usize) -> String {
-    scanned
-        .lines
+pub(crate) fn snippet(lines: &[String], line: usize) -> String {
+    lines
         .get(line - 1)
         .map(|l| l.trim().to_owned())
         .unwrap_or_default()
@@ -428,6 +791,26 @@ mod tests {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
         assert_eq!(lint_file("crates/nn/src/a.rs", src).violations.len(), 1);
         assert_eq!(lint_file("crates/sim/src/a.rs", src).violations.len(), 0);
+    }
+
+    #[test]
+    fn xtask_is_held_to_the_panic_rule() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(lint_file("crates/xtask/src/a.rs", src).violations.len(), 1);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }\n";
+        assert!(lint_file("crates/nn/src/a.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn multiline_method_chain_still_fires() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x\n        .unwrap()\n}\n";
+        let lint = lint_file("crates/nn/src/a.rs", src);
+        assert_eq!(lint.violations.len(), 1);
+        assert_eq!(lint.violations[0].line, 3);
     }
 
     #[test]
@@ -450,7 +833,7 @@ mod tests {
     fn durable_io_allowlist_honored() {
         let src = "fn w(p: &std::path::Path) { let _ = std::fs::read(p); }\n";
         assert_eq!(
-            lint_file("crates/collect/src/tsdb.rs", src)
+            lint_file("crates/collect/src/sensor.rs", src)
                 .violations
                 .len(),
             1
@@ -475,6 +858,7 @@ mod tests {
         let lint = lint_file("crates/tensor/src/a.rs", src);
         assert!(lint.violations.is_empty());
         assert_eq!(lint.allowed, 1);
+        assert_eq!(lint.allows.get("panic"), Some(&1));
     }
 
     #[test]
@@ -485,6 +869,14 @@ mod tests {
         let rules: Vec<_> = lint.violations.iter().map(|v| v.rule).collect();
         assert!(rules.contains(&rule::BARE_ALLOW));
         assert!(rules.contains(&rule::PANIC));
+    }
+
+    #[test]
+    fn bare_cold_marker_rejected() {
+        let src = "// darlint: cold\nfn helper() {}\n";
+        let lint = lint_file("crates/tensor/src/a.rs", src);
+        assert_eq!(lint.violations.len(), 1);
+        assert_eq!(lint.violations[0].rule, rule::BARE_ALLOW);
     }
 
     #[test]
@@ -510,6 +902,15 @@ fn also_cold() -> Vec<u32> { vec![1, 2] }
             .map(|v| v.line)
             .collect();
         assert_eq!(lines, vec![5, 6, 7, 8], "zeros, vec!, collect, to_vec");
+    }
+
+    #[test]
+    fn turbofish_collect_is_caught_in_hot_fn() {
+        // The v1 substring matcher missed `.collect::<Vec<_>>()`.
+        let src = "// darlint: hot\nfn hot(v: &[f32]) -> Vec<f32> {\n    v.iter().copied().collect::<Vec<_>>()\n}\n";
+        let lint = lint_file("crates/tensor/src/a.rs", src);
+        let rules: Vec<_> = lint.violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&rule::HOT_ALLOC), "{:?}", lint.violations);
     }
 
     #[test]
@@ -541,6 +942,63 @@ pub fn hot_fn_like(defn_count: usize) -> usize {
         let lint = lint_file("crates/tensor/src/a.rs", src);
         assert_eq!(lint.violations.len(), 1);
         assert_eq!(lint.violations[0].line, 3);
+    }
+
+    #[test]
+    fn order_rule_bans_hash_types_on_order_paths_only() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\n";
+        let lint = lint_file("crates/collect/src/tsdb.rs", src);
+        let lines: Vec<usize> = lint.violations.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![1, 2]);
+        assert!(lint.violations.iter().all(|v| v.rule == rule::ORDER));
+        // Off the order-sensitive paths, HashMap is fine.
+        assert!(lint_file("crates/collect/src/agent.rs", src)
+            .violations
+            .is_empty());
+    }
+
+    #[test]
+    fn order_rule_flags_iteration_over_hash_bindings() {
+        let src = "\
+use std::collections::HashMap;
+struct S { m: HashMap<u32, u32> }
+impl S {
+    fn dump(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (k, _) in self.m.iter() {
+            out.push(*k);
+        }
+        for v in &self.m {
+            out.push(v.0 + 1);
+        }
+        out
+    }
+}
+";
+        let lint = lint_file("crates/collect/src/controller.rs", src);
+        let order_lines: Vec<usize> = lint
+            .violations
+            .iter()
+            .filter(|v| v.rule == rule::ORDER)
+            .map(|v| v.line)
+            .collect();
+        assert!(order_lines.contains(&6), "m.iter(): {order_lines:?}");
+        assert!(order_lines.contains(&9), "for in &self.m: {order_lines:?}");
+    }
+
+    #[test]
+    fn order_hatch_suppresses() {
+        let src = "// darlint: allow(order) — scratch set, never iterated\nuse std::collections::HashSet;\n";
+        let lint = lint_file("crates/collect/src/wal.rs", src);
+        assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+        assert_eq!(lint.allows.get("order"), Some(&1));
+    }
+
+    #[test]
+    fn btreemap_is_clean_on_order_paths() {
+        let src = "use std::collections::BTreeMap;\nstruct S { m: BTreeMap<u32, u32> }\nimpl S {\n    fn dump(&self) -> usize { self.m.iter().count() }\n}\n";
+        let lint = lint_file("crates/collect/src/tsdb.rs", src);
+        assert!(lint.violations.is_empty(), "{:?}", lint.violations);
     }
 
     #[test]

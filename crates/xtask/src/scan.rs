@@ -1,404 +1,116 @@
-//! Lexical scanner underpinning every darlint rule.
+//! File scanner underpinning every darlint rule: lexes the source into
+//! tokens ([`crate::lex`]), parses the item structure ([`crate::parse`]),
+//! and resolves the `// darlint: hot` / `// darlint: cold` function
+//! markers so the rules (and the call-graph pass) operate on a uniform
+//! per-file view.
 //!
-//! Rules must only ever match *executable* tokens, so the scanner produces
-//! a **masked** copy of the source in which comments, string literals, and
-//! char literals are blanked out (replaced by spaces, newlines preserved —
-//! byte offsets and line numbers stay identical to the original). Line
-//! comments are additionally captured verbatim so the escape-hatch scan
-//! can inspect them, and `#[cfg(test)]`-gated regions are resolved to line
-//! ranges so test-only code is exempt from the hot-path rules.
+//! Because rules match *tokens* — never raw text — comments, string
+//! literals (plain, raw, byte), and char literals can never trigger a
+//! diagnostic, and matching is whitespace/newline-insensitive: a call
+//! chain split across lines, or a turbofish like
+//! `.collect::<Vec<_>>()`, matches the same as its compact spelling.
 
-/// A line comment (`// ...`) captured during masking.
-#[derive(Debug, Clone)]
-pub struct LineComment {
-    /// 1-based line on which the comment starts.
-    pub line: usize,
-    /// Full comment text including the leading `//`.
-    pub text: String,
-    /// Whether the comment is the only token on its line.
-    pub own_line: bool,
+use crate::lex::{lex, LineComment, Token};
+use crate::parse::{parse, test_line_flags, FnItem};
+
+/// One function with its darlint markers resolved.
+#[derive(Debug)]
+pub struct FnInfo {
+    /// The parsed item.
+    pub item: FnItem,
+    /// Annotated with an own-line `// darlint: hot` marker: the author
+    /// claims this function is on the zero-alloc inference path.
+    pub hot: bool,
+    /// Annotated with `// darlint: cold — <reason>`: explicitly *off*
+    /// the hot path; call-graph propagation does not traverse into it.
+    pub cold: bool,
 }
 
 /// The result of scanning one source file.
 #[derive(Debug)]
 pub struct ScannedFile {
-    /// Source with comments/strings/chars blanked; same length and line
-    /// structure as the original.
-    pub masked: String,
+    /// Code tokens (comments and literal *contents* excluded).
+    pub tokens: Vec<Token>,
     /// Original source lines (for diagnostics snippets).
     pub lines: Vec<String>,
     /// All `//` comments, in file order.
     pub comments: Vec<LineComment>,
     /// `is_test_line[i]` is true when 1-based line `i + 1` sits inside a
-    /// `#[cfg(test)]`-gated item.
+    /// `#[cfg(test)]`-gated item (or a `#[test]` function).
     pub is_test_line: Vec<bool>,
+    /// Every `fn` item with markers attached.
+    pub fns: Vec<FnInfo>,
 }
 
-/// Scans `source`, masking non-code bytes and resolving test regions.
+/// Scans `source`: lex, parse, resolve markers and test regions.
 pub fn scan(source: &str) -> ScannedFile {
-    let (masked, comments) = mask(source);
+    let lexed = lex(source);
+    let parsed = parse(&lexed);
     let lines: Vec<String> = source.lines().map(str::to_owned).collect();
-    let is_test_line = test_lines(&masked, lines.len());
-    ScannedFile {
-        masked,
-        lines,
-        comments,
-        is_test_line,
-    }
-}
+    let is_test_line = test_line_flags(&parsed, lines.len());
 
-/// Replaces every byte of comments, string literals, and char literals
-/// with a space (newlines kept), collecting line comments on the side.
-fn mask(source: &str) -> (String, Vec<LineComment>) {
-    let bytes = source.as_bytes();
-    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
-    let mut comments = Vec::new();
-    let mut line = 1usize;
-    let mut line_had_code = false;
-    let mut i = 0usize;
-
-    // Pushes a masked byte: newlines survive so offsets stay stable.
-    fn blank(out: &mut Vec<u8>, b: u8) {
-        out.push(if b == b'\n' { b'\n' } else { b' ' });
-    }
-
-    while i < bytes.len() {
-        let b = bytes[i];
-        match b {
-            b'\n' => {
-                out.push(b'\n');
-                line += 1;
-                line_had_code = false;
-                i += 1;
-            }
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                let start = i;
-                let start_line = line;
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    blank(&mut out, bytes[i]);
-                    i += 1;
-                }
-                comments.push(LineComment {
-                    line: start_line,
-                    text: source[start..i].to_owned(),
-                    own_line: !line_had_code,
-                });
-            }
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
-                let mut depth = 1usize;
-                blank(&mut out, bytes[i]);
-                blank(&mut out, bytes[i + 1]);
-                i += 2;
-                while i < bytes.len() && depth > 0 {
-                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-                        depth += 1;
-                        blank(&mut out, bytes[i]);
-                        blank(&mut out, bytes[i + 1]);
-                        i += 2;
-                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                        depth -= 1;
-                        blank(&mut out, bytes[i]);
-                        blank(&mut out, bytes[i + 1]);
-                        i += 2;
-                    } else {
-                        if bytes[i] == b'\n' {
-                            line += 1;
-                            line_had_code = false;
-                        }
-                        blank(&mut out, bytes[i]);
-                        i += 1;
-                    }
-                }
-            }
-            b'"' => {
-                line_had_code = true;
-                i = mask_plain_string(bytes, i, &mut out, &mut line);
-            }
-            b'r' | b'b' if starts_raw_string(bytes, i) => {
-                line_had_code = true;
-                i = mask_raw_string(bytes, i, &mut out, &mut line);
-            }
-            b'b' if i + 1 < bytes.len() && bytes[i + 1] == b'\'' => {
-                line_had_code = true;
-                out.push(b'b');
-                i = mask_char_literal(bytes, i + 1, &mut out);
-            }
-            b'b' if i + 1 < bytes.len() && bytes[i + 1] == b'"' => {
-                line_had_code = true;
-                out.push(b'b');
-                i = mask_plain_string(bytes, i + 1, &mut out, &mut line);
-            }
-            b'\'' => {
-                line_had_code = true;
-                if is_char_literal(bytes, i) {
-                    i = mask_char_literal(bytes, i, &mut out);
-                } else {
-                    // A lifetime (`'a`) — code, keep it.
-                    out.push(b);
-                    i += 1;
-                }
-            }
-            _ => {
-                if !b.is_ascii_whitespace() {
-                    line_had_code = true;
-                }
-                out.push(b);
-                i += 1;
-            }
-        }
-    }
-    // Masking only ever replaces bytes with ASCII spaces/newlines at char
-    // boundaries, so the result is still valid UTF-8.
-    let masked = String::from_utf8_lossy(&out).into_owned();
-    (masked, comments)
-}
-
-/// Does `bytes[i..]` begin a raw (byte) string literal, e.g. `r"`, `r#"`,
-/// `br##"`?
-fn starts_raw_string(bytes: &[u8], i: usize) -> bool {
-    let mut j = i;
-    if bytes[j] == b'b' {
-        j += 1;
-        if j >= bytes.len() || bytes[j] != b'r' {
-            return false;
-        }
-    }
-    if bytes[j] != b'r' {
-        return false;
-    }
-    j += 1;
-    while j < bytes.len() && bytes[j] == b'#' {
-        j += 1;
-    }
-    j < bytes.len() && bytes[j] == b'"'
-}
-
-/// Masks a raw string starting at `i`; returns the index just past it.
-fn mask_raw_string(bytes: &[u8], mut i: usize, out: &mut Vec<u8>, line: &mut usize) -> usize {
-    // Prefix: optional `b`, `r`, then `#`s.
-    while bytes[i] != b'"' {
-        out.push(bytes[i]);
-        i += 1;
-    }
-    let hashes = {
-        let mut h = 0usize;
-        let mut k = i;
-        while k > 0 && bytes[k - 1] == b'#' {
-            h += 1;
-            k -= 1;
-        }
-        h
-    };
-    // Opening quote.
-    out.push(b' ');
-    i += 1;
-    while i < bytes.len() {
-        if bytes[i] == b'"' {
-            let mut ok = true;
-            for k in 0..hashes {
-                if i + 1 + k >= bytes.len() || bytes[i + 1 + k] != b'#' {
-                    ok = false;
-                    break;
-                }
-            }
-            if ok {
-                out.push(b' ');
-                for _ in 0..hashes {
-                    out.push(b' ');
-                }
-                return i + 1 + hashes;
-            }
-        }
-        if bytes[i] == b'\n' {
-            *line += 1;
-        }
-        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
-        i += 1;
-    }
-    i
-}
-
-/// Masks a `"..."` string starting at the quote; returns the index past
-/// the closing quote.
-fn mask_plain_string(bytes: &[u8], mut i: usize, out: &mut Vec<u8>, line: &mut usize) -> usize {
-    out.push(b' '); // opening quote
-    i += 1;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if i + 1 < bytes.len() => {
-                out.push(b' ');
-                out.push(if bytes[i + 1] == b'\n' { b'\n' } else { b' ' });
-                if bytes[i + 1] == b'\n' {
-                    *line += 1;
-                }
-                i += 2;
-            }
-            b'"' => {
-                out.push(b' ');
-                return i + 1;
-            }
-            b'\n' => {
-                *line += 1;
-                out.push(b'\n');
-                i += 1;
-            }
-            _ => {
-                out.push(b' ');
-                i += 1;
-            }
-        }
-    }
-    i
-}
-
-/// Is the `'` at `i` a char literal (vs. a lifetime)?
-fn is_char_literal(bytes: &[u8], i: usize) -> bool {
-    if i + 1 >= bytes.len() {
-        return false;
-    }
-    if bytes[i + 1] == b'\\' {
-        return true;
-    }
-    // `'x'` (any single char then a closing quote) is a literal; `'a` with
-    // no closing quote is a lifetime. Multi-byte chars: find the next
-    // quote within a few bytes.
-    for k in 2..=5 {
-        if i + k < bytes.len() && bytes[i + k] == b'\'' {
-            return true;
-        }
-        if i + k < bytes.len() && !is_continuation_or_start(bytes[i + k]) {
-            return false;
-        }
-    }
-    false
-}
-
-fn is_continuation_or_start(b: u8) -> bool {
-    b >= 0x80 || b.is_ascii_alphanumeric()
-}
-
-/// Masks a char literal starting at the opening `'`; returns the index
-/// past the closing quote.
-fn mask_char_literal(bytes: &[u8], mut i: usize, out: &mut Vec<u8>) -> usize {
-    out.push(b' '); // opening quote
-    i += 1;
-    if i < bytes.len() && bytes[i] == b'\\' {
-        out.push(b' ');
-        i += 1;
-        if i < bytes.len() {
-            out.push(b' ');
-            i += 1;
-            // `\x41` / `\u{...}` escapes: consume until the quote.
-            while i < bytes.len() && bytes[i] != b'\'' {
-                out.push(b' ');
-                i += 1;
-            }
-        }
-    } else {
-        while i < bytes.len() && bytes[i] != b'\'' {
-            out.push(b' ');
-            i += 1;
-        }
-    }
-    if i < bytes.len() {
-        out.push(b' '); // closing quote
-        i += 1;
-    }
-    i
-}
-
-/// Computes, from the masked source, which lines sit inside a
-/// `#[cfg(test)]`-gated item (attribute line through the item's closing
-/// brace or terminating semicolon).
-fn test_lines(masked: &str, line_count: usize) -> Vec<bool> {
-    let mut flags = vec![false; line_count];
-    let bytes = masked.as_bytes();
-    let mut search = 0usize;
-    while let Some(rel) = masked[search..].find("#[cfg(") {
-        let attr_start = search + rel;
-        // Read the balanced `(...)` content of the cfg predicate.
-        let paren_open = attr_start + "#[cfg".len();
-        let Some(paren_end) = matching(bytes, paren_open, b'(', b')') else {
-            break;
-        };
-        let predicate = &masked[paren_open + 1..paren_end];
-        let gated = predicate
-            .split(|c: char| !c.is_alphanumeric() && c != '_')
-            .any(|w| w == "test");
-        // Close of the whole `#[...]` attribute.
-        let Some(attr_end) = masked[paren_end..].find(']').map(|p| paren_end + p) else {
-            break;
-        };
-        search = attr_end + 1;
-        if !gated {
+    let mut fns: Vec<FnInfo> = parsed
+        .fns
+        .into_iter()
+        .map(|item| FnInfo {
+            item,
+            hot: false,
+            cold: false,
+        })
+        .collect();
+    // A marker annotates the nearest `fn` item declared after it
+    // (attributes and other modifiers may sit in between).
+    for c in lexed.comments.iter().filter(|c| c.own_line) {
+        let is_hot = is_hot_marker(c);
+        let is_cold = parse_cold_marker(c).is_some();
+        if !is_hot && !is_cold {
             continue;
         }
-        let start_line = line_of(bytes, attr_start);
-        // Skip any further attributes, then find the item's extent: the
-        // matching brace of its first `{`, or a top-level `;`.
-        let mut j = attr_end + 1;
-        loop {
-            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
-                j += 1;
-            }
-            if j + 1 < bytes.len() && bytes[j] == b'#' && bytes[j + 1] == b'[' {
-                match matching(bytes, j + 1, b'[', b']') {
-                    Some(close) => j = close + 1,
-                    None => break,
-                }
+        if let Some(f) = fns
+            .iter_mut()
+            .filter(|f| f.item.line > c.line)
+            .min_by_key(|f| f.item.line)
+        {
+            if is_hot {
+                f.hot = true;
             } else {
-                break;
+                f.cold = true;
             }
-        }
-        let mut end = None;
-        let mut k = j;
-        while k < bytes.len() {
-            match bytes[k] {
-                b'{' => {
-                    end = matching(bytes, k, b'{', b'}');
-                    break;
-                }
-                b';' => {
-                    end = Some(k);
-                    break;
-                }
-                _ => k += 1,
-            }
-        }
-        if let Some(end) = end {
-            let end_line = line_of(bytes, end);
-            for l in start_line..=end_line {
-                if l >= 1 && l <= line_count {
-                    flags[l - 1] = true;
-                }
-            }
-            search = end + 1;
         }
     }
-    flags
-}
 
-/// Index of the byte's 1-based line.
-pub(crate) fn line_of(bytes: &[u8], pos: usize) -> usize {
-    1 + bytes[..pos].iter().filter(|&&b| b == b'\n').count()
-}
-
-/// Finds the index of the delimiter matching `open` at `start`.
-pub(crate) fn matching(bytes: &[u8], start: usize, open: u8, close: u8) -> Option<usize> {
-    let mut depth = 0usize;
-    let mut i = start;
-    while i < bytes.len() {
-        if bytes[i] == open {
-            depth += 1;
-        } else if bytes[i] == close {
-            depth -= 1;
-            if depth == 0 {
-                return Some(i);
-            }
-        }
-        i += 1;
+    ScannedFile {
+        tokens: lexed.tokens,
+        lines,
+        comments: lexed.comments,
+        is_test_line,
+        fns,
     }
-    None
+}
+
+/// Is this comment a `// darlint: hot` marker?
+pub(crate) fn is_hot_marker(c: &LineComment) -> bool {
+    let body = c.text.trim_start_matches('/').trim();
+    body.strip_prefix("darlint:")
+        .is_some_and(|rest| rest.trim() == "hot")
+}
+
+/// Parses a `// darlint: cold — <reason>` marker. Returns
+/// `Some(has_reason)` when the comment is a cold marker at all, so a
+/// bare `// darlint: cold` can be rejected like a bare allow.
+pub(crate) fn parse_cold_marker(c: &LineComment) -> Option<bool> {
+    let body = c.text.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("darlint:")?.trim();
+    let tail = rest.strip_prefix("cold")?;
+    if !tail.is_empty() && !tail.starts_with([' ', '\t', '—', '-']) {
+        return None; // e.g. `darlint: coldness` is not a marker
+    }
+    let tail = tail.trim();
+    let reason = tail
+        .strip_prefix('—')
+        .or_else(|| tail.strip_prefix('-'))
+        .map(|r| r.trim_start_matches('-').trim());
+    Some(reason.is_some_and(|r| !r.is_empty()))
 }
 
 #[cfg(test)]
@@ -406,54 +118,87 @@ mod tests {
     use super::*;
 
     #[test]
-    fn masks_line_and_block_comments() {
-        let s = scan("let x = 1; // trailing .unwrap()\n/* block\npanic! */ let y = 2;\n");
-        assert!(!s.masked.contains("unwrap"));
-        assert!(!s.masked.contains("panic"));
-        assert!(s.masked.contains("let y = 2;"));
+    fn comments_and_strings_produce_no_tokens() {
+        let s =
+            scan("let x = 1; // trailing .unwrap()\n/* block\npanic! */ let y = \".unwrap()\";\n");
+        assert!(!s.tokens.iter().any(|t| t.text == "unwrap"));
+        assert!(!s.tokens.iter().any(|t| t.text == "panic"));
         assert_eq!(s.comments.len(), 1);
         assert!(!s.comments[0].own_line);
     }
 
     #[test]
-    fn masks_strings_and_chars_keeps_lifetimes() {
-        let s = scan("fn f<'a>(x: &'a str) { let c = 'x'; let m = \".unwrap()\"; }\n");
-        assert!(!s.masked.contains(".unwrap()"));
-        assert!(s.masked.contains("fn f<'a>"));
+    fn hot_marker_attaches_to_next_fn_only() {
+        let src = "\
+fn cold_before() {}
+
+// darlint: hot
+pub fn warm(&self) {}
+
+fn cold_after() {}
+";
+        let s = scan(src);
+        let flags: Vec<(String, bool)> =
+            s.fns.iter().map(|f| (f.item.name.clone(), f.hot)).collect();
+        assert_eq!(
+            flags,
+            vec![
+                ("cold_before".into(), false),
+                ("warm".into(), true),
+                ("cold_after".into(), false),
+            ]
+        );
     }
 
     #[test]
-    fn masks_raw_strings() {
-        let s = scan("let p = r#\"panic!(\"boom\")\"#;\nlet q = 3;\n");
-        assert!(!s.masked.contains("panic"));
-        assert!(s.masked.contains("let q = 3;"));
+    fn hot_marker_skips_attributes_between_marker_and_fn() {
+        let src = "// darlint: hot\n#[inline]\nfn warm() {}\n";
+        let s = scan(src);
+        assert!(s.fns[0].hot);
     }
 
     #[test]
-    fn cfg_test_mod_lines_flagged() {
+    fn cold_marker_resolves() {
+        let src = "// darlint: cold — diagnostics formatting, never on the inference path\nfn fmt_report() {}\n";
+        let s = scan(src);
+        assert!(s.fns[0].cold);
+        assert!(!s.fns[0].hot);
+    }
+
+    #[test]
+    fn cold_marker_reason_parse() {
+        let with = LineComment {
+            line: 1,
+            text: "// darlint: cold — startup only".into(),
+            own_line: true,
+        };
+        let without = LineComment {
+            line: 1,
+            text: "// darlint: cold".into(),
+            own_line: true,
+        };
+        let not_marker = LineComment {
+            line: 1,
+            text: "// darlint: coldness".into(),
+            own_line: true,
+        };
+        assert_eq!(parse_cold_marker(&with), Some(true));
+        assert_eq!(parse_cold_marker(&without), Some(false));
+        assert_eq!(parse_cold_marker(&not_marker), None);
+    }
+
+    #[test]
+    fn trailing_marker_is_not_attached() {
+        // Markers must be own-line; a trailing `// darlint: hot` is inert.
+        let src = "fn a() {} // darlint: hot\nfn b() {}\n";
+        let s = scan(src);
+        assert!(s.fns.iter().all(|f| !f.hot));
+    }
+
+    #[test]
+    fn cfg_test_regions_resolved() {
         let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
         let s = scan(src);
         assert_eq!(s.is_test_line, vec![false, true, true, true, true, false]);
-    }
-
-    #[test]
-    fn cfg_test_semicolon_item() {
-        let src = "#[cfg(test)]\nmod tests;\nfn live() {}\n";
-        let s = scan(src);
-        assert_eq!(s.is_test_line, vec![true, true, false]);
-    }
-
-    #[test]
-    fn cfg_all_test_counts_as_test() {
-        let src = "#[cfg(all(test, feature = \"x\"))]\nfn helper() {\n}\nfn live() {}\n";
-        let s = scan(src);
-        assert_eq!(s.is_test_line, vec![true, true, true, false]);
-    }
-
-    #[test]
-    fn cfg_not_test_is_not_gated() {
-        let src = "#[cfg(feature = \"testing\")]\nfn live() { x.unwrap() }\n";
-        let s = scan(src);
-        assert_eq!(s.is_test_line, vec![false, false]);
     }
 }

@@ -1,0 +1,11 @@
+//! Order fixture: justified hash use on an order-sensitive path.
+
+/// Membership probe only — never iterated, so order cannot leak.
+pub fn contains(xs: &[u32], probe: u32) -> bool {
+    // darlint: allow(order) — membership probe only; the set is never iterated
+    let mut seen = std::collections::HashSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    seen.contains(&probe)
+}

@@ -1,0 +1,20 @@
+//! Order fixture: hash containers on an order-sensitive path.
+use std::collections::HashMap;
+
+/// Folds counters into a digest in map-iteration order.
+pub fn digest(counts: &HashMap<String, u64>) -> u64 {
+    let mut h = 0u64;
+    for (k, v) in counts.iter() {
+        h ^= v.wrapping_add(k.len() as u64);
+    }
+    h
+}
+
+/// A scratch set built per call.
+pub fn dedupe(xs: &[u32]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    seen.len()
+}

@@ -1,0 +1,14 @@
+//! Helpers reached from the hot fixture root.
+
+/// First hop: shapes the work, no allocation of its own.
+pub fn mid_helper(out: &mut [f32]) {
+    alloc_helper(out);
+}
+
+/// Second hop: allocates scratch — propagation must flag this.
+pub fn alloc_helper(out: &mut [f32]) {
+    let scratch = vec![0.0f32; out.len()];
+    for (o, s) in out.iter_mut().zip(&scratch) {
+        *o += *s;
+    }
+}

@@ -1,0 +1,8 @@
+//! Propagation fixture: a hot root whose allocation happens two calls
+//! away, in another file.
+
+/// Hot entry point writing into a caller-provided buffer.
+// darlint: hot
+pub fn transform_into(out: &mut [f32]) {
+    crate::prop_helpers::mid_helper(out);
+}

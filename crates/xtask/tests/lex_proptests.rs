@@ -1,0 +1,93 @@
+//! Property-based tests for the darlint lexer: whatever mix of code,
+//! comments, strings, and blank lines a source file holds, every token
+//! must carry the 1-based line number of the line it started on.
+
+use proptest::prelude::*;
+use xtask::lex::{lex, TokKind};
+
+/// One generated source line paired with whether it contributes a
+/// trackable marker token (`mk<N>` idents are unique per line, so each
+/// can be asserted against the line it was printed on).
+#[derive(Debug, Clone)]
+enum Line {
+    /// `let mkN = V;` — carries the marker `mkN`.
+    Code(u32),
+    /// A `//` comment mentioning decoy tokens.
+    Comment,
+    /// A string literal statement with decoy content (no marker).
+    Str,
+    /// An empty line.
+    Blank,
+}
+
+fn line_strategy() -> impl Strategy<Value = Line> {
+    (0u32..4, any::<u32>()).prop_map(|(kind, v)| match kind {
+        0 => Line::Code(v),
+        1 => Line::Comment,
+        2 => Line::Str,
+        _ => Line::Blank,
+    })
+}
+
+proptest! {
+    #[test]
+    fn tokens_carry_the_line_they_started_on(lines in prop::collection::vec(line_strategy(), 0..40)) {
+        let mut source = String::new();
+        // expected marker ident -> 1-based line number
+        let mut expected: Vec<(String, usize)> = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            let lineno = i + 1;
+            match line {
+                Line::Code(v) => {
+                    let marker = format!("mk{lineno}");
+                    source.push_str(&format!("let {marker} = {v};\n"));
+                    expected.push((marker, lineno));
+                }
+                Line::Comment => source.push_str("// decoy .unwrap() vec![9]\n"),
+                Line::Str => source.push_str("s(\"decoy \\\" panic!(x)\");\n"),
+                Line::Blank => source.push('\n'),
+            }
+        }
+        let lexed = lex(&source);
+        for (marker, lineno) in &expected {
+            let tok = lexed
+                .tokens
+                .iter()
+                .find(|t| t.kind == TokKind::Ident && t.text == *marker)
+                .unwrap_or_else(|| panic!("marker {marker} not lexed"));
+            prop_assert_eq!(tok.line, *lineno, "marker {} on wrong line", marker);
+        }
+        // And no token may claim a line beyond the source's line count.
+        let line_count = lines.len().max(1);
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= 1 && t.line <= line_count);
+        }
+    }
+
+    #[test]
+    fn multi_line_strings_do_not_desync_line_numbers(
+        pre in 0usize..5, inner in 0usize..5, post in 0usize..5,
+    ) {
+        // A string spanning `inner + 1` lines, surrounded by marker lines:
+        // the token after the string must land on the right line.
+        let mut source = String::new();
+        for _ in 0..pre {
+            source.push_str("before();\n");
+        }
+        source.push_str("let s = \"");
+        source.push_str(&"line\n".repeat(inner));
+        source.push_str("end\";\n");
+        for _ in 0..post {
+            source.push_str("after();\n");
+        }
+        source.push_str("let sentinel = 1;\n");
+        let sentinel_line = pre + inner + 1 + post + 1;
+        let lexed = lex(&source);
+        let tok = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("sentinel"))
+            .unwrap_or_else(|| panic!("sentinel not lexed"));
+        prop_assert_eq!(tok.line, sentinel_line);
+    }
+}

@@ -208,6 +208,114 @@ fn hot_alloc_hatches_suppress_trailing_and_own_line_positions() {
 }
 
 #[test]
+fn propagation_flags_two_hop_cross_file_alloc() {
+    // The ISSUE's acceptance fixture: a hot root in one file, an unmarked
+    // allocating helper two hops away in another. The call-graph pass
+    // must flag the allocation site and name the whole chain.
+    let files = vec![
+        (
+            "crates/tensor/src/prop_root.rs".to_owned(),
+            fixture("propagate_root.rs"),
+        ),
+        (
+            "crates/tensor/src/prop_helpers.rs".to_owned(),
+            fixture("propagate_helpers.rs"),
+        ),
+    ];
+    let report = xtask::lint_workspace(&files);
+    let hits: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == rule::HOT_PROPAGATE)
+        .collect();
+    assert_eq!(hits.len(), 1, "{:?}", report.violations);
+    assert_eq!(hits[0].file, "crates/tensor/src/prop_helpers.rs");
+    assert_eq!(hits[0].line, 10); // the vec! in alloc_helper
+    assert!(
+        hits[0]
+            .message
+            .contains("transform_into → mid_helper → alloc_helper"),
+        "diagnostic must name the full chain: {}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn propagation_stops_at_a_cold_marker() {
+    // Same pair of files, but the first hop carries a justified cold
+    // marker: traversal prunes there and the allocation is not reached.
+    let helpers = fixture("propagate_helpers.rs").replace(
+        "pub fn mid_helper",
+        "// darlint: cold — fixture: pruned from traversal\npub fn mid_helper",
+    );
+    let files = vec![
+        (
+            "crates/tensor/src/prop_root.rs".to_owned(),
+            fixture("propagate_root.rs"),
+        ),
+        ("crates/tensor/src/prop_helpers.rs".to_owned(), helpers),
+    ];
+    let report = xtask::lint_workspace(&files);
+    assert!(
+        report
+            .violations
+            .iter()
+            .all(|v| v.rule != rule::HOT_PROPAGATE),
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn nondet_order_fires_on_order_paths_only() {
+    let src = fixture("nondet_order_violation.rs");
+    let lint = lint_file("crates/collect/src/wire.rs", &src);
+    assert_eq!(
+        fired(&lint),
+        vec![
+            (rule::ORDER, 2),  // use ... HashMap
+            (rule::ORDER, 5),  // HashMap in the signature
+            (rule::ORDER, 7),  // counts.iter()
+            (rule::ORDER, 15), // HashSet initializer
+        ]
+    );
+    // The same source off the order-sensitive paths is clean.
+    let lint = lint_file("crates/nn/src/fixture.rs", &src);
+    assert!(
+        lint.violations.iter().all(|v| v.rule != rule::ORDER),
+        "{:?}",
+        lint.violations
+    );
+}
+
+#[test]
+fn nondet_order_hatch_uses_the_order_short_name() {
+    let lint = lint_file(
+        "crates/collect/src/wire.rs",
+        &fixture("nondet_order_hatched.rs"),
+    );
+    assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+    assert_eq!(lint.allowed, 1);
+    assert_eq!(lint.allows.get("order"), Some(&1));
+}
+
+#[test]
+fn lexer_edge_cases_never_fire() {
+    // Nested block comments, raw strings, char literals, multi-line
+    // items, and a cfg(test) module delivered through a macro: none of
+    // the pattern-looking text inside them is real code.
+    let src = fixture("lex_edge_cases.rs");
+    for path in [
+        "crates/tensor/src/fixture.rs",
+        "crates/nn/src/fixture.rs",
+        "crates/collect/src/fixture.rs",
+    ] {
+        let lint = lint_file(path, &src);
+        assert!(lint.violations.is_empty(), "{path}: {:?}", lint.violations);
+    }
+}
+
+#[test]
 fn hygiene_good_root_is_clean_bad_root_lists_each_missing_attr() {
     let good = check_crate_root("crates/nn/src/lib.rs", &fixture("hygiene_good.rs"));
     assert!(good.violations.is_empty(), "{:?}", good.violations);
@@ -258,4 +366,29 @@ fn whole_workspace_lint_is_clean() {
         report.render_human()
     );
     assert!(report.files_scanned > 50, "suspiciously few files scanned");
+}
+
+#[test]
+fn committed_ratchet_baseline_is_not_regressed() {
+    // Mirrors the CI gate: the live run's per-rule and per-hatch counts
+    // must not exceed the committed darlint.ratchet.json. Paying debt
+    // *down* is fine (CI reports it as available tightening).
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_else(|| panic!("workspace root not found"));
+    let text = std::fs::read_to_string(root.join("darlint.ratchet.json"))
+        .unwrap_or_else(|e| panic!("cannot read committed ratchet baseline: {e}"));
+    let baseline = xtask::ratchet::Ratchet::parse(&text)
+        .unwrap_or_else(|e| panic!("committed ratchet baseline is malformed: {e}"));
+    let report = xtask::run_lint(&root).unwrap_or_else(|e| panic!("lint failed to run: {e}"));
+    let current = xtask::ratchet::Ratchet::from_report(&report);
+    let delta = xtask::ratchet::compare(&baseline, &current);
+    assert!(
+        delta.regressions.is_empty(),
+        "lint debt above the committed baseline (fix it or re-baseline with \
+         `cargo run -p xtask -- lint --write-ratchet darlint.ratchet.json`):\n{}",
+        delta.regressions.join("\n")
+    );
 }

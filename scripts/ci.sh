@@ -6,8 +6,13 @@
 #                  darlint --check (scripts/tier1.sh)
 #   2. darlint   — re-runs the invariant lint with --json, writing the
 #                  machine-readable report next to the bench artifacts
-#                  (target/ci/darlint.json); any violation fails the
-#                  pipeline
+#                  (target/ci/darlint.json), and compares per-rule /
+#                  per-hatch counts against the committed
+#                  darlint.ratchet.json baseline; any violation OR any
+#                  count above the baseline fails the pipeline with a
+#                  delta print (pay the debt down, or re-baseline with
+#                  `cargo run -p xtask -- lint --write-ratchet
+#                  darlint.ratchet.json` if the new debt is justified)
 #   3. docs      — rustdoc must build cleanly (missing_docs is denied
 #                  in the crates, so this catches broken intra-doc
 #                  links and malformed examples)
@@ -85,7 +90,9 @@ step_tier1() {
 
 step_darlint() {
   mkdir -p target/ci
-  cargo run --locked -q -p xtask -- lint --check --json --out target/ci/darlint.json
+  cargo run --locked -q -p xtask -- lint --check \
+    --json --out target/ci/darlint.json \
+    --ratchet darlint.ratchet.json
 }
 
 step_docs() {

@@ -19,14 +19,18 @@ cargo build --release --locked
 cargo test -q --locked
 cargo clippy --workspace --locked -- -D warnings
 
-# Escalated pass on the hot-path crates: panics in non-test code are build
-# errors (clippy.toml exempts tests). darlint's lexical pass enforces the
-# same invariant with allowlists and justification-bearing escape hatches;
-# clippy catches the semantic cases a lexical pass cannot see.
+# Escalated pass on the hot-path crates AND the linter itself: panics in
+# non-test code are build errors (clippy.toml exempts tests). darlint's
+# token-level pass enforces the same invariant with allowlists and
+# justification-bearing escape hatches; clippy catches the semantic cases
+# a token-level pass cannot see. xtask is included so the tool is held to
+# the rules it enforces.
 cargo clippy --locked -p darnet-tensor -p darnet-nn -p darnet-core -p darnet-collect \
+  -p xtask \
   --all-targets -- -D warnings \
   -D clippy::unwrap_used -D clippy::expect_used -D clippy::dbg_macro
 
 # darlint: the in-repo invariant lint (no-panic-paths, deterministic-time,
-# scoped-threads-only, crate-hygiene).
-cargo run --locked -q -p xtask -- lint --check
+# scoped-threads-only, crate-hygiene, hot-alloc, hot-propagate,
+# nondet-order, durable-io), held to the committed ratchet baseline.
+cargo run --locked -q -p xtask -- lint --check --ratchet darlint.ratchet.json
