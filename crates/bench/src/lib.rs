@@ -124,6 +124,7 @@ pub mod metrics {
     /// `baseline × (1 − tolerance)`, and every `cost_*` key must not rise
     /// above `baseline × (1 + tolerance)`. Improvements never fail.
     /// Returns the list of regression descriptions (empty = pass).
+    // darlint: pure-root
     pub fn compare(
         baseline: &BTreeMap<String, f64>,
         current: &BTreeMap<String, f64>,

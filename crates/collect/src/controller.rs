@@ -462,6 +462,7 @@ impl Controller {
     /// correct iff the recovered controller digests identically to the
     /// controller that wrote the log (modulo explicitly-shed state —
     /// see DESIGN.md §13).
+    // darlint: pure-root
     pub fn state_digest(&self) -> u64 {
         use crate::tsdb::{fnv1a, fnv1a_init};
         let mut h = fnv1a_init();

@@ -528,6 +528,7 @@ impl ShardedController {
     /// index) into one fleet digest. Shard-count *dependent* — use
     /// [`ShardedController::tsdb_digest`] for cross-shard-count
     /// comparisons.
+    // darlint: pure-root
     pub fn state_digest(&self) -> u64 {
         let mut h = fnv1a_init();
         for (i, s) in self.shards.iter().enumerate() {
@@ -541,6 +542,7 @@ impl ShardedController {
     /// single controller's [`TsDb::canonical_fingerprint`] over the same
     /// accepted traffic, for *any* shard count. The sharding-correctness
     /// invariant the proptests and `bench_fleet --check` pin.
+    // darlint: pure-root
     pub fn tsdb_digest(&self) -> u64 {
         let stores: Vec<&TsDb> = self.shards.iter().map(|s| s.controller.tsdb()).collect();
         canonical_fingerprint_merged(&stores)

@@ -167,6 +167,7 @@ impl TsDb {
     /// land in a different relative order than a single controller would
     /// produce; the canonical form is what sharded and unsharded stores
     /// are compared under (DESIGN.md §14).
+    // darlint: pure-root
     pub fn canonical_fingerprint(&self) -> u64 {
         canonical_fingerprint_merged(&[self])
     }
@@ -249,6 +250,7 @@ impl TsDb {
 /// digest depends only on the multiset of points per series. This is how
 /// a sharded controller's per-shard TSDBs are compared against a single
 /// controller's store over the same traffic.
+// darlint: pure-root
 pub fn canonical_fingerprint_merged(stores: &[&TsDb]) -> u64 {
     use std::collections::BTreeSet;
     let guards: Vec<_> = stores.iter().map(|s| s.series.read()).collect();

@@ -527,7 +527,7 @@ impl Wal {
         let crc = crc32(&self.scratch[FRAME_BYTES..]);
         self.scratch[0..4].copy_from_slice(&payload_len.to_be_bytes());
         self.scratch[4..8].copy_from_slice(&crc.to_be_bytes());
-        let name = seg_name(self.seg_index); // darlint: allow(hot-alloc) — object name, one small string per append
+        let name = seg_name(self.seg_index);
         self.storage.append(&name, &self.scratch)?;
         self.seg_records += 1;
         self.since_snapshot += 1;
@@ -683,6 +683,7 @@ fn existing_objects(storage: &dyn WalStorage) -> Result<(Vec<u64>, Vec<u64>)> {
 ///
 /// Returns [`CollectError::Wal`] on storage failures and
 /// [`CollectError::Recovery`] on non-tail corruption.
+// darlint: pure-root
 pub fn replay_into(
     controller: &mut Controller,
     storage: &dyn WalStorage,

@@ -1,16 +1,24 @@
 //! Approximate workspace call graph and hot-path constraint propagation.
 //!
+//! [`Graph::build`] constructs a name-resolution call graph across every
+//! scanned file; it is the substrate for *all* interprocedural analysis:
+//! the hot-path propagation below, and the effect-inference fixpoint in
+//! [`crate::effects`] (which runs the `replay-pure` rule and powers the
+//! `effects` subcommand).
+//!
 //! The per-file `hot-alloc` rule only guards functions someone remembered
-//! to annotate with `// darlint: hot`. This pass closes the unmarked-
-//! helper hole: it builds a name-resolution call graph across every
-//! scanned file and walks it from the hot **roots** — explicitly marked
-//! functions plus the `*_into` layer/kernel entries in `tensor` and `nn`
-//! — so that *any* function transitively reachable from the zero-alloc
-//! inference path is checked for allocation (and, outside the
-//! panic-free crates, for panics). Findings carry the reach chain so
-//! the fix is obvious: break the edge, hatch the site with
-//! `// darlint: allow(hot-alloc) — <reason>`, or declare the callee
-//! `// darlint: cold — <reason>` to prune traversal.
+//! to annotate with `// darlint: hot`. [`hot_propagate`] closes the
+//! unmarked-helper hole: it walks the graph from the hot **roots** —
+//! explicitly marked functions plus the `*_into` layer/kernel entries in
+//! `tensor` and `nn` — so that *any* function transitively reachable
+//! from the zero-alloc inference path is checked for allocation (and,
+//! outside the panic-free crates, for panics). The allocation/panic
+//! sites themselves come from the shared effect-seed table
+//! ([`crate::effects::lexical_sites`]): `Alloc` and `Panic` seeds are
+//! exactly the constructs this pass used to scan for itself. Findings
+//! carry the reach chain so the fix is obvious: break the edge, hatch
+//! the site with `// darlint: allow(hot-alloc) — <reason>`, or declare
+//! the callee `// darlint: cold — <reason>` to prune traversal.
 //!
 //! Resolution is deliberately approximate (no type information):
 //!
@@ -25,14 +33,16 @@
 //!
 //! Over-approximation errs toward *more* reachability, which is the safe
 //! direction for a constraint checker; function *references* passed as
-//! values (`map(helper)`) are the one under-approximated form.
+//! values (`map(helper)`) and trait-object calls through stoplisted
+//! names (`storage.read(...)`) are the under-approximated forms.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use crate::effects::{Effect, Site};
 use crate::lex::TokKind;
 use crate::rules::{
-    self, crate_of, file_hatches, hatch_name, is_test, match_pat, rule, skip_angles, snippet,
-    suppressed, FileLint, Violation, ALLOC_PATS, PANIC_CRATES, PANIC_PATS,
+    crate_of, file_hatches, hatch_name, rule, skip_angles, snippet, suppressed, FileLint,
+    Violation, PANIC_CRATES,
 };
 use crate::scan::ScannedFile;
 
@@ -168,180 +178,246 @@ const UNIVERSAL_METHODS: &[&str] = &[
 const INTO_ROOT_PREFIXES: &[&str] = &["crates/tensor/", "crates/nn/"];
 
 /// One function node in the workspace graph.
-struct Node {
-    file: usize,
-    fn_idx: usize,
-    root: bool,
-    traversable: bool,
+pub struct Node {
+    /// Index into the scanned-files slice.
+    pub file: usize,
+    /// Index into that file's `fns`.
+    pub fn_idx: usize,
+    /// Carries an explicit `// darlint: hot` marker.
+    pub hot: bool,
+    /// Root of hot-path propagation: marked hot, or an `*_into` entry in
+    /// `tensor`/`nn` (non-test, non-cold).
+    pub hot_root: bool,
+    /// `// darlint: cold — <reason>`: pruned from hot-path traversal.
+    pub cold: bool,
+    /// `// darlint: pure-root`: a replay-purity contract root
+    /// (see [`crate::effects::replay_pure`]).
+    pub pure_root: bool,
+    /// Inside a `cfg(test)` region: excluded from resolution and edges.
+    pub is_test: bool,
 }
 
-/// Runs the propagation analysis over all scanned files. Returns
-/// violations (rule [`rule::HOT_PROPAGATE`]) plus the suppression counts
-/// from hatches that covered propagated findings.
-pub fn analyze(files: &[(String, ScannedFile)]) -> FileLint {
-    let mut nodes: Vec<Node> = Vec::new();
-    // Resolution indices over non-test functions.
-    let mut methods_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-    let mut by_owner: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
-    let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+/// The workspace call graph: one node per `fn` item, name-resolved call
+/// edges, and the nested-fn token spans each analysis must skip when
+/// scanning a body (nested fns are nodes of their own).
+pub struct Graph {
+    /// All function nodes, in (file, declaration) order.
+    pub nodes: Vec<Node>,
+    /// `edges[gid]` = callee node ids (sorted, deduplicated).
+    pub edges: Vec<BTreeSet<usize>>,
+    /// Per node: token spans of functions nested inside its body.
+    pub(crate) nested: Vec<Vec<(usize, usize)>>,
+}
 
-    for (fi, (path, scanned)) in files.iter().enumerate() {
-        for (ki, f) in scanned.fns.iter().enumerate() {
-            let gid = nodes.len();
-            let item = &f.item;
-            let is_into_root = item.name.ends_with("_into")
-                && INTO_ROOT_PREFIXES.iter().any(|p| path.starts_with(p));
-            nodes.push(Node {
-                file: fi,
-                fn_idx: ki,
-                root: !item.is_test && !f.cold && (f.hot || is_into_root),
-                traversable: !item.is_test && !f.cold,
-            });
-            if item.is_test {
-                continue;
-            }
-            if item.has_self {
-                methods_by_name
-                    .entry(item.name.clone())
-                    .or_default()
-                    .push(gid);
-            }
-            if let Some(owner) = &item.owner {
-                by_owner
-                    .entry((owner.clone(), item.name.clone()))
-                    .or_default()
-                    .push(gid);
-            } else if !item.has_self {
-                free_by_name.entry(item.name.clone()).or_default().push(gid);
+impl Graph {
+    /// Builds the graph over all scanned files.
+    pub fn build(files: &[(String, ScannedFile)]) -> Graph {
+        let mut nodes: Vec<Node> = Vec::new();
+        // Resolution indices over non-test functions.
+        let mut methods_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut by_owner: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+
+        for (fi, (path, scanned)) in files.iter().enumerate() {
+            for (ki, f) in scanned.fns.iter().enumerate() {
+                let gid = nodes.len();
+                let item = &f.item;
+                let is_into_root = item.name.ends_with("_into")
+                    && INTO_ROOT_PREFIXES.iter().any(|p| path.starts_with(p));
+                nodes.push(Node {
+                    file: fi,
+                    fn_idx: ki,
+                    hot: f.hot,
+                    hot_root: !item.is_test && !f.cold && (f.hot || is_into_root),
+                    cold: f.cold,
+                    pure_root: !item.is_test && f.pure_root,
+                    is_test: item.is_test,
+                });
+                if item.is_test {
+                    continue;
+                }
+                if item.has_self {
+                    methods_by_name
+                        .entry(item.name.clone())
+                        .or_default()
+                        .push(gid);
+                }
+                if let Some(owner) = &item.owner {
+                    by_owner
+                        .entry((owner.clone(), item.name.clone()))
+                        .or_default()
+                        .push(gid);
+                } else if !item.has_self {
+                    free_by_name.entry(item.name.clone()).or_default().push(gid);
+                }
             }
         }
-    }
 
-    // Token spans to skip per node: bodies of functions nested inside it
-    // (they are nodes of their own, connected by call edges).
-    let nested: Vec<Vec<(usize, usize)>> = nodes
-        .iter()
-        .map(|n| {
-            let scanned = &files[n.file].1;
-            let Some((open, close)) = scanned.fns[n.fn_idx].item.body else {
-                return Vec::new();
+        // Token spans to skip per node: bodies of functions nested inside
+        // it (they are nodes of their own, connected by call edges).
+        let nested: Vec<Vec<(usize, usize)>> = nodes
+            .iter()
+            .map(|n| {
+                let scanned = &files[n.file].1;
+                let Some((open, close)) = scanned.fns[n.fn_idx].item.body else {
+                    return Vec::new();
+                };
+                scanned
+                    .fns
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != n.fn_idx)
+                    .filter_map(|(_, g)| g.item.body)
+                    .filter(|(o, c)| *o > open && *c < close)
+                    .collect()
+            })
+            .collect();
+
+        // Call edges.
+        let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nodes.len()];
+        for (gid, node) in nodes.iter().enumerate() {
+            let (_, scanned) = &files[node.file];
+            let f = &scanned.fns[node.fn_idx];
+            if f.item.is_test {
+                continue;
+            }
+            let Some((open, close)) = f.item.body else {
+                continue;
             };
-            scanned
-                .fns
-                .iter()
-                .enumerate()
-                .filter(|(j, _)| *j != n.fn_idx)
-                .filter_map(|(_, g)| g.item.body)
-                .filter(|(o, c)| *o > open && *c < close)
-                .collect()
-        })
-        .collect();
-
-    // Call edges.
-    let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nodes.len()];
-    for (gid, node) in nodes.iter().enumerate() {
-        let (_, scanned) = &files[node.file];
-        let f = &scanned.fns[node.fn_idx];
-        if f.item.is_test {
-            continue;
-        }
-        let Some((open, close)) = f.item.body else {
-            continue;
-        };
-        let tokens = &scanned.tokens;
-        let mut i = open;
-        while i <= close {
-            if let Some(&(_, nc)) = nested[gid].iter().find(|(no, _)| *no == i) {
-                i = nc + 1;
-                continue;
-            }
-            let t = &tokens[i];
-            // `.name(...)` — method call (turbofish-tolerant).
-            if t.is_punct('.') && tokens.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) {
-                let name = tokens[i + 1].text.as_str();
-                let mut j = i + 2;
-                if tokens.get(j).is_some_and(|t| t.is_punct(':'))
-                    && tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
-                    && tokens.get(j + 2).is_some_and(|t| t.is_punct('<'))
-                {
-                    j = skip_angles(tokens, j + 2);
+            let tokens = &scanned.tokens;
+            let mut i = open;
+            while i <= close {
+                if let Some(&(_, nc)) = nested[gid].iter().find(|(no, _)| *no == i) {
+                    i = nc + 1;
+                    continue;
                 }
-                if tokens.get(j).is_some_and(|t| t.is_punct('('))
-                    && !UNIVERSAL_METHODS.contains(&name)
-                {
-                    if let Some(cands) = methods_by_name.get(name) {
-                        edges[gid].extend(cands.iter().copied());
+                let t = &tokens[i];
+                // `.name(...)` — method call (turbofish-tolerant).
+                if t.is_punct('.') && tokens.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) {
+                    let name = tokens[i + 1].text.as_str();
+                    let mut j = i + 2;
+                    if tokens.get(j).is_some_and(|t| t.is_punct(':'))
+                        && tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                        && tokens.get(j + 2).is_some_and(|t| t.is_punct('<'))
+                    {
+                        j = skip_angles(tokens, j + 2);
                     }
+                    if tokens.get(j).is_some_and(|t| t.is_punct('('))
+                        && !UNIVERSAL_METHODS.contains(&name)
+                    {
+                        if let Some(cands) = methods_by_name.get(name) {
+                            edges[gid].extend(cands.iter().copied());
+                        }
+                    }
+                    i += 2;
+                    continue;
                 }
-                i += 2;
-                continue;
-            }
-            // `Qual::name(...)` — associated/qualified call. Matching at
-            // the *last* `X :: name (` pair means `a::b::c(...)` resolves
-            // with owner `b`, which is the segment that names an impl.
-            if t.kind == TokKind::Ident
-                && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
-                && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
-                && tokens.get(i + 3).is_some_and(|n| n.kind == TokKind::Ident)
-            {
-                let mut j = i + 4;
-                if tokens.get(j).is_some_and(|t| t.is_punct(':'))
-                    && tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
-                    && tokens.get(j + 2).is_some_and(|t| t.is_punct('<'))
+                // `Qual::name(...)` — associated/qualified call. Matching
+                // at the *last* `X :: name (` pair means `a::b::c(...)`
+                // resolves with owner `b`, which is the segment that
+                // names an impl.
+                if t.kind == TokKind::Ident
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                    && tokens.get(i + 3).is_some_and(|n| n.kind == TokKind::Ident)
                 {
-                    j = skip_angles(tokens, j + 2);
-                }
-                if tokens.get(j).is_some_and(|t| t.is_punct('(')) {
-                    let name = tokens[i + 3].text.as_str();
-                    let owner = if t.is_ident("Self") {
-                        f.item.owner.clone().unwrap_or_default()
-                    } else {
-                        t.text.clone()
-                    };
-                    match by_owner.get(&(owner, name.to_owned())) {
-                        Some(cands) => edges[gid].extend(cands.iter().copied()),
-                        // `module::free_fn(...)`: the qualifier is a
-                        // module path segment, not an impl owner.
-                        None => {
-                            if let Some(cands) = free_by_name.get(name) {
-                                edges[gid].extend(cands.iter().copied());
+                    let mut j = i + 4;
+                    if tokens.get(j).is_some_and(|t| t.is_punct(':'))
+                        && tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                        && tokens.get(j + 2).is_some_and(|t| t.is_punct('<'))
+                    {
+                        j = skip_angles(tokens, j + 2);
+                    }
+                    if tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+                        let name = tokens[i + 3].text.as_str();
+                        let owner = if t.is_ident("Self") {
+                            f.item.owner.clone().unwrap_or_default()
+                        } else {
+                            t.text.clone()
+                        };
+                        match by_owner.get(&(owner, name.to_owned())) {
+                            Some(cands) => edges[gid].extend(cands.iter().copied()),
+                            // `module::free_fn(...)`: the qualifier is a
+                            // module path segment, not an impl owner.
+                            None => {
+                                if let Some(cands) = free_by_name.get(name) {
+                                    edges[gid].extend(cands.iter().copied());
+                                }
                             }
                         }
                     }
+                    i += 1;
+                    continue;
+                }
+                // `name(...)` — free-function call. Excludes definitions
+                // (`fn name(`), method calls (handled above), and path
+                // tails.
+                if t.kind == TokKind::Ident
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    && !(i > 0
+                        && (tokens[i - 1].is_punct('.')
+                            || tokens[i - 1].is_punct(':')
+                            || tokens[i - 1].is_ident("fn")))
+                {
+                    if let Some(cands) = free_by_name.get(t.text.as_str()) {
+                        edges[gid].extend(cands.iter().copied());
+                    }
                 }
                 i += 1;
-                continue;
             }
-            // `name(...)` — free-function call. Excludes definitions
-            // (`fn name(`), method calls (handled above), and path tails.
-            if t.kind == TokKind::Ident
-                && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
-                && !(i > 0
-                    && (tokens[i - 1].is_punct('.')
-                        || tokens[i - 1].is_punct(':')
-                        || tokens[i - 1].is_ident("fn")))
-            {
-                if let Some(cands) = free_by_name.get(t.text.as_str()) {
-                    edges[gid].extend(cands.iter().copied());
-                }
-            }
-            i += 1;
+        }
+
+        Graph {
+            nodes,
+            edges,
+            nested,
         }
     }
 
+    /// `Owner::name` display form for diagnostics.
+    pub fn display(&self, files: &[(String, ScannedFile)], gid: usize) -> String {
+        let n = &self.nodes[gid];
+        let item = &files[n.file].1.fns[n.fn_idx].item;
+        match &item.owner {
+            Some(o) => format!("{o}::{}", item.name),
+            None => item.name.clone(),
+        }
+    }
+}
+
+/// Runs the full propagation analysis over all scanned files: graph
+/// construction, effect-seed extraction, and [`hot_propagate`].
+pub fn analyze(files: &[(String, ScannedFile)]) -> FileLint {
+    let graph = Graph::build(files);
+    let seeds = crate::effects::lexical_sites(&graph, files);
+    hot_propagate(&graph, files, &seeds)
+}
+
+/// Hot-path constraint propagation over a prebuilt graph. Returns
+/// violations (rule [`rule::HOT_PROPAGATE`]) plus the suppression counts
+/// from hatches that covered propagated findings. `seeds` must come from
+/// [`crate::effects::lexical_sites`] over the same graph: the `Alloc`
+/// seeds (and, outside the panic-free crates, `Panic` seeds) of every
+/// reached function are the findings.
+pub(crate) fn hot_propagate(
+    graph: &Graph,
+    files: &[(String, ScannedFile)],
+    seeds: &[Vec<Site>],
+) -> FileLint {
     // BFS from the roots; predecessor chains feed the diagnostics.
     let mut pred: BTreeMap<usize, usize> = BTreeMap::new();
     let mut visited: BTreeSet<usize> = BTreeSet::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
-    for (gid, n) in nodes.iter().enumerate() {
-        if n.root {
+    for (gid, n) in graph.nodes.iter().enumerate() {
+        if n.hot_root {
             visited.insert(gid);
             queue.push_back(gid);
         }
     }
     while let Some(gid) = queue.pop_front() {
-        for &next in &edges[gid] {
-            if !nodes[next].traversable || visited.contains(&next) {
+        for &next in &graph.edges[gid] {
+            let n = &graph.nodes[next];
+            if n.is_test || n.cold || visited.contains(&next) {
                 continue;
             }
             visited.insert(next);
@@ -353,77 +429,46 @@ pub fn analyze(files: &[(String, ScannedFile)]) -> FileLint {
     // Check every reachable function that is not already covered by the
     // per-file hot-alloc rule (i.e. not explicitly `// darlint: hot`).
     let mut out = FileLint::default();
-    let display = |gid: usize| -> String {
-        let n = &nodes[gid];
-        let item = &files[n.file].1.fns[n.fn_idx].item;
-        match &item.owner {
-            Some(o) => format!("{o}::{}", item.name),
-            None => item.name.clone(),
-        }
-    };
     for &gid in &visited {
-        let n = &nodes[gid];
+        let n = &graph.nodes[gid];
         let (path, scanned) = &files[n.file];
-        let f = &scanned.fns[n.fn_idx];
-        if f.hot {
+        if n.hot || seeds[gid].is_empty() {
             continue;
         }
-        let Some((open, close)) = f.item.body else {
-            continue;
-        };
         let hatches = file_hatches(&scanned.comments);
-        let mut chain: Vec<String> = vec![display(gid)];
+        let mut chain: Vec<String> = vec![graph.display(files, gid)];
         let mut cur = gid;
         while let Some(&p) = pred.get(&cur) {
-            chain.push(display(p));
+            chain.push(graph.display(files, p));
             cur = p;
         }
         chain.reverse();
         let via = chain.join(" → ");
         let panic_too = !crate_of(path).is_some_and(|c| PANIC_CRATES.contains(&c));
-        let mut i = open;
-        while i <= close {
-            if let Some(&(_, nc)) = nested[gid].iter().find(|(no, _)| *no == i) {
-                i = nc + 1;
+        for site in &seeds[gid] {
+            let verb = match site.effect {
+                Effect::Alloc => "allocates",
+                Effect::Panic if panic_too => "can panic",
+                _ => continue,
+            };
+            if suppressed(&hatches, rule::HOT_PROPAGATE, site.line) {
+                out.count_allow(hatch_name(rule::HOT_PROPAGATE));
                 continue;
             }
-            let pats: &[(&[rules::Pat], &str)] = if panic_too {
-                &[(ALLOC_PATS, "allocates"), (PANIC_PATS, "can panic")]
-            } else {
-                &[(ALLOC_PATS, "allocates")]
-            };
-            for (set, verb) in pats {
-                for pat in *set {
-                    let Some(line) = match_pat(&scanned.tokens, i, pat) else {
-                        continue;
-                    };
-                    if is_test(scanned, line) {
-                        continue;
-                    }
-                    if suppressed(&hatches, rule::HOT_PROPAGATE, line) {
-                        out.allowed += 1;
-                        *out.allows
-                            .entry(hatch_name(rule::HOT_PROPAGATE).to_owned())
-                            .or_insert(0) += 1;
-                        continue;
-                    }
-                    out.violations.push(Violation {
-                        rule: rule::HOT_PROPAGATE,
-                        file: path.clone(),
-                        line,
-                        message: format!(
-                            "`{}` {verb} in `{}`, which is on the hot path via \
-                             {via}; fix it, hatch the line with `// darlint: \
-                             allow(hot-alloc) — <reason>`, or mark the function \
-                             `// darlint: cold — <reason>`",
-                            pat.display,
-                            display(gid),
-                        ),
-                        snippet: snippet(&scanned.lines, line),
-                    });
-                }
-            }
-            i += 1;
+            out.violations.push(Violation {
+                rule: rule::HOT_PROPAGATE,
+                file: path.clone(),
+                line: site.line,
+                message: format!(
+                    "`{}` {verb} in `{}`, which is on the hot path via \
+                     {via}; fix it, hatch the line with `// darlint: \
+                     allow(hot-alloc) — <reason>`, or mark the function \
+                     `// darlint: cold — <reason>`",
+                    site.what,
+                    graph.display(files, gid),
+                ),
+                snippet: snippet(&scanned.lines, site.line),
+            });
         }
     }
     out
@@ -580,5 +625,23 @@ pub fn step_into(v: &[u32]) -> usize { v.len() }
 ";
         let lint = run(&[("crates/nn/src/fixture.rs", src)]);
         assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+    }
+
+    #[test]
+    fn graph_exposes_markers_on_nodes() {
+        let src = "\
+// darlint: pure-root
+pub fn digest() -> u64 { helper() }
+
+// darlint: cold — diagnostics only
+fn helper() -> u64 { 0 }
+";
+        let scanned = vec![("crates/collect/src/fixture.rs".to_owned(), scan(src))];
+        let graph = Graph::build(&scanned);
+        assert!(graph.nodes[0].pure_root);
+        assert!(!graph.nodes[0].cold);
+        assert!(graph.nodes[1].cold);
+        assert!(graph.edges[0].contains(&1), "digest → helper edge");
+        assert_eq!(graph.display(&scanned, 0), "digest");
     }
 }

@@ -38,6 +38,19 @@
 //!   `core::model_io`, `core::experiment`, `bench`, and xtask's two I/O
 //!   surfaces); everything else persists through a `WalStorage` so crash
 //!   recovery stays testable against `MemStorage`.
+//! * **rng-confined** — seeded-PRNG construction and use (`SplitMix64`)
+//!   only in the randomness owners (sim, loadgen, fault injection,
+//!   weight init, training-time randomness); everything else receives
+//!   randomness as data, keeping the storage/replay/digest/wire layer
+//!   RNG-free by construction.
+//! * **replay-pure** — functions transitively reachable from a
+//!   `// darlint: pure-root` marker (WAL replay, `state_digest`,
+//!   `canonical_fingerprint*`, `metrics::compare`) must be free of
+//!   Time/Io/Rng/ThreadSpawn/HashOrder effects; diagnostics carry the
+//!   full root-to-site call chain. Built on the interprocedural effect
+//!   inference in [`effects`], which also powers the `effects`
+//!   subcommand (`cargo run -p xtask -- effects [--explain <fn>]`) and
+//!   the deterministic `effects.json` artifact.
 //!
 //! The pass operates on a real token stream ([`lex`]) and parsed item
 //! structure ([`parse`]): comments, strings, and char literals can never
@@ -54,6 +67,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod callgraph;
+pub mod effects;
 pub mod lex;
 pub mod parse;
 pub mod ratchet;
@@ -75,6 +89,22 @@ use scan::{scan, ScannedFile};
 ///
 /// Returns a message when the workspace layout cannot be read.
 pub fn run_lint(root: &Path) -> Result<LintReport, String> {
+    Ok(lint_workspace(&workspace_sources(root)?))
+}
+
+/// Runs the effect-inference analysis over the workspace rooted at
+/// `root` (the `effects` subcommand's core).
+///
+/// # Errors
+///
+/// Returns a message when the workspace layout cannot be read.
+pub fn run_effects(root: &Path) -> Result<effects::Analysis, String> {
+    Ok(effects_workspace(&workspace_sources(root)?))
+}
+
+/// Reads every `crates/*/src/**/*.rs` file under `root` in sorted order
+/// as `(workspace-relative path, source)` pairs.
+fn workspace_sources(root: &Path) -> Result<Vec<(String, String)>, String> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
         .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
@@ -99,7 +129,7 @@ pub fn run_lint(root: &Path) -> Result<LintReport, String> {
             files.push((rel, source));
         }
     }
-    Ok(lint_workspace(&files))
+    Ok(files)
 }
 
 /// Lints a workspace presented as `(workspace-relative path, source)`
@@ -107,11 +137,16 @@ pub fn run_lint(root: &Path) -> Result<LintReport, String> {
 /// call-graph propagation pass. This is the pure core of [`run_lint`];
 /// tests feed it synthetic multi-file inputs directly.
 pub fn lint_workspace(files: &[(String, String)]) -> LintReport {
+    // Wall-clock each pass so analyzer cost regressions are visible in
+    // the human output (stderr); the timings never enter the JSON
+    // report, which must stay byte-identical across runs.
+    let mut timer = PassTimer::start();
     let mut report = LintReport::default();
     let scanned: Vec<(String, ScannedFile)> = files
         .iter()
         .map(|(path, source)| (path.clone(), scan(source)))
         .collect();
+    timer.lap("scan");
 
     for (path, sc) in &scanned {
         let lint = lint_scanned(path, sc);
@@ -125,11 +160,58 @@ pub fn lint_workspace(files: &[(String, String)]) -> LintReport {
             }
         }
     }
-    merge(&mut report, callgraph::analyze(&scanned));
+    timer.lap("file-rules");
+
+    let graph = callgraph::Graph::build(&scanned);
+    timer.lap("callgraph");
+    let seeds = effects::lexical_sites(&graph, &scanned);
+    timer.lap("effect-seeds");
+    merge(
+        &mut report,
+        callgraph::hot_propagate(&graph, &scanned, &seeds),
+    );
+    timer.lap("hot-propagate");
+    merge(&mut report, effects::replay_pure(&graph, &scanned, &seeds));
+    timer.lap("replay-pure");
+
     report
         .violations
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.timings = timer.laps;
     report
+}
+
+/// Runs the effect-inference analysis over a workspace presented as
+/// `(workspace-relative path, source)` pairs. This is the pure core of
+/// [`run_effects`]; tests feed it synthetic multi-file inputs directly.
+pub fn effects_workspace(files: &[(String, String)]) -> effects::Analysis {
+    let scanned: Vec<(String, ScannedFile)> = files
+        .iter()
+        .map(|(path, source)| (path.clone(), scan(source)))
+        .collect();
+    effects::analyze(&scanned)
+}
+
+/// Accumulates named per-pass wall-clock laps (microseconds).
+struct PassTimer {
+    laps: Vec<(&'static str, u128)>,
+    last: std::time::Instant,
+}
+
+impl PassTimer {
+    fn start() -> PassTimer {
+        PassTimer {
+            laps: Vec::new(),
+            last: std::time::Instant::now(),
+        }
+    }
+
+    fn lap(&mut self, name: &'static str) {
+        let now = std::time::Instant::now();
+        self.laps
+            .push((name, now.duration_since(self.last).as_micros()));
+        self.last = now;
+    }
 }
 
 /// Is `path` the crate root for its crate: `src/lib.rs`, or `src/main.rs`

@@ -25,6 +25,10 @@ pub struct LintReport {
     pub allowed: usize,
     /// Suppressions by hatch name (`panic`, `hot-alloc`, `order`, ...).
     pub allows: BTreeMap<String, usize>,
+    /// Per-pass wall-clock timings in microseconds, in execution order.
+    /// Rendered to stderr (human output) only — never into the JSON
+    /// report, which must stay byte-identical across runs.
+    pub timings: Vec<(&'static str, u128)>,
 }
 
 impl LintReport {
@@ -54,6 +58,20 @@ impl LintReport {
             self.allowed,
             self.files_scanned
         );
+        if !self.timings.is_empty() {
+            let total: u128 = self.timings.iter().map(|(_, us)| us).sum();
+            let parts: Vec<String> = self
+                .timings
+                .iter()
+                .map(|(name, us)| format!("{name} {:.1}ms", *us as f64 / 1000.0))
+                .collect();
+            let _ = writeln!(
+                out,
+                "darlint: pass timings: {} (total {:.1}ms)",
+                parts.join(", "),
+                total as f64 / 1000.0
+            );
+        }
         out
     }
 
@@ -115,7 +133,7 @@ impl LintReport {
 }
 
 /// Escapes a string as a JSON literal.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -154,6 +172,7 @@ mod tests {
             files_scanned: 7,
             allowed: 2,
             allows,
+            timings: Vec::new(),
         }
     }
 

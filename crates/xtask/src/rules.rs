@@ -38,6 +38,14 @@ pub mod rule {
     /// Allocation (or panic, outside the panic-free crates) in a function
     /// *transitively reachable* from a hot root via the call graph.
     pub const HOT_PROPAGATE: &str = "hot-propagate";
+    /// A nondeterminism effect (Time/Io/Rng/ThreadSpawn/HashOrder) on a
+    /// path reachable from a `// darlint: pure-root` function: WAL
+    /// replay, `state_digest`, `canonical_fingerprint*`, and
+    /// `metrics::compare` must stay bitwise-reproducible.
+    pub const REPLAY_PURE: &str = "replay-pure";
+    /// Seeded PRNG construction or use outside the randomness owners
+    /// (sim / loadgen / fault injection / initialization).
+    pub const RNG_CONFINED: &str = "rng-confined";
 }
 
 /// Crates whose non-test code must be panic-free (the inference and
@@ -57,6 +65,10 @@ pub const TIME_ALLOWLIST: &[&str] = &[
     "crates/collect/src/live.rs",
     "crates/collect/src/loadgen.rs",
     "crates/bench/",
+    // The lint driver wall-clocks its own passes so analyzer cost
+    // regressions are visible; timings go to stderr only, never into the
+    // deterministic JSON artifacts.
+    "crates/xtask/src/lib.rs",
 ];
 
 /// Files or path prefixes sanctioned to touch the filesystem: the WAL's
@@ -82,6 +94,39 @@ pub const THREAD_ALLOWLIST: &[&str] = &[
     "crates/tensor/src/parallel.rs",
     "crates/core/src/batching.rs",
     "crates/collect/src/shard.rs",
+];
+
+/// The randomness owners: files or path prefixes where seeded-PRNG
+/// construction and use (`SplitMix64`) is legitimate. Everything else
+/// must receive randomness as data (a threaded-through `&mut
+/// SplitMix64` or a pre-drawn value) from one of these owners, so the
+/// storage/replay/digest/wire layer and the inference path stay
+/// RNG-free by construction — the `rng-confined` rule enforces the
+/// boundary lexically and the `replay-pure` rule catches transitive
+/// leaks onto the contract paths.
+pub const RNG_ALLOWLIST: &[&str] = &[
+    // The PRNG itself plus the weight-initialization kernels.
+    "crates/tensor/src/init.rs",
+    // Synthetic driving-data generation is randomness by design.
+    "crates/sim/",
+    // Training-time randomness: dropout masks, epoch shuffles.
+    "crates/nn/src/dropout.rs",
+    "crates/nn/src/svm.rs",
+    "crates/core/src/models/",
+    // Data splits, label-noise fault injection, DP shuffling, and
+    // seeded experiment/campaign setup.
+    "crates/core/src/dataset.rs",
+    "crates/core/src/privacy.rs",
+    "crates/core/src/experiment.rs",
+    // The collection-side simulation and fault-injection layer: sensor
+    // jitter, lossy links, clock drift, session transports, fleet load.
+    "crates/collect/src/agent.rs",
+    "crates/collect/src/network.rs",
+    "crates/collect/src/clock.rs",
+    "crates/collect/src/runtime.rs",
+    "crates/collect/src/loadgen.rs",
+    // Seeded benchmark workloads.
+    "crates/bench/",
 ];
 
 /// Order-sensitive paths: files whose outputs must be bitwise
@@ -190,7 +235,7 @@ pub(crate) const PANIC_PATS: &[Pat] = &[
 ];
 
 /// Constructs forbidden by [`rule::TIME`].
-const TIME_PATS: &[Pat] = &[
+pub(crate) const TIME_PATS: &[Pat] = &[
     Pat {
         kind: PatKind::Path(&["Instant", "now"]),
         display: "Instant::now",
@@ -202,10 +247,77 @@ const TIME_PATS: &[Pat] = &[
 ];
 
 /// Constructs forbidden by [`rule::THREAD`].
-const THREAD_PATS: &[Pat] = &[Pat {
+pub(crate) const THREAD_PATS: &[Pat] = &[Pat {
     kind: PatKind::Path(&["thread", "spawn"]),
     display: "thread::spawn",
 }];
+
+/// Constructs that construct or advance the seeded PRNG
+/// ([`rule::RNG_CONFINED`] outside [`RNG_ALLOWLIST`]; `Rng` effect
+/// seeds everywhere). The method list mirrors `SplitMix64`'s public
+/// API in `crates/tensor/src/init.rs`.
+pub(crate) const RNG_PATS: &[Pat] = &[
+    Pat {
+        kind: PatKind::Path(&["SplitMix64", "new"]),
+        display: "SplitMix64::new",
+    },
+    Pat {
+        kind: PatKind::Method {
+            name: "next_u64",
+            empty_args: true,
+        },
+        display: ".next_u64()",
+    },
+    Pat {
+        kind: PatKind::Method {
+            name: "next_f32",
+            empty_args: true,
+        },
+        display: ".next_f32()",
+    },
+    Pat {
+        kind: PatKind::Method {
+            name: "next_f64",
+            empty_args: true,
+        },
+        display: ".next_f64()",
+    },
+    Pat {
+        kind: PatKind::Method {
+            name: "next_usize",
+            empty_args: false,
+        },
+        display: ".next_usize(",
+    },
+    Pat {
+        kind: PatKind::Method {
+            name: "uniform",
+            empty_args: false,
+        },
+        display: ".uniform(",
+    },
+    Pat {
+        kind: PatKind::Method {
+            name: "normal",
+            empty_args: true,
+        },
+        display: ".normal()",
+    },
+    Pat {
+        kind: PatKind::Method {
+            name: "shuffle",
+            empty_args: false,
+        },
+        display: ".shuffle(",
+    },
+    Pat {
+        kind: PatKind::Method {
+            name: "fork",
+            empty_args: true,
+        },
+        display: ".fork()",
+    },
+];
 
 /// Constructs forbidden by [`rule::HOT_ALLOC`] (and flagged by
 /// [`rule::HOT_PROPAGATE`]) inside hot functions. Each one
@@ -239,7 +351,7 @@ pub(crate) const ALLOC_PATS: &[Pat] = &[
 ];
 
 /// Constructs forbidden by [`rule::DURABLE_IO`].
-const IO_PATS: &[Pat] = &[
+pub(crate) const IO_PATS: &[Pat] = &[
     Pat {
         kind: PatKind::Path(&["std", "fs"]),
         display: "std::fs",
@@ -286,7 +398,7 @@ pub struct FileLint {
 }
 
 impl FileLint {
-    fn count_allow(&mut self, hatch: &str) {
+    pub(crate) fn count_allow(&mut self, hatch: &str) {
         self.allowed += 1;
         *self.allows.entry(hatch.to_owned()).or_insert(0) += 1;
     }
@@ -339,6 +451,8 @@ pub(crate) fn hatch_name(rule_id: &str) -> &'static str {
         rule::HOT_ALLOC | rule::HOT_PROPAGATE => "hot-alloc",
         rule::DURABLE_IO => "io",
         rule::ORDER => "order",
+        rule::REPLAY_PURE => "replay-pure",
+        rule::RNG_CONFINED => "rng",
         _ => "",
     }
 }
@@ -466,18 +580,24 @@ pub fn lint_scanned(path: &str, scanned: &ScannedFile) -> FileLint {
         }
     }
 
+    // The per-file rules are the *scoped* face of the effect lattice:
+    // each one bans the lexical seeds of a single effect
+    // ([`crate::effects::seed_pats`]) outside that effect's sanctioned
+    // owners. The interprocedural passes (`hot-propagate`,
+    // `replay-pure`) consume the same seed table transitively.
+    use crate::effects::{seed_pats, Effect};
     let mut checks: Vec<(&'static str, &[Pat], &'static str)> = Vec::new();
     if crate_of(path).is_some_and(|c| PANIC_CRATES.contains(&c)) {
         checks.push((
             rule::PANIC,
-            PANIC_PATS,
+            seed_pats(Effect::Panic),
             "panicking call in hot-path code; return a typed error instead",
         ));
     }
     if !allowlisted(path, TIME_ALLOWLIST) {
         checks.push((
             rule::TIME,
-            TIME_PATS,
+            seed_pats(Effect::Time),
             "wall-clock read outside the runtime allowlist; inject time \
              through the clock abstraction",
         ));
@@ -485,7 +605,7 @@ pub fn lint_scanned(path: &str, scanned: &ScannedFile) -> FileLint {
     if !allowlisted(path, THREAD_ALLOWLIST) {
         checks.push((
             rule::THREAD,
-            THREAD_PATS,
+            seed_pats(Effect::ThreadSpawn),
             "raw thread::spawn; use std::thread::scope under the \
              Parallelism policy",
         ));
@@ -493,9 +613,17 @@ pub fn lint_scanned(path: &str, scanned: &ScannedFile) -> FileLint {
     if !allowlisted(path, DURABLE_IO_ALLOWLIST) {
         checks.push((
             rule::DURABLE_IO,
-            IO_PATS,
+            seed_pats(Effect::Io),
             "direct filesystem access outside the durable-I/O owners; \
              route persistence through a WalStorage backend",
+        ));
+    }
+    if !allowlisted(path, RNG_ALLOWLIST) {
+        checks.push((
+            rule::RNG_CONFINED,
+            seed_pats(Effect::Rng),
+            "seeded PRNG construction/use outside the randomness owners; \
+             thread a `SplitMix64` in from sim/loadgen/fault-injection/init",
         ));
     }
 
@@ -612,10 +740,49 @@ fn order_check(path: &str, scanned: &ScannedFile, hatches: &[Hatch], out: &mut F
     }
 
     // Sub-check 2: iteration sites over bindings whose declared type or
-    // initializer is hash-ordered.
+    // initializer is hash-ordered. The detection is shared with the
+    // effect-inference pass (HashOrder seeds, [`crate::effects`]).
     let names = hash_bound_names(tokens);
+    for site in hash_iter_sites(tokens, &names) {
+        let message = match &site.method {
+            Some(m) => format!(
+                "iterating hash-ordered `{}` (`.{}()`); order is \
+                 nondeterministic — sort first or use a BTree container",
+                site.name, m
+            ),
+            None => format!(
+                "`for … in` over hash-ordered `{}`; order is \
+                 nondeterministic — sort first or use a BTree \
+                 container",
+                site.name
+            ),
+        };
+        emit(site.line, message, out);
+    }
+}
+
+/// A site that observes a hash container's nondeterministic iteration
+/// order: either `name.iter()`-shaped (with `method`) or a `for … in`
+/// header mentioning the binding (`method` is `None`).
+pub(crate) struct HashIterSite {
+    /// Token index of the binding mention.
+    pub(crate) tok: usize,
+    /// 1-based source line of the mention.
+    pub(crate) line: usize,
+    /// The hash-bound binding name.
+    pub(crate) name: String,
+    /// The iteration method, for `name.iter()`-shaped sites.
+    pub(crate) method: Option<String>,
+}
+
+/// Finds every iteration site over the hash-bound `names`, in token
+/// order. Shared by the `nondet-order` rule (which bans them on
+/// order-sensitive paths) and the effect-inference pass (where each one
+/// seeds the `HashOrder` effect).
+pub(crate) fn hash_iter_sites(tokens: &[Token], names: &BTreeSet<String>) -> Vec<HashIterSite> {
+    let mut sites = Vec::new();
     if names.is_empty() {
-        return;
+        return sites;
     }
     for i in 0..tokens.len() {
         let t = &tokens[i];
@@ -630,16 +797,12 @@ fn order_check(path: &str, scanned: &ScannedFile, hatches: &[Hatch], out: &mut F
             })
             && tokens.get(i + 3).is_some_and(|n| n.is_punct('('))
         {
-            emit(
-                t.line,
-                format!(
-                    "iterating hash-ordered `{}` (`.{}()`); order is \
-                     nondeterministic — sort first or use a BTree container",
-                    t.text,
-                    tokens[i + 2].text
-                ),
-                out,
-            );
+            sites.push(HashIterSite {
+                tok: i,
+                line: t.line,
+                name: t.text.clone(),
+                method: Some(tokens[i + 2].text.clone()),
+            });
         }
         // `for pat in <expr mentioning a hash binding> {`.
         if t.is_ident("for") {
@@ -660,27 +823,24 @@ fn order_check(path: &str, scanned: &ScannedFile, hatches: &[Hatch], out: &mut F
             let mut k = j;
             while k < tokens.len() && !tokens[k].is_punct('{') && k < j + 24 {
                 if tokens[k].kind == TokKind::Ident && names.contains(&tokens[k].text) {
-                    emit(
-                        tokens[k].line,
-                        format!(
-                            "`for … in` over hash-ordered `{}`; order is \
-                             nondeterministic — sort first or use a BTree \
-                             container",
-                            tokens[k].text
-                        ),
-                        out,
-                    );
+                    sites.push(HashIterSite {
+                        tok: k,
+                        line: tokens[k].line,
+                        name: tokens[k].text.clone(),
+                        method: None,
+                    });
                 }
                 k += 1;
             }
         }
     }
+    sites
 }
 
 /// Bindings (fields, params, lets) whose declared type or initializer
 /// mentions a hash-ordered container: `series: RwLock<HashMap<..>>`,
 /// `let mut seen = HashSet::new()`.
-fn hash_bound_names(tokens: &[Token]) -> BTreeSet<String> {
+pub(crate) fn hash_bound_names(tokens: &[Token]) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for i in 0..tokens.len() {
         let t = &tokens[i];

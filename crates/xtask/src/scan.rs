@@ -24,6 +24,11 @@ pub struct FnInfo {
     /// Annotated with `// darlint: cold — <reason>`: explicitly *off*
     /// the hot path; call-graph propagation does not traverse into it.
     pub cold: bool,
+    /// Annotated with an own-line `// darlint: pure-root` marker: the
+    /// author declares this function a replay-purity contract root —
+    /// everything transitively reachable from it must be free of the
+    /// nondeterminism effects (`replay-pure` rule).
+    pub pure_root: bool,
 }
 
 /// The result of scanning one source file.
@@ -56,6 +61,7 @@ pub fn scan(source: &str) -> ScannedFile {
             item,
             hot: false,
             cold: false,
+            pure_root: false,
         })
         .collect();
     // A marker annotates the nearest `fn` item declared after it
@@ -63,7 +69,8 @@ pub fn scan(source: &str) -> ScannedFile {
     for c in lexed.comments.iter().filter(|c| c.own_line) {
         let is_hot = is_hot_marker(c);
         let is_cold = parse_cold_marker(c).is_some();
-        if !is_hot && !is_cold {
+        let is_pure = is_pure_root_marker(c);
+        if !is_hot && !is_cold && !is_pure {
             continue;
         }
         if let Some(f) = fns
@@ -73,8 +80,10 @@ pub fn scan(source: &str) -> ScannedFile {
         {
             if is_hot {
                 f.hot = true;
-            } else {
+            } else if is_cold {
                 f.cold = true;
+            } else {
+                f.pure_root = true;
             }
         }
     }
@@ -93,6 +102,14 @@ pub(crate) fn is_hot_marker(c: &LineComment) -> bool {
     let body = c.text.trim_start_matches('/').trim();
     body.strip_prefix("darlint:")
         .is_some_and(|rest| rest.trim() == "hot")
+}
+
+/// Is this comment a `// darlint: pure-root` marker? Like `hot`, the
+/// marker is a contract declaration (not debt), so it carries no reason.
+pub(crate) fn is_pure_root_marker(c: &LineComment) -> bool {
+    let body = c.text.trim_start_matches('/').trim();
+    body.strip_prefix("darlint:")
+        .is_some_and(|rest| rest.trim() == "pure-root")
 }
 
 /// Parses a `// darlint: cold — <reason>` marker. Returns

@@ -1,0 +1,233 @@
+//! Integration tests for the interprocedural effect engine: fixture
+//! workspaces exercise recursion, cross-crate witness chains, the
+//! stoplist under-approximation, and the `replay-pure` contract rule;
+//! proptests pin that inference is deterministic (byte-identical
+//! `effects.json` across runs) and monotone (adding a call edge never
+//! removes an effect).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+use xtask::effects::Effect;
+use xtask::rules::rule;
+use xtask::{effects_workspace, lint_workspace};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn workspace(files: &[(&str, &str)]) -> Vec<(String, String)> {
+    files
+        .iter()
+        .map(|(p, s)| ((*p).to_owned(), (*s).to_owned()))
+        .collect()
+}
+
+#[test]
+fn direct_and_mutual_recursion_reach_a_fixpoint() {
+    let files = workspace(&[("crates/core/src/rec.rs", &fixture("effects_recursion.rs"))]);
+    let analysis = effects_workspace(&files);
+
+    let countdown = analysis.explain("countdown").expect("countdown analyzed");
+    assert!(countdown.contains("alloc"), "{countdown}");
+    assert!(countdown.contains("direct: `vec!`"), "{countdown}");
+
+    // Both halves of the mutual cycle carry Io; `even`'s witness walks
+    // into `odd`, and no witness chain revisits a function.
+    let even = analysis.explain("even").expect("even analyzed");
+    assert!(even.contains("io"), "{even}");
+    assert!(even.contains("via even → odd"), "{even}");
+    let odd = analysis.explain("odd").expect("odd analyzed");
+    assert!(odd.contains("direct: `std::fs`"), "{odd}");
+    for f in &analysis.fns {
+        for e in &f.effects {
+            let uniq: BTreeSet<&String> = e.witness.iter().collect();
+            assert_eq!(uniq.len(), e.witness.len(), "cyclic witness on {}", f.name);
+        }
+    }
+}
+
+#[test]
+fn two_hop_cross_crate_witness_chain_is_complete() {
+    let files = workspace(&[
+        (
+            "crates/collect/src/chain.rs",
+            &fixture("effects_chain_root.rs"),
+        ),
+        ("crates/core/src/leaf.rs", &fixture("effects_chain_leaf.rs")),
+    ]);
+    let analysis = effects_workspace(&files);
+    let entry = analysis.explain("entry").expect("entry analyzed");
+    assert!(
+        entry.contains("via entry → middle → stamp"),
+        "full cross-crate chain: {entry}"
+    );
+    assert!(
+        entry.contains("at crates/core/src/leaf.rs:"),
+        "seed site names the leaf crate: {entry}"
+    );
+    // The JSON carries the same chain.
+    let json = analysis.render_json();
+    assert!(
+        json.contains("\"witness\": [\"entry\", \"middle\", \"stamp\"]"),
+        "{json}"
+    );
+}
+
+#[test]
+fn stoplisted_method_names_underapproximate_dispatch() {
+    let files = workspace(&[(
+        "crates/collect/src/pipeline.rs",
+        &fixture("effects_stoplist.rs"),
+    )]);
+    let analysis = effects_workspace(&files);
+    // `.read()` is on the universal stoplist: no edge, no inherited Io.
+    let pull = analysis.explain("pull").expect("pull analyzed");
+    assert!(
+        pull.contains("pure — no effects inferred"),
+        "stoplist must suppress the edge: {pull}"
+    );
+    // A custom method name resolves and propagates.
+    let pull_frame = analysis.explain("pull_frame").expect("pull_frame analyzed");
+    assert!(
+        pull_frame.contains("io") && pull_frame.contains("Reader::fetch_frame"),
+        "custom name must propagate: {pull_frame}"
+    );
+}
+
+#[test]
+fn time_leak_into_pure_root_fails_the_lint() {
+    let files = workspace(&[(
+        "crates/collect/src/digest.rs",
+        &fixture("pure_root_time_leak.rs"),
+    )]);
+    let report = lint_workspace(&files);
+    let leaks: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == rule::REPLAY_PURE)
+        .collect();
+    assert_eq!(leaks.len(), 1, "{:?}", report.violations);
+    let v = leaks[0];
+    assert_eq!(v.line, 21, "the Instant::now seed line");
+    assert!(
+        v.message.contains("via digest → fold → stamp_cache"),
+        "full root-to-site chain: {}",
+        v.message
+    );
+    assert!(v.message.contains("time effect"), "{}", v.message);
+}
+
+#[test]
+fn fixing_the_leak_makes_the_fixture_clean() {
+    // The same fixture with the wall-clock read removed passes, so the
+    // failure above is attributable to the leak alone.
+    let fixed = fixture("pure_root_time_leak.rs").replace("let _ = std::time::Instant::now();", "");
+    let files = workspace(&[("crates/collect/src/digest.rs", &fixed)]);
+    let report = lint_workspace(&files);
+    assert!(
+        report
+            .violations
+            .iter()
+            .all(|v| v.rule != rule::REPLAY_PURE),
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn canonical_effect_order_is_stable() {
+    let names: Vec<&str> = Effect::ALL.iter().map(|e| e.name()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "Effect::ALL must stay alphabetical");
+}
+
+// ---------------------------------------------------------------------
+// Property tests: generated call graphs.
+// ---------------------------------------------------------------------
+
+/// Builds one source file of `n` free functions. `seeds[i]` is a 3-bit
+/// mask (time/io/alloc); `edges` are caller→callee pairs (mod `n`).
+fn build_src(n: usize, seeds: &[u8], edges: &[(usize, usize)]) -> String {
+    let mut src = String::from("//! Generated workspace.\n");
+    for (i, &seed) in seeds.iter().enumerate().take(n) {
+        src.push_str(&format!("pub fn f{i}() {{\n"));
+        for &(a, b) in edges {
+            if a % n == i {
+                src.push_str(&format!("    f{}();\n", b % n));
+            }
+        }
+        if seed & 1 != 0 {
+            src.push_str("    let _ = std::time::Instant::now();\n");
+        }
+        if seed & 2 != 0 {
+            src.push_str("    let _ = std::fs::read(\"x\");\n");
+        }
+        if seed & 4 != 0 {
+            src.push_str("    let _v = vec![0u8];\n");
+        }
+        src.push_str("}\n");
+    }
+    src
+}
+
+/// Per-function effect-name sets from an analysis.
+fn effect_sets(files: &[(String, String)]) -> BTreeMap<String, BTreeSet<&'static str>> {
+    effects_workspace(files)
+        .fns
+        .iter()
+        .map(|f| {
+            (
+                f.name.clone(),
+                f.effects.iter().map(|e| e.effect.name()).collect(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn inference_is_deterministic(
+        n in 2usize..7,
+        seeds in proptest::collection::vec(0u8..8, 7),
+        edges in proptest::collection::vec((0usize..7, 0usize..7), 0..12),
+    ) {
+        let src = build_src(n, &seeds, &edges);
+        let files = vec![("crates/core/src/gen.rs".to_owned(), src)];
+        let a = effects_workspace(&files).render_json();
+        let b = effects_workspace(&files).render_json();
+        prop_assert_eq!(a, b, "byte-identical across independent runs");
+    }
+
+    #[test]
+    fn adding_an_edge_never_removes_an_effect(
+        n in 2usize..7,
+        seeds in proptest::collection::vec(0u8..8, 7),
+        edges in proptest::collection::vec((0usize..7, 0usize..7), 0..12),
+        extra in (0usize..7, 0usize..7),
+    ) {
+        let base = vec![(
+            "crates/core/src/gen.rs".to_owned(),
+            build_src(n, &seeds, &edges),
+        )];
+        let mut grown_edges = edges.clone();
+        grown_edges.push(extra);
+        let grown = vec![(
+            "crates/core/src/gen.rs".to_owned(),
+            build_src(n, &seeds, &grown_edges),
+        )];
+        let before = effect_sets(&base);
+        let after = effect_sets(&grown);
+        for (name, set) in &before {
+            let grown_set = &after[name];
+            prop_assert!(
+                set.is_subset(grown_set),
+                "{name}: {set:?} not ⊆ {grown_set:?}"
+            );
+        }
+    }
+}

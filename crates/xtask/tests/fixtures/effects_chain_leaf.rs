@@ -1,0 +1,7 @@
+//! Fixture: leaf of the 2-hop cross-crate witness chain — the lexical
+//! Time seed the chain must terminate at.
+
+pub fn stamp() -> u64 {
+    let _ = std::time::Instant::now();
+    0
+}

@@ -1,0 +1,13 @@
+//! Fixture: root of a 2-hop cross-crate witness chain. `entry` lives in
+//! one crate and calls through `middle` (same crate) into a leaf in a
+//! *different* crate (`effects_chain_leaf.rs` mounted under another
+//! crate path); the Time effect inferred on `entry` must carry the full
+//! three-function witness.
+
+pub fn entry() -> u64 {
+    middle()
+}
+
+fn middle() -> u64 {
+    crate::leaf::stamp()
+}

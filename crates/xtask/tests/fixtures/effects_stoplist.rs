@@ -1,0 +1,34 @@
+//! Fixture: trait-method dispatch fallback. `read` is on the universal
+//! stoplist, so `source.read()` creates no call edge and `Pipeline::pull`
+//! does NOT inherit `Reader::read`'s Io effect — the documented
+//! under-approximation. The custom-named `fetch_frame` resolves normally
+//! and propagates. Pins both sides of the trade.
+
+pub trait Source {
+    fn read(&self) -> Vec<u8>;
+    fn fetch_frame(&self) -> Vec<u8>;
+}
+
+pub struct Reader;
+
+impl Reader {
+    pub fn read(&self) -> Vec<u8> {
+        std::fs::read("frame").unwrap_or_default()
+    }
+
+    pub fn fetch_frame(&self) -> Vec<u8> {
+        std::fs::read("frame").unwrap_or_default()
+    }
+}
+
+pub struct Pipeline;
+
+impl Pipeline {
+    pub fn pull(&self, source: &Reader) -> Vec<u8> {
+        source.read()
+    }
+
+    pub fn pull_frame(&self, source: &Reader) -> Vec<u8> {
+        source.fetch_frame()
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: a deliberate Time-effect leak into a replay-pure region.
+//! `digest` is a declared pure root; two hops down, `stamp_cache` reads
+//! the wall clock. The `replay-pure` rule MUST flag the seed site with
+//! the full root-to-site chain.
+
+// darlint: pure-root
+pub fn digest(state: &[u8]) -> u64 {
+    fold(state)
+}
+
+fn fold(state: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in state {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    stamp_cache();
+    h
+}
+
+fn stamp_cache() {
+    let _ = std::time::Instant::now();
+}

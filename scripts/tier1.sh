@@ -32,5 +32,7 @@ cargo clippy --locked -p darnet-tensor -p darnet-nn -p darnet-core -p darnet-col
 
 # darlint: the in-repo invariant lint (no-panic-paths, deterministic-time,
 # scoped-threads-only, crate-hygiene, hot-alloc, hot-propagate,
-# nondet-order, durable-io), held to the committed ratchet baseline.
+# nondet-order, durable-io, rng-confined, and the effect-inference-backed
+# replay-pure contract rule), held to the committed ratchet baseline.
+# Per-pass timings print to stderr so analyzer cost regressions show up.
 cargo run --locked -q -p xtask -- lint --check --ratchet darlint.ratchet.json
