@@ -25,10 +25,12 @@ use std::time::Instant;
 
 use darnet_bench::{alloc_counter, metrics};
 use darnet_collect::runtime::AlignedTuple;
+use darnet_collect::StreamId;
 use darnet_core::dataset::{IMU_FEATURES, WINDOW_LEN};
 use darnet_core::{
-    AnalyticsEngine, BayesianCombiner, CnnConfig, CombinerKind, EngineConfig, FrameCnn,
-    ImuModelSlot, ImuRnn, RnnConfig, StepClassification,
+    AnalyticsEngine, BayesianCombiner, ClassMap, CnnConfig, CombinerKind, EngineConfig, FrameCnn,
+    ImuModelSlot, ImuRnn, ModalityDescriptor, MultiModalEngine, MultiStepClassification, RnnConfig,
+    StepClassification, StreamInput, StreamModelSlot,
 };
 use darnet_sim::Frame;
 use darnet_tensor::{SplitMix64, Tensor};
@@ -115,6 +117,61 @@ fn tiny_engine() -> AnalyticsEngine {
             combiner: CombinerKind::Bayesian,
         },
     )
+}
+
+/// A 3-stream registry engine with the same tiny models: IMU RNN behind
+/// the 6→3 projection plus front and side camera views, fused through a
+/// 3-parent Bayesian combiner. Serial, like `tiny_engine` — the
+/// zero-alloc contract generalizes to N streams only on the serial path.
+fn tiny_registry_engine() -> MultiModalEngine {
+    let tiny_cnn = |seed: u64| {
+        FrameCnn::new(
+            CnnConfig {
+                input_size: FRAME_SIZE,
+                classes: 6,
+                width: 0.25,
+                ..CnnConfig::default()
+            },
+            seed,
+        )
+    };
+    let mut rnn = ImuRnn::new(
+        RnnConfig {
+            hidden: 8,
+            depth: 1,
+            ..RnnConfig::default()
+        },
+        2,
+    );
+    let x = Tensor::ones(&[6, WINDOW_LEN, IMU_FEATURES]);
+    rnn.fit(&x, &[0, 1, 2, 0, 1, 2], 1).expect("rnn smoke fit");
+    let mut engine = MultiModalEngine::new(6, CombinerKind::Bayesian);
+    engine
+        .register(ModalityDescriptor::darnet_imu(), StreamModelSlot::Rnn(rnn))
+        .expect("register imu");
+    engine
+        .register(
+            ModalityDescriptor::darnet_camera(),
+            StreamModelSlot::Cnn(tiny_cnn(3)),
+        )
+        .expect("register front");
+    engine
+        .register(
+            ModalityDescriptor::new(StreamId::CAMERA_SIDE, ClassMap::Identity),
+            StreamModelSlot::Cnn(tiny_cnn(4)),
+        )
+        .expect("register side");
+    engine
+        .fit_combiner(
+            &[
+                &Tensor::full(&[6, 3], 1.0 / 3.0),
+                &Tensor::full(&[6, 6], 1.0 / 6.0),
+                &Tensor::full(&[6, 6], 1.0 / 6.0),
+            ],
+            &[0, 1, 2, 3, 4, 5],
+        )
+        .expect("combiner smoke fit");
+    engine
 }
 
 /// Worst (maximum) allocation count over `probes` calls of `f`, after
@@ -261,6 +318,49 @@ fn run(fast: bool) -> BTreeMap<String, f64> {
         t_tuples_alloc / t_tuples_ws,
     );
 
+    // The N-stream registry engine is held to the same zero-alloc bar on
+    // its warm serial paths, at both measured shapes.
+    let mut registry = tiny_registry_engine();
+    let side_frames: Vec<Frame> = (0..BATCH)
+        .map(|_| Frame::new(FRAME_SIZE, FRAME_SIZE))
+        .collect();
+    let batch_inputs = [
+        (StreamId::IMU, StreamInput::Windows(&windows)),
+        (StreamId::CAMERA_FRONT, StreamInput::Frames(&frames)),
+        (StreamId::CAMERA_SIDE, StreamInput::Frames(&side_frames)),
+    ];
+    let step_inputs = [
+        (StreamId::IMU, StreamInput::Windows(&single_window)),
+        (
+            StreamId::CAMERA_FRONT,
+            StreamInput::Frames(std::slice::from_ref(&frames[0])),
+        ),
+        (
+            StreamId::CAMERA_SIDE,
+            StreamInput::Frames(std::slice::from_ref(&side_frames[0])),
+        ),
+    ];
+    let mut multi_results: Vec<MultiStepClassification> = Vec::new();
+    let mut multi_step: Vec<MultiStepClassification> = Vec::new();
+    let allocs_multi_batch = steady_allocs(3, probes, || {
+        registry
+            .classify_batch_into(&batch_inputs, &mut multi_results)
+            .expect("registry classify_batch_into");
+    });
+    out.insert(
+        "allocs_per_multistream_batch_steady".to_string(),
+        allocs_multi_batch as f64,
+    );
+    let allocs_multi_step = steady_allocs(3, probes, || {
+        registry
+            .classify_step_into(&step_inputs, &mut multi_step)
+            .expect("registry classify_step_into");
+    });
+    out.insert(
+        "allocs_per_multistream_step_steady".to_string(),
+        allocs_multi_step as f64,
+    );
+
     out
 }
 
@@ -321,6 +421,8 @@ fn main() {
             "allocs_per_batch_steady",
             "allocs_per_step_steady",
             "allocs_per_flush_steady",
+            "allocs_per_multistream_batch_steady",
+            "allocs_per_multistream_step_steady",
         ] {
             if results[key] != 0.0 {
                 eprintln!(

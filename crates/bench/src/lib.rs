@@ -14,7 +14,7 @@
 #![deny(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
-use darnet_core::experiment::{ExperimentConfig, PrivacyExperimentConfig};
+use darnet_core::experiment::{ExperimentConfig, MultiviewConfig, PrivacyExperimentConfig};
 
 /// Returns true if the process args request the reduced-scale preset.
 pub fn fast_requested() -> bool {
@@ -36,6 +36,15 @@ pub fn privacy_config() -> PrivacyExperimentConfig {
         PrivacyExperimentConfig::fast()
     } else {
         PrivacyExperimentConfig::paper()
+    }
+}
+
+/// Picks the multiview N-stream ablation config from the command line.
+pub fn multiview_config() -> MultiviewConfig {
+    if fast_requested() {
+        MultiviewConfig::fast()
+    } else {
+        MultiviewConfig::paper()
     }
 }
 

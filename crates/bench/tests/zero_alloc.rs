@@ -9,10 +9,12 @@
 
 use darnet_bench::alloc_counter;
 use darnet_collect::runtime::AlignedTuple;
+use darnet_collect::StreamId;
 use darnet_core::dataset::{IMU_FEATURES, WINDOW_LEN};
 use darnet_core::{
-    AnalyticsEngine, BayesianCombiner, CnnConfig, CombinerKind, EngineConfig, FrameCnn,
-    ImuModelSlot, ImuRnn, RnnConfig, StepClassification,
+    AnalyticsEngine, BayesianCombiner, ClassMap, CnnConfig, CombinerKind, EngineConfig, FrameCnn,
+    ImuModelSlot, ImuRnn, ModalityDescriptor, ModalityStatus, MultiModalEngine,
+    MultiStepClassification, RnnConfig, StepClassification, StreamInput, StreamModelSlot,
 };
 use darnet_sim::Frame;
 use darnet_tensor::{SplitMix64, Tensor};
@@ -65,6 +67,60 @@ fn tiny_engine() -> AnalyticsEngine {
             combiner: CombinerKind::Bayesian,
         },
     )
+}
+
+fn tiny_cnn(seed: u64) -> FrameCnn {
+    FrameCnn::new(
+        CnnConfig {
+            input_size: FRAME_SIZE,
+            classes: 6,
+            width: 0.25,
+            ..CnnConfig::default()
+        },
+        seed,
+    )
+}
+
+/// A 3-stream registry engine: IMU RNN behind the 6→3 projection plus
+/// two camera views, fused through a 3-parent Bayesian combiner.
+fn tiny_registry_engine() -> MultiModalEngine {
+    let mut rnn = ImuRnn::new(
+        RnnConfig {
+            hidden: 8,
+            depth: 1,
+            ..RnnConfig::default()
+        },
+        2,
+    );
+    let x = Tensor::ones(&[6, WINDOW_LEN, IMU_FEATURES]);
+    rnn.fit(&x, &[0, 1, 2, 0, 1, 2], 1).expect("rnn smoke fit");
+    let mut engine = MultiModalEngine::new(6, CombinerKind::Bayesian);
+    engine
+        .register(ModalityDescriptor::darnet_imu(), StreamModelSlot::Rnn(rnn))
+        .expect("register imu");
+    engine
+        .register(
+            ModalityDescriptor::darnet_camera(),
+            StreamModelSlot::Cnn(tiny_cnn(3)),
+        )
+        .expect("register front");
+    engine
+        .register(
+            ModalityDescriptor::new(StreamId::CAMERA_SIDE, ClassMap::Identity),
+            StreamModelSlot::Cnn(tiny_cnn(4)),
+        )
+        .expect("register side");
+    engine
+        .fit_combiner(
+            &[
+                &Tensor::full(&[6, 3], 1.0 / 3.0),
+                &Tensor::full(&[6, 6], 1.0 / 6.0),
+                &Tensor::full(&[6, 6], 1.0 / 6.0),
+            ],
+            &[0, 1, 2, 3, 4, 5],
+        )
+        .expect("combiner smoke fit");
+    engine
 }
 
 #[test]
@@ -129,5 +185,79 @@ fn warm_into_paths_perform_zero_heap_allocations() {
         });
         assert_eq!(allocs, 0, "classify_tuples_into allocated in round {round}");
         assert_eq!(results.len(), BATCH);
+    }
+
+    // The N-stream registry engine must meet the same bar: after
+    // warm-up, serial `classify_*_into` calls — full fusion and the
+    // health-gated subset path alike — never touch the heap.
+    let mut registry = tiny_registry_engine();
+    let side_frames: Vec<Frame> = (0..BATCH)
+        .map(|_| Frame::new(FRAME_SIZE, FRAME_SIZE))
+        .collect();
+    let batch_inputs = [
+        (StreamId::IMU, StreamInput::Windows(&windows)),
+        (StreamId::CAMERA_FRONT, StreamInput::Frames(&frames)),
+        (StreamId::CAMERA_SIDE, StreamInput::Frames(&side_frames)),
+    ];
+    let step_inputs = [
+        (StreamId::IMU, StreamInput::Windows(&single_window)),
+        (
+            StreamId::CAMERA_FRONT,
+            StreamInput::Frames(std::slice::from_ref(&frames[0])),
+        ),
+        (
+            StreamId::CAMERA_SIDE,
+            StreamInput::Frames(std::slice::from_ref(&side_frames[0])),
+        ),
+    ];
+    let front_down = [(StreamId::CAMERA_FRONT, ModalityStatus::Unavailable)];
+    let mut multi_results: Vec<MultiStepClassification> = Vec::new();
+    let mut multi_step: Vec<MultiStepClassification> = Vec::new();
+
+    for _ in 0..2 {
+        registry
+            .classify_batch_into(&batch_inputs, &mut multi_results)
+            .expect("warm registry classify_batch_into");
+        registry
+            .classify_step_into(&step_inputs, &mut multi_step)
+            .expect("warm registry classify_step_into");
+        registry
+            .classify_batch_checked_into(&batch_inputs, &front_down, &mut multi_results)
+            .expect("warm registry subset path");
+    }
+
+    for round in 0..3 {
+        let ((), allocs) = alloc_counter::allocations_during(|| {
+            registry
+                .classify_batch_into(&batch_inputs, &mut multi_results)
+                .expect("steady registry classify_batch_into");
+        });
+        assert_eq!(
+            allocs, 0,
+            "registry classify_batch_into allocated in round {round}"
+        );
+        assert_eq!(multi_results.len(), BATCH);
+
+        let ((), allocs) = alloc_counter::allocations_during(|| {
+            registry
+                .classify_step_into(&step_inputs, &mut multi_step)
+                .expect("steady registry classify_step_into");
+        });
+        assert_eq!(
+            allocs, 0,
+            "registry classify_step_into allocated in round {round}"
+        );
+        assert_eq!(multi_step.len(), 1);
+
+        let ((), allocs) = alloc_counter::allocations_during(|| {
+            registry
+                .classify_batch_checked_into(&batch_inputs, &front_down, &mut multi_results)
+                .expect("steady registry subset path");
+        });
+        assert_eq!(
+            allocs, 0,
+            "registry health-gated subset path allocated in round {round}"
+        );
+        assert_eq!(multi_results.len(), BATCH);
     }
 }

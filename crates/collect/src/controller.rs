@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use crate::align::{interpolate_grid, moving_average, GridSpec};
 use crate::error::CollectError;
 use crate::sensor::SensorReading;
+use crate::stream::StreamId;
 use crate::tsdb::TsDb;
 use crate::wire::{Ack, Batch};
 use crate::Result;
@@ -171,6 +172,12 @@ pub struct StreamHealth {
 }
 
 impl StreamHealth {
+    /// The logical stream this health report describes, under the session
+    /// agent→stream convention.
+    pub fn stream_id(&self) -> StreamId {
+        StreamId::from_agent(self.agent_id)
+    }
+
     /// Fraction of the sequence space `[0, highest_seq]` that is missing.
     pub fn gap_ratio(&self) -> f64 {
         let expected = self.highest_seq as f64 + 1.0;
@@ -216,6 +223,12 @@ pub struct Controller {
     config: ControllerConfig,
     imu_observations: Vec<(f64, Vec<f32>)>,
     frames: Vec<FrameRecord>,
+    // Agent id of frames[i], in acceptance order. Kept parallel to
+    // `frames` (both are only pushed in the frame-ingest arm) so a
+    // multi-camera session can separate its views per [`StreamId`]
+    // without touching the frame wire format or the state digest; WAL
+    // replay re-ingests batches, so recovery rebuilds it consistently.
+    frame_agents: Vec<u32>,
     tsdb: TsDb,
     streams: BTreeMap<u32, StreamState>,
     batches: u64,
@@ -230,6 +243,7 @@ impl Controller {
             config,
             imu_observations: Vec::new(),
             frames: Vec::new(),
+            frame_agents: Vec::new(),
             tsdb: TsDb::new(),
             streams: BTreeMap::new(),
             batches: 0,
@@ -380,6 +394,7 @@ impl Controller {
                         t: r.timestamp,
                         frame: frame.clone(),
                     });
+                    self.frame_agents.push(batch.agent_id);
                 }
             }
         }
@@ -411,6 +426,14 @@ impl Controller {
             shed: s.shed,
         }
         .into()
+    }
+
+    /// Health report addressed by [`StreamId`] instead of raw agent id —
+    /// the stream-generic entry point the core modality registry uses, so
+    /// N-stream health assessment never hard-codes which agent carries
+    /// which modality.
+    pub fn stream_health_by_id(&self, stream: StreamId) -> Option<StreamHealth> {
+        self.stream_health(stream.agent_id())
     }
 
     /// Whether `(agent_id, seq)` has been accepted — the durability
@@ -528,6 +551,23 @@ impl Controller {
         out
     }
 
+    /// Received frames of one camera stream, sorted by timestamp. A
+    /// multi-camera session ingests every view into the same acceptance
+    /// log; this is the stream-generic read side that keeps each view
+    /// separable for the per-modality models.
+    pub fn frames_sorted_for(&self, stream: StreamId) -> Vec<FrameRecord> {
+        let agent = stream.agent_id();
+        let mut out: Vec<FrameRecord> = self
+            .frames
+            .iter()
+            .zip(&self.frame_agents)
+            .filter(|(_, &a)| a == agent)
+            .map(|(fr, _)| fr.clone())
+            .collect();
+        out.sort_by(|a, b| a.t.total_cmp(&b.t));
+        out
+    }
+
     /// Number of raw IMU observations buffered.
     pub fn imu_observation_count(&self) -> usize {
         self.imu_observations.len()
@@ -589,6 +629,46 @@ mod tests {
                 })
                 .collect(),
         }
+    }
+
+    fn multi_frame_batch(agent: u32, seq: u32, stamps: &[f64]) -> Batch {
+        Batch {
+            agent_id: agent,
+            seq,
+            readings: stamps
+                .iter()
+                .map(|&t| StampedReading {
+                    timestamp: t,
+                    reading: SensorReading::Frame(darnet_sim::Frame::from_pixels(
+                        2,
+                        2,
+                        vec![t as f32, agent as f32, 0.0, 1.0],
+                    )),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn multi_camera_frames_separate_by_stream() {
+        let mut c = Controller::new(ControllerConfig::default());
+        // Interleaved deliveries from two camera agents.
+        c.ingest_at(0.5, &multi_frame_batch(1, 0, &[0.25, 0.5]));
+        c.ingest_at(0.6, &multi_frame_batch(2, 0, &[0.3, 0.55]));
+        c.ingest_at(1.0, &multi_frame_batch(1, 1, &[0.75]));
+        let front = c.frames_sorted_for(crate::StreamId::CAMERA_FRONT);
+        let side = c.frames_sorted_for(crate::StreamId::CAMERA_SIDE);
+        assert_eq!(front.len(), 3);
+        assert_eq!(side.len(), 2);
+        assert!(front.windows(2).all(|w| w[0].t <= w[1].t));
+        assert!(side.windows(2).all(|w| w[0].t <= w[1].t));
+        // Per-agent tone encodes the agent id in pixel 1.
+        assert!(front.iter().all(|fr| fr.frame.pixels()[1] == 1.0));
+        assert!(side.iter().all(|fr| fr.frame.pixels()[1] == 2.0));
+        // The merged view is the union of the per-stream views.
+        assert_eq!(c.frames_sorted().len(), 5);
+        // An unknown stream has no frames.
+        assert!(c.frames_sorted_for(crate::StreamId(7)).is_empty());
     }
 
     #[test]

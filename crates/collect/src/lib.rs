@@ -49,6 +49,7 @@ mod network;
 pub mod runtime;
 mod sensor;
 pub mod shard;
+mod stream;
 mod tsdb;
 pub mod wal;
 mod wire;
@@ -68,11 +69,15 @@ pub use decision::{
 pub use error::CollectError;
 pub use loadgen::{run_fleet, run_fleet_into, run_fleet_timed, FleetConfig, FleetReport};
 pub use network::{FaultConfig, Link, LinkConfig, LinkStats};
-pub use sensor::{CameraSensor, ImuSensor, Sensor, SensorReading};
+pub use sensor::{
+    CameraSensor, CameraView, CanonicalCameraSensor, CanonicalImuSensor, ImuSensor, Sensor,
+    SensorReading,
+};
 pub use shard::{
     shard_of, BackpressureConfig, FleetAdmission, FleetPressure, OfferOutcome, ShardAck,
     ShardConfig, ShardPressure, ShardedController,
 };
+pub use stream::StreamId;
 pub use tsdb::{canonical_fingerprint_merged, Aggregation, SeriesStats, TsDb};
 pub use wal::{
     replay_into, DirStorage, MemStorage, RecoveryReport, Wal, WalConfig, WalStats, WalStorage,

@@ -32,6 +32,7 @@ use crate::controller::{
 };
 use crate::network::{Link, LinkConfig, LinkStats};
 use crate::sensor::{CameraSensor, ImuSensor};
+use crate::stream::StreamId;
 use crate::wal::{self, Wal, WalConfig, WalStorage};
 use crate::wire::{decode_ack, decode_batch, encode_ack, encode_batch, Batch};
 use crate::Result;
@@ -226,36 +227,49 @@ pub struct AlignedTuple {
     pub window: Vec<f32>,
 }
 
+/// Pairs every frame with its trailing IMU window of `window_len` grid
+/// points — the alignment shared by the legacy two-stream recording and
+/// every camera stream of a canonical multi-stream recording. Frames
+/// that precede all IMU data are skipped (no context to classify from
+/// yet).
+pub fn pair_frames_with_windows(
+    frames: &[FrameRecord],
+    imu: &[AlignedImuPoint],
+    window_len: usize,
+) -> Vec<AlignedTuple> {
+    let mut tuples = Vec::with_capacity(frames.len());
+    if imu.is_empty() || window_len == 0 {
+        return tuples;
+    }
+    let features = imu[0].features.len();
+    for fr in frames {
+        let hi = imu.partition_point(|p| p.t <= fr.t);
+        if hi == 0 {
+            continue;
+        }
+        let lo = hi.saturating_sub(window_len);
+        let mut window = Vec::with_capacity(window_len * features);
+        for _ in 0..window_len - (hi - lo) {
+            window.extend_from_slice(&imu[lo].features);
+        }
+        for p in &imu[lo..hi] {
+            window.extend_from_slice(&p.features);
+        }
+        tuples.push(AlignedTuple {
+            t: fr.t,
+            frame: fr.frame.clone(),
+            window,
+        });
+    }
+    tuples
+}
+
 impl DriverRecording {
     /// Pairs every received frame with its trailing IMU window of
     /// `window_len` grid points. Frames that precede all IMU data are
     /// skipped (no context to classify from yet).
     pub fn aligned_tuples(&self, window_len: usize) -> Vec<AlignedTuple> {
-        let mut tuples = Vec::with_capacity(self.frames.len());
-        if self.imu.is_empty() || window_len == 0 {
-            return tuples;
-        }
-        let features = self.imu[0].features.len();
-        for fr in &self.frames {
-            let hi = self.imu.partition_point(|p| p.t <= fr.t);
-            if hi == 0 {
-                continue;
-            }
-            let lo = hi.saturating_sub(window_len);
-            let mut window = Vec::with_capacity(window_len * features);
-            for _ in 0..window_len - (hi - lo) {
-                window.extend_from_slice(&self.imu[lo].features);
-            }
-            for p in &self.imu[lo..hi] {
-                window.extend_from_slice(&p.features);
-            }
-            tuples.push(AlignedTuple {
-                t: fr.t,
-                frame: fr.frame.clone(),
-                window,
-            });
-        }
-        tuples
+        pair_frames_with_windows(&self.frames, &self.imu, window_len)
     }
 }
 
@@ -781,6 +795,370 @@ pub fn run_campaign_durable(
         .collect()
 }
 
+/// The collected output of one driver's canonical multi-stream session:
+/// one aligned IMU stream plus any number of camera streams, each tagged
+/// with its [`StreamId`] so the analytics registry can address them
+/// generically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiStreamRecording {
+    /// Driver id.
+    pub driver: usize,
+    /// Aligned, smoothed IMU stream (empty if the IMU stream was absent
+    /// or delivered nothing).
+    pub imu: Vec<AlignedImuPoint>,
+    /// Per-camera-stream frames in timestamp order, keyed by stream and
+    /// sorted by [`StreamId`].
+    pub frame_streams: Vec<(StreamId, Vec<FrameRecord>)>,
+    /// Controller-side health per registered stream (in registration
+    /// order; `None` if the stream never delivered a batch).
+    pub health: Vec<(StreamId, Option<StreamHealth>)>,
+    /// Maximum absolute agent clock error observed at poll instants.
+    pub max_clock_error: f64,
+}
+
+impl MultiStreamRecording {
+    /// Frames of one camera stream (empty slice if not registered).
+    pub fn frames_for(&self, stream: StreamId) -> &[FrameRecord] {
+        self.frame_streams
+            .iter()
+            .find(|(s, _)| *s == stream)
+            .map(|(_, frames)| frames.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Controller health of one stream, if it delivered anything.
+    pub fn health_for(&self, stream: StreamId) -> Option<StreamHealth> {
+        self.health
+            .iter()
+            .find(|(s, _)| *s == stream)
+            .and_then(|(_, h)| *h)
+    }
+
+    /// Pairs one camera stream's frames with trailing IMU windows — the
+    /// same alignment as [`DriverRecording::aligned_tuples`], applied per
+    /// stream.
+    pub fn aligned_tuples_for(&self, stream: StreamId, window_len: usize) -> Vec<AlignedTuple> {
+        pair_frames_with_windows(self.frames_for(stream), &self.imu, window_len)
+    }
+}
+
+/// Event vocabulary of the canonical N-agent session loop. Unlike the
+/// legacy [`EventKind`], agents are addressed by index into the session's
+/// stream registration order, so any number of streams share one loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CanonEvent {
+    Poll(usize),
+    Flush(usize),
+    Sync,
+    Deliver(u32),
+    DeliverAck { agent: usize, seq: u32 },
+    Retry(usize),
+}
+
+/// Builds the sensor, clock, and poll period for one registered stream.
+/// The front camera shares the controller tablet (near-perfect clock, as
+/// in the legacy session); the IMU phone and the side camera are
+/// independent devices with imperfect clocks.
+fn canonical_agent(
+    world: &Arc<DrivingWorld>,
+    driver: usize,
+    script: &[Segment<darnet_sim::CanonicalBehavior>],
+    stream: StreamId,
+    config: &CampaignConfig,
+    rng: &mut SplitMix64,
+) -> Result<(CollectionAgent, f64)> {
+    use crate::sensor::{CameraView, CanonicalCameraSensor, CanonicalImuSensor};
+    let (sensor, clock, period): (Box<dyn crate::sensor::Sensor>, DriftClock, f64) = match stream {
+        StreamId::IMU => (
+            Box::new(CanonicalImuSensor::new(
+                Arc::clone(world),
+                driver,
+                script.to_vec(),
+                config.imu_period,
+            )),
+            DriftClock::random(&config.clock, rng),
+            config.imu_period,
+        ),
+        StreamId::CAMERA_FRONT => (
+            Box::new(CanonicalCameraSensor::new(
+                Arc::clone(world),
+                driver,
+                script.to_vec(),
+                config.camera_period,
+                CameraView::Front,
+            )),
+            DriftClock::new(1e-6, 0.0),
+            config.camera_period,
+        ),
+        StreamId::CAMERA_SIDE => (
+            Box::new(CanonicalCameraSensor::new(
+                Arc::clone(world),
+                driver,
+                script.to_vec(),
+                config.camera_period,
+                CameraView::Side,
+            )),
+            DriftClock::random(&config.clock, rng),
+            config.camera_period,
+        ),
+        other => {
+            return Err(crate::CollectError::InvalidConfig(format!(
+                "no canonical sensor registered for stream {other}"
+            )))
+        }
+    };
+    let agent_config = AgentConfig {
+        poll_period: period,
+        transmit_period: config.transmit_period,
+        spill: config.spill,
+    };
+    let agent = CollectionAgent::new(stream.agent_id(), sensor, clock, agent_config)
+        .with_transport(config.retransmit, rng.next_u64());
+    Ok((agent, period))
+}
+
+/// Runs one driver's canonical multi-stream session: any subset of
+/// {IMU, front camera, side camera} over the 8-class script, with an
+/// optional per-stream [`LinkConfig`] override (fault injection on one
+/// stream while the others run clean — the multi-view ablation's knob).
+///
+/// The legacy two-agent [`run_session`] is untouched; this is the
+/// generalized N-agent loop the modality registry consumes.
+///
+/// # Errors
+///
+/// [`crate::CollectError::InvalidConfig`] for an unknown stream id, plus
+/// everything the transport/alignment layers return.
+pub fn run_canonical_session(
+    world: &Arc<DrivingWorld>,
+    driver: usize,
+    segments: &[Segment<darnet_sim::CanonicalBehavior>],
+    config: &CampaignConfig,
+    streams: &[StreamId],
+    link_overrides: &[(StreamId, LinkConfig)],
+) -> Result<MultiStreamRecording> {
+    let session_end = segments
+        .iter()
+        .filter(|s| s.driver == driver)
+        .map(|s| s.end())
+        .fold(0.0f64, f64::max);
+    let script: Vec<Segment<darnet_sim::CanonicalBehavior>> = segments
+        .iter()
+        .filter(|s| s.driver == driver)
+        .copied()
+        .collect();
+    let link_for = |stream: StreamId| {
+        link_overrides
+            .iter()
+            .find(|(s, _)| *s == stream)
+            .map(|(_, l)| *l)
+            .unwrap_or(config.link)
+    };
+
+    // A distinct seed domain from the legacy session so the two paths
+    // never alias, while staying per-driver deterministic.
+    let mut rng = SplitMix64::new(
+        config.seed ^ (driver as u64).wrapping_mul(0x9E37_79B9) ^ 0xCA40_0515_0A11_ED00,
+    );
+    let mut agents = Vec::with_capacity(streams.len());
+    let mut periods = Vec::with_capacity(streams.len());
+    for &stream in streams {
+        let (agent, period) = canonical_agent(world, driver, &script, stream, config, &mut rng)?;
+        agents.push(agent);
+        periods.push(period);
+    }
+    let mut links: Vec<Link> = streams
+        .iter()
+        .map(|&s| Link::new(link_for(s), rng.next_u64()))
+        .collect();
+    let mut sync_link = Link::new(config.link, rng.next_u64());
+    let mut ack_links: Vec<Link> = streams
+        .iter()
+        .map(|&s| Link::new(link_for(s), rng.next_u64()))
+        .collect();
+    let mut controller = Controller::new(config.controller);
+
+    let mut heap: BinaryHeap<TimedEvent<CanonEvent>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<TimedEvent<CanonEvent>>,
+                time: f64,
+                kind: CanonEvent,
+                seq: &mut u64| {
+        heap.push(TimedEvent {
+            time,
+            seq: *seq,
+            kind,
+        });
+        *seq += 1;
+    };
+    for i in 0..agents.len() {
+        push(&mut heap, 0.0, CanonEvent::Poll(i), &mut seq);
+        push(
+            &mut heap,
+            config.transmit_period,
+            CanonEvent::Flush(i),
+            &mut seq,
+        );
+    }
+    if config.sync_enabled {
+        // Startup handshake, as in the legacy session (§4.1).
+        let measured = sync_link.mean_delay();
+        if let Some(arrival) = sync_link.transmit(-measured) {
+            for agent in &mut agents {
+                agent.handle_sync(arrival, -measured, measured);
+            }
+        }
+        push(
+            &mut heap,
+            config.controller.sync_period,
+            CanonEvent::Sync,
+            &mut seq,
+        );
+    }
+
+    let mut pending: Vec<Batch> = Vec::new();
+    let mut max_clock_error = 0.0f64;
+    let reliable = config.retransmit.enabled;
+
+    while let Some(event) = heap.pop() {
+        let t = event.time;
+        if t > session_end + config.transmit_period + config.drain_grace {
+            break;
+        }
+        match event.kind {
+            CanonEvent::Poll(i) => {
+                if t <= session_end {
+                    agents[i].poll(t)?;
+                    max_clock_error = max_clock_error.max(agents[i].clock_error(t).abs());
+                    push(&mut heap, t + periods[i], CanonEvent::Poll(i), &mut seq);
+                }
+            }
+            CanonEvent::Flush(i) => {
+                if let Some(batch) = agents[i].flush_at(t)? {
+                    let id = pending.len() as u32;
+                    pending.push(batch);
+                    for arrival in links[i].transmit_all(t) {
+                        push(&mut heap, arrival, CanonEvent::Deliver(id), &mut seq);
+                    }
+                }
+                if reliable {
+                    if let Some(deadline) = agents[i].next_deadline() {
+                        push(&mut heap, deadline, CanonEvent::Retry(i), &mut seq);
+                    }
+                }
+                if t <= session_end {
+                    push(
+                        &mut heap,
+                        t + config.transmit_period,
+                        CanonEvent::Flush(i),
+                        &mut seq,
+                    );
+                }
+            }
+            CanonEvent::Sync => {
+                if let Some(arrival) = sync_link.transmit(t) {
+                    let measured = sync_link.mean_delay();
+                    for agent in &mut agents {
+                        agent.handle_sync(arrival, t, measured);
+                    }
+                }
+                if t <= session_end {
+                    push(
+                        &mut heap,
+                        t + config.controller.sync_period,
+                        CanonEvent::Sync,
+                        &mut seq,
+                    );
+                }
+            }
+            CanonEvent::Deliver(id) => {
+                let decoded = decode_batch(encode_batch(&pending[id as usize]))?;
+                let ack = Controller::ack_for(&decoded);
+                let outcome = controller.offer_at(t, &decoded, None)?;
+                if outcome == IngestOutcome::Shed {
+                    continue;
+                }
+                if reliable {
+                    let ack = decode_ack(encode_ack(&ack))?;
+                    if let Some(idx) = streams.iter().position(|s| s.agent_id() == ack.agent_id) {
+                        for arrival in ack_links[idx].transmit_all(t) {
+                            push(
+                                &mut heap,
+                                arrival,
+                                CanonEvent::DeliverAck {
+                                    agent: idx,
+                                    seq: ack.seq,
+                                },
+                                &mut seq,
+                            );
+                        }
+                    }
+                }
+            }
+            CanonEvent::DeliverAck { agent, seq: acked } => {
+                agents[agent].handle_ack(acked);
+            }
+            CanonEvent::Retry(i) => {
+                for batch in agents[i].due_retransmits(t)? {
+                    let id = pending.len() as u32;
+                    pending.push(batch);
+                    for arrival in links[i].transmit_all(t) {
+                        push(&mut heap, arrival, CanonEvent::Deliver(id), &mut seq);
+                    }
+                }
+                if let Some(deadline) = agents[i].next_deadline() {
+                    push(&mut heap, deadline, CanonEvent::Retry(i), &mut seq);
+                }
+            }
+        }
+    }
+
+    let imu = match controller.aligned_imu() {
+        Ok(points) => points,
+        Err(crate::CollectError::NoData(_)) => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let mut frame_streams: Vec<(StreamId, Vec<FrameRecord>)> = streams
+        .iter()
+        .filter(|&&s| s != StreamId::IMU)
+        .map(|&s| (s, controller.frames_sorted_for(s)))
+        .collect();
+    frame_streams.sort_by_key(|(s, _)| *s);
+    let health = streams
+        .iter()
+        .map(|&s| (s, controller.stream_health_by_id(s)))
+        .collect();
+    Ok(MultiStreamRecording {
+        driver,
+        imu,
+        frame_streams,
+        health,
+        max_clock_error,
+    })
+}
+
+/// Runs a canonical multi-stream campaign: one
+/// [`run_canonical_session`] per driver in the schedule.
+///
+/// # Errors
+///
+/// Propagates per-session errors.
+pub fn run_canonical_campaign(
+    world: &Arc<DrivingWorld>,
+    segments: &[Segment<darnet_sim::CanonicalBehavior>],
+    config: &CampaignConfig,
+    streams: &[StreamId],
+    link_overrides: &[(StreamId, LinkConfig)],
+) -> Result<Vec<MultiStreamRecording>> {
+    let mut drivers: Vec<usize> = segments.iter().map(|s| s.driver).collect();
+    drivers.sort_unstable();
+    drivers.dedup();
+    drivers
+        .into_iter()
+        .map(|d| run_canonical_session(world, d, segments, config, streams, link_overrides))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1131,6 +1509,128 @@ mod tests {
             cam.shed_ratio()
         );
         assert!(!rec.imu.is_empty());
+    }
+
+    fn canonical_schedule_short() -> Vec<Segment<darnet_sim::CanonicalBehavior>> {
+        use darnet_sim::CanonicalBehavior;
+        vec![
+            Segment {
+                driver: 0,
+                behavior: CanonicalBehavior::NormalDriving,
+                start: 0.0,
+                duration: 4.0,
+            },
+            Segment {
+                driver: 0,
+                behavior: CanonicalBehavior::HeadDroop,
+                start: 4.0,
+                duration: 4.0,
+            },
+            Segment {
+                driver: 0,
+                behavior: CanonicalBehavior::Texting,
+                start: 8.0,
+                duration: 4.0,
+            },
+        ]
+    }
+
+    const THREE_STREAMS: [StreamId; 3] =
+        [StreamId::IMU, StreamId::CAMERA_FRONT, StreamId::CAMERA_SIDE];
+
+    #[test]
+    fn canonical_session_collects_all_three_streams() {
+        let rec = run_canonical_session(
+            &world(),
+            0,
+            &canonical_schedule_short(),
+            &CampaignConfig::default(),
+            &THREE_STREAMS,
+            &[],
+        )
+        .unwrap();
+        assert!(rec.imu.len() >= 40, "imu points {}", rec.imu.len());
+        let front = rec.frames_for(StreamId::CAMERA_FRONT);
+        let side = rec.frames_for(StreamId::CAMERA_SIDE);
+        assert!(front.len() >= 40, "front frames {}", front.len());
+        assert!(side.len() >= 40, "side frames {}", side.len());
+        // Views are genuinely different images of the same session.
+        assert_ne!(front[10].frame, side[10].frame);
+        // Per-stream health exists for every registered stream.
+        for s in THREE_STREAMS {
+            assert!(rec.health_for(s).is_some(), "no health for {s}");
+        }
+        // Each camera stream aligns against the shared IMU grid.
+        let tuples = rec.aligned_tuples_for(StreamId::CAMERA_SIDE, 20);
+        assert!(!tuples.is_empty());
+        assert_eq!(tuples[0].window.len(), 20 * rec.imu[0].features.len());
+    }
+
+    #[test]
+    fn canonical_campaign_is_deterministic() {
+        let run = || {
+            run_canonical_campaign(
+                &world(),
+                &canonical_schedule_short(),
+                &CampaignConfig::default(),
+                &THREE_STREAMS,
+                &[],
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn per_stream_blackout_silences_only_that_stream() {
+        // The multi-view ablation's knob: a dead side-camera link must not
+        // perturb the front camera or the IMU.
+        let dead = LinkConfig {
+            faults: FaultConfig {
+                blackout: Some((0.0, 1e9)),
+                ..FaultConfig::default()
+            },
+            ..LinkConfig::default()
+        };
+        let rec = run_canonical_session(
+            &world(),
+            0,
+            &canonical_schedule_short(),
+            &CampaignConfig::default(),
+            &THREE_STREAMS,
+            &[(StreamId::CAMERA_SIDE, dead)],
+        )
+        .unwrap();
+        let clean = run_canonical_session(
+            &world(),
+            0,
+            &canonical_schedule_short(),
+            &CampaignConfig::default(),
+            &THREE_STREAMS,
+            &[],
+        )
+        .unwrap();
+        assert!(rec.frames_for(StreamId::CAMERA_SIDE).is_empty());
+        assert!(rec.health_for(StreamId::CAMERA_SIDE).is_none());
+        assert_eq!(
+            rec.frames_for(StreamId::CAMERA_FRONT).len(),
+            clean.frames_for(StreamId::CAMERA_FRONT).len()
+        );
+        assert_eq!(rec.imu.len(), clean.imu.len());
+    }
+
+    #[test]
+    fn canonical_session_rejects_unknown_streams() {
+        let err = run_canonical_session(
+            &world(),
+            0,
+            &canonical_schedule_short(),
+            &CampaignConfig::default(),
+            &[StreamId(9)],
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::CollectError::InvalidConfig(_)));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use darnet_sim::{Behavior, DrivingWorld, Frame, ImuSample, Segment};
+use darnet_sim::{Behavior, CanonicalBehavior, DrivingWorld, Frame, ImuSample, Segment};
 use serde::{Deserialize, Serialize};
 
 /// One sensor observation.
@@ -49,24 +49,28 @@ pub trait Sensor: Send {
     fn sample(&mut self, t: f64) -> SensorReading;
 }
 
-/// Looks up the scripted behaviour at session time `t` for a sorted,
-/// per-driver segment list. Falls back to [`Behavior::NormalDriving`]
-/// outside the script.
-pub(crate) fn behavior_at(segments: &[Segment<Behavior>], t: f64) -> Behavior {
+/// Looks up the scripted class at session time `t` for a sorted,
+/// per-driver segment list, generic over the behaviour taxonomy. Falls
+/// back to `fallback` outside the script.
+pub(crate) fn scripted_at<B: Copy>(segments: &[Segment<B>], t: f64, fallback: B) -> B {
     // Segments are contiguous and sorted by start.
     let idx = segments.partition_point(|s| s.start <= t);
     if idx == 0 {
-        return segments
-            .first()
-            .map(|s| s.behavior)
-            .unwrap_or(Behavior::NormalDriving);
+        return segments.first().map(|s| s.behavior).unwrap_or(fallback);
     }
     let seg = &segments[idx - 1];
     if seg.contains(t) {
         seg.behavior
     } else {
-        Behavior::NormalDriving
+        fallback
     }
+}
+
+/// Looks up the scripted behaviour at session time `t` for a sorted,
+/// per-driver segment list. Falls back to [`Behavior::NormalDriving`]
+/// outside the script.
+pub(crate) fn behavior_at(segments: &[Segment<Behavior>], t: f64) -> Behavior {
+    scripted_at(segments, t, Behavior::NormalDriving)
 }
 
 /// The in-vehicle camera (the paper's Nexus 7 "dashcam" agent).
@@ -157,6 +161,115 @@ impl Sensor for ImuSensor {
     }
 }
 
+/// Which physical camera a canonical-session camera sensor models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CameraView {
+    /// The dash-mounted front view (the paper's Nexus 7 placement).
+    Front,
+    /// The passenger-side A-pillar profile view.
+    Side,
+}
+
+/// A camera over the 8-class canonical script: front or side view of the
+/// same scripted session, so a multi-stream campaign can register two
+/// camera streams that disagree in geometry but agree in ground truth.
+pub struct CanonicalCameraSensor {
+    world: Arc<DrivingWorld>,
+    driver: usize,
+    segments: Vec<Segment<CanonicalBehavior>>,
+    period: f64,
+    view: CameraView,
+    name: String,
+}
+
+impl CanonicalCameraSensor {
+    /// Creates a canonical camera for `driver` with the given view.
+    pub fn new(
+        world: Arc<DrivingWorld>,
+        driver: usize,
+        mut segments: Vec<Segment<CanonicalBehavior>>,
+        period: f64,
+        view: CameraView,
+    ) -> Self {
+        segments.sort_by(|a, b| a.start.total_cmp(&b.start));
+        let tag = match view {
+            CameraView::Front => "front",
+            CameraView::Side => "side",
+        };
+        CanonicalCameraSensor {
+            world,
+            driver,
+            segments,
+            period,
+            view,
+            name: format!("camera.{tag}.driver{driver}"),
+        }
+    }
+}
+
+impl Sensor for CanonicalCameraSensor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn period(&self) -> f64 {
+        self.period
+    }
+
+    fn sample(&mut self, t: f64) -> SensorReading {
+        let class = scripted_at(&self.segments, t, CanonicalBehavior::NormalDriving);
+        let frame = match self.view {
+            CameraView::Front => self.world.render_canonical_frame(self.driver, class, t),
+            CameraView::Side => self.world.render_side_frame(self.driver, class, t),
+        };
+        SensorReading::Frame(frame)
+    }
+}
+
+/// The phone IMU over the 8-class canonical script (drowsy classes emit
+/// micro-correction signatures instead of manipulation jitter).
+pub struct CanonicalImuSensor {
+    world: Arc<DrivingWorld>,
+    driver: usize,
+    segments: Vec<Segment<CanonicalBehavior>>,
+    period: f64,
+    name: String,
+}
+
+impl CanonicalImuSensor {
+    /// Creates a canonical IMU sensor for `driver`.
+    pub fn new(
+        world: Arc<DrivingWorld>,
+        driver: usize,
+        mut segments: Vec<Segment<CanonicalBehavior>>,
+        period: f64,
+    ) -> Self {
+        segments.sort_by(|a, b| a.start.total_cmp(&b.start));
+        CanonicalImuSensor {
+            world,
+            driver,
+            segments,
+            period,
+            name: format!("imu.driver{driver}"),
+        }
+    }
+}
+
+impl Sensor for CanonicalImuSensor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn period(&self) -> f64 {
+        self.period
+    }
+
+    fn sample(&mut self, t: f64) -> SensorReading {
+        let class = scripted_at(&self.segments, t, CanonicalBehavior::NormalDriving);
+        SensorReading::Imu(self.world.imu_sample_canonical(self.driver, class, t))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +335,50 @@ mod tests {
             Box::new(ImuSensor::new(world, 0, script(), 0.025)),
         ];
         assert_eq!(sensors.len(), 2);
+    }
+
+    #[test]
+    fn canonical_sensors_follow_the_8_class_script() {
+        let world = Arc::new(DrivingWorld::new(WorldConfig::default()));
+        let script = vec![
+            Segment {
+                driver: 0,
+                behavior: CanonicalBehavior::HeadDroop,
+                start: 0.0,
+                duration: 10.0,
+            },
+            Segment {
+                driver: 0,
+                behavior: CanonicalBehavior::Texting,
+                start: 10.0,
+                duration: 10.0,
+            },
+        ];
+        let mut front = CanonicalCameraSensor::new(
+            Arc::clone(&world),
+            0,
+            script.clone(),
+            0.25,
+            CameraView::Front,
+        );
+        let mut side = CanonicalCameraSensor::new(
+            Arc::clone(&world),
+            0,
+            script.clone(),
+            0.25,
+            CameraView::Side,
+        );
+        let mut imu = CanonicalImuSensor::new(Arc::clone(&world), 0, script, 0.025);
+        assert!(front.name().contains("camera.front"));
+        assert!(side.name().contains("camera.side"));
+        let f = front.sample(2.0);
+        let s = side.sample(2.0);
+        // Same instant, same scripted class, different geometry.
+        assert_ne!(f.as_frame().unwrap(), s.as_frame().unwrap());
+        assert!(imu.sample(2.0).as_imu().is_some());
+        // Base classes route through the legacy render path bitwise.
+        let legacy = world.render_frame(0, Behavior::Texting, 12.0);
+        assert_eq!(front.sample(12.0).as_frame().unwrap(), &legacy);
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //! training and evaluation (§5.1); IMU windows are 20 points at 4 Hz
 //! (5 seconds, §4.2).
 
-use darnet_collect::runtime::DriverRecording;
-use darnet_sim::{Behavior, DrivingWorld, ExtendedBehavior, Frame, ImuClass, Segment};
+use darnet_collect::runtime::{DriverRecording, MultiStreamRecording};
+use darnet_collect::StreamId;
+use darnet_sim::{
+    Behavior, CanonicalBehavior, DrivingWorld, ExtendedBehavior, Frame, ImuClass, Segment,
+};
 use darnet_tensor::{SplitMix64, Tensor};
 
 use crate::error::CoreError;
@@ -32,6 +35,238 @@ pub fn label_at(segments: &[Segment<Behavior>], t: f64) -> Behavior {
         seg.behavior
     } else {
         Behavior::NormalDriving
+    }
+}
+
+/// [`label_at`] over the canonical 8-class taxonomy (the 6 manual
+/// distractions plus the two drowsiness cues).
+pub fn canonical_label_at(segments: &[Segment<CanonicalBehavior>], t: f64) -> CanonicalBehavior {
+    let idx = segments.partition_point(|s| s.start <= t);
+    if idx == 0 {
+        return segments
+            .first()
+            .map(|s| s.behavior)
+            .unwrap_or(CanonicalBehavior::NormalDriving);
+    }
+    let seg = &segments[idx - 1];
+    if seg.contains(t) {
+        seg.behavior
+    } else {
+        CanonicalBehavior::NormalDriving
+    }
+}
+
+/// One N-stream sample: the front frame, the side frame nearest to it,
+/// and the IMU window ending at the front frame's timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonicalSample {
+    /// Controller timestamp of the front frame.
+    pub t: f64,
+    /// Driver id.
+    pub driver: usize,
+    /// Ground-truth canonical 8-class behaviour.
+    pub class: CanonicalBehavior,
+    /// The front-camera frame.
+    pub front: Frame,
+    /// The side-camera frame nearest in time.
+    pub side: Frame,
+    /// Flattened `[WINDOW_LEN × IMU_FEATURES]` window, time-major.
+    pub imu_window: Vec<f32>,
+}
+
+/// A labeled N-stream dataset over the canonical 8-class taxonomy, built
+/// from multi-stream campaign recordings: every sample joins the front
+/// camera, the side camera, and the IMU at one instant.
+#[derive(Debug, Clone, Default)]
+pub struct CanonicalDataset {
+    samples: Vec<CanonicalSample>,
+    frame_size: usize,
+}
+
+impl CanonicalDataset {
+    /// Builds the dataset from canonical multi-stream recordings plus
+    /// the schedule that produced them. The front camera anchors the
+    /// join (as in [`MultimodalDataset::from_recordings`]); each front
+    /// tuple then adopts the side frame nearest in time, and tuples with
+    /// no side frame within `side_tolerance` seconds are dropped — a
+    /// three-way-complete dataset, so single-stream ablations evaluate
+    /// the exact same instants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Dataset`] on inconsistent frame sizes.
+    pub fn from_recordings(
+        recordings: &[MultiStreamRecording],
+        segments: &[Segment<CanonicalBehavior>],
+        side_tolerance: f64,
+    ) -> Result<Self> {
+        let mut samples = Vec::new();
+        let mut frame_size = 0usize;
+        for rec in recordings {
+            let mut script: Vec<Segment<CanonicalBehavior>> = segments
+                .iter()
+                .filter(|s| s.driver == rec.driver)
+                .copied()
+                .collect();
+            script.sort_by(|a, b| a.start.total_cmp(&b.start));
+            let side = rec.frames_for(StreamId::CAMERA_SIDE);
+            for tup in rec.aligned_tuples_for(StreamId::CAMERA_FRONT, WINDOW_LEN) {
+                // Nearest side frame by timestamp (the side stream is in
+                // timestamp order).
+                let at = side.partition_point(|f| f.t < tup.t);
+                let nearest = [at.checked_sub(1), Some(at)]
+                    .into_iter()
+                    .flatten()
+                    .filter_map(|i| side.get(i))
+                    .min_by(|a, b| (a.t - tup.t).abs().total_cmp(&(b.t - tup.t).abs()));
+                let Some(near) = nearest else { continue };
+                if (near.t - tup.t).abs() > side_tolerance {
+                    continue;
+                }
+                if frame_size == 0 {
+                    frame_size = tup.frame.width();
+                }
+                for f in [&tup.frame, &near.frame] {
+                    if f.width() != frame_size || f.height() != frame_size {
+                        return Err(CoreError::Dataset(format!(
+                            "inconsistent frame size {}x{} (expected {frame_size})",
+                            f.width(),
+                            f.height()
+                        )));
+                    }
+                }
+                samples.push(CanonicalSample {
+                    t: tup.t,
+                    driver: rec.driver,
+                    class: canonical_label_at(&script, tup.t),
+                    front: tup.frame,
+                    side: near.frame.clone(),
+                    imu_window: tup.window,
+                });
+            }
+        }
+        Ok(CanonicalDataset {
+            samples,
+            frame_size,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Square frame edge length.
+    pub fn frame_size(&self) -> usize {
+        self.frame_size
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[CanonicalSample] {
+        &self.samples
+    }
+
+    /// Per-class sample counts over the canonical taxonomy.
+    pub fn class_counts(&self) -> [usize; 8] {
+        let mut counts = [0usize; 8];
+        for s in &self.samples {
+            counts[s.class.index()] += 1;
+        }
+        counts
+    }
+
+    /// Canonical 8-class labels (all samples).
+    pub fn labels8(&self) -> Vec<usize> {
+        self.samples.iter().map(|s| s.class.index()).collect()
+    }
+
+    /// Shuffled split into `(train, eval)` — same shuffle machinery as
+    /// [`MultimodalDataset::split`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_frac` is not within `(0, 1)`.
+    pub fn split(&self, train_frac: f64, seed: u64) -> (CanonicalDataset, CanonicalDataset) {
+        assert!(
+            train_frac > 0.0 && train_frac < 1.0,
+            "train fraction must be in (0, 1)"
+        );
+        let mut idx: Vec<usize> = (0..self.samples.len()).collect();
+        let mut rng = SplitMix64::new(seed);
+        rng.shuffle(&mut idx);
+        let n_train = ((self.samples.len() as f64) * train_frac).round() as usize;
+        let take = |ids: &[usize]| CanonicalDataset {
+            samples: ids.iter().map(|&i| self.samples[i].clone()).collect(),
+            frame_size: self.frame_size,
+        };
+        (take(&idx[..n_train]), take(&idx[n_train..]))
+    }
+
+    fn camera_tensor(&self, pick: impl Fn(&CanonicalSample) -> &Frame) -> Result<Tensor> {
+        if self.is_empty() {
+            return Err(CoreError::Dataset("empty frame batch".into()));
+        }
+        let hw = self.frame_size * self.frame_size;
+        let mut data = Vec::with_capacity(self.len() * hw);
+        for s in &self.samples {
+            data.extend_from_slice(pick(s).pixels());
+        }
+        Ok(Tensor::from_vec(
+            data,
+            &[self.len(), 1, self.frame_size, self.frame_size],
+        )?)
+    }
+
+    /// Front frames as a `[n, 1, h, w]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dataset is empty.
+    pub fn front_tensor(&self) -> Result<Tensor> {
+        self.camera_tensor(|s| &s.front)
+    }
+
+    /// Side frames as a `[n, 1, h, w]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dataset is empty.
+    pub fn side_tensor(&self) -> Result<Tensor> {
+        self.camera_tensor(|s| &s.side)
+    }
+
+    /// IMU windows as a `[n, WINDOW_LEN, IMU_FEATURES]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dataset is empty.
+    pub fn imu_tensor(&self) -> Result<Tensor> {
+        if self.is_empty() {
+            return Err(CoreError::Dataset("empty imu batch".into()));
+        }
+        let mut data = Vec::with_capacity(self.len() * WINDOW_LEN * IMU_FEATURES);
+        for s in &self.samples {
+            data.extend_from_slice(&s.imu_window);
+        }
+        Ok(Tensor::from_vec(
+            data,
+            &[self.len(), WINDOW_LEN, IMU_FEATURES],
+        )?)
+    }
+
+    /// Front frames of the samples (for the step-by-step engine path).
+    pub fn front_frames(&self) -> Vec<Frame> {
+        self.samples.iter().map(|s| s.front.clone()).collect()
+    }
+
+    /// Side frames of the samples.
+    pub fn side_frames(&self) -> Vec<Frame> {
+        self.samples.iter().map(|s| s.side.clone()).collect()
     }
 }
 
@@ -590,6 +825,103 @@ mod tests {
         ];
         let recs = run_campaign(&world, &segments, &CampaignConfig::default()).unwrap();
         (recs, segments)
+    }
+
+    #[test]
+    fn canonical_dataset_joins_three_streams() {
+        use darnet_collect::runtime::run_canonical_campaign;
+
+        let world = Arc::new(DrivingWorld::new(WorldConfig {
+            drivers: 1,
+            frame_size: 24,
+            ..WorldConfig::default()
+        }));
+        let segments = vec![
+            Segment {
+                driver: 0,
+                behavior: CanonicalBehavior::NormalDriving,
+                start: 0.0,
+                duration: 5.0,
+            },
+            Segment {
+                driver: 0,
+                behavior: CanonicalBehavior::EyesClosing,
+                start: 5.0,
+                duration: 5.0,
+            },
+            Segment {
+                driver: 0,
+                behavior: CanonicalBehavior::HeadDroop,
+                start: 10.0,
+                duration: 5.0,
+            },
+        ];
+        let streams = [StreamId::IMU, StreamId::CAMERA_FRONT, StreamId::CAMERA_SIDE];
+        let recs =
+            run_canonical_campaign(&world, &segments, &CampaignConfig::default(), &streams, &[])
+                .unwrap();
+        let ds = CanonicalDataset::from_recordings(&recs, &segments, 0.5).unwrap();
+        assert!(!ds.is_empty());
+        assert_eq!(ds.frame_size(), 24);
+        for s in ds.samples() {
+            assert_eq!(s.imu_window.len(), WINDOW_LEN * IMU_FEATURES);
+            assert_eq!(s.front.width(), 24);
+            assert_eq!(s.side.width(), 24);
+            // The adopted side frame differs from the front view at the
+            // same instant (different camera geometry).
+            assert_ne!(s.front.pixels(), s.side.pixels());
+        }
+        // The drowsy classes are labeled.
+        let counts = ds.class_counts();
+        assert!(counts[CanonicalBehavior::EyesClosing.index()] > 0);
+        assert!(counts[CanonicalBehavior::HeadDroop.index()] > 0);
+        assert_eq!(ds.labels8().len(), ds.len());
+        let front = ds.front_tensor().unwrap();
+        let side = ds.side_tensor().unwrap();
+        assert_eq!(front.dims(), &[ds.len(), 1, 24, 24]);
+        assert_eq!(side.dims(), front.dims());
+        let (train, eval) = ds.split(0.8, 3);
+        assert_eq!(train.len() + eval.len(), ds.len());
+        // A zero tolerance drops every tuple (clocks never line up
+        // perfectly across devices).
+        let strict = CanonicalDataset::from_recordings(&recs, &segments, 0.0).unwrap();
+        assert!(strict.len() <= ds.len());
+    }
+
+    #[test]
+    fn canonical_label_lookup_matches_schedule() {
+        let segments = vec![
+            Segment {
+                driver: 0,
+                behavior: CanonicalBehavior::Texting,
+                start: 0.0,
+                duration: 2.0,
+            },
+            Segment {
+                driver: 0,
+                behavior: CanonicalBehavior::EyesClosing,
+                start: 4.0,
+                duration: 3.0,
+            },
+        ];
+        assert_eq!(
+            canonical_label_at(&segments, 1.0),
+            CanonicalBehavior::Texting
+        );
+        // The gap between segments is normal driving (same semantics as
+        // the 6-class `label_at`).
+        assert_eq!(
+            canonical_label_at(&segments, 3.0),
+            CanonicalBehavior::NormalDriving
+        );
+        assert_eq!(
+            canonical_label_at(&segments, 5.0),
+            CanonicalBehavior::EyesClosing
+        );
+        assert_eq!(
+            canonical_label_at(&segments, 9.0),
+            CanonicalBehavior::NormalDriving
+        );
     }
 
     #[test]

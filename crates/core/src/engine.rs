@@ -6,13 +6,12 @@ use darnet_sim::{Behavior, Frame};
 use darnet_tensor::{Parallelism, Tensor, Workspace};
 
 use crate::dataset::{frames_to_tensor, frames_to_tensor_into, IMU_FEATURES, WINDOW_LEN};
-use crate::ensemble::{
-    imu_index_of, product_combine, product_combine_into, BayesianCombiner, CombinerKind,
-};
+use crate::ensemble::{BayesianCombiner, CombinerKind, NaryBayesianCombiner};
 use crate::error::CoreError;
 use crate::health::ModalityStatus;
 use crate::models::{FrameCnn, ImuRnn, ImuSvm};
 use crate::privacy::{Downsampler, PrivacyLevel};
+use crate::registry::{product_combine_subset_into, ModalityDescriptor};
 use crate::Result;
 
 /// Engine configuration.
@@ -102,7 +101,15 @@ pub struct StepClassification {
 pub struct AnalyticsEngine {
     cnn: FrameCnn,
     imu: ImuModelSlot,
-    combiner: BayesianCombiner,
+    /// The fitted pair combiner, held in its N-ary registry form: the
+    /// legacy CPT is carried over verbatim, so N=2 fusion through
+    /// [`NaryBayesianCombiner::combine_subset_into`] is bit-for-bit the
+    /// historical [`BayesianCombiner::combine_into`].
+    nary: NaryBayesianCombiner,
+    /// Registry descriptors for the engine's two fixed streams, in the
+    /// legacy CPT's parent order: front camera (identity) then IMU
+    /// (6→3 projection).
+    descriptors: [ModalityDescriptor; 2],
     config: EngineConfig,
     downsampler: Downsampler,
     students: Vec<(PrivacyLevel, FrameCnn)>,
@@ -130,7 +137,11 @@ impl AnalyticsEngine {
         AnalyticsEngine {
             cnn,
             imu,
-            combiner,
+            nary: combiner.to_nary(),
+            descriptors: [
+                ModalityDescriptor::darnet_camera(),
+                ModalityDescriptor::darnet_imu(),
+            ],
             config,
             downsampler: Downsampler::new(full),
             students: Vec::new(),
@@ -199,25 +210,39 @@ impl AnalyticsEngine {
     }
 
     fn fuse(&self, cnn_probs: &[f32], imu_probs: &[f32]) -> Result<Vec<f32>> {
-        match self.config.combiner {
-            CombinerKind::Bayesian => self.combiner.combine(cnn_probs, imu_probs),
-            CombinerKind::Product => product_combine(cnn_probs, imu_probs),
-            CombinerKind::CnnOnly => Ok(cnn_probs.to_vec()),
-        }
+        let mut scores = Vec::with_capacity(6);
+        self.fuse_into(cnn_probs, imu_probs, &mut scores)?;
+        Ok(scores)
     }
 
-    /// [`AnalyticsEngine::fuse`] into a reused buffer (cleared first);
-    /// bitwise-identical scores.
+    /// Fuses the pair of posteriors through the registry primitives (the
+    /// N=2 special case): bitwise-identical to the historical pair
+    /// combiners.
     // darlint: hot
     fn fuse_into(&self, cnn_probs: &[f32], imu_probs: &[f32], scores: &mut Vec<f32>) -> Result<()> {
         match self.config.combiner {
-            CombinerKind::Bayesian => self.combiner.combine_into(cnn_probs, imu_probs, scores),
-            CombinerKind::Product => product_combine_into(cnn_probs, imu_probs, scores),
-            CombinerKind::CnnOnly => {
-                scores.clear();
-                scores.extend_from_slice(cnn_probs);
-                Ok(())
-            }
+            CombinerKind::Bayesian => self
+                .nary
+                .combine_subset_into(&[Some(cnn_probs), Some(imu_probs)], scores),
+            CombinerKind::Product => product_combine_subset_into(
+                &[
+                    (
+                        Some(cnn_probs),
+                        &self.descriptors[0].class_map,
+                        self.descriptors[0].weight,
+                    ),
+                    (
+                        Some(imu_probs),
+                        &self.descriptors[1].class_map,
+                        self.descriptors[1].weight,
+                    ),
+                ],
+                6,
+                scores,
+            ),
+            CombinerKind::CnnOnly => self.descriptors[0]
+                .class_map
+                .expand_into(cnn_probs, 6, scores),
         }
     }
 
@@ -266,26 +291,15 @@ impl AnalyticsEngine {
     }
 
     /// Expands the IMU model's 3-class posterior onto the 6-class
-    /// taxonomy: each IMU class's mass is split uniformly across the
-    /// behaviours that map to it.
-    fn imu_only_scores(imu_probs: &[f32]) -> Vec<f32> {
-        let mut fanout = [0u32; 3];
-        for c in 0..6 {
-            fanout[imu_index_of(c)] += 1;
-        }
-        let mut scores: Vec<f32> = (0..6)
-            .map(|c| {
-                let m = imu_index_of(c);
-                imu_probs[m] / fanout[m] as f32
-            })
-            .collect();
-        let total: f32 = scores.iter().sum();
-        if total > 0.0 {
-            for s in &mut scores {
-                *s /= total;
-            }
-        }
-        scores
+    /// taxonomy via the registry's projection expansion (each IMU
+    /// class's mass split uniformly across the behaviours mapping to
+    /// it) — bitwise the historical hand-rolled expansion.
+    fn imu_only_scores(&self, imu_probs: &[f32]) -> Result<Vec<f32>> {
+        let mut scores = Vec::with_capacity(6);
+        self.descriptors[1]
+            .class_map
+            .expand_into(imu_probs, 6, &mut scores)?;
+        Ok(scores)
     }
 
     /// Degradation-tolerant classification: classifies from whichever
@@ -324,7 +338,7 @@ impl AnalyticsEngine {
             }
             (None, Some(window)) => {
                 let imu_probs = self.imu_probs(window)?;
-                let scores = Self::imu_only_scores(&imu_probs);
+                let scores = self.imu_only_scores(&imu_probs)?;
                 self.decide(
                     scores,
                     Vec::new(),

@@ -176,6 +176,22 @@ impl BayesianCombiner {
         Ok(())
     }
 
+    /// Converts to the N-parent generalization with parents
+    /// `[cnn, imu]`. The flattened CPT layouts coincide, so the
+    /// conversion is a plain copy and
+    /// [`NaryBayesianCombiner::combine_n_into`][crate::ensemble::NaryBayesianCombiner::combine_n_into]
+    /// over both parents is bitwise-identical to
+    /// [`BayesianCombiner::combine_into`].
+    pub fn to_nary(&self) -> super::NaryBayesianCombiner {
+        super::NaryBayesianCombiner::from_parts(
+            self.classes,
+            vec![self.classes, self.imu_classes],
+            self.cpt.clone(),
+            self.alpha,
+            self.fitted,
+        )
+    }
+
     /// Batch combination: `[n, classes]` scores from `[n, classes]` and
     /// `[n, imu_classes]` probability matrices.
     ///

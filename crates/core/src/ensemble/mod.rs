@@ -3,8 +3,10 @@
 //! Learning").
 
 mod bayes;
+mod nary;
 
 pub use bayes::BayesianCombiner;
+pub use nary::NaryBayesianCombiner;
 
 use darnet_sim::Behavior;
 

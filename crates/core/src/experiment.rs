@@ -5,21 +5,31 @@
 
 use std::sync::Arc;
 
-use darnet_collect::runtime::{run_campaign, CampaignConfig};
+use darnet_collect::runtime::{run_campaign, run_canonical_campaign, CampaignConfig};
+use darnet_collect::{FaultConfig, LinkConfig, StreamId};
 use darnet_nn::SvmConfig;
 use darnet_sim::schedule::{
-    build_extended_schedule, build_schedule, ExtendedScheduleConfig, ScheduleConfig,
-    TABLE1_FRAME_COUNTS,
+    build_canonical_schedule, build_extended_schedule, build_schedule, CanonicalScheduleConfig,
+    ExtendedScheduleConfig, ScheduleConfig, TABLE1_FRAME_COUNTS,
 };
-use darnet_sim::{Behavior, DrivingWorld, ExtendedBehavior, Frame, Segment, WorldConfig};
+use darnet_sim::{
+    Behavior, CanonicalBehavior, DrivingWorld, ExtendedBehavior, Frame, Segment, WorldConfig,
+};
 use darnet_tensor::{SplitMix64, Tensor};
 
-use crate::dataset::{ExtendedFrameDataset, MultimodalDataset, IMU_FEATURES, WINDOW_LEN};
-use crate::ensemble::{product_combine, BayesianCombiner};
+use crate::dataset::{
+    CanonicalDataset, ExtendedFrameDataset, MultimodalDataset, IMU_FEATURES, WINDOW_LEN,
+};
+use crate::ensemble::{product_combine, BayesianCombiner, CombinerKind};
 use crate::eval::ConfusionMatrix;
+use crate::health::{HealthPolicy, ModalityStatus};
 use crate::models::{CnnConfig, FrameCnn, ImuRnn, ImuSvm, RnnConfig};
 use crate::privacy::{distill_dcnn, DistillConfig, Downsampler, PrivacyLevel};
-use crate::Result;
+use crate::registry::{
+    ClassMap, ModalityDescriptor, MultiModalEngine, MultiStepClassification, StreamInput,
+    StreamModelSlot,
+};
+use crate::{CoreError, Result};
 
 /// Knobs shared by every experiment driver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -876,6 +886,324 @@ pub fn run_ablation_distill(
     })
 }
 
+// ---------------------------------------------------------------------
+// Multiview N-stream ablation (modality registry, DESIGN.md §17)
+// ---------------------------------------------------------------------
+
+/// The canonical 8-class → IMU-class projection: each canonical class
+/// keeps the IMU class of its base behaviour, and the drowsiness cues —
+/// which leave both hands on the wheel — collapse onto the wheel class.
+pub fn canonical_imu_projection() -> Vec<usize> {
+    CanonicalBehavior::ALL
+        .iter()
+        .map(|b| b.base().map_or(0, |base| base.imu_class().index()))
+        .collect()
+}
+
+/// Knobs for [`run_ablation_multiview`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiviewConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Scale factor on the Table-1 frame counts for the base classes.
+    pub scale: f64,
+    /// Square frame edge length.
+    pub frame_size: usize,
+    /// Number of drivers in the campaign.
+    pub drivers: usize,
+    /// Seconds of each drowsiness class per driver.
+    pub drowsy_seconds_per_class: f64,
+    /// CNN training epochs (front and side view).
+    pub cnn_epochs: usize,
+    /// CNN width multiplier.
+    pub cnn_width: f32,
+    /// RNN training epochs.
+    pub rnn_epochs: usize,
+    /// LSTM hidden units per direction.
+    pub rnn_hidden: usize,
+    /// Stacked BiLSTM layers.
+    pub rnn_depth: usize,
+    /// Train fraction of the split.
+    pub train_frac: f64,
+    /// Max |Δt| (seconds) when adopting the nearest side frame for a
+    /// front-camera anchor in the three-way join.
+    pub side_tolerance: f64,
+    /// Steady packet loss injected on the front-camera link in the
+    /// faulted campaign.
+    pub front_loss: f64,
+    /// Fraction of the session after which the front-camera link blacks
+    /// out for the remainder (drives its health verdict stale).
+    pub front_blackout_frac: f64,
+}
+
+impl MultiviewConfig {
+    /// Reduced-scale preset for tests: runs in seconds.
+    pub fn fast() -> Self {
+        MultiviewConfig {
+            seed: 0xDA12_2017,
+            scale: 0.02,
+            frame_size: 48,
+            drivers: 3,
+            drowsy_seconds_per_class: 6.0,
+            cnn_epochs: 4,
+            cnn_width: 0.75,
+            rnn_epochs: 4,
+            rnn_hidden: 12,
+            rnn_depth: 1,
+            train_frac: 0.8,
+            side_tolerance: 0.3,
+            front_loss: 0.35,
+            front_blackout_frac: 0.25,
+        }
+    }
+
+    /// Fuller preset for the `repro_ablation_multiview` binary.
+    pub fn paper() -> Self {
+        MultiviewConfig {
+            scale: 0.05,
+            drivers: 5,
+            drowsy_seconds_per_class: 20.0,
+            cnn_epochs: 8,
+            cnn_width: 1.0,
+            rnn_epochs: 6,
+            rnn_hidden: 24,
+            rnn_depth: 2,
+            ..MultiviewConfig::fast()
+        }
+    }
+}
+
+/// Multiview ablation result: canonical 8-class Top-1 per engine
+/// configuration, all measured on the same clean evaluation split. The
+/// `*_front_lost` scenarios gate fusion with the health verdicts a real
+/// faulted campaign produced — the ablation never hand-sets a status.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiviewAblation {
+    /// Evaluation-split size.
+    pub eval_samples: usize,
+    /// Front camera alone (single-survivor expansion = CNN argmax).
+    pub front_only: f64,
+    /// IMU + front camera, the legacy pairing as an N=2 registry.
+    pub two_stream: f64,
+    /// IMU + front + side camera through the 3-parent combiner.
+    pub three_stream: f64,
+    /// The 2-stream engine after the faulted campaign's health policy
+    /// drops the front camera (falls back to the IMU projection alone).
+    pub two_stream_front_lost: f64,
+    /// The 3-stream engine under the same verdicts (side + IMU fuse on).
+    pub three_stream_front_lost: f64,
+    /// Whether the fault campaign actually drove the front-camera
+    /// stream to [`ModalityStatus::Unavailable`].
+    pub front_unusable_under_fault: bool,
+}
+
+fn worst_status(a: ModalityStatus, b: ModalityStatus) -> ModalityStatus {
+    use ModalityStatus::{Degraded, Unavailable};
+    match (a, b) {
+        (Unavailable, _) | (_, Unavailable) => Unavailable,
+        (Degraded, _) | (_, Degraded) => Degraded,
+        _ => ModalityStatus::Healthy,
+    }
+}
+
+fn score_engine(
+    engine: &mut MultiModalEngine,
+    inputs: &[(StreamId, StreamInput<'_>)],
+    statuses: &[(StreamId, ModalityStatus)],
+    labels: &[usize],
+    out: &mut Vec<MultiStepClassification>,
+) -> Result<f64> {
+    engine.classify_batch_checked_into(inputs, statuses, out)?;
+    let preds: Vec<usize> = out.iter().map(|o| o.class).collect();
+    Ok(accuracy(&preds, labels))
+}
+
+/// Runs the N-stream multiview ablation: a clean canonical campaign
+/// trains per-stream models and fits 2- and 3-parent combiners; a second
+/// campaign with loss + blackout on the front-camera link produces the
+/// health evidence whose [`HealthPolicy::select_subset`] verdicts gate
+/// fusion on the clean evaluation split.
+///
+/// # Errors
+///
+/// Propagates collection, dataset, and training errors.
+pub fn run_ablation_multiview(config: &MultiviewConfig) -> Result<MultiviewAblation> {
+    let world = Arc::new(DrivingWorld::new(WorldConfig {
+        drivers: config.drivers,
+        frame_size: config.frame_size,
+        seed: config.seed,
+        ..WorldConfig::default()
+    }));
+    let schedule = build_canonical_schedule(&CanonicalScheduleConfig {
+        base: ScheduleConfig {
+            drivers: config.drivers,
+            scale: config.scale,
+            ..ScheduleConfig::default()
+        },
+        drowsy_seconds_per_class: config.drowsy_seconds_per_class,
+    });
+    let streams = [StreamId::IMU, StreamId::CAMERA_FRONT, StreamId::CAMERA_SIDE];
+    let campaign = CampaignConfig {
+        seed: config.seed ^ 0xCA11,
+        ..CampaignConfig::default()
+    };
+
+    // Clean campaign → canonical three-stream dataset.
+    let clean = run_canonical_campaign(&world, &schedule, &campaign, &streams, &[])?;
+    let dataset = CanonicalDataset::from_recordings(&clean, &schedule, config.side_tolerance)?;
+    let (train, eval) = dataset.split(config.train_frac, config.seed ^ 0x5911);
+    if train.is_empty() || eval.is_empty() {
+        return Err(CoreError::Dataset(
+            "multiview campaign produced an empty split".into(),
+        ));
+    }
+
+    // Per-stream models: the IMU RNN stays native 3-class behind the
+    // canonical projection; both camera views train 8-class heads.
+    let imu_map = canonical_imu_projection();
+    let labels8_train = train.labels8();
+    let labels3_train: Vec<usize> = labels8_train.iter().map(|&c| imu_map[c]).collect();
+    let train_imu = train.imu_tensor()?;
+    let train_front = train.front_tensor()?;
+    let train_side = train.side_tensor()?;
+
+    let cnn_config = CnnConfig {
+        input_size: config.frame_size,
+        classes: CanonicalBehavior::ALL.len(),
+        width: config.cnn_width,
+        ..CnnConfig::default()
+    };
+    let rnn_config = RnnConfig {
+        hidden: config.rnn_hidden,
+        depth: config.rnn_depth,
+        ..RnnConfig::default()
+    };
+    let mut rnn = ImuRnn::new(rnn_config, config.seed ^ 0x44);
+    rnn.fit(&train_imu, &labels3_train, config.rnn_epochs)?;
+    let mut front = FrameCnn::new(cnn_config, config.seed ^ 0xC99);
+    front.fit(&train_front, &labels8_train, config.cnn_epochs)?;
+    let mut side = FrameCnn::new(cnn_config, config.seed ^ 0x51DE);
+    side.fit(&train_side, &labels8_train, config.cnn_epochs)?;
+
+    // Training posteriors for the combiner fits.
+    let rnn_probs = rnn.predict_proba(&train_imu)?;
+    let front_probs = front.predict_proba(&train_front)?;
+    let side_probs = side.predict_proba(&train_side)?;
+
+    // The 2-stream baseline engine owns weight-identical model copies
+    // (trained once, transplanted) so both engines see the same models.
+    let rnn_weights = rnn.export_weights()?;
+    let front_weights = front.export_weights();
+    let classes = CanonicalBehavior::ALL.len();
+
+    let imu_desc = ModalityDescriptor::new(StreamId::IMU, ClassMap::Projection(imu_map.clone()));
+    let front_desc = ModalityDescriptor::new(StreamId::CAMERA_FRONT, ClassMap::Identity);
+    let side_desc = ModalityDescriptor::new(StreamId::CAMERA_SIDE, ClassMap::Identity);
+
+    let mut two = MultiModalEngine::new(classes, CombinerKind::Bayesian);
+    let mut rnn2 = ImuRnn::new(rnn_config, config.seed ^ 0x44);
+    rnn2.import_weights(&rnn_weights)?;
+    let mut front2 = FrameCnn::new(cnn_config, config.seed ^ 0xC99);
+    front2.import_weights(&front_weights)?;
+    two.register(imu_desc.clone(), StreamModelSlot::Rnn(rnn2))?;
+    two.register(front_desc.clone(), StreamModelSlot::Cnn(front2))?;
+    two.fit_combiner(&[&rnn_probs, &front_probs], &labels8_train)?;
+
+    let mut three = MultiModalEngine::new(classes, CombinerKind::Bayesian);
+    three.register(imu_desc, StreamModelSlot::Rnn(rnn))?;
+    three.register(front_desc, StreamModelSlot::Cnn(front))?;
+    three.register(side_desc, StreamModelSlot::Cnn(side))?;
+    three.fit_combiner(&[&rnn_probs, &front_probs, &side_probs], &labels8_train)?;
+
+    // Faulted campaign: steady loss plus a terminal blackout on the
+    // front-camera link only. Its recorded per-stream health drives the
+    // subset policy, aggregated as the worst verdict across drivers.
+    let session_end = schedule
+        .iter()
+        .map(|s| s.start + s.duration)
+        .fold(0.0, f64::max);
+    let front_link = LinkConfig {
+        loss: config.front_loss,
+        faults: FaultConfig {
+            blackout: Some((
+                session_end * config.front_blackout_frac,
+                session_end + campaign.drain_grace,
+            )),
+            ..FaultConfig::default()
+        },
+        ..LinkConfig::default()
+    };
+    let faulted = run_canonical_campaign(
+        &world,
+        &schedule,
+        &campaign,
+        &streams,
+        &[(StreamId::CAMERA_FRONT, front_link)],
+    )?;
+    let policy = HealthPolicy::default();
+    let mut statuses: Vec<(StreamId, ModalityStatus)> = Vec::with_capacity(streams.len());
+    for id in streams {
+        let mut status = ModalityStatus::Healthy;
+        for rec in &faulted {
+            let health = rec.health_for(id);
+            let sel = policy.select_subset(&[(id, health.as_ref())], session_end);
+            status = worst_status(status, sel.status_of(id));
+        }
+        statuses.push((id, status));
+    }
+    let front_unusable = statuses
+        .iter()
+        .any(|(id, st)| *id == StreamId::CAMERA_FRONT && *st == ModalityStatus::Unavailable);
+
+    // Every scenario scores the same clean evaluation split, so the
+    // numbers differ only by which streams the engine could use.
+    let eval_front = eval.front_frames();
+    let eval_side = eval.side_frames();
+    let eval_imu = eval.imu_tensor()?;
+    let labels8_eval = eval.labels8();
+    let two_inputs = [
+        (StreamId::IMU, StreamInput::Windows(&eval_imu)),
+        (StreamId::CAMERA_FRONT, StreamInput::Frames(&eval_front)),
+    ];
+    let three_inputs = [
+        (StreamId::IMU, StreamInput::Windows(&eval_imu)),
+        (StreamId::CAMERA_FRONT, StreamInput::Frames(&eval_front)),
+        (StreamId::CAMERA_SIDE, StreamInput::Frames(&eval_side)),
+    ];
+    let mut out = Vec::new();
+    let two_stream = score_engine(&mut two, &two_inputs, &[], &labels8_eval, &mut out)?;
+    let three_stream = score_engine(&mut three, &three_inputs, &[], &labels8_eval, &mut out)?;
+    let front_only = score_engine(
+        &mut three,
+        &three_inputs,
+        &[
+            (StreamId::IMU, ModalityStatus::Unavailable),
+            (StreamId::CAMERA_SIDE, ModalityStatus::Unavailable),
+        ],
+        &labels8_eval,
+        &mut out,
+    )?;
+    let two_stream_front_lost =
+        score_engine(&mut two, &two_inputs, &statuses, &labels8_eval, &mut out)?;
+    let three_stream_front_lost = score_engine(
+        &mut three,
+        &three_inputs,
+        &statuses,
+        &labels8_eval,
+        &mut out,
+    )?;
+
+    Ok(MultiviewAblation {
+        eval_samples: eval.len(),
+        front_only,
+        two_stream,
+        three_stream,
+        two_stream_front_lost,
+        three_stream_front_lost,
+        front_unusable_under_fault: front_unusable,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -906,6 +1234,42 @@ mod tests {
                 .map(|r| r.collected_frames)
                 .sum::<usize>()
         );
+    }
+
+    #[test]
+    fn multiview_ablation_keeps_three_streams_ahead_under_front_loss() {
+        let ab = run_ablation_multiview(&MultiviewConfig::fast()).unwrap();
+        assert!(ab.eval_samples > 0);
+        assert!(
+            ab.front_unusable_under_fault,
+            "blackout + loss should drive the front camera unusable: {ab:?}"
+        );
+        for v in [
+            ab.front_only,
+            ab.two_stream,
+            ab.three_stream,
+            ab.two_stream_front_lost,
+            ab.three_stream_front_lost,
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{ab:?}");
+        }
+        // The ISSUE gate: with the front camera lost, the 3-stream
+        // engine (side + IMU keep fusing) must not fall behind the
+        // 2-stream engine (reduced to the IMU projection alone).
+        assert!(
+            ab.three_stream_front_lost >= ab.two_stream_front_lost,
+            "{ab:?}"
+        );
+    }
+
+    #[test]
+    fn canonical_imu_projection_extends_the_legacy_map() {
+        let map = canonical_imu_projection();
+        assert_eq!(map.len(), 8);
+        // The six base classes reproduce the legacy 6→3 projection...
+        assert_eq!(&map[..6], &[0, 1, 2, 0, 0, 0]);
+        // ...and both drowsiness cues keep hands on the wheel.
+        assert_eq!(&map[6..], &[0, 0]);
     }
 
     #[test]

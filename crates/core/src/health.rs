@@ -3,7 +3,7 @@
 //! engine can act on — keep fusing, flag the fusion as degraded, or drop
 //! the modality and fall back to the surviving model's posterior.
 
-use darnet_collect::StreamHealth;
+use darnet_collect::{StreamHealth, StreamId};
 
 /// How trustworthy one modality's stream currently is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,6 +96,37 @@ impl FleetHealthSummary {
     }
 }
 
+/// The healthy-subset resolution for one registry of identified streams:
+/// which streams participate in the next fusion and at what status.
+/// Produced by [`HealthPolicy::select_subset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubsetSelection {
+    /// Per-stream status, in the order the streams were given.
+    pub statuses: Vec<(StreamId, ModalityStatus)>,
+    /// How many streams are usable (healthy or degraded).
+    pub usable: usize,
+    /// Whether the fused result should carry the degraded flag: any
+    /// stream dropped or merely degraded.
+    pub degraded: bool,
+}
+
+impl SubsetSelection {
+    /// The status resolved for `id` (unavailable if the stream was not
+    /// assessed at all).
+    pub fn status_of(&self, id: StreamId) -> ModalityStatus {
+        self.statuses
+            .iter()
+            .find(|(s, _)| *s == id)
+            .map(|(_, st)| *st)
+            .unwrap_or(ModalityStatus::Unavailable)
+    }
+
+    /// Whether `id` participates in the fusion.
+    pub fn is_usable(&self, id: StreamId) -> bool {
+        self.status_of(id) != ModalityStatus::Unavailable
+    }
+}
+
 impl HealthPolicy {
     /// Assesses one stream at observation time `now`. A stream the
     /// controller has never heard from (`None`) is unavailable.
@@ -113,6 +144,42 @@ impl HealthPolicy {
             return ModalityStatus::Degraded;
         }
         ModalityStatus::Healthy
+    }
+
+    /// Assesses a registry's worth of identified streams at observation
+    /// time `now` and resolves the healthy-subset policy the N-stream
+    /// engine fuses under: per-stream [`ModalityStatus`]es keyed by
+    /// [`StreamId`], the usable count, and whether the fusion as a whole
+    /// should be flagged degraded (any stream dropped or degraded).
+    ///
+    /// The returned statuses feed
+    /// [`crate::registry::MultiModalEngine::classify_batch_checked_into`]
+    /// directly.
+    pub fn select_subset(
+        &self,
+        streams: &[(StreamId, Option<&StreamHealth>)],
+        now: f64,
+    ) -> SubsetSelection {
+        let mut statuses = Vec::with_capacity(streams.len());
+        let mut usable = 0usize;
+        let mut degraded = false;
+        for (id, health) in streams {
+            let status = self.assess(*health, now);
+            match status {
+                ModalityStatus::Healthy => usable += 1,
+                ModalityStatus::Degraded => {
+                    usable += 1;
+                    degraded = true;
+                }
+                ModalityStatus::Unavailable => degraded = true,
+            }
+            statuses.push((*id, status));
+        }
+        SubsetSelection {
+            statuses,
+            usable,
+            degraded,
+        }
     }
 
     /// Assesses every stream of a fleet at observation time `now` and
@@ -176,6 +243,49 @@ mod tests {
             FleetHealthSummary::default().overall(),
             ModalityStatus::Unavailable
         );
+    }
+
+    #[test]
+    fn subset_selection_resolves_the_healthy_subset() {
+        let p = HealthPolicy::default();
+        let fresh = health(19, 0, 10.0);
+        let lossy = health(19, 2, 10.0);
+        let stale = health(19, 0, 1.0);
+        let streams = [
+            (StreamId::IMU, Some(&fresh)),
+            (StreamId::CAMERA_FRONT, Some(&stale)),
+            (StreamId::CAMERA_SIDE, Some(&lossy)),
+        ];
+        let sel = p.select_subset(&streams, 10.1);
+        assert_eq!(sel.usable, 2);
+        assert!(sel.degraded);
+        assert_eq!(sel.status_of(StreamId::IMU), ModalityStatus::Healthy);
+        assert_eq!(
+            sel.status_of(StreamId::CAMERA_FRONT),
+            ModalityStatus::Unavailable
+        );
+        assert_eq!(
+            sel.status_of(StreamId::CAMERA_SIDE),
+            ModalityStatus::Degraded
+        );
+        assert!(sel.is_usable(StreamId::IMU));
+        assert!(!sel.is_usable(StreamId::CAMERA_FRONT));
+        // An unassessed stream is unavailable by definition.
+        assert!(!sel.is_usable(StreamId(7)));
+
+        // All fresh → nothing degraded.
+        let all = [
+            (StreamId::IMU, Some(&fresh)),
+            (StreamId::CAMERA_FRONT, Some(&fresh)),
+        ];
+        let sel = p.select_subset(&all, 10.1);
+        assert_eq!(sel.usable, 2);
+        assert!(!sel.degraded);
+        // A never-heard-from stream is dropped and flags the fusion.
+        let missing = [(StreamId::IMU, None)];
+        let sel = p.select_subset(&missing, 10.1);
+        assert_eq!(sel.usable, 0);
+        assert!(sel.degraded);
     }
 
     #[test]

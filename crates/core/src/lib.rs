@@ -27,6 +27,11 @@
 //! * [`AnalyticsEngine`] — the modular per-stream engine that classifies
 //!   at each time-step (§3.3: a 1-to-1 mapping between device data-streams
 //!   and ML models, combined at a later stage).
+//! * [`registry`] — the N-stream modality registry: [`ModalityDescriptor`]s
+//!   keyed by [`darnet_collect::StreamId`], the [`StreamModel`] trait
+//!   unifying the per-stream models, and the [`MultiModalEngine`] fusing any
+//!   healthy subset of registered streams through the N-ary Bayesian
+//!   combiner (the two-stream engine is the N=2 special case, bit-for-bit).
 //! * [`MicroBatcher`] — the micro-batching front between the collect
 //!   pipeline and the engine: aligned tuples queue and flush on
 //!   batch-size-or-deadline, bounding latency while amortizing per-call
@@ -50,18 +55,23 @@ pub mod health;
 pub mod model_io;
 pub mod models;
 pub mod privacy;
+pub mod registry;
 
 pub use alerts::{AlertEvent, AlertPolicy, AlertTracker};
 pub use batching::{MicroBatchConfig, MicroBatcher};
 pub use engine::{
     AnalyticsEngine, EngineConfig, FallbackCounters, FusionSource, ImuModelSlot, StepClassification,
 };
-pub use ensemble::{BayesianCombiner, CombinerKind};
+pub use ensemble::{BayesianCombiner, CombinerKind, NaryBayesianCombiner};
 pub use error::CoreError;
 pub use eval::ConfusionMatrix;
-pub use health::{FleetHealthSummary, HealthPolicy, ModalityStatus};
+pub use health::{FleetHealthSummary, HealthPolicy, ModalityStatus, SubsetSelection};
 pub use model_io::{decode_tensors, encode_tensors};
 pub use models::{CnnConfig, FrameCnn, ImuRnn, ImuSvm, RnnConfig};
+pub use registry::{
+    ClassMap, ModalityDescriptor, MultiModalEngine, MultiStepClassification, StreamInput,
+    StreamModel, StreamModelSlot, SubsetCounters,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,1397 @@
+//! The N-stream modality registry: the generalization of the engine's
+//! hard-coded CNN+IMU pair into an ordered set of registered streams,
+//! each described by a [`ModalityDescriptor`] (identity, class mapping,
+//! fusion weight) and served by a [`StreamModel`].
+//!
+//! Identity flows up from the collection layer: a stream is named by its
+//! [`StreamId`] (the same tag the controller's health accounting and the
+//! canonical multi-stream sessions use), and registry order — ascending
+//! `StreamId` — fixes the parent order of the N-ary combiner's CPTs.
+//!
+//! The legacy two-stream analytics engine is the N=2 special case: its
+//! fusion paths route through this module's primitives
+//! ([`crate::ensemble::NaryBayesianCombiner`],
+//! [`product_combine_subset_into`], [`ClassMap::expand_into`]) and stay
+//! bitwise-identical to the historical pair implementations (pinned by
+//! unit tests here and the proptest suite).
+
+use serde::{Deserialize, Serialize};
+
+use darnet_collect::StreamId;
+use darnet_sim::Frame;
+use darnet_tensor::{Parallelism, Tensor, Workspace};
+
+use crate::dataset::frames_to_tensor_into;
+use crate::ensemble::{CombinerKind, NaryBayesianCombiner};
+use crate::error::CoreError;
+use crate::health::ModalityStatus;
+use crate::models::{FrameCnn, ImuRnn, ImuSvm};
+use crate::Result;
+
+/// Registry capacity: fusion scratch lives on the stack, so the number of
+/// registered streams is capped (far above any plausible sensor roster).
+pub const MAX_STREAMS: usize = 8;
+
+/// How a stream's native class space maps onto the engine's canonical
+/// class space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClassMap {
+    /// The stream natively speaks the canonical class space.
+    Identity,
+    /// `map[c]` is the native class observed when the canonical class is
+    /// `c` — a many-to-one projection (the IMU's 6→3 collapse). Expansion
+    /// back onto the canonical space splits each native class's mass
+    /// uniformly across the canonical classes projecting onto it.
+    Projection(Vec<usize>),
+}
+
+impl ClassMap {
+    /// The DarNet IMU projection: 6 behaviours onto 3 manipulation
+    /// classes (mirrors the taxonomy's `imu_class` assignment).
+    pub fn darnet_imu() -> ClassMap {
+        ClassMap::Projection(vec![0, 1, 2, 0, 0, 0])
+    }
+
+    /// The native class observed for canonical class `c`.
+    pub fn native_of(&self, c: usize) -> usize {
+        match self {
+            ClassMap::Identity => c,
+            ClassMap::Projection(m) => m[c],
+        }
+    }
+
+    /// The stream's native class count given the canonical count.
+    pub fn native_classes(&self, canonical_classes: usize) -> usize {
+        match self {
+            ClassMap::Identity => canonical_classes,
+            ClassMap::Projection(m) => m.iter().copied().max().map_or(0, |x| x + 1),
+        }
+    }
+
+    /// Expands a native posterior onto the canonical class space — the
+    /// single-surviving-stream fallback. [`ClassMap::Identity`] passes the
+    /// posterior through verbatim (the legacy CNN-only fallback);
+    /// [`ClassMap::Projection`] splits each native class's mass uniformly
+    /// over its canonical preimage and renormalizes (the legacy IMU-only
+    /// fallback, bitwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns a dataset error on width mismatches.
+    // darlint: hot
+    pub fn expand_into(
+        &self,
+        probs: &[f32],
+        canonical_classes: usize,
+        scores: &mut Vec<f32>,
+    ) -> Result<()> {
+        match self {
+            ClassMap::Identity => {
+                if probs.len() != canonical_classes {
+                    return Err(CoreError::Dataset(format!(
+                        "identity expansion expects {canonical_classes} probabilities, got {}",
+                        probs.len()
+                    )));
+                }
+                scores.clear();
+                scores.extend_from_slice(probs);
+            }
+            ClassMap::Projection(m) => {
+                if m.len() != canonical_classes
+                    || probs.len() != self.native_classes(canonical_classes)
+                {
+                    return Err(CoreError::Dataset(format!(
+                        "projection expansion: map {} / probs {} for {canonical_classes} classes",
+                        m.len(),
+                        probs.len()
+                    )));
+                }
+                scores.clear();
+                for c in 0..canonical_classes {
+                    let native = m[c];
+                    // Preimage size of this native class (the legacy
+                    // fanout table, recomputed by scan — O(classes²) on
+                    // 6–8 classes, allocation-free).
+                    let fanout = m.iter().filter(|&&x| x == native).count();
+                    scores.push(probs[native] / fanout as f32);
+                }
+                let total: f32 = scores.iter().sum();
+                if total > 0.0 {
+                    for s in scores.iter_mut() {
+                        *s /= total;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything the engine needs to know about one registered stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModalityDescriptor {
+    /// The stream's collection-layer identity.
+    pub id: StreamId,
+    /// Human-readable name (defaults to the stream label).
+    pub name: String,
+    /// Native→canonical class mapping.
+    pub class_map: ClassMap,
+    /// Fusion weight: a tempering exponent on the stream's posterior in
+    /// the product rule (and available to the N-ary combiner). `1.0` is
+    /// neutral and bitwise-invisible.
+    pub weight: f32,
+}
+
+impl ModalityDescriptor {
+    /// A descriptor with the default name and neutral weight.
+    pub fn new(id: StreamId, class_map: ClassMap) -> Self {
+        ModalityDescriptor {
+            name: id.label(),
+            id,
+            class_map,
+            weight: 1.0,
+        }
+    }
+
+    /// Sets the fusion weight.
+    pub fn with_weight(mut self, weight: f32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// The legacy front-camera descriptor (identity over the canonical
+    /// classes).
+    pub fn darnet_camera() -> Self {
+        ModalityDescriptor::new(StreamId::CAMERA_FRONT, ClassMap::Identity)
+    }
+
+    /// The legacy IMU descriptor (6→3 projection).
+    pub fn darnet_imu() -> Self {
+        ModalityDescriptor::new(StreamId::IMU, ClassMap::darnet_imu())
+    }
+
+    /// Native class count given the canonical count.
+    pub fn native_classes(&self, canonical_classes: usize) -> usize {
+        self.class_map.native_classes(canonical_classes)
+    }
+}
+
+/// The unified model interface every registered stream serves: a
+/// zero-alloc batch posterior over the stream's assembled input tensor,
+/// preserving the workspace discipline of the legacy engine.
+pub trait StreamModel: Send {
+    /// The model's native class count.
+    fn native_classes(&self) -> usize;
+
+    /// Installs a [`Parallelism`] handle for the model's internal tensor
+    /// products.
+    fn set_parallelism(&mut self, par: Parallelism);
+
+    /// Writes row-major class probabilities for the batch into `out`
+    /// (cleared first), allocating nothing once `out` has capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors (e.g. not fitted, shape mismatch).
+    fn predict_proba_into(&mut self, input: &Tensor, out: &mut Vec<f32>) -> Result<()>;
+}
+
+impl StreamModel for FrameCnn {
+    fn native_classes(&self) -> usize {
+        self.classes()
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        FrameCnn::set_parallelism(self, par);
+    }
+
+    fn predict_proba_into(&mut self, input: &Tensor, out: &mut Vec<f32>) -> Result<()> {
+        FrameCnn::predict_proba_into(self, input, out)
+    }
+}
+
+impl StreamModel for ImuRnn {
+    fn native_classes(&self) -> usize {
+        self.config().classes
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        ImuRnn::set_parallelism(self, par);
+    }
+
+    fn predict_proba_into(&mut self, input: &Tensor, out: &mut Vec<f32>) -> Result<()> {
+        ImuRnn::predict_proba_into(self, input, out)
+    }
+}
+
+impl StreamModel for ImuSvm {
+    fn native_classes(&self) -> usize {
+        self.classes()
+    }
+
+    fn set_parallelism(&mut self, _par: Parallelism) {}
+
+    fn predict_proba_into(&mut self, input: &Tensor, out: &mut Vec<f32>) -> Result<()> {
+        // The SVM baseline has no workspace path; fall back to its
+        // allocating prediction and copy the rows out (same as the
+        // legacy engine's SVM branch).
+        let probs = ImuSvm::predict_proba(self, input)?;
+        out.clear();
+        out.extend_from_slice(probs.data());
+        Ok(())
+    }
+}
+
+/// Concrete storage for a registered stream's model — the registry's
+/// slot type, delegating [`StreamModel`] to the wrapped model.
+// One slot exists per registered stream and never moves after
+// registration, so the size gap between variants doesn't justify boxing.
+#[allow(clippy::large_enum_variant)]
+pub enum StreamModelSlot {
+    /// A frame CNN (camera streams).
+    Cnn(FrameCnn),
+    /// The deep bidirectional LSTM (IMU streams).
+    Rnn(ImuRnn),
+    /// The linear SVM baseline (IMU streams).
+    Svm(ImuSvm),
+}
+
+impl std::fmt::Debug for StreamModelSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamModelSlot::Cnn(_) => f.write_str("StreamModelSlot::Cnn"),
+            StreamModelSlot::Rnn(_) => f.write_str("StreamModelSlot::Rnn"),
+            StreamModelSlot::Svm(_) => f.write_str("StreamModelSlot::Svm"),
+        }
+    }
+}
+
+impl StreamModel for StreamModelSlot {
+    fn native_classes(&self) -> usize {
+        match self {
+            StreamModelSlot::Cnn(m) => StreamModel::native_classes(m),
+            StreamModelSlot::Rnn(m) => StreamModel::native_classes(m),
+            StreamModelSlot::Svm(m) => StreamModel::native_classes(m),
+        }
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        match self {
+            StreamModelSlot::Cnn(m) => StreamModel::set_parallelism(m, par),
+            StreamModelSlot::Rnn(m) => StreamModel::set_parallelism(m, par),
+            StreamModelSlot::Svm(m) => StreamModel::set_parallelism(m, par),
+        }
+    }
+
+    fn predict_proba_into(&mut self, input: &Tensor, out: &mut Vec<f32>) -> Result<()> {
+        match self {
+            StreamModelSlot::Cnn(m) => StreamModel::predict_proba_into(m, input, out),
+            StreamModelSlot::Rnn(m) => StreamModel::predict_proba_into(m, input, out),
+            StreamModelSlot::Svm(m) => StreamModel::predict_proba_into(m, input, out),
+        }
+    }
+}
+
+/// One stream's raw observations for a batch of aligned time-steps.
+#[derive(Debug, Clone, Copy)]
+pub enum StreamInput<'a> {
+    /// Camera frames, one per time-step.
+    Frames(&'a [Frame]),
+    /// A `[n, window, features]` tensor of per-step windows.
+    Windows(&'a Tensor),
+}
+
+impl StreamInput<'_> {
+    /// Batch length.
+    pub fn len(&self) -> usize {
+        match self {
+            StreamInput::Frames(f) => f.len(),
+            StreamInput::Windows(t) => t.dims().first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Generalized product-rule fusion over any present subset of parents:
+/// for each canonical class the present streams' (class-mapped) posterior
+/// factors are multiplied in registry order, then the scores are
+/// normalized. Projection-mapped factors are floored at `1e-6` so a
+/// coarse modality cannot fully veto classes outside its resolution —
+/// with the legacy `[camera(identity), imu(projection)]` pair this is
+/// bitwise the legacy `product_combine_into`.
+///
+/// # Errors
+///
+/// Returns a dataset error on width mismatches or when every parent is
+/// absent.
+// darlint: hot
+pub fn product_combine_subset_into(
+    parents: &[(Option<&[f32]>, &ClassMap, f32)],
+    classes: usize,
+    scores: &mut Vec<f32>,
+) -> Result<()> {
+    let mut present = 0usize;
+    for (k, (probs, map, _)) in parents.iter().enumerate() {
+        let Some(probs) = probs else { continue };
+        present += 1;
+        let want = map.native_classes(classes);
+        let map_ok = match map {
+            ClassMap::Identity => true,
+            ClassMap::Projection(m) => m.len() == classes,
+        };
+        if !map_ok || probs.len() != want {
+            return Err(CoreError::Dataset(format!(
+                "product parent {k} expects {want} probabilities, got {}",
+                probs.len()
+            )));
+        }
+    }
+    if present == 0 {
+        return Err(CoreError::NotReady(
+            "every parent stream is absent — nothing to fuse".into(),
+        ));
+    }
+    scores.clear();
+    for c in 0..classes {
+        let mut acc: Option<f32> = None;
+        for (probs, map, weight) in parents {
+            let Some(probs) = probs else { continue };
+            let f = match map {
+                ClassMap::Identity => probs[c],
+                ClassMap::Projection(m) => probs[m[c]].max(1e-6),
+            };
+            let f = if *weight == 1.0 { f } else { f.powf(*weight) };
+            acc = Some(match acc {
+                None => f,
+                Some(a) => a * f,
+            });
+        }
+        scores.push(acc.unwrap_or(0.0));
+    }
+    let total: f32 = scores.iter().sum();
+    if total > 0.0 {
+        for s in scores.iter_mut() {
+            *s /= total;
+        }
+    }
+    Ok(())
+}
+
+/// One registered stream: descriptor + model + per-batch scratch.
+struct RegisteredStream {
+    descriptor: ModalityDescriptor,
+    model: StreamModelSlot,
+    /// Row-major posteriors for the current batch (reused).
+    probs: Vec<f32>,
+    /// Whether the stream contributes to the current batch.
+    present: bool,
+    /// The stream's health status for the current batch.
+    status: ModalityStatus,
+}
+
+/// Running counts of how N-stream classifications were fused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubsetCounters {
+    /// Steps fused from every registered stream.
+    pub full: u64,
+    /// Steps fused from a strict (but plural) subset.
+    pub partial: u64,
+    /// Steps decided by a single surviving stream's expansion.
+    pub single: u64,
+    /// Steps computed while some contributing stream was degraded.
+    pub degraded: u64,
+}
+
+/// One per-time-step classification from the N-stream engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiStepClassification {
+    /// The fused canonical class index.
+    pub class: usize,
+    /// Fused class scores (normalized).
+    pub scores: Vec<f32>,
+    /// The streams that contributed, in registry order.
+    pub used: Vec<StreamId>,
+    /// `true` if a contributing stream was degraded or a registered
+    /// stream had to be dropped.
+    pub degraded: bool,
+}
+
+/// The registry-driven N-stream analytics engine: an ordered set of
+/// [`StreamModel`]s fused by the [`NaryBayesianCombiner`] (or the product
+/// rule) over whichever subset of streams is healthy, with the legacy
+/// engine's zero-alloc workspace discipline.
+pub struct MultiModalEngine {
+    classes: usize,
+    kind: CombinerKind,
+    streams: Vec<RegisteredStream>,
+    combiner: Option<NaryBayesianCombiner>,
+    parallelism: Parallelism,
+    counters: SubsetCounters,
+    pub(crate) ws: Workspace,
+    scores_buf: Vec<f32>,
+}
+
+impl MultiModalEngine {
+    /// Creates an empty engine over `classes` canonical classes.
+    pub fn new(classes: usize, kind: CombinerKind) -> Self {
+        MultiModalEngine {
+            classes,
+            kind,
+            streams: Vec::new(),
+            combiner: None,
+            parallelism: Parallelism::serial(),
+            counters: SubsetCounters::default(),
+            ws: Workspace::new(),
+            scores_buf: Vec::new(),
+        }
+    }
+
+    /// Canonical class count.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Registered stream ids in registry order.
+    pub fn stream_ids(&self) -> Vec<StreamId> {
+        self.streams.iter().map(|s| s.descriptor.id).collect()
+    }
+
+    /// The descriptor of a registered stream.
+    pub fn descriptor(&self, id: StreamId) -> Option<&ModalityDescriptor> {
+        self.streams
+            .iter()
+            .find(|s| s.descriptor.id == id)
+            .map(|s| &s.descriptor)
+    }
+
+    /// Running fusion-path counters.
+    pub fn counters(&self) -> SubsetCounters {
+        self.counters
+    }
+
+    /// `(pool_hits, cold_misses)` of the engine's session workspace.
+    pub fn workspace_stats(&self) -> (u64, u64) {
+        (self.ws.pool_hits(), self.ws.cold_misses())
+    }
+
+    /// Installs a [`Parallelism`] handle: every stream model fans its
+    /// tensor products across the threads, and a non-serial handle
+    /// additionally runs the stream branches on concurrent scoped
+    /// workers.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.parallelism = par;
+        for stream in &mut self.streams {
+            stream.model.set_parallelism(par);
+        }
+    }
+
+    /// Registers a stream. Registration order is registry order: it
+    /// fixes the parent order of the combiner's CPTs and the order of
+    /// product factors (new registries conventionally register in
+    /// ascending [`StreamId`]; the legacy pair order — camera before
+    /// IMU — is equally valid). The model's native class count must
+    /// match the descriptor's class map. Registering a stream
+    /// invalidates any installed combiner (its parent cardinalities
+    /// changed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a dataset error on duplicate ids, capacity, or
+    /// class-count violations.
+    pub fn register(
+        &mut self,
+        descriptor: ModalityDescriptor,
+        model: StreamModelSlot,
+    ) -> Result<()> {
+        if self.streams.len() >= MAX_STREAMS {
+            return Err(CoreError::Dataset(format!(
+                "registry full: {MAX_STREAMS} streams"
+            )));
+        }
+        if self
+            .streams
+            .iter()
+            .any(|s| s.descriptor.id == descriptor.id)
+        {
+            return Err(CoreError::Dataset(format!(
+                "stream {} is already registered",
+                descriptor.id
+            )));
+        }
+        if let ClassMap::Projection(m) = &descriptor.class_map {
+            if m.len() != self.classes || m.is_empty() {
+                return Err(CoreError::Dataset(format!(
+                    "projection map has {} entries for {} classes",
+                    m.len(),
+                    self.classes
+                )));
+            }
+        }
+        let want = descriptor.native_classes(self.classes);
+        let got = model.native_classes();
+        if want != got {
+            return Err(CoreError::Dataset(format!(
+                "stream {} model emits {got} classes but its descriptor maps {want}",
+                descriptor.id
+            )));
+        }
+        let mut model = model;
+        model.set_parallelism(self.parallelism);
+        self.streams.push(RegisteredStream {
+            descriptor,
+            model,
+            probs: Vec::new(),
+            present: false,
+            status: ModalityStatus::Healthy,
+        });
+        self.combiner = None;
+        Ok(())
+    }
+
+    /// Installs a fitted N-ary combiner whose parent cardinalities must
+    /// match the registered streams in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dataset error on a cardinality mismatch.
+    pub fn set_combiner(&mut self, combiner: NaryBayesianCombiner) -> Result<()> {
+        let cards: Vec<usize> = self
+            .streams
+            .iter()
+            .map(|s| s.descriptor.native_classes(self.classes))
+            .collect();
+        if combiner.classes() != self.classes || combiner.parent_cards() != cards.as_slice() {
+            return Err(CoreError::Dataset(format!(
+                "combiner over {:?} parents does not match registry {:?}",
+                combiner.parent_cards(),
+                cards
+            )));
+        }
+        self.combiner = Some(combiner);
+        Ok(())
+    }
+
+    /// Fits a fresh N-ary combiner from per-stream training posteriors
+    /// (`[n, native_k]`, registry order) and installs it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fit errors.
+    pub fn fit_combiner(&mut self, parent_probs: &[&Tensor], labels: &[usize]) -> Result<()> {
+        let cards: Vec<usize> = self
+            .streams
+            .iter()
+            .map(|s| s.descriptor.native_classes(self.classes))
+            .collect();
+        let mut combiner = NaryBayesianCombiner::new(self.classes, cards, 1.0);
+        combiner.fit(parent_probs, labels)?;
+        self.combiner = Some(combiner);
+        Ok(())
+    }
+
+    /// Classifies one time-step (`n = 1` inputs), all provided streams
+    /// assumed healthy. Equivalent to a single-item
+    /// [`MultiModalEngine::classify_batch_into`].
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiModalEngine::classify_batch_checked_into`].
+    // darlint: hot
+    pub fn classify_step_into(
+        &mut self,
+        inputs: &[(StreamId, StreamInput<'_>)],
+        out: &mut Vec<MultiStepClassification>,
+    ) -> Result<()> {
+        self.classify_batch_checked_into(inputs, &[], out)
+    }
+
+    /// Classifies a batch of aligned time-steps, all provided streams
+    /// assumed healthy.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiModalEngine::classify_batch_checked_into`].
+    // darlint: hot
+    pub fn classify_batch_into(
+        &mut self,
+        inputs: &[(StreamId, StreamInput<'_>)],
+        out: &mut Vec<MultiStepClassification>,
+    ) -> Result<()> {
+        self.classify_batch_checked_into(inputs, &[], out)
+    }
+
+    /// Health-aware batch classification over whichever subset of
+    /// registered streams is usable. A stream participates when its
+    /// input is provided *and* its status (default
+    /// [`ModalityStatus::Healthy`]; typically from
+    /// [`crate::health::HealthPolicy::select_subset`]) is not
+    /// [`ModalityStatus::Unavailable`]. Fusion follows the healthy-subset
+    /// policy: every registered stream → N-ary fusion; a plural strict
+    /// subset → the same combiner with absent parents marginalized out; a
+    /// single survivor → its class-map expansion (bitwise the legacy
+    /// CNN-only / IMU-only fallbacks). After one warm-up call at a given
+    /// batch shape, a steady-state serial call performs zero heap
+    /// allocations end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotReady`] when no stream is usable (or the
+    /// Bayesian combiner is missing); a dataset error on shape
+    /// mismatches or unknown stream ids; otherwise propagates model
+    /// errors.
+    // darlint: hot
+    pub fn classify_batch_checked_into(
+        &mut self,
+        inputs: &[(StreamId, StreamInput<'_>)],
+        statuses: &[(StreamId, ModalityStatus)],
+        out: &mut Vec<MultiStepClassification>,
+    ) -> Result<()> {
+        if self.streams.is_empty() {
+            return Err(CoreError::NotReady("no streams registered".into()));
+        }
+        for (id, _) in inputs {
+            if !self.streams.iter().any(|s| s.descriptor.id == *id) {
+                return Err(CoreError::Dataset(format!("unknown stream {id}")));
+            }
+        }
+        // Resolve each stream's participation and the batch length.
+        let mut n: Option<usize> = None;
+        for stream in &mut self.streams {
+            let id = stream.descriptor.id;
+            let status = statuses
+                .iter()
+                .find(|(s, _)| *s == id)
+                .map(|(_, st)| *st)
+                .unwrap_or(ModalityStatus::Healthy);
+            let input = inputs.iter().find(|(s, _)| *s == id).map(|(_, i)| i);
+            stream.status = status;
+            stream.present = status != ModalityStatus::Unavailable && input.is_some();
+            if !stream.present {
+                stream.probs.clear();
+                continue;
+            }
+            if let Some(input) = input {
+                let len = input.len();
+                match n {
+                    None => n = Some(len),
+                    Some(m) if m != len => {
+                        return Err(CoreError::Dataset(format!(
+                            "stream {id} batch length {len} disagrees with {m}"
+                        )));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let Some(n) = n else {
+            return Err(CoreError::NotReady(
+                "every registered stream is unavailable — nothing to classify from".into(),
+            ));
+        };
+        if n == 0 {
+            out.clear();
+            return Ok(());
+        }
+        self.predict_streams(inputs, n)?;
+        self.fuse_batch(n, out)
+    }
+
+    /// Runs every present stream's model over its assembled input,
+    /// filling the per-stream posterior buffers. Serial handles process
+    /// streams in order on the caller's thread (the zero-alloc path);
+    /// non-serial handles assemble camera tensors first, then run each
+    /// stream on its own scoped worker and join in registry order, so
+    /// results and error precedence are deterministic either way.
+    // darlint: hot
+    fn predict_streams(&mut self, inputs: &[(StreamId, StreamInput<'_>)], n: usize) -> Result<()> {
+        let classes = self.classes;
+        let MultiModalEngine {
+            streams,
+            ws,
+            parallelism,
+            ..
+        } = self;
+        if parallelism.is_serial() {
+            for stream in streams.iter_mut() {
+                if !stream.present {
+                    continue;
+                }
+                let id = stream.descriptor.id;
+                let Some((_, input)) = inputs.iter().find(|(s, _)| *s == id) else {
+                    stream.present = false;
+                    stream.probs.clear();
+                    continue;
+                };
+                match input {
+                    StreamInput::Frames(frames) => {
+                        let (w, h) = (frames[0].width(), frames[0].height());
+                        let mut tensor = ws.checkout(&[n, 1, h, w]);
+                        let run = frames_to_tensor_into(frames, &mut tensor).and_then(|()| {
+                            stream.model.predict_proba_into(&tensor, &mut stream.probs)
+                        });
+                        ws.restore(tensor);
+                        run?;
+                    }
+                    StreamInput::Windows(t) => {
+                        stream.model.predict_proba_into(t, &mut stream.probs)?;
+                    }
+                }
+            }
+        } else {
+            // Assemble camera batches on the caller thread first (the
+            // workspace is not shared across workers), then fan the
+            // model branches out.
+            let mut checkouts: Vec<Option<Tensor>> = Vec::with_capacity(streams.len());
+            let mut assemble_err = None;
+            for stream in streams.iter() {
+                let id = stream.descriptor.id;
+                let input = inputs.iter().find(|(s, _)| *s == id).map(|(_, i)| i);
+                match (stream.present, input) {
+                    (true, Some(StreamInput::Frames(frames))) => {
+                        let (w, h) = (frames[0].width(), frames[0].height());
+                        let mut tensor = ws.checkout(&[n, 1, h, w]);
+                        match frames_to_tensor_into(frames, &mut tensor) {
+                            Ok(()) => checkouts.push(Some(tensor)),
+                            Err(e) => {
+                                ws.restore(tensor);
+                                assemble_err = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    _ => checkouts.push(None),
+                }
+            }
+            if let Some(e) = assemble_err {
+                for t in checkouts.into_iter().flatten() {
+                    ws.restore(t);
+                }
+                return Err(e);
+            }
+            let mut first_err: Option<CoreError> = None;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(streams.len());
+                for (stream, checkout) in streams.iter_mut().zip(&checkouts) {
+                    if !stream.present {
+                        handles.push(None);
+                        continue;
+                    }
+                    let id = stream.descriptor.id;
+                    let input = inputs.iter().find(|(s, _)| *s == id).map(|(_, i)| i);
+                    handles.push(Some(scope.spawn(move || match (checkout, input) {
+                        (Some(tensor), _) => {
+                            stream.model.predict_proba_into(tensor, &mut stream.probs)
+                        }
+                        (None, Some(StreamInput::Windows(t))) => {
+                            stream.model.predict_proba_into(t, &mut stream.probs)
+                        }
+                        _ => Ok(()),
+                    })));
+                }
+                // Join every worker before surfacing the first error, so
+                // no thread outlives the scope with a live borrow.
+                for h in handles {
+                    let joined = match h {
+                        None => Ok(()),
+                        Some(h) => h.join().unwrap_or(Err(CoreError::WorkerPanicked {
+                            stage: "MultiModalEngine stream branch",
+                        })),
+                    };
+                    if let Err(e) = joined {
+                        first_err.get_or_insert(e);
+                    }
+                }
+            });
+            for t in checkouts.into_iter().flatten() {
+                ws.restore(t);
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+        }
+        // Posterior width check — catches a model/descriptor mismatch
+        // that slipped past registration (e.g. a refit model).
+        for stream in streams.iter() {
+            if !stream.present {
+                continue;
+            }
+            let native = stream.descriptor.native_classes(classes);
+            if stream.probs.len() != n * native {
+                return Err(CoreError::Dataset(format!(
+                    "stream {} produced {} probabilities for {n}×{native}",
+                    stream.descriptor.id,
+                    stream.probs.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fuses the per-stream posteriors item by item and writes results
+    /// into `out` (entries updated in place, vector truncated/grown to
+    /// the batch length — the legacy engine's reuse discipline).
+    // darlint: hot
+    fn fuse_batch(&mut self, n: usize, out: &mut Vec<MultiStepClassification>) -> Result<()> {
+        let classes = self.classes;
+        let total_streams = self.streams.len();
+        let degraded = self
+            .streams
+            .iter()
+            .any(|s| !s.present || s.status == ModalityStatus::Degraded);
+        let mut scores = std::mem::take(&mut self.scores_buf);
+        let mut full = 0u64;
+        let mut partial = 0u64;
+        let mut single_count = 0u64;
+        for i in 0..n {
+            let mut parents: [Option<&[f32]>; MAX_STREAMS] = [None; MAX_STREAMS];
+            let mut single: Option<usize> = None;
+            let mut used = 0usize;
+            for (k, stream) in self.streams.iter().enumerate() {
+                if !stream.present {
+                    continue;
+                }
+                let native = stream.descriptor.native_classes(classes);
+                parents[k] = Some(&stream.probs[i * native..(i + 1) * native]);
+                single = Some(k);
+                used += 1;
+            }
+            let Some(last_present) = single else {
+                // Unreachable: the caller resolved `n` from a present
+                // stream. Kept as a defensive error, not a panic.
+                self.scores_buf = scores;
+                return Err(CoreError::NotReady(
+                    "every registered stream is unavailable — nothing to classify from".into(),
+                ));
+            };
+            let fuse_result = if used == 1 {
+                let stream = &self.streams[last_present];
+                match parents[last_present] {
+                    Some(row) => stream
+                        .descriptor
+                        .class_map
+                        .expand_into(row, classes, &mut scores),
+                    // Unreachable: `last_present` was recorded from a
+                    // Some(_) parent. Defensive error, not a panic.
+                    None => Err(CoreError::NotReady(
+                        "surviving stream lost its posterior row".into(),
+                    )),
+                }
+            } else {
+                match self.kind {
+                    CombinerKind::Bayesian => match &self.combiner {
+                        Some(c) => c.combine_subset_into(&parents[..total_streams], &mut scores),
+                        None => Err(CoreError::NotReady(
+                            "no n-ary combiner installed — call fit_combiner or set_combiner"
+                                .into(),
+                        )),
+                    },
+                    CombinerKind::Product => {
+                        let mut factors: [(Option<&[f32]>, &ClassMap, f32); MAX_STREAMS] =
+                            [(None, &ClassMap::Identity, 1.0); MAX_STREAMS];
+                        for (k, stream) in self.streams.iter().enumerate() {
+                            factors[k] = (
+                                parents[k],
+                                &stream.descriptor.class_map,
+                                stream.descriptor.weight,
+                            );
+                        }
+                        product_combine_subset_into(&factors[..total_streams], classes, &mut scores)
+                    }
+                    CombinerKind::CnnOnly => {
+                        // Primary-stream-only fusion: expand the first
+                        // *present* stream (the legacy CNN-only baseline
+                        // when the front camera is up).
+                        match self
+                            .streams
+                            .iter()
+                            .enumerate()
+                            .find_map(|(k, s)| parents[k].map(|row| (s, row)))
+                        {
+                            Some((stream, row)) => {
+                                stream
+                                    .descriptor
+                                    .class_map
+                                    .expand_into(row, classes, &mut scores)
+                            }
+                            // Unreachable: `used >= 1` was established
+                            // above. Defensive error, not a panic.
+                            None => Err(CoreError::NotReady(
+                                "every registered stream is unavailable — nothing to \
+                                 classify from"
+                                    .into(),
+                            )),
+                        }
+                    }
+                }
+            };
+            if let Err(e) = fuse_result {
+                // The scores buffer stays taken on error; that only
+                // forfeits its reuse.
+                self.scores_buf = scores;
+                return Err(e);
+            }
+            let best = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            if used == total_streams {
+                full += 1;
+            } else if used > 1 {
+                partial += 1;
+            } else {
+                single_count += 1;
+            }
+            if out.len() <= i {
+                // Growth path: only taken while `out` is still shorter
+                // than the batch (warm-up or a larger batch shape); the
+                // empty vectors are filled by the shared slot path below.
+                out.push(MultiStepClassification {
+                    class: 0,
+                    scores: Vec::new(),
+                    used: Vec::new(),
+                    degraded: false,
+                });
+            }
+            if let Some(slot) = out.get_mut(i) {
+                slot.class = best;
+                slot.scores.clear();
+                slot.scores.extend_from_slice(&scores);
+                slot.used.clear();
+                for (k, stream) in self.streams.iter().enumerate() {
+                    if parents[k].is_some() {
+                        slot.used.push(stream.descriptor.id);
+                    }
+                }
+                slot.degraded = degraded;
+            }
+        }
+        out.truncate(n);
+        self.counters.full += full;
+        self.counters.partial += partial;
+        self.counters.single += single_count;
+        if degraded {
+            self.counters.degraded += n as u64;
+        }
+        self.scores_buf = scores;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for MultiModalEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiModalEngine")
+            .field("classes", &self.classes)
+            .field("kind", &self.kind)
+            .field("streams", &self.stream_ids())
+            .field("fitted", &self.combiner.as_ref().map(|c| c.is_fitted()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{IMU_FEATURES, WINDOW_LEN};
+    use crate::engine::{AnalyticsEngine, EngineConfig, ImuModelSlot};
+    use crate::ensemble::{product_combine_into, BayesianCombiner};
+    use crate::models::{CnnConfig, RnnConfig};
+    use darnet_sim::{Behavior, DriverProfile, FrameRenderer};
+
+    fn tiny_models() -> (FrameCnn, ImuRnn, BayesianCombiner) {
+        let cnn_config = CnnConfig {
+            input_size: 24,
+            classes: 6,
+            width: 0.5,
+            ..CnnConfig::default()
+        };
+        let cnn = FrameCnn::new(cnn_config, 1);
+        let rnn_config = RnnConfig {
+            hidden: 4,
+            depth: 1,
+            ..RnnConfig::default()
+        };
+        let mut rnn = ImuRnn::new(rnn_config, 2);
+        let x = Tensor::ones(&[6, WINDOW_LEN, IMU_FEATURES]);
+        rnn.fit(&x, &[0, 1, 2, 0, 1, 2], 1).unwrap();
+        let mut combiner = BayesianCombiner::darnet();
+        let cnn_probs = Tensor::full(&[6, 6], 1.0 / 6.0);
+        let imu_probs = Tensor::full(&[6, 3], 1.0 / 3.0);
+        combiner
+            .fit(&cnn_probs, &imu_probs, &[0, 1, 2, 3, 4, 5])
+            .unwrap();
+        (cnn, rnn, combiner)
+    }
+
+    fn legacy_engine(kind: CombinerKind) -> AnalyticsEngine {
+        let (cnn, rnn, combiner) = tiny_models();
+        AnalyticsEngine::new(
+            cnn,
+            ImuModelSlot::Rnn(rnn),
+            combiner,
+            EngineConfig { combiner: kind },
+        )
+    }
+
+    /// An N=2 registry engine wired exactly like the legacy pair engine:
+    /// same models (same seeds), same CPT, same parent order (camera
+    /// before IMU, the legacy convention).
+    fn registry_engine(kind: CombinerKind) -> MultiModalEngine {
+        let (cnn, rnn, combiner) = tiny_models();
+        let mut engine = MultiModalEngine::new(6, kind);
+        engine
+            .register(
+                ModalityDescriptor::darnet_camera(),
+                StreamModelSlot::Cnn(cnn),
+            )
+            .unwrap();
+        engine
+            .register(ModalityDescriptor::darnet_imu(), StreamModelSlot::Rnn(rnn))
+            .unwrap();
+        engine.set_combiner(combiner.to_nary()).unwrap();
+        engine
+    }
+
+    fn test_batch(n: usize) -> (Vec<Frame>, Tensor) {
+        let renderer = FrameRenderer::new(7).with_size(24);
+        let driver = DriverProfile::generate(0, 42);
+        let behaviors = [
+            Behavior::NormalDriving,
+            Behavior::Reaching,
+            Behavior::HairMakeup,
+            Behavior::Talking,
+            Behavior::Texting,
+            Behavior::EatingDrinking,
+        ];
+        let frames: Vec<Frame> = (0..n)
+            .map(|i| renderer.render(&driver, behaviors[i % behaviors.len()], i as f64 * 0.31))
+            .collect();
+        let mut windows = Tensor::zeros(&[n, WINDOW_LEN, IMU_FEATURES]);
+        for (i, v) in windows.data_mut().iter_mut().enumerate() {
+            *v = (i % 7) as f32 * 0.1;
+        }
+        (frames, windows)
+    }
+
+    fn assert_bitwise(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: lane {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn identity_expansion_is_verbatim() {
+        let probs = [0.25f32, 0.05, 0.1, 0.3, 0.2, 0.1];
+        let mut scores = Vec::new();
+        ClassMap::Identity
+            .expand_into(&probs, 6, &mut scores)
+            .unwrap();
+        assert_bitwise(&scores, &probs, "identity");
+        assert!(ClassMap::Identity
+            .expand_into(&probs[..5], 6, &mut scores)
+            .is_err());
+    }
+
+    #[test]
+    fn projection_expansion_matches_legacy_imu_only_formula() {
+        let map = ClassMap::darnet_imu();
+        let imu = [0.5f32, 0.3, 0.2];
+        let mut scores = Vec::new();
+        map.expand_into(&imu, 6, &mut scores).unwrap();
+        // The frozen legacy formula: fanout-split then total-normalize.
+        let fanout = [4.0f32, 1.0, 1.0];
+        let m = [0usize, 1, 2, 0, 0, 0];
+        let mut expected: Vec<f32> = (0..6).map(|c| imu[m[c]] / fanout[m[c]]).collect();
+        let total: f32 = expected.iter().sum();
+        for s in &mut expected {
+            *s /= total;
+        }
+        assert_bitwise(&scores, &expected, "projection expansion");
+        // 1-to-1 classes keep their full mass.
+        assert!((scores[1] - imu[1]).abs() < 1e-6);
+        assert!((scores[2] - imu[2]).abs() < 1e-6);
+        assert!(map.expand_into(&imu[..2], 6, &mut scores).is_err());
+    }
+
+    #[test]
+    fn product_subset_pair_is_bitwise_legacy() {
+        let cnn = [0.4f32, 0.3, 0.1, 0.05, 0.05, 0.1];
+        let imu = [0.2f32, 0.0, 0.8];
+        let mut legacy = Vec::new();
+        product_combine_into(&cnn, &imu, &mut legacy).unwrap();
+        let camera = ModalityDescriptor::darnet_camera();
+        let imu_desc = ModalityDescriptor::darnet_imu();
+        let mut scores = Vec::new();
+        product_combine_subset_into(
+            &[
+                (Some(&cnn[..]), &camera.class_map, camera.weight),
+                (Some(&imu[..]), &imu_desc.class_map, imu_desc.weight),
+            ],
+            6,
+            &mut scores,
+        )
+        .unwrap();
+        assert_bitwise(&scores, &legacy, "product pair");
+        // All-absent is an error; a lone present parent is its expansion
+        // factor (unnormalized identity row normalizes to itself).
+        assert!(
+            product_combine_subset_into(&[(None, &camera.class_map, 1.0)], 6, &mut scores).is_err()
+        );
+    }
+
+    #[test]
+    fn n2_registry_engine_is_bitwise_legacy_for_every_combiner() {
+        let (frames, windows) = test_batch(5);
+        for kind in [
+            CombinerKind::Bayesian,
+            CombinerKind::Product,
+            CombinerKind::CnnOnly,
+        ] {
+            let mut legacy = legacy_engine(kind);
+            let expected = legacy.classify_batch(&frames, &windows).unwrap();
+
+            let mut registry = registry_engine(kind);
+            let inputs = [
+                (StreamId::CAMERA_FRONT, StreamInput::Frames(&frames)),
+                (StreamId::IMU, StreamInput::Windows(&windows)),
+            ];
+            let mut out = Vec::new();
+            registry.classify_batch_into(&inputs, &mut out).unwrap();
+            assert_eq!(out.len(), expected.len());
+            for (i, (got, want)) in out.iter().zip(&expected).enumerate() {
+                assert_bitwise(&got.scores, &want.scores, &format!("{kind:?} item {i}"));
+                assert_eq!(got.class, want.behavior.index(), "{kind:?} item {i} class");
+                assert_eq!(got.used, vec![StreamId::CAMERA_FRONT, StreamId::IMU]);
+                assert!(!got.degraded);
+            }
+            assert_eq!(registry.counters().full, frames.len() as u64);
+
+            // Repeat calls reuse buffers and stay identical; the session
+            // workspace stops allocating after warm-up.
+            let misses = registry.ws.cold_misses();
+            let snapshot = out.clone();
+            registry.classify_batch_into(&inputs, &mut out).unwrap();
+            assert_eq!(out, snapshot);
+            assert_eq!(registry.ws.cold_misses(), misses, "workspace grew");
+        }
+    }
+
+    #[test]
+    fn parallel_registry_engine_is_bitwise_serial() {
+        let (frames, windows) = test_batch(4);
+        let inputs = [
+            (StreamId::CAMERA_FRONT, StreamInput::Frames(&frames)),
+            (StreamId::IMU, StreamInput::Windows(&windows)),
+        ];
+        let mut serial = registry_engine(CombinerKind::Bayesian);
+        let mut expected = Vec::new();
+        serial.classify_batch_into(&inputs, &mut expected).unwrap();
+
+        let mut parallel = registry_engine(CombinerKind::Bayesian);
+        parallel.set_parallelism(Parallelism::new(4).with_min_work(1));
+        let mut out = Vec::new();
+        parallel.classify_batch_into(&inputs, &mut out).unwrap();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn unavailable_stream_falls_back_to_survivor_bitwise() {
+        let (frames, windows) = test_batch(1);
+
+        // Camera down → IMU-only expansion, bitwise the legacy fallback.
+        let mut legacy = legacy_engine(CombinerKind::Bayesian);
+        let row =
+            Tensor::from_vec(windows.data().to_vec(), &[1, WINDOW_LEN, IMU_FEATURES]).unwrap();
+        let imu_only = legacy
+            .classify_step_degraded(None, Some(&row), false)
+            .unwrap();
+
+        let mut registry = registry_engine(CombinerKind::Bayesian);
+        let inputs = [
+            (StreamId::CAMERA_FRONT, StreamInput::Frames(&frames)),
+            (StreamId::IMU, StreamInput::Windows(&windows)),
+        ];
+        let statuses = [(StreamId::CAMERA_FRONT, ModalityStatus::Unavailable)];
+        let mut out = Vec::new();
+        registry
+            .classify_batch_checked_into(&inputs, &statuses, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_bitwise(&out[0].scores, &imu_only.scores, "imu-only fallback");
+        assert_eq!(out[0].used, vec![StreamId::IMU]);
+        assert!(out[0].degraded);
+        assert_eq!(registry.counters().single, 1);
+
+        // IMU down → CNN posterior verbatim, bitwise the legacy fallback.
+        let cnn_only = legacy
+            .classify_step_degraded(Some(&frames[0]), None, false)
+            .unwrap();
+        let statuses = [(StreamId::IMU, ModalityStatus::Unavailable)];
+        registry
+            .classify_batch_checked_into(&inputs, &statuses, &mut out)
+            .unwrap();
+        assert_bitwise(&out[0].scores, &cnn_only.scores, "cnn-only fallback");
+        assert_eq!(out[0].used, vec![StreamId::CAMERA_FRONT]);
+
+        // Everything down → NotReady.
+        let statuses = [
+            (StreamId::CAMERA_FRONT, ModalityStatus::Unavailable),
+            (StreamId::IMU, ModalityStatus::Unavailable),
+        ];
+        assert!(matches!(
+            registry.classify_batch_checked_into(&inputs, &statuses, &mut out),
+            Err(CoreError::NotReady(_))
+        ));
+    }
+
+    #[test]
+    fn degraded_stream_still_fuses_but_flags() {
+        let (frames, windows) = test_batch(2);
+        let inputs = [
+            (StreamId::CAMERA_FRONT, StreamInput::Frames(&frames)),
+            (StreamId::IMU, StreamInput::Windows(&windows)),
+        ];
+        let mut registry = registry_engine(CombinerKind::Bayesian);
+        let statuses = [(StreamId::CAMERA_FRONT, ModalityStatus::Degraded)];
+        let mut out = Vec::new();
+        registry
+            .classify_batch_checked_into(&inputs, &statuses, &mut out)
+            .unwrap();
+        assert!(out.iter().all(|o| o.degraded));
+        assert_eq!(out[0].used.len(), 2);
+        assert_eq!(registry.counters().full, 2);
+        assert_eq!(registry.counters().degraded, 2);
+    }
+
+    #[test]
+    fn three_stream_registry_fuses_any_subset() {
+        let (cnn, rnn, _) = tiny_models();
+        let side_cnn = FrameCnn::new(
+            CnnConfig {
+                input_size: 24,
+                classes: 6,
+                width: 0.5,
+                ..CnnConfig::default()
+            },
+            3,
+        );
+        let mut engine = MultiModalEngine::new(6, CombinerKind::Bayesian);
+        // Ascending StreamId: IMU, front camera, side camera.
+        engine
+            .register(ModalityDescriptor::darnet_imu(), StreamModelSlot::Rnn(rnn))
+            .unwrap();
+        engine
+            .register(
+                ModalityDescriptor::darnet_camera(),
+                StreamModelSlot::Cnn(cnn),
+            )
+            .unwrap();
+        engine
+            .register(
+                ModalityDescriptor::new(StreamId::CAMERA_SIDE, ClassMap::Identity),
+                StreamModelSlot::Cnn(side_cnn),
+            )
+            .unwrap();
+        let imu_rows = Tensor::full(&[6, 3], 1.0 / 3.0);
+        let cam_rows = Tensor::full(&[6, 6], 1.0 / 6.0);
+        engine
+            .fit_combiner(&[&imu_rows, &cam_rows, &cam_rows], &[0, 1, 2, 3, 4, 5])
+            .unwrap();
+
+        let (frames, windows) = test_batch(3);
+        let inputs = [
+            (StreamId::IMU, StreamInput::Windows(&windows)),
+            (StreamId::CAMERA_FRONT, StreamInput::Frames(&frames)),
+            (StreamId::CAMERA_SIDE, StreamInput::Frames(&frames)),
+        ];
+        let mut out = Vec::new();
+        engine.classify_batch_into(&inputs, &mut out).unwrap();
+        assert_eq!(out.len(), 3);
+        for o in &out {
+            assert_eq!(o.scores.len(), 6);
+            assert!((o.scores.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            assert_eq!(o.used.len(), 3);
+        }
+        assert_eq!(engine.counters().full, 3);
+
+        // Drop the side camera (no input at all): plural strict subset.
+        let two = [
+            (StreamId::IMU, StreamInput::Windows(&windows)),
+            (StreamId::CAMERA_FRONT, StreamInput::Frames(&frames)),
+        ];
+        engine.classify_batch_into(&two, &mut out).unwrap();
+        assert!(out.iter().all(|o| o.used.len() == 2 && o.degraded));
+        assert_eq!(engine.counters().partial, 3);
+
+        // Single survivor: expansion path.
+        let one = [(StreamId::IMU, StreamInput::Windows(&windows))];
+        engine.classify_batch_into(&one, &mut out).unwrap();
+        assert!(out.iter().all(|o| o.used == vec![StreamId::IMU]));
+        assert_eq!(engine.counters().single, 3);
+    }
+
+    #[test]
+    fn registration_is_validated() {
+        let (cnn, rnn, _) = tiny_models();
+        let mut engine = MultiModalEngine::new(6, CombinerKind::Bayesian);
+        // A 6-class model cannot serve a 3-class projection descriptor.
+        assert!(engine
+            .register(ModalityDescriptor::darnet_imu(), StreamModelSlot::Cnn(cnn))
+            .is_err());
+        engine
+            .register(ModalityDescriptor::darnet_imu(), StreamModelSlot::Rnn(rnn))
+            .unwrap();
+        // Duplicate id.
+        let (_, rnn2, _) = tiny_models();
+        assert!(engine
+            .register(ModalityDescriptor::darnet_imu(), StreamModelSlot::Rnn(rnn2))
+            .is_err());
+        // A combiner with the wrong parent cards is rejected.
+        let wrong = NaryBayesianCombiner::new(6, vec![6, 3], 1.0);
+        assert!(engine.set_combiner(wrong).is_err());
+        // Nothing registered at all → NotReady.
+        let mut empty = MultiModalEngine::new(6, CombinerKind::Bayesian);
+        let mut out = Vec::new();
+        assert!(matches!(
+            empty.classify_batch_into(&[], &mut out),
+            Err(CoreError::NotReady(_))
+        ));
+        // Unknown input id → Dataset error.
+        let windows = Tensor::zeros(&[1, WINDOW_LEN, IMU_FEATURES]);
+        let unknown = [(StreamId(9), StreamInput::Windows(&windows))];
+        assert!(matches!(
+            engine.classify_batch_into(&unknown, &mut out),
+            Err(CoreError::Dataset(_))
+        ));
+        // No usable stream (inputs empty) → NotReady.
+        assert!(matches!(
+            engine.classify_batch_into(&[], &mut out),
+            Err(CoreError::NotReady(_))
+        ));
+    }
+
+    #[test]
+    fn empty_batch_clears_output() {
+        let mut engine = registry_engine(CombinerKind::Bayesian);
+        let frames: Vec<Frame> = Vec::new();
+        let windows = Tensor::zeros(&[0, WINDOW_LEN, IMU_FEATURES]);
+        let inputs = [
+            (StreamId::CAMERA_FRONT, StreamInput::Frames(&frames)),
+            (StreamId::IMU, StreamInput::Windows(&windows)),
+        ];
+        let mut out = vec![MultiStepClassification {
+            class: 0,
+            scores: vec![1.0],
+            used: vec![StreamId::IMU],
+            degraded: false,
+        }];
+        engine.classify_batch_into(&inputs, &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,9 +1,18 @@
 //! Property-based tests for the analytics engine: confusion-matrix and
-//! combiner invariants, privacy arithmetic, batched-inference equivalence.
+//! combiner invariants, privacy arithmetic, batched-inference equivalence,
+//! and the N-stream registry's bitwise fidelity to the legacy pair path.
 
-use darnet_core::ensemble::product_combine;
+use darnet_collect::StreamId;
+use darnet_core::dataset::{IMU_FEATURES, WINDOW_LEN};
+use darnet_core::ensemble::{product_combine, CombinerKind};
 use darnet_core::privacy::PrivacyLevel;
-use darnet_core::{BayesianCombiner, CnnConfig, ConfusionMatrix, FrameCnn};
+use darnet_core::registry::product_combine_subset_into;
+use darnet_core::{
+    AnalyticsEngine, BayesianCombiner, ClassMap, CnnConfig, ConfusionMatrix, EngineConfig,
+    FrameCnn, ImuModelSlot, ImuRnn, ModalityDescriptor, MultiModalEngine, NaryBayesianCombiner,
+    RnnConfig, StreamInput, StreamModelSlot,
+};
+use darnet_sim::Frame;
 use darnet_tensor::{Parallelism, SplitMix64, Tensor};
 use proptest::prelude::*;
 
@@ -12,6 +21,30 @@ fn prob_row(n: usize) -> impl Strategy<Value = Vec<f32>> {
         let s: f32 = v.iter().sum();
         v.into_iter().map(|x| x / s).collect()
     })
+}
+
+/// Exact-representation view for bitwise comparisons.
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn random_tensor(dims: &[usize], rng: &mut SplitMix64) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    for v in t.data_mut() {
+        *v = rng.uniform(0.01, 1.0);
+    }
+    t
+}
+
+/// A legacy pair combiner fitted on random posteriors.
+fn fitted_pair(n: usize, alpha: f32, seed: u64) -> darnet_core::Result<BayesianCombiner> {
+    let mut rng = SplitMix64::new(seed);
+    let cnn = random_tensor(&[n, 6], &mut rng);
+    let imu = random_tensor(&[n, 3], &mut rng);
+    let labels: Vec<usize> = (0..n).map(|i| (i + seed as usize) % 6).collect();
+    let mut comb = BayesianCombiner::new(6, 3, alpha);
+    comb.fit(&cnn, &imu, &labels)?;
+    Ok(comb)
 }
 
 proptest! {
@@ -112,6 +145,113 @@ proptest! {
     }
 
     #[test]
+    fn nary_pair_combiner_is_bitwise_legacy(
+        n in 12usize..40,
+        alpha in 0.1f32..2.0,
+        seed in 0u64..200,
+        cnn_row in prob_row(6),
+        imu_row in prob_row(3),
+    ) {
+        let legacy = fitted_pair(n, alpha, seed).unwrap();
+        let nary = legacy.to_nary();
+        let want = legacy.combine(&cnn_row, &imu_row).unwrap();
+        let full = nary.combine_n(&[&cnn_row, &imu_row]).unwrap();
+        prop_assert_eq!(bits(&want), bits(&full));
+        let mut subset = Vec::new();
+        nary.combine_subset_into(
+            &[Some(cnn_row.as_slice()), Some(imu_row.as_slice())],
+            &mut subset,
+        ).unwrap();
+        prop_assert_eq!(bits(&want), bits(&subset));
+    }
+
+    #[test]
+    fn product_subset_pair_is_bitwise_legacy(
+        cnn_row in prob_row(6),
+        imu_row in prob_row(3),
+    ) {
+        let want = product_combine(&cnn_row, &imu_row).unwrap();
+        let camera = ClassMap::Identity;
+        let imu_map = ClassMap::darnet_imu();
+        let mut got = Vec::new();
+        product_combine_subset_into(
+            &[
+                (Some(cnn_row.as_slice()), &camera, 1.0),
+                (Some(imu_row.as_slice()), &imu_map, 1.0),
+            ],
+            6,
+            &mut got,
+        ).unwrap();
+        prop_assert_eq!(bits(&want), bits(&got));
+    }
+
+    #[test]
+    fn class_map_expansions_match_legacy_fallback_posteriors(
+        cnn_row in prob_row(6),
+        imu_row in prob_row(3),
+    ) {
+        // CNN-only fallback: the posterior passes through verbatim.
+        let mut scores = Vec::new();
+        ClassMap::Identity.expand_into(&cnn_row, 6, &mut scores).unwrap();
+        prop_assert_eq!(bits(&cnn_row), bits(&scores));
+        // IMU-only fallback, frozen legacy formula: fan each IMU class's
+        // mass uniformly across its preimage, then normalize.
+        let m = [0usize, 1, 2, 0, 0, 0];
+        let mut want: Vec<f32> = (0..6)
+            .map(|c| {
+                let fanout = m.iter().filter(|&&x| x == m[c]).count() as f32;
+                imu_row[m[c]] / fanout
+            })
+            .collect();
+        let total: f32 = want.iter().sum();
+        if total > 0.0 {
+            for v in &mut want {
+                *v /= total;
+            }
+        }
+        ClassMap::darnet_imu().expand_into(&imu_row, 6, &mut scores).unwrap();
+        prop_assert_eq!(bits(&want), bits(&scores));
+    }
+
+    #[test]
+    fn nary_subset_marginalization_stays_normalized(
+        seed in 0u64..100,
+        p0 in prob_row(3),
+        p1 in prob_row(6),
+        p2 in prob_row(6),
+    ) {
+        let n = 30;
+        let mut rng = SplitMix64::new(seed ^ 0x3AB1);
+        let t0 = random_tensor(&[n, 3], &mut rng);
+        let t1 = random_tensor(&[n, 6], &mut rng);
+        let t2 = random_tensor(&[n, 6], &mut rng);
+        let labels: Vec<usize> = (0..n).map(|i| i % 6).collect();
+        let mut comb = NaryBayesianCombiner::new(6, vec![3, 6, 6], 1.0);
+        comb.fit(&[&t0, &t1, &t2], &labels).unwrap();
+        // The all-present subset is exactly the dense N-ary product.
+        let full = comb.combine_n(&[&p0, &p1, &p2]).unwrap();
+        let mut scores = Vec::new();
+        comb.combine_subset_into(
+            &[Some(p0.as_slice()), Some(p1.as_slice()), Some(p2.as_slice())],
+            &mut scores,
+        ).unwrap();
+        prop_assert_eq!(bits(&full), bits(&scores));
+        // Every non-empty subset still yields a distribution.
+        let rows = [p0.as_slice(), p1.as_slice(), p2.as_slice()];
+        for mask in 1usize..8 {
+            let parents: Vec<Option<&[f32]>> = rows
+                .iter()
+                .enumerate()
+                .map(|(i, p)| if mask & (1 << i) != 0 { Some(*p) } else { None })
+                .collect();
+            comb.combine_subset_into(&parents, &mut scores).unwrap();
+            let sum: f32 = scores.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "mask {}: sum {}", mask, sum);
+            prop_assert!(scores.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
     fn privacy_arithmetic_is_consistent(full in 12usize..600) {
         for level in PrivacyLevel::ALL {
             let target = level.target_size(full);
@@ -123,5 +263,93 @@ proptest! {
         // Higher levels never have more pixels.
         prop_assert!(PrivacyLevel::Low.target_size(full) >= PrivacyLevel::Medium.target_size(full));
         prop_assert!(PrivacyLevel::Medium.target_size(full) >= PrivacyLevel::High.target_size(full));
+    }
+}
+
+proptest! {
+    // Each case trains a (tiny) RNN, so keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole contract: an N=2 registry engine loaded with the
+    /// same models, combiner, and [`Parallelism`] is bitwise-identical
+    /// to the legacy two-stream [`AnalyticsEngine`] on arbitrary inputs,
+    /// for every combiner kind.
+    #[test]
+    fn n2_registry_engine_matches_legacy_engine_bitwise(
+        n in 1usize..4,
+        threads in 1usize..4,
+        seed in 0u64..50,
+        kind_idx in 0usize..3,
+    ) {
+        let kind = [CombinerKind::Bayesian, CombinerKind::Product, CombinerKind::CnnOnly][kind_idx];
+        let size = 16;
+        let cnn_config = CnnConfig {
+            input_size: size,
+            classes: 6,
+            width: 0.25,
+            ..CnnConfig::default()
+        };
+        let rnn_config = RnnConfig {
+            hidden: 4,
+            depth: 1,
+            ..RnnConfig::default()
+        };
+        // Models are rebuilt per engine from the same seeds and fit
+        // data, so both engines own weight-identical copies.
+        let mut rng = SplitMix64::new(seed ^ 0x1234);
+        let fit_windows = random_tensor(&[9, WINDOW_LEN, IMU_FEATURES], &mut rng);
+        let fit_labels: Vec<usize> = (0..9).map(|i| i % 3).collect();
+        let make_cnn = || FrameCnn::new(cnn_config, seed ^ 0x11);
+        let make_rnn = || {
+            let mut rnn = ImuRnn::new(rnn_config, seed ^ 0x22);
+            rnn.fit(&fit_windows, &fit_labels, 1).unwrap();
+            rnn
+        };
+        let combiner = fitted_pair(24, 1.0, seed ^ 0x77).unwrap();
+        let par = Parallelism::new(threads).with_min_work(1);
+
+        let mut legacy = AnalyticsEngine::new(
+            make_cnn(),
+            ImuModelSlot::Rnn(make_rnn()),
+            combiner.clone(),
+            EngineConfig { combiner: kind },
+        );
+        legacy.set_parallelism(par);
+
+        let mut registry = MultiModalEngine::new(6, kind);
+        // Legacy CPT parent order: camera first, then IMU.
+        registry
+            .register(ModalityDescriptor::darnet_camera(), StreamModelSlot::Cnn(make_cnn()))
+            .unwrap();
+        registry
+            .register(ModalityDescriptor::darnet_imu(), StreamModelSlot::Rnn(make_rnn()))
+            .unwrap();
+        registry.set_combiner(combiner.to_nary()).unwrap();
+        registry.set_parallelism(par);
+
+        let frames: Vec<Frame> = (0..n)
+            .map(|_| {
+                let pixels: Vec<f32> = (0..size * size).map(|_| rng.uniform(0.0, 1.0)).collect();
+                Frame::from_pixels(size, size, pixels)
+            })
+            .collect();
+        let windows = random_tensor(&[n, WINDOW_LEN, IMU_FEATURES], &mut rng);
+
+        let want = legacy.classify_batch(&frames, &windows).unwrap();
+        let mut got = Vec::new();
+        registry
+            .classify_batch_into(
+                &[
+                    (StreamId::CAMERA_FRONT, StreamInput::Frames(&frames)),
+                    (StreamId::IMU, StreamInput::Windows(&windows)),
+                ],
+                &mut got,
+            )
+            .unwrap();
+        prop_assert_eq!(want.len(), got.len());
+        for (w, g) in want.iter().zip(&got) {
+            prop_assert_eq!(w.behavior.index(), g.class);
+            prop_assert_eq!(bits(&w.scores), bits(&g.scores));
+        }
     }
 }

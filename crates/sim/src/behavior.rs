@@ -150,6 +150,104 @@ impl std::fmt::Display for ImuClass {
     }
 }
 
+/// The 8-class canonical multi-stream taxonomy: the paper's six Table-1
+/// behaviours plus two drowsiness classes (eye closure and head droop)
+/// that only a multi-view, multi-modality stack separates reliably —
+/// drowsiness cues live in the face/head geometry (frames) and in
+/// steering micro-corrections (IMU), not in hand position.
+///
+/// The first six indices coincide with [`Behavior`] so 6-class models and
+/// labels embed directly into the canonical set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CanonicalBehavior {
+    /// Class 1 — both hands on the wheel, attention forward.
+    NormalDriving,
+    /// Class 2 — phone held to the ear.
+    Talking,
+    /// Class 3 — phone held between waist and eye level.
+    Texting,
+    /// Class 4 — eating or drinking.
+    EatingDrinking,
+    /// Class 5 — hair and makeup.
+    HairMakeup,
+    /// Class 6 — reaching toward the passenger side or back seat.
+    Reaching,
+    /// Class 7 — drowsiness onset: eyes closing, posture still nominal.
+    EyesClosing,
+    /// Class 8 — advanced drowsiness: head drooping toward the chest.
+    HeadDroop,
+}
+
+impl CanonicalBehavior {
+    /// All eight classes, the first six in Table 1 order.
+    pub const ALL: [CanonicalBehavior; 8] = [
+        CanonicalBehavior::NormalDriving,
+        CanonicalBehavior::Talking,
+        CanonicalBehavior::Texting,
+        CanonicalBehavior::EatingDrinking,
+        CanonicalBehavior::HairMakeup,
+        CanonicalBehavior::Reaching,
+        CanonicalBehavior::EyesClosing,
+        CanonicalBehavior::HeadDroop,
+    ];
+
+    /// Zero-based class index.
+    pub fn index(self) -> usize {
+        match self {
+            CanonicalBehavior::NormalDriving => 0,
+            CanonicalBehavior::Talking => 1,
+            CanonicalBehavior::Texting => 2,
+            CanonicalBehavior::EatingDrinking => 3,
+            CanonicalBehavior::HairMakeup => 4,
+            CanonicalBehavior::Reaching => 5,
+            CanonicalBehavior::EyesClosing => 6,
+            CanonicalBehavior::HeadDroop => 7,
+        }
+    }
+
+    /// The class for a zero-based index, if valid.
+    pub fn from_index(index: usize) -> Option<CanonicalBehavior> {
+        CanonicalBehavior::ALL.get(index).copied()
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CanonicalBehavior::EyesClosing => "Eyes Closing",
+            CanonicalBehavior::HeadDroop => "Head Droop",
+            other => match other.base() {
+                Some(b) => b.name(),
+                None => "Unknown",
+            },
+        }
+    }
+
+    /// The Table-1 behaviour this class embeds, or `None` for the two
+    /// drowsiness classes.
+    pub fn base(self) -> Option<Behavior> {
+        Behavior::from_index(self.index())
+    }
+
+    /// Whether this is one of the two drowsiness classes.
+    pub fn is_drowsy(self) -> bool {
+        matches!(
+            self,
+            CanonicalBehavior::EyesClosing | CanonicalBehavior::HeadDroop
+        )
+    }
+
+    /// Embeds a Table-1 behaviour into the canonical set (same index).
+    pub fn from_behavior(b: Behavior) -> CanonicalBehavior {
+        CanonicalBehavior::ALL[b.index()]
+    }
+}
+
+impl std::fmt::Display for CanonicalBehavior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The 18-class extended taxonomy of the "previously collected distracted
 /// driver dataset" the paper's dCNN privacy study evaluates on (§5.3: 18
 /// classes, 10 drivers, GoPro at 30 fps).
@@ -279,6 +377,27 @@ mod tests {
     fn only_phone_classes_have_task_imu() {
         let with_imu: Vec<_> = Behavior::ALL.iter().filter(|b| b.has_task_imu()).collect();
         assert_eq!(with_imu.len(), 2);
+    }
+
+    #[test]
+    fn canonical_taxonomy_embeds_table1_then_drowsiness() {
+        assert_eq!(CanonicalBehavior::ALL.len(), 8);
+        for (i, c) in CanonicalBehavior::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(CanonicalBehavior::from_index(i), Some(*c));
+        }
+        assert_eq!(CanonicalBehavior::from_index(8), None);
+        // The first six indices coincide with Behavior.
+        for b in Behavior::ALL {
+            let c = CanonicalBehavior::from_behavior(b);
+            assert_eq!(c.index(), b.index());
+            assert_eq!(c.base(), Some(b));
+            assert!(!c.is_drowsy());
+        }
+        assert!(CanonicalBehavior::EyesClosing.is_drowsy());
+        assert!(CanonicalBehavior::HeadDroop.is_drowsy());
+        assert_eq!(CanonicalBehavior::EyesClosing.base(), None);
+        assert_eq!(CanonicalBehavior::HeadDroop.base(), None);
     }
 
     #[test]

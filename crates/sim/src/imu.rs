@@ -22,7 +22,7 @@
 use darnet_tensor::SplitMix64;
 use serde::{Deserialize, Serialize};
 
-use crate::behavior::{Behavior, ImuClass};
+use crate::behavior::{Behavior, CanonicalBehavior, ImuClass};
 use crate::driver::DriverProfile;
 use crate::vehicle::VehicleState;
 
@@ -224,6 +224,102 @@ impl ImuSynthesizer {
             rotation,
         }
     }
+
+    /// Synthesizes the IMU reading for one of the 8 canonical classes.
+    ///
+    /// The six Table-1 classes delegate to [`ImuSynthesizer::sample`] and
+    /// are bit-identical to it. The two drowsiness classes share a fresh
+    /// seed salt range (200+) and a *micro-correction* signature: the
+    /// device sits in the pocket, voluntary gesture energy is low, the
+    /// steering wander is slow — and sparse, sharp correction jerks fire
+    /// when the drowsy driver snaps the wheel back, stronger and rarer the
+    /// deeper the drowsiness.
+    pub fn sample_canonical(
+        &self,
+        driver: &DriverProfile,
+        class: CanonicalBehavior,
+        vehicle: &VehicleState,
+        t: f64,
+    ) -> ImuSample {
+        let base = match class.base() {
+            Some(b) => return self.sample(driver, b, vehicle, t),
+            None => class,
+        };
+        let mut rng = SplitMix64::new(
+            self.seed
+                ^ (driver.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ ((t * 10_000.0) as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)
+                ^ (200 + base.index() as u64),
+        );
+        let tf = t as f32;
+        let style = driver.motion_style;
+        let mj = driver.mount_jitter;
+
+        // Pocket orientation, same family as normal driving but with a
+        // slower, wider wander — the drowsy body slumps gradually.
+        let wander = 0.35 * ((t * 0.05) as f32 + driver.texture_phase).sin();
+        let depth = match base {
+            CanonicalBehavior::HeadDroop => 1.0f32,
+            _ => 0.5,
+        };
+        let mut roll: f32 = 0.30 + 2.0 * mj - wander;
+        let mut pitch: f32 = 0.80 + wander + 0.06 * depth;
+        let yaw: f32 = 0.7;
+
+        // Micro-corrections: long quiet stretches, then a sharp wheel jerk.
+        // The gate opens rarely (rarer and harder with depth), producing a
+        // spiky first-difference profile no Table-1 class has.
+        let gate =
+            (((tf * 0.31) + driver.texture_phase).sin() > (0.90 + 0.05 * depth)) as u8 as f32;
+        let jerk = (tf * std::f32::consts::TAU * 2.4).sin() * (0.9 + 0.9 * depth) * style * gate;
+        // Between corrections only a faint sub-gesture tremor remains —
+        // less voluntary motion than any distraction class.
+        let tremor = (tf * std::f32::consts::TAU * 0.4).sin() * 0.08 * style;
+        let jitter_acc = [jerk + tremor, 0.4 * jerk, 0.2 * jerk + 0.5 * tremor];
+        let jitter_gyro = [0.20 * jerk, 0.12 * jerk, 0.30 * jerk + 0.02 * tremor];
+        roll += 0.05 * (tf * 0.3).sin() * depth;
+        pitch += 0.04 * (tf * 0.2).sin() * depth;
+
+        let gravity = [
+            G * pitch.sin(),
+            -G * roll.sin() * pitch.cos(),
+            G * roll.cos() * pitch.cos(),
+        ];
+        let veh_acc = [
+            vehicle.accel_long * pitch.cos() + vehicle.accel_lat * yaw.sin(),
+            vehicle.accel_lat * yaw.cos(),
+            -vehicle.accel_long * pitch.sin(),
+        ];
+        let vib = vehicle.vibration;
+        let vib_acc = [rng.normal() * vib, rng.normal() * vib, rng.normal() * vib];
+
+        let noise = self.noise_sigma;
+        let accel = [
+            gravity[0] + veh_acc[0] + jitter_acc[0] + vib_acc[0] + rng.normal() * noise,
+            gravity[1] + veh_acc[1] + jitter_acc[1] + vib_acc[1] + rng.normal() * noise,
+            gravity[2] + veh_acc[2] + jitter_acc[2] + vib_acc[2] + rng.normal() * noise,
+        ];
+        let gyro = [
+            jitter_gyro[0] + vehicle.yaw_rate * yaw.sin() + rng.normal() * noise * 0.3,
+            jitter_gyro[1] + vehicle.yaw_rate * yaw.cos() + rng.normal() * noise * 0.3,
+            jitter_gyro[2] + vehicle.yaw_rate * 0.2 + rng.normal() * noise * 0.3,
+        ];
+        let rotation = [
+            roll + rng.normal() * noise * 0.05,
+            pitch + rng.normal() * noise * 0.05,
+            yaw + vehicle.yaw_rate * 0.1 + rng.normal() * noise * 0.05,
+        ];
+        ImuSample {
+            accel,
+            gyro,
+            gravity: [
+                gravity[0] + rng.normal() * noise * 0.1,
+                gravity[1] + rng.normal() * noise * 0.1,
+                gravity[2] + rng.normal() * noise * 0.1,
+            ],
+            rotation,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -334,6 +430,58 @@ mod tests {
             samples.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / samples.len() as f32
         };
         assert!(var(Behavior::Reaching) > var(Behavior::NormalDriving) * 1.2);
+    }
+
+    #[test]
+    fn canonical_base_classes_match_legacy_sample_bitwise() {
+        let (synth, driver, vehicle) = setup();
+        for b in Behavior::ALL {
+            let legacy = synth.sample(&driver, b, &vehicle, 3.0);
+            let canonical =
+                synth.sample_canonical(&driver, CanonicalBehavior::from_behavior(b), &vehicle, 3.0);
+            assert_eq!(legacy, canonical, "class {b} diverged");
+        }
+    }
+
+    #[test]
+    fn drowsy_imu_is_deterministic_and_quieter_between_corrections() {
+        let (synth, driver, vehicle) = setup();
+        for c in [CanonicalBehavior::EyesClosing, CanonicalBehavior::HeadDroop] {
+            let a = synth.sample_canonical(&driver, c, &vehicle, 1.0);
+            let b = synth.sample_canonical(&driver, c, &vehicle, 1.0);
+            assert_eq!(a, b);
+        }
+        // Drowsy micro-corrections are sparse: median first-difference
+        // energy sits below texting's continuous typing jitter.
+        let synth = ImuSynthesizer::new(42).with_noise(0.0);
+        let vehicle = VehicleDynamics::new(1.0).state_at(12.0);
+        let diffs = |f: &dyn Fn(f64) -> f32| -> Vec<f32> {
+            let mut prev = f(0.0);
+            (1..200)
+                .map(|i| {
+                    let cur = f(i as f64 * 0.025);
+                    let d = (cur - prev).abs();
+                    prev = cur;
+                    d
+                })
+                .collect()
+        };
+        let median = |mut v: Vec<f32>| -> f32 {
+            v.sort_by(|a, b| a.total_cmp(b));
+            v[v.len() / 2]
+        };
+        let drowsy = median(diffs(&|t| {
+            synth
+                .sample_canonical(&driver, CanonicalBehavior::EyesClosing, &vehicle, t)
+                .accel[1]
+        }));
+        let texting = median(diffs(&|t| {
+            synth.sample(&driver, Behavior::Texting, &vehicle, t).accel[1]
+        }));
+        assert!(
+            drowsy < texting,
+            "drowsy median diff {drowsy} not below texting {texting}"
+        );
     }
 
     #[test]

@@ -24,7 +24,12 @@
 //!   gyroscope / gravity / rotation channels at the paper's 25 ms cadence;
 //! * **session scripting** ([`schedule::build_schedule`]) reproducing the
 //!   collection protocol: 5 drivers, scripted 15 s distraction segments,
-//!   class durations proportional to Table 1.
+//!   class durations proportional to Table 1;
+//! * an **8-class canonical taxonomy** ([`CanonicalBehavior`]) layering
+//!   two drowsiness classes (eye closure, head droop) over Table 1, with
+//!   a second **side camera view** ([`DrivingWorld::render_side_frame`])
+//!   and drowsy IMU micro-corrections — the multi-stream proving ground
+//!   for the N-stream modality registry in `darnet-core`.
 //!
 //! Everything is seeded and reproducible.
 //!
@@ -51,7 +56,7 @@ pub mod schedule;
 mod vehicle;
 mod world;
 
-pub use behavior::{Behavior, ExtendedBehavior, ImuClass};
+pub use behavior::{Behavior, CanonicalBehavior, ExtendedBehavior, ImuClass};
 pub use driver::DriverProfile;
 pub use frame::Frame;
 pub use imu::{ImuSample, ImuSynthesizer};

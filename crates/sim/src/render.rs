@@ -19,7 +19,7 @@
 
 use darnet_tensor::SplitMix64;
 
-use crate::behavior::{Behavior, ExtendedBehavior};
+use crate::behavior::{Behavior, CanonicalBehavior, ExtendedBehavior};
 use crate::driver::DriverProfile;
 use crate::frame::Frame;
 
@@ -238,6 +238,67 @@ pub(crate) fn ambiguate_pose(pose: &mut PoseSpec, behavior: Behavior, rng: &mut 
     }
 }
 
+/// Base pose for the two drowsiness classes: hands stay on the wheel (the
+/// silhouette is a near-normal driving pose — the discriminative cue is
+/// the face/head, which the dash view carries weakly and the side view
+/// strongly).
+pub(crate) fn pose_for_drowsy(c: CanonicalBehavior) -> PoseSpec {
+    match c {
+        CanonicalBehavior::HeadDroop => PoseSpec {
+            right_hand: WHEEL_RIGHT,
+            left_hand: WHEEL_LEFT,
+            prop: None,
+            prop_intensity: 0.0,
+            head_tilt: 4.5,
+            head_turn: 0.0,
+            lean: 0.5,
+        },
+        // EyesClosing (and any future drowsiness onset class): nominal
+        // posture, only the eyelids give it away.
+        _ => PoseSpec {
+            right_hand: WHEEL_RIGHT,
+            left_hand: WHEEL_LEFT,
+            prop: None,
+            prop_intensity: 0.0,
+            head_tilt: 1.0,
+            head_turn: 0.0,
+            lean: 0.0,
+        },
+    }
+}
+
+/// Samples per-frame drowsiness variation and returns the eyelid-closure
+/// degree in `[0, 1]` (0 = eyes open, drawn as no overlay).
+///
+/// Eye closure oscillates — drowsy drivers blink open — so a minority of
+/// `EyesClosing` frames are nearly indistinguishable from normal driving
+/// in the dash view, which is exactly the occlusion regime where the
+/// side-view stream earns its keep.
+pub(crate) fn ambiguate_drowsy(
+    pose: &mut PoseSpec,
+    c: CanonicalBehavior,
+    rng: &mut SplitMix64,
+) -> f32 {
+    match c {
+        CanonicalBehavior::HeadDroop => {
+            pose.head_tilt += rng.uniform(-0.5, 2.0);
+            pose.head_turn += rng.uniform(-1.0, 1.0);
+            pose.lean += rng.uniform(-0.3, 0.8);
+            rng.uniform(0.7, 1.0)
+        }
+        _ => {
+            pose.head_tilt += rng.uniform(-0.5, 1.0);
+            pose.head_turn += rng.uniform(-0.8, 0.8);
+            if rng.next_f32() < 0.15 {
+                // Momentarily blinked open.
+                rng.uniform(0.05, 0.25)
+            } else {
+                rng.uniform(0.55, 0.95)
+            }
+        }
+    }
+}
+
 pub(crate) fn pose_for_extended(b: ExtendedBehavior) -> PoseSpec {
     use ExtendedBehavior as E;
     let base = |bb: Behavior| pose_for_behavior(bb);
@@ -403,7 +464,53 @@ impl FrameRenderer {
         let mut rng = self.rng_for(behavior.index() as u64, driver, t);
         let mut pose = pose_for_behavior(behavior);
         ambiguate_pose(&mut pose, behavior, &mut rng);
-        self.render_pose(driver, &pose, &mut rng, t)
+        self.render_pose(driver, &pose, &mut rng, t, 0.0)
+    }
+
+    /// Renders a dash-view frame for one of the 8 canonical classes.
+    ///
+    /// The six Table-1 classes delegate to [`FrameRenderer::render`] and
+    /// are bit-identical to it; the two drowsiness classes use fresh seed
+    /// salts (200+) so existing 6-class output is untouched.
+    pub fn render_canonical(
+        &self,
+        driver: &DriverProfile,
+        class: CanonicalBehavior,
+        t: f64,
+    ) -> Frame {
+        match class.base() {
+            Some(b) => self.render(driver, b, t),
+            None => {
+                let mut rng = self.rng_for(200 + class.index() as u64, driver, t);
+                let mut pose = pose_for_drowsy(class);
+                let eyelid = ambiguate_drowsy(&mut pose, class, &mut rng);
+                self.render_pose(driver, &pose, &mut rng, t, eyelid)
+            }
+        }
+    }
+
+    /// Renders a side-view frame (camera on the passenger-side A-pillar)
+    /// for one of the 8 canonical classes.
+    ///
+    /// The profile geometry makes head droop and eye closure far more
+    /// visible than the dash view does, while hand/prop cues compress
+    /// into depth — the complementary-information regime multi-view
+    /// fusion papers exploit. Uses its own seed salt range (300+).
+    pub fn render_side(&self, driver: &DriverProfile, class: CanonicalBehavior, t: f64) -> Frame {
+        let mut rng = self.rng_for(300 + class.index() as u64, driver, t);
+        let (pose, eyelid) = match class.base() {
+            Some(b) => {
+                let mut pose = pose_for_behavior(b);
+                ambiguate_pose(&mut pose, b, &mut rng);
+                (pose, 0.0)
+            }
+            None => {
+                let mut pose = pose_for_drowsy(class);
+                let eyelid = ambiguate_drowsy(&mut pose, class, &mut rng);
+                (pose, eyelid)
+            }
+        };
+        self.render_pose_side(driver, &pose, &mut rng, t, eyelid)
     }
 
     /// Renders a frame for one of the 18 extended behaviours.
@@ -415,7 +522,7 @@ impl FrameRenderer {
     ) -> Frame {
         let mut rng = self.rng_for(100 + behavior.index() as u64, driver, t);
         let pose = pose_for_extended(behavior);
-        self.render_pose(driver, &pose, &mut rng, t)
+        self.render_pose(driver, &pose, &mut rng, t, 0.0)
     }
 
     fn render_pose(
@@ -424,6 +531,7 @@ impl FrameRenderer {
         pose: &PoseSpec,
         rng: &mut SplitMix64,
         t: f64,
+        eyelid: f32,
     ) -> Frame {
         let s = self.size as f32 / 48.0; // geometry scale factor
         let rng = &mut *rng;
@@ -492,6 +600,21 @@ impl FrameRenderer {
             head_r,
             (0.58 + driver.brightness) * lighting,
         );
+
+        // Eyelid band: a dark bar across eye height, darker the more
+        // closed the eyes are. Zero closure draws nothing, so the six
+        // legacy classes are bit-identical to the pre-drowsiness renderer.
+        if eyelid > 0.0 {
+            let tone = ((0.58 + driver.brightness) * lighting * (1.0 - 0.6 * eyelid)).max(0.05);
+            fill_rect(
+                &mut f,
+                head_x - head_r * 0.9,
+                head_y - head_r * 0.25,
+                head_x + head_r * 0.9,
+                head_y + head_r * 0.15,
+                tone,
+            );
+        }
 
         // Shoulders.
         let shoulder_l = (torso_x0 + 2.0 * s, 23.0 * s);
@@ -588,6 +711,156 @@ impl FrameRenderer {
         }
 
         // Sensor noise.
+        if self.noise_sigma > 0.0 {
+            for p in f.pixels_mut() {
+                *p = (*p + rng.normal() * self.noise_sigma).clamp(0.0, 1.0);
+            }
+        }
+        f
+    }
+
+    /// Profile projection of a dash-view pose: the camera sits on the
+    /// passenger-side A-pillar, so lateral reach compresses into depth
+    /// (toward the windshield at the left edge) while vertical positions
+    /// and head tilt survive — and head droop moves the head both down
+    /// and forward, the cue the dash view flattens away.
+    fn render_pose_side(
+        &self,
+        driver: &DriverProfile,
+        pose: &PoseSpec,
+        rng: &mut SplitMix64,
+        t: f64,
+        eyelid: f32,
+    ) -> Frame {
+        let s = self.size as f32 / 48.0;
+        let rng = &mut *rng;
+        let mut f = Frame::new(self.size, self.size);
+
+        let _ = t;
+        let lighting = 1.0 + rng.uniform(-0.20, 0.20);
+
+        // Background: horizontal gradient, windshield light from the left.
+        for y in 0..self.size {
+            for x in 0..self.size {
+                let g = 0.16 + 0.12 * (1.0 - x as f32 / self.size as f32);
+                f.put(x as isize, y as isize, g);
+            }
+        }
+        fill_rect(&mut f, 0.0, 0.0, 7.0 * s, 28.0 * s, 0.52);
+
+        // Steering wheel edge-on: a partial ring at the lower left.
+        draw_ring(&mut f, 8.0 * s, 34.0 * s, 7.0 * s, 2.0 * s, 0.12);
+
+        let wob = driver.motion_style * s;
+        let jitter = |rng: &mut SplitMix64, amp: f32| rng.uniform(-amp, amp);
+        // Dash-view lateral x becomes depth, compressed toward the
+        // windshield; vertical y carries over.
+        let project = |p: (f32, f32), jx: f32, jy: f32| -> (f32, f32) {
+            ((34.0 - 0.38 * p.0) * s + jx, p.1 * s + jy)
+        };
+        let rh = project(
+            pose.right_hand,
+            jitter(rng, 0.8 * wob),
+            jitter(rng, 0.8 * wob),
+        );
+        let lh = project(
+            pose.left_hand,
+            jitter(rng, 0.5 * wob),
+            jitter(rng, 0.5 * wob),
+        );
+
+        // Torso: vertical slab right of center, same identity texture as
+        // the dash view (it is the same shirt).
+        let lean = pose.lean * s;
+        let torso_x0 = 20.0 * s - lean * 0.6;
+        let torso_y0 = 20.0 * s;
+        let torso_x1 = torso_x0 + 13.0 * driver.scale * s;
+        let torso_y1 = 47.0 * s;
+        let body_tone = (0.42 + driver.brightness) * lighting;
+        fill_rect(&mut f, torso_x0, torso_y0, torso_x1, torso_y1, body_tone);
+        apply_texture(
+            &mut f,
+            torso_x0,
+            torso_y0,
+            torso_x1,
+            torso_y1,
+            driver.texture_freq / s,
+            driver.texture_phase,
+            driver.texture_amp,
+        );
+
+        // Head in profile: droop lowers it and pushes it toward the
+        // windshield; turning toward the passenger brings the face toward
+        // this camera.
+        let head_x = (22.0 + driver.head_dx * 0.5) * s - pose.head_tilt * 0.8 * s - lean * 0.4
+            + pose.head_turn * 0.3 * s;
+        let head_y = (12.0 + driver.head_dy) * s + pose.head_tilt * 1.4 * s;
+        let head_r = 5.5 * driver.scale * s;
+        fill_circle(
+            &mut f,
+            head_x,
+            head_y,
+            head_r,
+            (0.58 + driver.brightness) * lighting,
+        );
+        // Face edge: a bright leading crescent the profile view exposes.
+        fill_circle(
+            &mut f,
+            head_x - head_r * 0.7,
+            head_y - head_r * 0.1,
+            head_r * 0.35,
+            (0.66 + driver.brightness) * lighting,
+        );
+        if eyelid > 0.0 {
+            let tone = ((0.58 + driver.brightness) * lighting * (1.0 - 0.6 * eyelid)).max(0.05);
+            fill_rect(
+                &mut f,
+                head_x - head_r,
+                head_y - head_r * 0.25,
+                head_x - head_r * 0.1,
+                head_y + head_r * 0.15,
+                tone,
+            );
+        }
+
+        // Near-side arm from the shoulder toward both hands (the far arm
+        // is mostly occluded; draw it thinner first).
+        let shoulder = (torso_x0 + 3.0 * s, 23.0 * s);
+        draw_thick_line(
+            &mut f,
+            shoulder,
+            lh,
+            1.6 * s,
+            (0.34 + driver.brightness) * lighting,
+        );
+        draw_thick_line(
+            &mut f,
+            shoulder,
+            rh,
+            2.8 * s,
+            (0.40 + driver.brightness) * lighting,
+        );
+        fill_circle(
+            &mut f,
+            rh.0,
+            rh.1,
+            2.2 * s,
+            (0.55 + driver.brightness) * lighting,
+        );
+
+        // Props compress to a small block at the active hand in profile.
+        if let Some(_prop) = pose.prop {
+            let tone = (body_tone + pose.prop_intensity * lighting).min(1.0);
+            fill_rect(
+                &mut f,
+                rh.0 - 1.2 * s,
+                rh.1 - 1.6 * s,
+                rh.0 + 1.2 * s,
+                rh.1 + 1.6 * s,
+                tone,
+            );
+        }
+
         if self.noise_sigma > 0.0 {
             for p in f.pixels_mut() {
                 *p = (*p + rng.normal() * self.noise_sigma).clamp(0.0, 1.0);
@@ -787,6 +1060,97 @@ mod tests {
         // zero — geometry differs too — but the per-pixel gap shrinks).
         assert!(full_diff > 0.0);
         assert!(down_diff < full_diff * 1.5);
+    }
+
+    #[test]
+    fn canonical_base_classes_match_legacy_render_bitwise() {
+        let r = FrameRenderer::new(7);
+        let d = driver();
+        for b in Behavior::ALL {
+            let legacy = r.render(&d, b, 2.5);
+            let canonical = r.render_canonical(&d, CanonicalBehavior::from_behavior(b), 2.5);
+            assert_eq!(legacy, canonical, "class {b} diverged");
+        }
+    }
+
+    #[test]
+    fn drowsy_classes_render_deterministically_and_distinctly() {
+        let r = FrameRenderer::new(7);
+        let d = driver();
+        for c in [CanonicalBehavior::EyesClosing, CanonicalBehavior::HeadDroop] {
+            let a = r.render_canonical(&d, c, 1.0);
+            let b = r.render_canonical(&d, c, 1.0);
+            assert_eq!(a, b);
+            assert!(a.pixels().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        let rq = FrameRenderer::new(7).with_noise(0.0);
+        let eyes = rq.render_canonical(&d, CanonicalBehavior::EyesClosing, 1.0);
+        let droop = rq.render_canonical(&d, CanonicalBehavior::HeadDroop, 1.0);
+        let normal = rq.render_canonical(&d, CanonicalBehavior::NormalDriving, 1.0);
+        let l1 = |a: &Frame, b: &Frame| -> f32 {
+            a.pixels()
+                .iter()
+                .zip(b.pixels())
+                .map(|(x, y)| (x - y).abs())
+                .sum()
+        };
+        assert!(l1(&eyes, &droop) > 1.0);
+        assert!(l1(&eyes, &normal) > 1.0);
+    }
+
+    #[test]
+    fn side_view_is_deterministic_and_differs_from_dash_view() {
+        let r = FrameRenderer::new(7);
+        let d = driver();
+        for c in CanonicalBehavior::ALL {
+            let a = r.render_side(&d, c, 2.0);
+            let b = r.render_side(&d, c, 2.0);
+            assert_eq!(a, b);
+            assert!(a.pixels().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        let rq = FrameRenderer::new(7).with_noise(0.0);
+        let dash = rq.render_canonical(&d, CanonicalBehavior::HeadDroop, 2.0);
+        let side = rq.render_side(&d, CanonicalBehavior::HeadDroop, 2.0);
+        let diff: f32 = dash
+            .pixels()
+            .iter()
+            .zip(side.pixels())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 5.0, "side view too close to dash view: {diff}");
+    }
+
+    #[test]
+    fn side_view_separates_droop_from_normal_more_than_dash_does() {
+        // The complementary-information property the third stream exists
+        // for: head droop moves the profile head a lot but the dash head
+        // only a little.
+        let r = FrameRenderer::new(7).with_noise(0.0);
+        let d = driver();
+        let l1 = |a: &Frame, b: &Frame| -> f32 {
+            a.pixels()
+                .iter()
+                .zip(b.pixels())
+                .map(|(x, y)| (x - y).abs())
+                .sum()
+        };
+        let mut dash_gap = 0.0;
+        let mut side_gap = 0.0;
+        for i in 0..10 {
+            let t = i as f64 * 0.9;
+            dash_gap += l1(
+                &r.render_canonical(&d, CanonicalBehavior::HeadDroop, t),
+                &r.render_canonical(&d, CanonicalBehavior::NormalDriving, t),
+            );
+            side_gap += l1(
+                &r.render_side(&d, CanonicalBehavior::HeadDroop, t),
+                &r.render_side(&d, CanonicalBehavior::NormalDriving, t),
+            );
+        }
+        assert!(
+            side_gap > dash_gap * 0.8,
+            "side view adds no droop signal: dash {dash_gap} side {side_gap}"
+        );
     }
 
     #[test]

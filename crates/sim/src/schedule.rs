@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::behavior::{Behavior, ExtendedBehavior};
+use crate::behavior::{Behavior, CanonicalBehavior, ExtendedBehavior};
 
 /// Frame counts per class from the paper's Table 1.
 pub const TABLE1_FRAME_COUNTS: [usize; 6] = [5_286, 10_352, 9_422, 9_463, 4_848, 17_709];
@@ -150,6 +150,66 @@ pub fn build_extended_schedule(config: &ExtendedScheduleConfig) -> Vec<Segment<E
     segments
 }
 
+/// Configuration of the 8-class canonical multi-stream campaign: the six
+/// Table-1 behaviours (durations proportional to Table 1) plus the two
+/// drowsiness classes with an explicit per-driver budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CanonicalScheduleConfig {
+    /// The Table-1 portion of the script.
+    pub base: ScheduleConfig,
+    /// Seconds of drowsiness footage per drowsy class per driver.
+    pub drowsy_seconds_per_class: f64,
+}
+
+impl Default for CanonicalScheduleConfig {
+    fn default() -> Self {
+        CanonicalScheduleConfig {
+            base: ScheduleConfig::default(),
+            drowsy_seconds_per_class: 20.0,
+        }
+    }
+}
+
+/// Builds the 8-class schedule: per driver, a round-robin script over all
+/// canonical classes — Table-1 classes keep their Table-1-proportional
+/// budgets, the drowsiness classes get `drowsy_seconds_per_class` each.
+pub fn build_canonical_schedule(
+    config: &CanonicalScheduleConfig,
+) -> Vec<Segment<CanonicalBehavior>> {
+    let base = &config.base;
+    let mut segments = Vec::new();
+    for driver in 0..base.drivers {
+        let mut remaining: Vec<f64> = CanonicalBehavior::ALL
+            .iter()
+            .map(|c| match c.base() {
+                Some(b) => {
+                    TABLE1_FRAME_COUNTS[b.index()] as f64 * base.scale
+                        / (base.drivers as f64 * base.camera_fps)
+                }
+                None => config.drowsy_seconds_per_class,
+            })
+            .collect();
+        let mut t = 0.0f64;
+        while remaining.iter().any(|&r| r > 1e-9) {
+            for (idx, class) in CanonicalBehavior::ALL.iter().enumerate() {
+                if remaining[idx] <= 1e-9 {
+                    continue;
+                }
+                let duration = remaining[idx].min(base.segment_seconds);
+                segments.push(Segment {
+                    driver,
+                    behavior: *class,
+                    start: t,
+                    duration,
+                });
+                t += duration;
+                remaining[idx] -= duration;
+            }
+        }
+    }
+    segments
+}
+
 /// Total scheduled duration per class, in seconds (diagnostic used by the
 /// Table 1 reproduction).
 pub fn class_durations(segments: &[Segment<Behavior>]) -> [f64; 6] {
@@ -235,6 +295,34 @@ mod tests {
         for d in per_class {
             assert!((d - 20.0).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn canonical_schedule_covers_all_8_classes() {
+        let config = CanonicalScheduleConfig {
+            base: ScheduleConfig {
+                drivers: 2,
+                ..ScheduleConfig::default()
+            },
+            drowsy_seconds_per_class: 10.0,
+        };
+        let segments = build_canonical_schedule(&config);
+        let mut per_class = [0.0f64; 8];
+        for s in &segments {
+            per_class[s.behavior.index()] += s.duration;
+        }
+        // Table-1 classes keep their proportional budgets.
+        for (i, &frames) in TABLE1_FRAME_COUNTS.iter().enumerate() {
+            let expected = frames as f64 * config.base.scale / config.base.camera_fps;
+            assert!(
+                (per_class[i] - expected).abs() < 1e-6,
+                "class {i}: {} vs {expected}",
+                per_class[i]
+            );
+        }
+        // Drowsy classes get their explicit budget per driver.
+        assert!((per_class[6] - 20.0).abs() < 1e-6);
+        assert!((per_class[7] - 20.0).abs() < 1e-6);
     }
 
     #[test]

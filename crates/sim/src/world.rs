@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::behavior::{Behavior, ExtendedBehavior};
+use crate::behavior::{Behavior, CanonicalBehavior, ExtendedBehavior};
 use crate::driver::DriverProfile;
 use crate::frame::Frame;
 use crate::imu::{ImuSample, ImuSynthesizer};
@@ -47,6 +47,7 @@ pub struct DrivingWorld {
     drivers: Vec<DriverProfile>,
     dynamics: Vec<VehicleDynamics>,
     renderer: FrameRenderer,
+    side_renderer: FrameRenderer,
     imu: ImuSynthesizer,
 }
 
@@ -61,12 +62,18 @@ impl DrivingWorld {
         let renderer = FrameRenderer::new(config.seed ^ 0xF00D)
             .with_size(config.frame_size)
             .with_noise(config.image_noise);
+        // The side camera is a physically separate sensor: its own seed
+        // stream, same optics.
+        let side_renderer = FrameRenderer::new(config.seed ^ 0x51DE)
+            .with_size(config.frame_size)
+            .with_noise(config.image_noise);
         let imu = ImuSynthesizer::new(config.seed ^ 0xBEEF).with_noise(config.imu_noise);
         DrivingWorld {
             config,
             drivers,
             dynamics,
             renderer,
+            side_renderer,
             imu,
         }
     }
@@ -119,6 +126,40 @@ impl DrivingWorld {
         let state = self.dynamics[id].state_at(t);
         self.imu.sample(&self.drivers[id], behavior, &state, t)
     }
+
+    /// Renders driver `id`'s dash-camera frame for one of the 8 canonical
+    /// classes (bit-identical to [`DrivingWorld::render_frame`] for the
+    /// six Table-1 classes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn render_canonical_frame(&self, id: usize, class: CanonicalBehavior, t: f64) -> Frame {
+        self.renderer.render_canonical(&self.drivers[id], class, t)
+    }
+
+    /// Renders driver `id`'s side-camera (A-pillar) frame for one of the
+    /// 8 canonical classes — the third registered stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn render_side_frame(&self, id: usize, class: CanonicalBehavior, t: f64) -> Frame {
+        self.side_renderer.render_side(&self.drivers[id], class, t)
+    }
+
+    /// Synthesizes the IMU reading for one of the 8 canonical classes
+    /// (bit-identical to [`DrivingWorld::imu_sample`] for the six Table-1
+    /// classes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn imu_sample_canonical(&self, id: usize, class: CanonicalBehavior, t: f64) -> ImuSample {
+        let state = self.dynamics[id].state_at(t);
+        self.imu
+            .sample_canonical(&self.drivers[id], class, &state, t)
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +209,32 @@ mod tests {
         });
         let f = world.render_extended_frame(9, ExtendedBehavior::Smoking, 1.0);
         assert_eq!(f.width(), 48);
+    }
+
+    #[test]
+    fn canonical_views_are_deterministic_and_base_classes_match_legacy() {
+        let a = DrivingWorld::new(WorldConfig::default());
+        let b = DrivingWorld::new(WorldConfig::default());
+        for c in CanonicalBehavior::ALL {
+            assert_eq!(
+                a.render_side_frame(1, c, 2.0),
+                b.render_side_frame(1, c, 2.0)
+            );
+        }
+        assert_eq!(
+            a.render_canonical_frame(2, CanonicalBehavior::Talking, 3.0),
+            a.render_frame(2, Behavior::Talking, 3.0)
+        );
+        assert_eq!(
+            a.imu_sample_canonical(2, CanonicalBehavior::Talking, 3.0),
+            a.imu_sample(2, Behavior::Talking, 3.0)
+        );
+        // The side camera is an independent sensor: its frames differ
+        // from the dash camera's for the same instant.
+        assert_ne!(
+            a.render_side_frame(2, CanonicalBehavior::Talking, 3.0),
+            a.render_canonical_frame(2, CanonicalBehavior::Talking, 3.0)
+        );
     }
 
     #[test]

@@ -44,6 +44,13 @@
 #                  merge to the single-controller digest, and sustained
 #                  ingest rate / ack p99 / bytes-per-agent must stay
 #                  within 15% of baseline (--check)
+#   8. multiview — the N-stream registry ablation in --fast mode,
+#                  compared against the committed BENCH_multiview.json
+#                  baseline; the seeded fault campaign must knock the
+#                  front camera out, and the 3-stream engine's accuracy
+#                  under that loss must stay at or above the 2-stream
+#                  engine under the same loss and within 15% of the
+#                  clean 2-stream baseline (--check)
 #
 # Usage:
 #   scripts/ci.sh                 run every step
@@ -51,7 +58,7 @@
 #   scripts/ci.sh --list          list step names and exit
 #
 # Every step is timed and a per-step elapsed summary is printed at the
-# end, so the 7-step pipeline can be profiled and iterated on locally
+# end, so the 8-step pipeline can be profiled and iterated on locally
 # without grepping logs.
 #
 # The workspace vendors every dependency, so the whole pipeline runs with
@@ -62,7 +69,7 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-STEPS=(tier1 darlint docs parallel inference chaos fleet)
+STEPS=(tier1 darlint docs parallel inference chaos fleet multiview)
 ONLY=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -106,7 +113,7 @@ step_docs() {
   cargo doc --workspace --no-deps --locked --quiet
 }
 
-# Shared shape of the four gated benchmarks: --fast smoke, JSON artifact
+# Shared shape of the five gated benchmarks: --fast smoke, JSON artifact
 # under target/ci/, regression compare against the committed baseline,
 # and the bench's own invariant gates.
 run_bench() {
@@ -124,6 +131,7 @@ step_parallel()  { run_bench bench_parallel  BENCH_parallel.json; }
 step_inference() { run_bench bench_inference BENCH_inference.json; }
 step_chaos()     { run_bench bench_chaos     BENCH_chaos.json; }
 step_fleet()     { run_bench bench_fleet     BENCH_fleet.json; }
+step_multiview() { run_bench repro_ablation_multiview BENCH_multiview.json; }
 
 wants() {
   [[ ${#ONLY[@]} -eq 0 ]] && return 0
